@@ -1,0 +1,119 @@
+// Section 5 / 7 baseline comparison: CFS vs DNS-based geolocation (DRoP)
+// vs a commercial-style IP geolocation database.
+//
+// Paper: of 13,889 peering interfaces, 29% had no PTR record, 55% of the
+// remainder encoded no location, and only 32% could be DNS-geolocated at
+// all (and only to city granularity); IP geolocation is reliable only at
+// country level, with content-provider space collapsing to headquarters.
+#include "common.h"
+
+using namespace cfs;
+
+int main() {
+  bench::header("Baselines — CFS vs DNS (DRoP) vs IP geolocation",
+                "DNS: 29% no PTR, 55% of rest no hint, 32% geolocated "
+                "(city-grained); GeoIP reliable only at country level; CFS "
+                "resolves 70.65% at *facility* grain with >90% accuracy");
+
+  auto run = bench::standard_paper_run();
+  Pipeline& pipeline = *run.pipeline;
+  const Topology& topo = pipeline.topology();
+
+  // --- DNS breakdown over observed peering interfaces ---
+  std::size_t no_ptr = 0;
+  std::size_t ptr_no_hint = 0;
+  std::size_t metro_hint = 0;
+  std::size_t facility_hint = 0;
+  std::size_t dns_metro_correct = 0;
+  std::size_t dns_metro_scored = 0;
+
+  // --- GeoIP over the same population ---
+  std::size_t geo_entries = 0;
+  std::size_t geo_country_correct = 0;
+  std::size_t geo_metro_correct = 0;
+
+  for (const auto& [addr, inf] : run.report.interfaces) {
+    const Interface* iface = topo.find_interface(addr);
+    const auto truth_metro =
+        iface ? std::optional<MetroId>(
+                    topo.metro_of(topo.router(iface->router).facility))
+              : std::nullopt;
+
+    const auto ptr = pipeline.dns().ptr(addr);
+    if (!ptr) {
+      ++no_ptr;
+    } else {
+      const auto hint = pipeline.drop().parse(*ptr);
+      switch (hint.level) {
+        case DnsGeoHint::Level::None: ++ptr_no_hint; break;
+        case DnsGeoHint::Level::Metro: ++metro_hint; break;
+        case DnsGeoHint::Level::Facility: ++facility_hint; break;
+      }
+      if (hint.level != DnsGeoHint::Level::None && truth_metro) {
+        ++dns_metro_scored;
+        dns_metro_correct += hint.metro == *truth_metro;
+      }
+    }
+
+    if (const auto geo = pipeline.geoip().lookup(addr); geo && truth_metro) {
+      ++geo_entries;
+      geo_country_correct +=
+          geo->country == topo.metro(*truth_metro).country;
+      geo_metro_correct += geo->metro == *truth_metro;
+    }
+  }
+
+  const double population =
+      static_cast<double>(run.report.observed_interfaces());
+  Table dns({"DNS (DRoP) metric", "Value"});
+  dns.add_row({"Interfaces with no PTR record",
+               Table::percent(no_ptr / population)});
+  dns.add_row({"PTR but no location hint",
+               Table::percent(ptr_no_hint / population)});
+  dns.add_row({"Geolocated to a metro",
+               Table::percent(metro_hint / population)});
+  dns.add_row({"Geolocated to a facility",
+               Table::percent(facility_hint / population)});
+  dns.add_row({"Metro correctness of DNS hints",
+               dns_metro_scored == 0
+                   ? "n/a"
+                   : Table::percent(static_cast<double>(dns_metro_correct) /
+                                    dns_metro_scored)});
+  dns.print(std::cout);
+
+  Table geo({"IP geolocation metric", "Value"});
+  geo.add_row({"Coverage", Table::percent(geo_entries / population)});
+  geo.add_row({"Country-level accuracy",
+               geo_entries == 0
+                   ? "n/a"
+                   : Table::percent(static_cast<double>(geo_country_correct) /
+                                    geo_entries)});
+  geo.add_row({"Metro-level accuracy",
+               geo_entries == 0
+                   ? "n/a"
+                   : Table::percent(static_cast<double>(geo_metro_correct) /
+                                    geo_entries)});
+  geo.print(std::cout);
+
+  const auto oracle =
+      pipeline.validation().oracle_interface_accuracy(run.report);
+  Table cfs_table({"CFS metric", "Value"});
+  cfs_table.add_row({"Facility-level resolution",
+                     Table::percent(run.report.resolved_fraction())});
+  cfs_table.add_row({"Additionally city-constrained",
+                     Table::percent(
+                         static_cast<double>(
+                             run.report.city_constrained(topo)) /
+                         population)});
+  cfs_table.add_row({"Facility accuracy of resolutions",
+                     Table::percent(oracle.accuracy())});
+  cfs_table.add_row({"City accuracy of resolutions",
+                     Table::percent(oracle.city_accuracy())});
+  cfs_table.print(std::cout);
+
+  bench::note("\nshape check: CFS resolves more interfaces at facility "
+              "grain than DNS can even geolocate at any grain; GeoIP is "
+              "fine for countries, poor for metros, useless for "
+              "facilities.");
+  return 0;
+}

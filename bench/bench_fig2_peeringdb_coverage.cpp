@@ -1,0 +1,52 @@
+// Figure 2: facilities per AS from operators' own (NOC) websites vs the
+// fraction of those facilities present in PeeringDB — the measurement that
+// motivated the paper's database-assembly step.
+#include "common.h"
+
+using namespace cfs;
+
+int main() {
+  bench::header("Figure 2 — PeeringDB coverage vs NOC websites",
+                "152 ASes checked; PeeringDB missing 1,424 AS-facility "
+                "links across 61 ASes; 4 ASes had no facility listed; "
+                "coverage fraction falls with footprint size");
+
+  Pipeline pipeline(PipelineConfig::paper_scale());
+  const auto& db = pipeline.facility_db();
+
+  const auto& report = db.coverage_report();
+  Table table({"AS (by footprint rank)", "Website facilities",
+               "In PeeringDB", "Fraction"});
+  // Print every 8th AS to keep the series readable; the CSV-style series
+  // underlying the figure is the full report.
+  for (std::size_t i = 0; i < report.size(); i += 8) {
+    const auto& cov = report[i];
+    const double fraction =
+        cov.website_facilities == 0
+            ? 0.0
+            : static_cast<double>(cov.peeringdb_facilities) /
+                  static_cast<double>(cov.website_facilities);
+    table.add_row({pipeline.topology().as_of(cov.asn).name,
+                   Table::cell(std::uint64_t{cov.website_facilities}),
+                   Table::cell(std::uint64_t{cov.peeringdb_facilities}),
+                   Table::percent(fraction)});
+  }
+  table.print(std::cout);
+
+  const auto totals = db.coverage_totals();
+  Table agg({"Aggregate", "Value"});
+  agg.add_row({"ASes checked against NOC websites",
+               Table::cell(std::uint64_t{totals.checked_ases})});
+  agg.add_row({"AS-facility links missing from PeeringDB",
+               Table::cell(std::uint64_t{totals.missing_links})});
+  agg.add_row({"ASes with missing links",
+               Table::cell(std::uint64_t{totals.ases_with_missing})});
+  agg.add_row({"ASes with no PeeringDB facility at all",
+               Table::cell(std::uint64_t{totals.ases_without_any_record})});
+  agg.print(std::cout);
+
+  bench::note("\nshape check: a large minority of checked ASes have "
+              "PeeringDB gaps, and the biggest footprints are undercounted "
+              "the most.");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 7: fraction of interfaces resolved to a single facility vs CFS
+// iteration, for all platforms combined and for RIPE-Atlas-only /
+// looking-glass-only probing. Also reports the DNS (DRoP) geolocation
+// baseline and the alias-constraint ablation (DESIGN.md §4.1).
+#include <iomanip>
+
+#include "common.h"
+
+using namespace cfs;
+
+namespace {
+
+struct Curve {
+  std::string label;
+  std::vector<double> fraction;  // per iteration, cumulative
+  double final_fraction = 0.0;
+  std::size_t observed = 0;
+};
+
+Curve run_variant(const std::string& label,
+                  std::optional<Platform> platform_filter, bool use_alias,
+                  bool use_border_mapping = true) {
+  PipelineConfig config = PipelineConfig::paper_scale();
+  config.cfs.platform_filter = platform_filter;
+  config.cfs.use_alias_constraints = use_alias;
+  config.cfs.use_border_mapping = use_border_mapping;
+  Pipeline pipeline(config);
+
+  // Initial campaign restricted to the platform under test.
+  std::vector<const VantagePoint*> probes;
+  for (const VantagePoint& vp : pipeline.vantage_points().all())
+    if (!platform_filter || vp.platform == *platform_filter)
+      probes.push_back(&vp);
+  // Same per-platform sampling ratio as the combined run.
+  std::vector<const VantagePoint*> sampled;
+  for (std::size_t i = 0; i < probes.size(); i += 2)
+    sampled.push_back(probes[i]);
+
+  std::vector<Ipv4> targets;
+  for (const Asn asn : pipeline.default_targets(5, 5)) {
+    const auto t = MeasurementCampaign::targets_for(pipeline.topology(), asn);
+    targets.insert(targets.end(), t.begin(), t.end());
+  }
+  auto traces = pipeline.campaign().run(sampled, targets);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  Curve curve;
+  curve.label = label;
+  curve.observed = report.observed_interfaces();
+  for (const std::size_t resolved : report.resolved_per_iteration)
+    curve.fraction.push_back(curve.observed == 0
+                                 ? 0.0
+                                 : static_cast<double>(resolved) /
+                                       static_cast<double>(curve.observed));
+  curve.final_fraction =
+      curve.fraction.empty() ? 0.0 : curve.fraction.back();
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 7 — CFS convergence vs iterations",
+                "~40% of interfaces resolved within 10 iterations, "
+                "diminishing returns after 40, 70.65% at the 100-iteration "
+                "timeout; Atlas resolves ~2x more per iteration than LGs; "
+                "DNS-based geolocation covers only 32%, below CFS's first "
+                "5 iterations");
+
+  std::vector<Curve> curves;
+  curves.push_back(run_variant("All platforms", std::nullopt, true));
+  curves.push_back(run_variant("RIPE Atlas", Platform::RipeAtlas, true));
+  curves.push_back(run_variant("Looking Glasses", Platform::LookingGlass,
+                               true));
+  curves.push_back(run_variant("All, no alias constraints (ablation)",
+                               std::nullopt, false));
+  curves.push_back(run_variant("All, no border mapping (ablation)",
+                               std::nullopt, true, false));
+
+  // DNS baseline over the combined run's interface population.
+  PipelineConfig config = PipelineConfig::paper_scale();
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(5, 5), 0.6);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+  std::size_t dns_geolocated = 0;
+  for (const auto& [addr, inf] : report.interfaces) {
+    const auto hint = pipeline.drop().geolocate(addr);
+    dns_geolocated += hint.level != DnsGeoHint::Level::None;
+  }
+  const double dns_fraction =
+      report.observed_interfaces() == 0
+          ? 0.0
+          : static_cast<double>(dns_geolocated) /
+                static_cast<double>(report.observed_interfaces());
+
+  std::vector<std::string> headers = {"Iteration"};
+  for (const Curve& curve : curves) headers.push_back(curve.label);
+  Table table(std::move(headers));
+  const std::size_t max_len = [&] {
+    std::size_t m = 0;
+    for (const Curve& c : curves) m = std::max(m, c.fraction.size());
+    return m;
+  }();
+  for (std::size_t i = 0; i < max_len; i += 5) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const Curve& curve : curves)
+      row.push_back(i < curve.fraction.size()
+                        ? Table::percent(curve.fraction[i])
+                        : Table::percent(curve.final_fraction));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  Table summary({"Series", "Final resolved", "Observed interfaces"});
+  for (const Curve& curve : curves)
+    summary.add_row({curve.label, Table::percent(curve.final_fraction),
+                     Table::cell(std::uint64_t{curve.observed})});
+  summary.add_row({"DNS (DRoP) geolocatable at any granularity",
+                   Table::percent(dns_fraction),
+                   Table::cell(std::uint64_t{report.observed_interfaces()})});
+  summary.print(std::cout);
+
+  bench::note("\nshape check: steep first iterations, alias-refresh bumps, "
+              "long diminishing tail; Atlas curve above LG curve; the "
+              "no-alias ablation ends materially lower; DNS baseline sits "
+              "below the early-iteration CFS fraction.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 8: robustness of CFS to missing facility data. Facilities are
+// removed from the assembled database in random order; we measure (a) the
+// fraction of previously resolved interfaces that become unresolved and
+// (b) the fraction whose inference *changes* (converges elsewhere),
+// averaged over repetitions.
+#include <unordered_map>
+
+#include "common.h"
+
+using namespace cfs;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t removed = 0;
+  double unresolved_fraction = 0.0;
+  double changed_fraction = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 8 — sensitivity to removed facilities",
+                "removing ~50% of facilities unresolves ~30% of previously "
+                "resolved interfaces; removing 80% unresolves ~60%; "
+                "removing 30% changes ~20% of inferences, and the "
+                "changed-inference curve is non-monotonic");
+
+  const int repetitions = 3;
+  const std::vector<double> removal_fractions = {0.1, 0.2, 0.3, 0.5, 0.65,
+                                                 0.8};
+
+  // Baseline run (small scale keeps the sweep affordable on one core).
+  PipelineConfig base_config = PipelineConfig::small_scale();
+  std::unordered_map<std::size_t, SweepPoint> accumulated;
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    PipelineConfig config = base_config;
+    config.seed = base_config.seed + static_cast<std::uint64_t>(rep) * 101;
+    Pipeline baseline(config);
+    auto traces =
+        baseline.initial_campaign(baseline.default_targets(3, 3), 0.6);
+    const CfsReport reference = baseline.run_cfs(std::move(traces));
+
+    std::unordered_map<Ipv4, FacilityId> reference_facilities;
+    for (const auto& [addr, inf] : reference.interfaces)
+      if (inf.resolved()) reference_facilities.emplace(addr, inf.facility());
+    if (reference_facilities.empty()) continue;
+
+    const std::size_t total_facilities =
+        baseline.topology().facilities().size();
+    Rng removal_rng(config.seed ^ 0xfade);
+    const auto order =
+        removal_rng.sample_indices(total_facilities, total_facilities);
+
+    for (const double fraction : removal_fractions) {
+      const auto removed_count =
+          static_cast<std::size_t>(fraction * total_facilities);
+
+      // Fresh pipeline with the same seed, then degrade its database.
+      Pipeline degraded(config);
+      for (std::size_t i = 0; i < removed_count; ++i)
+        degraded.facility_db().remove_facility(
+            FacilityId(static_cast<std::uint32_t>(order[i])));
+
+      auto degraded_traces =
+          degraded.initial_campaign(degraded.default_targets(3, 3), 0.6);
+      const CfsReport degraded_report =
+          degraded.run_cfs(std::move(degraded_traces));
+
+      std::size_t lost = 0;
+      std::size_t changed = 0;
+      for (const auto& [addr, fac] : reference_facilities) {
+        const auto* inf = degraded_report.find(addr);
+        if (inf == nullptr || !inf->resolved())
+          ++lost;
+        else if (inf->facility() != fac)
+          ++changed;
+      }
+      SweepPoint& point = accumulated[removed_count];
+      point.removed = removed_count;
+      point.unresolved_fraction +=
+          static_cast<double>(lost) / reference_facilities.size();
+      point.changed_fraction +=
+          static_cast<double>(changed) / reference_facilities.size();
+    }
+  }
+
+  Table table({"Facilities removed", "Resolved -> unresolved",
+               "Changed inference"});
+  std::vector<std::size_t> keys;
+  for (const auto& [key, point] : accumulated) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::size_t key : keys) {
+    const SweepPoint& point = accumulated[key];
+    table.add_row({Table::cell(std::uint64_t{point.removed}),
+                   Table::percent(point.unresolved_fraction / repetitions),
+                   Table::percent(point.changed_fraction / repetitions)});
+  }
+  table.print(std::cout);
+
+  bench::note("\nshape check: unresolved fraction grows steadily with "
+              "removals; changed-inference fraction rises then falls "
+              "(heavy removals destroy the constraints needed to converge "
+              "at all, so fewer *wrong* convergences remain).");
+  return 0;
+}

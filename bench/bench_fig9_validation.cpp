@@ -1,0 +1,54 @@
+// Figure 9: fraction of ground-truth locations matching inferred locations,
+// by validation source and inferred link type — plus the simulator's
+// omniscient oracle score the paper could only approximate.
+#include "common.h"
+
+using namespace cfs;
+
+int main() {
+  bench::header("Figure 9 — validation accuracy by source and link type",
+                "direct feedback 474/540 (88%, 95% city); BGP communities "
+                "76/83 public & 94/106 x-conn; DNS 91/100 & 191/213; IXP "
+                "websites 322/325 public & 44/48 remote; >=90% overall, "
+                "wrong inferences land in the right city");
+
+  auto run = bench::standard_paper_run();
+  const auto breakdown = run.pipeline->validation().validate(run.report);
+
+  Table table({"Source", "Link type", "Correct/Total", "Facility acc.",
+               "City acc."});
+  for (const auto& [key, acc] : breakdown) {
+    if (acc.total == 0) continue;
+    table.add_row({std::string(validation_source_name(key.first)),
+                   std::string(validation_link_type_name(key.second)),
+                   std::to_string(acc.correct) + "/" +
+                       std::to_string(acc.total),
+                   Table::percent(acc.accuracy()),
+                   Table::percent(acc.city_accuracy())});
+  }
+  table.print(std::cout);
+
+  const auto oracle =
+      run.pipeline->validation().oracle_interface_accuracy(run.report);
+  Table summary({"Oracle (all resolved interfaces)", "Value"});
+  summary.add_row({"Scored interfaces", Table::cell(std::uint64_t{oracle.total})});
+  summary.add_row({"Facility-level accuracy", Table::percent(oracle.accuracy())});
+  summary.add_row({"City-level accuracy", Table::percent(oracle.city_accuracy())});
+  summary.print(std::cout);
+
+  // Link-type confusion (the inference quality behind the buckets).
+  const auto confusion =
+      run.pipeline->validation().link_type_confusion(run.report);
+  Table conf({"Inferred", "Ground truth", "Count"});
+  for (const auto& [pair, count] : confusion)
+    conf.add_row({std::string(interconnection_type_name(pair.first)),
+                  std::string(interconnection_type_name(pair.second)),
+                  Table::cell(std::uint64_t{count})});
+  conf.print(std::cout);
+
+  bench::note("\nshape check: every populated source/type bucket sits near "
+              "or above 85-90% facility-level, and city-level accuracy "
+              "approaches 100% — wrong answers are same-metro wrong, as in "
+              "the paper.");
+  return 0;
+}

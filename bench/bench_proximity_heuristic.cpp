@@ -1,0 +1,151 @@
+#include <map>
+#include <set>
+
+// Section 4.4: switch-proximity heuristic validation (the AMS-IX
+// experiment) plus a remote-peering threshold sweep.
+//
+// On the largest exchange, the heuristic's proximity ranking is trained on
+// peerings whose far end is unambiguous (single-port members) and tested
+// on members connected at two or more facilities; the paper found the
+// exact facility 77% of the time, with failures landing on the same
+// backhaul switch and ties forcing abstention.
+#include "common.h"
+
+using namespace cfs;
+
+int main() {
+  bench::header("Section 4.4 — switch-proximity heuristic on the largest IXP",
+                "77% exact facility; failures are same-backhaul neighbours; "
+                "no inference when candidates hang off the same switch");
+
+  Pipeline pipeline(PipelineConfig::paper_scale());
+  const Topology& topo = pipeline.topology();
+
+  // The paper runs this on AMS-IX; we aggregate over every exchange whose
+  // membership includes multi-facility members, which plays the same role
+  // at simulator scale.
+  ProximityHeuristic heuristic;
+  struct TestCase {
+    IxpId ixp;
+    FacilityId near_fac;
+    FacilityId far_fac;  // truth
+    std::vector<FacilityId> candidates;
+  };
+  std::vector<TestCase> tests;
+
+  // Only the session's far end (link.b) is fabric-proximity-determined:
+  // the near member picked its own port, then traffic is delivered to the
+  // far member's most proximate port — the quantity the heuristic predicts.
+  for (const auto& link : topo.links()) {
+    if (link.type != LinkType::PublicPeering) continue;
+    const Ixp& ixp = topo.ixp(link.ixp);
+    const Asn far_member = topo.router(link.b.router).owner;
+    const auto far_ports = ixp.ports_of(far_member);
+    const FacilityId near_fac = topo.router(link.a.router).facility;
+    const FacilityId far_fac = topo.router(link.b.router).facility;
+
+    std::vector<FacilityId> port_facilities;
+    for (const auto* port : far_ports)
+      port_facilities.push_back(ixp.switches[port->access_switch].facility);
+    std::sort(port_facilities.begin(), port_facilities.end());
+    port_facilities.erase(
+        std::unique(port_facilities.begin(), port_facilities.end()),
+        port_facilities.end());
+
+    if (port_facilities.size() <= 1) {
+      // Unambiguous far end: training observation.
+      heuristic.observe(ixp.id, near_fac, far_fac);
+    } else {
+      tests.push_back(TestCase{ixp.id, near_fac, far_fac, port_facilities});
+    }
+  }
+
+  std::size_t exact = 0;
+  std::size_t wrong = 0;
+  std::size_t wrong_same_backhaul = 0;
+  std::size_t abstained = 0;
+  for (const TestCase& test : tests) {
+    const Ixp& ixp = topo.ixp(test.ixp);
+    const auto inferred =
+        heuristic.infer_far(test.ixp, test.near_fac, test.candidates);
+    if (!inferred) {
+      ++abstained;
+      continue;
+    }
+    if (*inferred == test.far_fac) {
+      ++exact;
+      continue;
+    }
+    ++wrong;
+    const auto sw_inferred = ixp.access_switch_at(*inferred);
+    const auto sw_truth = ixp.access_switch_at(test.far_fac);
+    if (sw_inferred && sw_truth &&
+        ixp.switch_distance(*sw_inferred, *sw_truth) <= 1)
+      ++wrong_same_backhaul;
+  }
+
+  Table table({"Metric", "Value"});
+  table.add_row({"Exchanges considered",
+                 Table::cell(std::uint64_t{topo.ixps().size()})});
+  table.add_row({"Training pairs (single-facility members)",
+                 Table::cell(std::uint64_t{heuristic.observations()})});
+  table.add_row({"Test links (multi-facility members)",
+                 Table::cell(std::uint64_t{tests.size()})});
+  const std::size_t decided = exact + wrong;
+  table.add_row({"Exact facility (of decided)",
+                 decided == 0 ? "n/a"
+                              : Table::percent(static_cast<double>(exact) /
+                                               static_cast<double>(decided))});
+  table.add_row({"Wrong but same backhaul (of wrong)",
+                 wrong == 0
+                     ? "n/a"
+                     : Table::percent(static_cast<double>(wrong_same_backhaul) /
+                                      static_cast<double>(wrong))});
+  table.add_row({"Abstained (ties / no data)",
+                 tests.empty()
+                     ? "n/a"
+                     : Table::percent(static_cast<double>(abstained) /
+                                      static_cast<double>(tests.size()))});
+  table.print(std::cout);
+
+  // --- remote-peering threshold sweep (ablation) ---
+  bench::note("\nremote-peering RTT threshold sweep (public links, truth "
+              "from port records):");
+  auto run_traces = pipeline.initial_campaign(pipeline.default_targets(4, 4),
+                                              0.5);
+  Table sweep({"Threshold (ms)", "Precision", "Recall"});
+  // Build observations once via a quick CFS-less classification pass.
+  InterfaceAsnMap map(pipeline.ip2asn());
+  HopClassifier classifier(pipeline.ip2asn(), map);
+  const auto observations = classifier.classify_all(run_traces);
+  for (const double threshold : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0}) {
+    RemotePeeringDetector detector(
+        RemoteDetectorConfig{.rtt_delta_threshold_ms = threshold});
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t fn = 0;
+    for (const auto& obs : observations) {
+      if (obs.kind != PeeringKind::Public) continue;
+      const auto truth =
+          pipeline.validation().true_link_type(obs);
+      if (truth == InterconnectionType::Unknown) continue;
+      const bool truth_remote = truth == InterconnectionType::PublicRemote;
+      const bool inferred_remote = detector.far_side_remote(obs);
+      tp += truth_remote && inferred_remote;
+      fp += !truth_remote && inferred_remote;
+      fn += truth_remote && !inferred_remote;
+    }
+    sweep.add_row(
+        {Table::cell(threshold, 1),
+         tp + fp == 0 ? "n/a"
+                      : Table::percent(static_cast<double>(tp) / (tp + fp)),
+         tp + fn == 0 ? "n/a"
+                      : Table::percent(static_cast<double>(tp) / (tp + fn))});
+  }
+  sweep.print(std::cout);
+
+  bench::note("\nshape check: exact-facility rate in the 70-90% band with "
+              "same-backhaul near-misses; the RTT threshold has a broad "
+              "sweet spot of a few milliseconds.");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 1: characteristics of the four traceroute measurement platforms
+// (vantage points, distinct ASNs, countries; plus the unique totals).
+#include "common.h"
+
+using namespace cfs;
+
+int main() {
+  bench::header("Table 1 — measurement platforms",
+                "RIPE Atlas 6385 VPs / 2410 ASNs / 160 countries; LGs "
+                "1877/438/79; iPlane 147/117/35; Ark 107/71/41; "
+                "total unique 8517/2638/170");
+
+  Pipeline pipeline(PipelineConfig::paper_scale());
+  const auto& vps = pipeline.vantage_points();
+  const auto& topo = pipeline.topology();
+
+  Table table({"Platform", "Vantage Pts.", "ASNs", "Countries"});
+  for (const Platform platform :
+       {Platform::RipeAtlas, Platform::LookingGlass, Platform::IPlane,
+        Platform::Ark}) {
+    const auto stats = vps.stats(platform, topo);
+    table.add_row({std::string(platform_name(platform)),
+                   Table::cell(std::uint64_t{stats.vantage_points}),
+                   Table::cell(std::uint64_t{stats.distinct_asns}),
+                   Table::cell(std::uint64_t{stats.distinct_countries})});
+  }
+  const auto totals = vps.totals(topo);
+  table.add_row({"Total unique",
+                 Table::cell(std::uint64_t{totals.vantage_points}),
+                 Table::cell(std::uint64_t{totals.distinct_asns}),
+                 Table::cell(std::uint64_t{totals.distinct_countries})});
+  table.print(std::cout);
+
+  bench::note("\nshape check: Atlas dominates VP count; looking glasses "
+              "second; iPlane/Ark small but geographically diverse.");
+  return 0;
+}

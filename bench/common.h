@@ -1,0 +1,45 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Every harness prints: the paper artefact it regenerates, the paper's
+// reported values for orientation, and the values measured on the
+// synthetic ecosystem. Absolute numbers differ (the substrate is a
+// simulator); the *shape* — who wins, rough factors, crossovers — is the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string_view>
+
+#include "core/pipeline.h"
+#include "util/table.h"
+
+namespace cfs::bench {
+
+inline void header(std::string_view artefact, std::string_view paper_says) {
+  std::cout << "\n=== " << artefact << " ===\n";
+  std::cout << "paper: " << paper_says << "\n\n";
+}
+
+inline void note(std::string_view text) { std::cout << text << "\n"; }
+
+// Standard paper-scale run shared by several harnesses.
+struct StandardRun {
+  std::unique_ptr<Pipeline> pipeline;
+  CfsReport report;
+  std::vector<Asn> targets;
+};
+
+inline StandardRun standard_paper_run(int content_targets = 5,
+                                      int transit_targets = 5,
+                                      PipelineConfig config =
+                                          PipelineConfig::paper_scale()) {
+  StandardRun run;
+  run.pipeline = std::make_unique<Pipeline>(config);
+  run.targets =
+      run.pipeline->default_targets(content_targets, transit_targets);
+  auto traces = run.pipeline->initial_campaign(run.targets, 0.6);
+  run.report = run.pipeline->run_cfs(std::move(traces));
+  return run;
+}
+
+}  // namespace cfs::bench

@@ -1,0 +1,76 @@
+// Case study: map a content delivery network's peering fabric.
+//
+// Mirrors the paper's Google/Akamai study (Section 5): trace toward the
+// largest CDN from every platform, infer where each of its peering
+// interfaces lives and over which engineering option it peers, then print
+// the CDN's footprint by metro and peering type. This is the workload the
+// paper's introduction motivates: knowing *which building* a CDN's
+// interconnections occupy.
+#include <iostream>
+#include <map>
+
+#include "core/pipeline.h"
+#include "util/table.h"
+
+using namespace cfs;
+
+int main() {
+  Pipeline pipeline(PipelineConfig::small_scale());
+  const Topology& topo = pipeline.topology();
+
+  const Asn cdn = pipeline.default_targets(1, 0).front();
+  const auto& cdn_as = topo.as_of(cdn);
+  std::cout << "mapping " << cdn_as.name << " (AS" << cdn.value << "), "
+            << "present at " << cdn_as.facilities.size() << " facilities, "
+            << cdn_as.ixps.size() << " IXPs\n\n";
+
+  auto traces = pipeline.initial_campaign({cdn}, 0.8);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  // The CDN's own peering interfaces: near or far side of any crossing.
+  std::map<std::uint32_t, std::map<InterconnectionType, int>> by_metro;
+  int total = 0;
+  for (const LinkInference& link : report.links) {
+    std::optional<FacilityId> facility;
+    if (link.obs.near_as == cdn && link.near_facility)
+      facility = link.near_facility;
+    else if (link.obs.far_as == cdn && link.far_facility)
+      facility = link.far_facility;
+    if (!facility) continue;
+    ++by_metro[topo.metro_of(*facility).value][link.type];
+    ++total;
+  }
+
+  Table table({"Metro", "Public local", "Public remote", "Cross-connect",
+               "Tethering"});
+  for (const auto& [metro, types] : by_metro) {
+    auto count = [&](InterconnectionType t) {
+      const auto it = types.find(t);
+      return Table::cell(
+          std::uint64_t{it == types.end() ? 0u : static_cast<unsigned>(it->second)});
+    };
+    table.add_row({topo.metro(MetroId(metro)).name,
+                   count(InterconnectionType::PublicLocal),
+                   count(InterconnectionType::PublicRemote),
+                   count(InterconnectionType::PrivateCrossConnect),
+                   count(InterconnectionType::PrivateTethering)});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << total << " located " << cdn_as.name
+            << " interconnections across " << by_metro.size() << " metros\n";
+
+  // Which IXPs carry the CDN's public peering, and from which facility.
+  Table ixps({"IXP", "Facility (inferred)", "Sessions"});
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> sessions;
+  for (const LinkInference& link : report.links) {
+    if (link.obs.kind != PeeringKind::Public) continue;
+    if (link.obs.near_as != cdn || !link.near_facility) continue;
+    ++sessions[{link.obs.ixp.value, link.near_facility->value}];
+  }
+  for (const auto& [key, count] : sessions)
+    ixps.add_row({topo.ixp(IxpId(key.first)).name,
+                  topo.facility(FacilityId(key.second)).name,
+                  Table::cell(std::int64_t{count})});
+  if (ixps.rows() > 0) ixps.print(std::cout);
+  return 0;
+}

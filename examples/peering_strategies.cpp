@@ -1,0 +1,65 @@
+// Case study: peering-strategy census.
+//
+// Section 5 of the paper closes by observing that network types differ
+// sharply in how they engineer interconnection: CDNs lean on public IXP
+// fabric, Tier-1 backbones on private interconnects, with large variance
+// even within a class. This example reproduces that census from inferred
+// data alone, using the FootprintAnalyzer.
+#include <iostream>
+#include <map>
+
+#include "analysis/footprint.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+using namespace cfs;
+
+int main() {
+  Pipeline pipeline(PipelineConfig::small_scale());
+  const Topology& topo = pipeline.topology();
+
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(4, 4), 0.7);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+  FootprintAnalyzer analyzer(topo, report);
+
+  // Top networks by located interconnections.
+  Table table({"Network", "Type", "Located", "Metros", "Public share",
+               "Remote share"});
+  std::size_t shown = 0;
+  for (const Asn asn : analyzer.ranking()) {
+    if (!topo.has_as(asn)) continue;
+    const auto fp = analyzer.footprint(asn);
+    if (fp.types.total() < 5) continue;
+    const double remote_share =
+        static_cast<double>(fp.types.public_remote + fp.types.private_remote) /
+        static_cast<double>(fp.types.total());
+    table.add_row({topo.as_of(asn).name,
+                   std::string(as_type_name(topo.as_of(asn).type)),
+                   Table::cell(std::uint64_t{fp.located}),
+                   Table::cell(std::uint64_t{fp.metros()}),
+                   Table::percent(fp.types.public_share()),
+                   Table::percent(remote_share)});
+    if (++shown == 15) break;
+  }
+  table.print(std::cout);
+
+  // Aggregate strategy per network class.
+  std::map<AsType, std::pair<double, int>> by_type;  // sum share, count
+  for (const auto& [asn_value, fp] : analyzer.all()) {
+    if (!topo.has_as(Asn(asn_value)) || fp.types.total() < 5) continue;
+    auto& [sum, count] = by_type[topo.as_of(Asn(asn_value)).type];
+    sum += fp.types.public_share();
+    ++count;
+  }
+  Table agg({"Network class", "Networks", "Avg public share"});
+  for (const auto& [type, entry] : by_type)
+    agg.add_row({std::string(as_type_name(type)),
+                 Table::cell(std::int64_t{entry.second}),
+                 Table::percent(entry.first / entry.second)});
+  agg.print(std::cout);
+
+  std::cout << "\nreading: content networks should sit near the top of the "
+               "public-share column, transit backbones near the bottom — "
+               "the Section 5 observation, from inference alone.\n";
+  return 0;
+}

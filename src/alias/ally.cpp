@@ -1,0 +1,39 @@
+#include "alias/ally.h"
+
+namespace cfs {
+
+std::string_view ally_verdict_name(AllyVerdict verdict) {
+  switch (verdict) {
+    case AllyVerdict::Alias: return "alias";
+    case AllyVerdict::NotAlias: return "not-alias";
+    case AllyVerdict::Unresponsive: return "unresponsive";
+  }
+  return "?";
+}
+
+AllyResolver::AllyResolver(const Topology& topo, std::uint64_t seed,
+                           const AllyConfig& config)
+    : model_(topo, seed), config_(config) {}
+
+AllyVerdict AllyResolver::test_pair(Ipv4 a, Ipv4 b) {
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    // Probe a, b, a in quick succession.
+    const auto x1 = model_.probe(a, clock_s_);
+    const auto y = model_.probe(b, clock_s_ + config_.probe_gap_s);
+    const auto x2 = model_.probe(a, clock_s_ + 2 * config_.probe_gap_s);
+    probes_ += 3;
+    clock_s_ += config_.trial_gap_s;
+    if (!x1 || !y || !x2) return AllyVerdict::Unresponsive;
+
+    // In-sequence check, modulo 16-bit wraparound.
+    const std::uint16_t d1 = static_cast<std::uint16_t>(*y - *x1);
+    const std::uint16_t d2 = static_cast<std::uint16_t>(*x2 - *y);
+    const std::uint16_t total = static_cast<std::uint16_t>(*x2 - *x1);
+    const bool in_sequence =
+        total <= config_.window && d1 <= total && d2 <= total;
+    if (!in_sequence) return AllyVerdict::NotAlias;
+  }
+  return AllyVerdict::Alias;
+}
+
+}  // namespace cfs

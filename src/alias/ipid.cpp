@@ -1,0 +1,46 @@
+#include "alias/ipid.h"
+
+#include <cmath>
+
+namespace cfs {
+
+IpIdModel::IpIdModel(const Topology& topo, std::uint64_t seed)
+    : topo_(topo), probe_rng_(seed ^ 0x1b1b1b1bULL) {
+  Rng rng(seed);
+  for (const auto& router : topo.routers()) {
+    CounterState state;
+    state.offset = static_cast<double>(rng.uniform(65536));
+    // Counter velocity tracks the router's traffic level; MIDAR works on
+    // anything that wraps slower than the probing cadence samples.
+    state.rate = rng.uniform_real(50.0, 4000.0);
+    counters_.emplace(router.id.value, state);
+  }
+}
+
+std::optional<std::uint16_t> IpIdModel::probe(Ipv4 addr, double t_s) {
+  const Interface* iface = topo_.find_interface(addr);
+  if (iface == nullptr) return std::nullopt;
+  const Router& router = topo_.router(iface->router);
+  switch (router.ipid) {
+    case IpIdBehaviour::Unresponsive:
+      return std::nullopt;
+    case IpIdBehaviour::Zero:
+      return std::uint16_t{0};
+    case IpIdBehaviour::Random:
+      return static_cast<std::uint16_t>(probe_rng_.uniform(65536));
+    case IpIdBehaviour::SharedCounter: {
+      const CounterState& state = counters_.at(router.id.value);
+      const double value = state.offset + state.rate * t_s;
+      return static_cast<std::uint16_t>(
+          static_cast<std::uint64_t>(std::floor(value)) % 65536);
+    }
+  }
+  return std::nullopt;
+}
+
+double IpIdModel::velocity(RouterId router) const {
+  const auto it = counters_.find(router.value);
+  return it == counters_.end() ? 0.0 : it->second.rate;
+}
+
+}  // namespace cfs

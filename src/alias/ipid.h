@@ -1,0 +1,45 @@
+// IP-ID source model.
+//
+// Classic routers generate the IPv4 identification field from one shared,
+// monotonically increasing 16-bit counter across all interfaces; MIDAR
+// (Keys et al., ToN 2013) exploits this to group interfaces into routers
+// via the monotonic bounds test. We model each router's counter as
+// value(t) = (offset + rate * t) mod 2^16, with per-router behaviour drawn
+// at generation time: shared counter (resolvable), randomised IP-ID,
+// constant zero, or probe-filtering (all three produce false negatives,
+// never false positives -- matching MIDAR's design goal).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+class IpIdModel {
+ public:
+  IpIdModel(const Topology& topo, std::uint64_t seed);
+
+  // IP-ID contained in a reply to a probe of `addr` sent at virtual time
+  // `t_s` (seconds); nullopt when the interface is unknown or its router
+  // filters alias-resolution probes.
+  [[nodiscard]] std::optional<std::uint16_t> probe(Ipv4 addr, double t_s);
+
+  // Ground-truth counter velocity in IDs/second (test introspection).
+  [[nodiscard]] double velocity(RouterId router) const;
+
+ private:
+  struct CounterState {
+    double offset = 0.0;
+    double rate = 0.0;  // IDs per second
+  };
+
+  const Topology& topo_;
+  std::unordered_map<std::uint32_t, CounterState> counters_;  // per router
+  Rng probe_rng_;  // randomised-IPID replies
+};
+
+}  // namespace cfs

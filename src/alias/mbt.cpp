@@ -1,0 +1,46 @@
+#include "alias/mbt.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+bool velocities_compatible(double va, double vb, const MbtConfig& config) {
+  if (va <= 0.0 || vb <= 0.0) return false;
+  if (va > config.random_velocity_cutoff || vb > config.random_velocity_cutoff)
+    return false;
+  const double ratio = va > vb ? va / vb : vb / va;
+  return ratio <= config.velocity_ratio_max;
+}
+
+bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
+                           const MbtConfig& config) {
+  if (a.size() < 3 || b.size() < 3) return false;
+  if (is_constant(a) || is_constant(b)) return false;
+
+  const double va = estimate_velocity(a);
+  const double vb = estimate_velocity(b);
+  if (!velocities_compatible(va, vb, config)) return false;
+  const double v = (va + vb) / 2.0;
+
+  // Merge by timestamp and verify each consecutive modular delta fits the
+  // shared-counter budget for that gap.
+  IpIdSeries merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(merged),
+             [](const IpIdSample& x, const IpIdSample& y) {
+               return x.t_s < y.t_s;
+             });
+
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const double gap = merged[i].t_s - merged[i - 1].t_s;
+    const std::uint16_t delta = static_cast<std::uint16_t>(
+        merged[i].ipid - merged[i - 1].ipid);
+    const double budget =
+        std::max(config.min_gap_allowance, v * gap * config.velocity_slack);
+    if (static_cast<double>(delta) > budget) return false;
+  }
+  return true;
+}
+
+}  // namespace cfs

@@ -1,0 +1,28 @@
+// Monotonic Bounds Test (MIDAR's pairwise alias check).
+//
+// Two interfaces share a router's IP-ID counter iff the time-merged sample
+// sequence is itself a plausible trajectory of one monotonically increasing
+// counter: every consecutive modular delta must stay within what the
+// (shared) velocity could have produced in that gap, and the per-interface
+// velocities must agree to begin with.
+#pragma once
+
+#include "alias/prober.h"
+
+namespace cfs {
+
+struct MbtConfig {
+  double velocity_ratio_max = 1.25;  // sieve: velocities must be this close
+  double velocity_slack = 2.0;       // per-gap growth allowance multiplier
+  double min_gap_allowance = 64.0;   // absolute ID budget for tiny gaps
+  double random_velocity_cutoff = 50000.0;  // above this: randomised source
+};
+
+// True when the two series could plausibly come from one shared counter.
+bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
+                           const MbtConfig& config = {});
+
+// Velocity sieve used before the full test.
+bool velocities_compatible(double va, double vb, const MbtConfig& config = {});
+
+}  // namespace cfs

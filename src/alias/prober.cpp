@@ -1,0 +1,47 @@
+#include "alias/prober.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+AliasProber::AliasProber(IpIdModel& model, const ProberConfig& config)
+    : model_(model), config_(config) {}
+
+std::unordered_map<Ipv4, IpIdSeries> AliasProber::collect(
+    const std::vector<Ipv4>& targets, double start_s) {
+  std::unordered_map<Ipv4, IpIdSeries> out;
+  double clock = start_s;
+  for (int round = 0; round < config_.samples_per_target; ++round) {
+    for (const Ipv4 target : targets) {
+      ++probes_;
+      if (const auto ipid = model_.probe(target, clock))
+        out[target].push_back(IpIdSample{clock, *ipid});
+      clock += config_.probe_interval_s;
+    }
+  }
+  return out;
+}
+
+double estimate_velocity(const IpIdSeries& series) {
+  if (series.size() < 3) return -1.0;
+  if (is_constant(series)) return -1.0;
+  // Accumulate modular deltas: assumes at most one wrap between samples,
+  // which holds for counter rates well below 65536 / interval.
+  double total = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const std::uint16_t delta = static_cast<std::uint16_t>(
+        series[i].ipid - series[i - 1].ipid);
+    total += delta;
+  }
+  const double span = series.back().t_s - series.front().t_s;
+  if (span <= 0.0) return -1.0;
+  return total / span;
+}
+
+bool is_constant(const IpIdSeries& series) {
+  return std::all_of(series.begin(), series.end(), [&](const IpIdSample& s) {
+    return s.ipid == series.front().ipid;
+  });
+}
+
+}  // namespace cfs

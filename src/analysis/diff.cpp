@@ -1,0 +1,55 @@
+#include "analysis/diff.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cfs {
+
+ReportDiff diff_reports(const CfsReport& before, const CfsReport& after) {
+  ReportDiff out;
+
+  for (const auto& [addr, inf] : after.interfaces) {
+    const InterfaceInference* old = before.find(addr);
+    const bool was_resolved = old != nullptr && old->resolved();
+    if (inf.resolved() && !was_resolved) out.newly_resolved.push_back(addr);
+    if (inf.resolved() && was_resolved && inf.facility() != old->facility())
+      out.moved.push_back(ReportDiff::Moved{addr, old->facility(),
+                                            inf.facility()});
+  }
+  for (const auto& [addr, inf] : before.interfaces) {
+    if (!inf.resolved()) continue;
+    const InterfaceInference* now = after.find(addr);
+    if (now == nullptr || !now->resolved()) out.lost.push_back(addr);
+  }
+
+  std::map<std::pair<Ipv4, Ipv4>, InterconnectionType> old_links;
+  for (const LinkInference& link : before.links)
+    old_links.emplace(std::make_pair(link.obs.near_addr, link.obs.far_addr),
+                      link.type);
+  std::map<std::pair<Ipv4, Ipv4>, InterconnectionType> new_links;
+  for (const LinkInference& link : after.links)
+    new_links.emplace(std::make_pair(link.obs.near_addr, link.obs.far_addr),
+                      link.type);
+
+  for (const auto& [key, type] : new_links) {
+    const auto it = old_links.find(key);
+    if (it == old_links.end())
+      out.new_links.push_back(key);
+    else if (it->second != type)
+      out.retyped.push_back(
+          ReportDiff::Retyped{key.first, key.second, it->second, type});
+  }
+  for (const auto& [key, type] : old_links)
+    if (!new_links.contains(key)) out.gone_links.push_back(key);
+
+  std::sort(out.newly_resolved.begin(), out.newly_resolved.end());
+  std::sort(out.lost.begin(), out.lost.end());
+  std::sort(out.moved.begin(), out.moved.end(),
+            [](const ReportDiff::Moved& a, const ReportDiff::Moved& b) {
+              return a.addr < b.addr;
+            });
+  // new_links / gone_links / retyped inherit std::map ordering.
+  return out;
+}
+
+}  // namespace cfs

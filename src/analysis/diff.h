@@ -1,0 +1,48 @@
+// Longitudinal report comparison.
+//
+// The paper's dataset is maintained over time ("we continue to maintain to
+// keep current"); comparing two inference runs answers the operational
+// questions that follow: which interfaces became resolvable, which moved
+// buildings (re-homed equipment or corrected data), which crossings
+// appeared or disappeared.
+#pragma once
+
+#include "core/report.h"
+
+namespace cfs {
+
+struct ReportDiff {
+  // Interfaces resolved in the newer report but not the older one.
+  std::vector<Ipv4> newly_resolved;
+  // Resolved in the older report, no longer resolved.
+  std::vector<Ipv4> lost;
+  // Resolved in both but to different facilities: (addr, old, new).
+  struct Moved {
+    Ipv4 addr;
+    FacilityId before;
+    FacilityId after;
+  };
+  std::vector<Moved> moved;
+  // Crossings (near, far address pairs) present only in one report.
+  std::vector<std::pair<Ipv4, Ipv4>> new_links;
+  std::vector<std::pair<Ipv4, Ipv4>> gone_links;
+  // Links present in both whose inferred type changed.
+  struct Retyped {
+    Ipv4 near_addr;
+    Ipv4 far_addr;
+    InterconnectionType before;
+    InterconnectionType after;
+  };
+  std::vector<Retyped> retyped;
+
+  [[nodiscard]] bool empty() const {
+    return newly_resolved.empty() && lost.empty() && moved.empty() &&
+           new_links.empty() && gone_links.empty() && retyped.empty();
+  }
+};
+
+// Compares `after` against `before`; all vectors sorted deterministically.
+[[nodiscard]] ReportDiff diff_reports(const CfsReport& before,
+                                      const CfsReport& after);
+
+}  // namespace cfs

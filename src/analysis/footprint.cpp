@@ -1,0 +1,76 @@
+#include "analysis/footprint.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+void TypeTally::bump(InterconnectionType type) {
+  switch (type) {
+    case InterconnectionType::PublicLocal: ++public_local; break;
+    case InterconnectionType::PublicRemote: ++public_remote; break;
+    case InterconnectionType::PrivateCrossConnect: ++cross_connect; break;
+    case InterconnectionType::PrivateTethering: ++tethering; break;
+    case InterconnectionType::PrivateRemote: ++private_remote; break;
+    case InterconnectionType::Unknown: break;
+  }
+}
+
+std::size_t TypeTally::total() const {
+  return public_local + public_remote + cross_connect + tethering +
+         private_remote;
+}
+
+double TypeTally::public_share() const {
+  const std::size_t all = total();
+  return all == 0 ? 0.0 : static_cast<double>(public_total()) / all;
+}
+
+FootprintAnalyzer::FootprintAnalyzer(const Topology& topo,
+                                     const CfsReport& report)
+    : topo_(topo) {
+  auto account = [&](Asn asn, InterconnectionType type,
+                     const std::optional<FacilityId>& facility) {
+    AsFootprint& fp = footprints_[asn.value];
+    fp.asn = asn;
+    fp.types.bump(type);
+    if (facility) {
+      ++fp.located;
+      const MetroId metro = topo.metro_of(*facility);
+      fp.by_metro[metro].bump(type);
+      fp.by_region[topo.metro(metro).region].bump(type);
+    } else {
+      ++fp.unlocated;
+    }
+  };
+
+  for (const LinkInference& link : report.links) {
+    account(link.obs.near_as, link.type, link.near_facility);
+    account(link.obs.far_as, link.type, link.far_facility);
+  }
+}
+
+AsFootprint FootprintAnalyzer::footprint(Asn asn) const {
+  const auto it = footprints_.find(asn.value);
+  if (it == footprints_.end()) {
+    AsFootprint empty;
+    empty.asn = asn;
+    return empty;
+  }
+  return it->second;
+}
+
+std::vector<Asn> FootprintAnalyzer::ranking() const {
+  std::vector<const AsFootprint*> ordered;
+  for (const auto& [asn, fp] : footprints_) ordered.push_back(&fp);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const AsFootprint* a, const AsFootprint* b) {
+              if (a->located != b->located) return a->located > b->located;
+              return a->asn < b->asn;
+            });
+  std::vector<Asn> out;
+  out.reserve(ordered.size());
+  for (const AsFootprint* fp : ordered) out.push_back(fp->asn);
+  return out;
+}
+
+}  // namespace cfs

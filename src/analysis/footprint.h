@@ -1,0 +1,67 @@
+// Peering-footprint analytics over a CfsReport.
+//
+// Aggregates the per-link inferences into the per-AS summaries the paper's
+// Section 5 discusses: how many peering interfaces a network operates,
+// over which engineering options, in which metros and regions — the
+// "peering strategy" view that separates CDNs (public-fabric heavy) from
+// Tier-1 backbones (private-interconnect heavy).
+#pragma once
+
+#include <map>
+
+#include "core/report.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct TypeTally {
+  std::size_t public_local = 0;
+  std::size_t public_remote = 0;
+  std::size_t cross_connect = 0;
+  std::size_t tethering = 0;
+  std::size_t private_remote = 0;
+
+  void bump(InterconnectionType type);
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t public_total() const {
+    return public_local + public_remote;
+  }
+  [[nodiscard]] std::size_t private_total() const {
+    return cross_connect + tethering + private_remote;
+  }
+  // Fraction of interconnections riding public IXP fabric (0 when empty).
+  [[nodiscard]] double public_share() const;
+};
+
+struct AsFootprint {
+  Asn asn;
+  TypeTally types;                        // global tally
+  std::map<MetroId, TypeTally> by_metro;  // located interconnections only
+  std::map<Region, TypeTally> by_region;
+  std::size_t located = 0;    // links with an inferred facility
+  std::size_t unlocated = 0;  // observed but not pinned to a building
+
+  [[nodiscard]] std::size_t metros() const { return by_metro.size(); }
+};
+
+class FootprintAnalyzer {
+ public:
+  FootprintAnalyzer(const Topology& topo, const CfsReport& report);
+
+  // Footprint of one AS (empty tallies when it never appears).
+  [[nodiscard]] AsFootprint footprint(Asn asn) const;
+
+  // Every AS observed on the near or far side of a crossing, keyed by ASN.
+  [[nodiscard]] const std::map<std::uint32_t, AsFootprint>& all() const {
+    return footprints_;
+  }
+
+  // ASes ranked by located interconnection count (descending).
+  [[nodiscard]] std::vector<Asn> ranking() const;
+
+ private:
+  const Topology& topo_;
+  std::map<std::uint32_t, AsFootprint> footprints_;
+};
+
+}  // namespace cfs

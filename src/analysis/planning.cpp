@@ -1,0 +1,63 @@
+#include "analysis/planning.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+PeeringPlanner::PeeringPlanner(const Topology& topo,
+                               const FacilityDatabase& db,
+                               const CfsReport& report)
+    : topo_(topo), db_(db) {
+  auto note = [&](const std::optional<FacilityId>& facility, Asn asn) {
+    if (facility) present_[facility->value].insert(asn.value);
+  };
+  for (const LinkInference& link : report.links) {
+    note(link.near_facility, link.obs.near_as);
+    note(link.far_facility, link.obs.far_as);
+  }
+  for (const auto& ixp : topo.ixps())
+    for (const FacilityId fac : db.ixp_facilities(ixp.id))
+      ++ixp_count_[fac.value];
+}
+
+std::vector<FacilityScore> PeeringPlanner::rank_for(
+    const std::vector<Asn>& desired_peers,
+    const std::vector<FacilityId>& exclude) const {
+  std::set<std::uint32_t> wanted;
+  for (const Asn asn : desired_peers) wanted.insert(asn.value);
+  std::set<std::uint32_t> excluded;
+  for (const FacilityId fac : exclude) excluded.insert(fac.value);
+
+  std::vector<FacilityScore> out;
+  for (const auto& [fac, networks] : present_) {
+    if (excluded.contains(fac)) continue;
+    FacilityScore score;
+    score.facility = FacilityId(fac);
+    for (const std::uint32_t asn : networks)
+      score.peer_candidates += wanted.contains(asn);
+    const auto it = ixp_count_.find(fac);
+    score.ixps_reachable = it == ixp_count_.end() ? 0 : it->second;
+    if (score.peer_candidates == 0) continue;
+    // Peers reachable dominate; exchange presence is the tie-breaking
+    // multiplier (one port reaches many members).
+    score.score = static_cast<double>(score.peer_candidates) +
+                  0.25 * static_cast<double>(score.ixps_reachable);
+    out.push_back(score);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FacilityScore& a, const FacilityScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.facility < b.facility;
+            });
+  return out;
+}
+
+std::vector<Asn> PeeringPlanner::networks_at(FacilityId facility) const {
+  std::vector<Asn> out;
+  const auto it = present_.find(facility.value);
+  if (it == present_.end()) return out;
+  for (const std::uint32_t asn : it->second) out.emplace_back(asn);
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,52 @@
+// Peering-decision support (the paper's final motivating application:
+// "inform peering decisions in a competitive interconnection market").
+//
+// Given the inferred interconnection map, rank candidate facilities for a
+// network planning expansion: a building scores by how many of the ASes it
+// wants to reach have interconnections located there, and by the exchanges
+// reachable from it (one port, many peers — Section 2's public-peering
+// economics).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/report.h"
+#include "data/facility_db.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct FacilityScore {
+  FacilityId facility;
+  std::size_t peer_candidates = 0;  // distinct desired ASes located there
+  std::size_t ixps_reachable = 0;   // exchanges with an access switch there
+  double score = 0.0;
+};
+
+class PeeringPlanner {
+ public:
+  // Uses only inference output and the public facility database — the
+  // information an outside network actually has.
+  PeeringPlanner(const Topology& topo, const FacilityDatabase& db,
+                 const CfsReport& report);
+
+  // Ranks facilities for reaching the given networks. `exclude` removes
+  // buildings the planner is already present at. Highest score first.
+  [[nodiscard]] std::vector<FacilityScore> rank_for(
+      const std::vector<Asn>& desired_peers,
+      const std::vector<FacilityId>& exclude = {}) const;
+
+  // ASes with at least one located interconnection at the facility.
+  [[nodiscard]] std::vector<Asn> networks_at(FacilityId facility) const;
+
+ private:
+  const Topology& topo_;
+  const FacilityDatabase& db_;
+  // facility -> ASes with located interconnections there (inferred).
+  std::map<std::uint32_t, std::set<std::uint32_t>> present_;
+  // facility -> IXP count (from the public database).
+  std::map<std::uint32_t, std::size_t> ixp_count_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,69 @@
+#include "analysis/resilience.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+std::uint64_t ResilienceAnalyzer::pair_key(Asn a, Asn b) {
+  const auto [low, high] = std::minmax(a.value, b.value);
+  return (std::uint64_t{low} << 32) | high;
+}
+
+ResilienceAnalyzer::ResilienceAnalyzer(const Topology& topo,
+                                       const CfsReport& report)
+    : topo_(topo) {
+  for (const LinkInference& link : report.links) {
+    if (!link.near_facility) continue;
+    const std::uint64_t key = pair_key(link.obs.near_as, link.obs.far_as);
+    const std::uint32_t fac = link.near_facility->value;
+    pairs_at_[fac].insert(key);
+    ++links_at_[fac];
+    sites_of_[key].insert(fac);
+    // A located far end is a second site for the pair.
+    if (link.far_facility && *link.far_facility != *link.near_facility)
+      sites_of_[key].insert(link.far_facility->value);
+  }
+}
+
+std::vector<FacilityCriticality> ResilienceAnalyzer::criticality_ranking()
+    const {
+  std::vector<FacilityCriticality> out;
+  for (const auto& [fac, pairs] : pairs_at_) {
+    FacilityCriticality crit;
+    crit.facility = FacilityId(fac);
+    crit.interconnections = links_at_.at(fac);
+    crit.as_pairs = pairs.size();
+    for (const std::uint64_t key : pairs)
+      crit.single_homed_pairs += sites_of_.at(key).size() == 1;
+    out.push_back(crit);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FacilityCriticality& a, const FacilityCriticality& b) {
+              if (a.single_homed_pairs != b.single_homed_pairs)
+                return a.single_homed_pairs > b.single_homed_pairs;
+              if (a.interconnections != b.interconnections)
+                return a.interconnections > b.interconnections;
+              return a.facility < b.facility;
+            });
+  return out;
+}
+
+std::vector<std::pair<Asn, Asn>> ResilienceAnalyzer::single_homed_pairs(
+    FacilityId facility) const {
+  std::vector<std::pair<Asn, Asn>> out;
+  const auto it = pairs_at_.find(facility.value);
+  if (it == pairs_at_.end()) return out;
+  for (const std::uint64_t key : it->second) {
+    if (sites_of_.at(key).size() != 1) continue;
+    out.emplace_back(Asn(static_cast<std::uint32_t>(key >> 32)),
+                     Asn(static_cast<std::uint32_t>(key & 0xffffffff)));
+  }
+  return out;
+}
+
+std::size_t ResilienceAnalyzer::pair_site_count(Asn a, Asn b) const {
+  const auto it = sites_of_.find(pair_key(a, b));
+  return it == sites_of_.end() ? 0 : it->second.size();
+}
+
+}  // namespace cfs

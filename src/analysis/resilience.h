@@ -1,0 +1,54 @@
+// Facility-level resilience analytics (the paper's motivating application:
+// assessing interconnection resilience against facility outages, natural
+// disasters, and attacks — Section 1).
+//
+// Works on the *inferred* map (a CfsReport), answering what an operator
+// with no ground-truth access could answer: which buildings concentrate
+// interconnections, and which AS pairs have no inferred alternative if a
+// given building goes dark.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/report.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct FacilityCriticality {
+  FacilityId facility;
+  std::size_t interconnections = 0;  // located links terminating here
+  std::size_t as_pairs = 0;          // distinct AS pairs among them
+  std::size_t single_homed_pairs = 0;  // pairs with no other inferred site
+};
+
+class ResilienceAnalyzer {
+ public:
+  ResilienceAnalyzer(const Topology& topo, const CfsReport& report);
+
+  // All facilities hosting located interconnections, most critical first
+  // (by single-homed pairs, then interconnection count).
+  [[nodiscard]] std::vector<FacilityCriticality> criticality_ranking() const;
+
+  // AS pairs that would lose their only inferred interconnection if the
+  // facility failed.
+  [[nodiscard]] std::vector<std::pair<Asn, Asn>> single_homed_pairs(
+      FacilityId facility) const;
+
+  // Number of distinct facilities where the pair interconnects (inferred).
+  [[nodiscard]] std::size_t pair_site_count(Asn a, Asn b) const;
+
+ private:
+  static std::uint64_t pair_key(Asn a, Asn b);
+
+  const Topology& topo_;
+  // facility -> set of AS-pair keys located there
+  std::map<std::uint32_t, std::set<std::uint64_t>> pairs_at_;
+  // facility -> located link count
+  std::map<std::uint32_t, std::size_t> links_at_;
+  // AS-pair key -> set of facilities
+  std::map<std::uint64_t, std::set<std::uint32_t>> sites_of_;
+};
+
+}  // namespace cfs

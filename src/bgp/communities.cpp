@@ -1,0 +1,59 @@
+#include "bgp/communities.h"
+
+#include <algorithm>
+
+namespace cfs {
+namespace {
+
+std::uint64_t key(std::uint32_t asn, std::uint32_t second) {
+  return (std::uint64_t{asn} << 32) | second;
+}
+
+}  // namespace
+
+CommunityRegistry::CommunityRegistry(const Topology& topo,
+                                     double adoption_probability,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  for (const auto& as : topo.ases()) {
+    if (as.type != AsType::Tier1 && as.type != AsType::Transit) continue;
+    if (!rng.chance(adoption_probability)) continue;
+    adopters_.push_back(as.asn);
+    // Operator-defined scheme: an arbitrary per-facility code. Offsetting
+    // by a random base keeps the values opaque (they are dictionary-driven,
+    // not structural).
+    const std::uint32_t base =
+        1000 + static_cast<std::uint32_t>(rng.uniform(9000));
+    std::uint32_t serial = 0;
+    for (const FacilityId fac : as.facilities) {
+      const std::uint32_t value = base + serial++;
+      encode_.emplace(key(as.asn.value, fac.value), value);
+      decode_.emplace(key(as.asn.value, value), fac.value);
+    }
+  }
+  std::sort(adopters_.begin(), adopters_.end());
+}
+
+bool CommunityRegistry::tags_ingress(Asn asn) const {
+  return std::binary_search(adopters_.begin(), adopters_.end(), asn);
+}
+
+std::optional<Community> CommunityRegistry::tag_for(Asn asn,
+                                                    FacilityId facility) const {
+  const auto it = encode_.find(key(asn.value, facility.value));
+  if (it == encode_.end()) return std::nullopt;
+  return Community{asn.value, it->second};
+}
+
+std::optional<FacilityId> CommunityRegistry::decode(
+    const Community& community) const {
+  const auto it = decode_.find(key(community.asn, community.value));
+  if (it == decode_.end()) return std::nullopt;
+  return FacilityId(it->second);
+}
+
+std::size_t CommunityRegistry::dictionary_size() const {
+  return decode_.size();
+}
+
+}  // namespace cfs

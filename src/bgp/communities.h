@@ -1,0 +1,61 @@
+// BGP communities for ingress-point tagging.
+//
+// A subset of transit operators annotate routes with an informational
+// community (asn:value) identifying the facility where the route entered
+// their network. The paper compiles a dictionary of 109 such values from
+// four large transit providers and uses them as a validation source; the
+// registry below plays both roles — it generates the communities attached
+// to looking-glass BGP output, and exposes the operator-published
+// dictionary that the validation harness decodes them with.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct Community {
+  std::uint32_t asn = 0;    // tagging AS
+  std::uint32_t value = 0;  // operator-defined code
+
+  friend constexpr auto operator<=>(const Community&, const Community&) =
+      default;
+};
+
+class CommunityRegistry {
+ public:
+  // Chooses which ASes publish ingress-tagging communities: large transit
+  // and tier-1 networks adopt the practice with the given probability.
+  CommunityRegistry(const Topology& topo, double adoption_probability,
+                    std::uint64_t seed);
+
+  [[nodiscard]] bool tags_ingress(Asn asn) const;
+
+  // Community an adopting AS attaches to a route entering at `facility`;
+  // nullopt when the AS does not tag.
+  [[nodiscard]] std::optional<Community> tag_for(Asn asn,
+                                                 FacilityId facility) const;
+
+  // Operator-published dictionary: decode a community back to the facility.
+  // Returns nullopt for unknown (asn, value) pairs.
+  [[nodiscard]] std::optional<FacilityId> decode(
+      const Community& community) const;
+
+  // Number of (asn,value) dictionary entries (paper: 109 values).
+  [[nodiscard]] std::size_t dictionary_size() const;
+
+  [[nodiscard]] const std::vector<Asn>& adopters() const { return adopters_; }
+
+ private:
+  std::vector<Asn> adopters_;
+  // (asn << 32 | facility) -> value ; (asn << 32 | value) -> facility
+  std::unordered_map<std::uint64_t, std::uint32_t> encode_;
+  std::unordered_map<std::uint64_t, std::uint32_t> decode_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,59 @@
+#include "bgp/looking_glass.h"
+
+#include <set>
+
+namespace cfs {
+
+LookingGlassDirectory::LookingGlassDirectory(const Topology& topo,
+                                             const Config& config) {
+  Rng rng(config.seed);
+  for (const auto& router : topo.routers()) {
+    const auto& as = topo.as_of(router.owner);
+    double p = 0.0;
+    switch (as.type) {
+      case AsType::Tier1: p = config.host_probability; break;
+      case AsType::Transit: p = config.host_probability; break;
+      case AsType::Eyeball: p = config.host_probability * 0.3; break;
+      case AsType::Content: p = config.host_probability * 0.1; break;
+      case AsType::Enterprise: p = 0.0; break;
+    }
+    if (!rng.chance(p)) continue;
+    LookingGlassEntry entry;
+    entry.router = router.id;
+    entry.owner = router.owner;
+    entry.supports_bgp = rng.chance(config.bgp_support_probability);
+    entry.cooldown_s = config.cooldown_s;
+    by_router_.emplace(router.id.value, entries_.size());
+    entries_.push_back(entry);
+  }
+}
+
+const LookingGlassEntry* LookingGlassDirectory::find(RouterId router) const {
+  const auto it = by_router_.find(router.value);
+  return it == by_router_.end() ? nullptr : &entries_[it->second];
+}
+
+bool LookingGlassDirectory::try_query(RouterId router, double now_s) {
+  const auto* entry = find(router);
+  if (entry == nullptr) return false;
+  auto [it, inserted] = last_query_s_.try_emplace(router.value, -1e18);
+  if (!inserted && now_s - it->second < entry->cooldown_s) return false;
+  it->second = now_s;
+  return true;
+}
+
+double LookingGlassDirectory::next_allowed_s(RouterId router) const {
+  const auto* entry = find(router);
+  if (entry == nullptr) return 1e18;
+  const auto it = last_query_s_.find(router.value);
+  if (it == last_query_s_.end()) return 0.0;
+  return it->second + entry->cooldown_s;
+}
+
+std::size_t LookingGlassDirectory::distinct_ases() const {
+  std::set<std::uint32_t> ases;
+  for (const auto& e : entries_) ases.insert(e.owner.value);
+  return ases.size();
+}
+
+}  // namespace cfs

@@ -1,0 +1,61 @@
+// Looking-glass directory.
+//
+// A looking glass is a web front-end to a production router that accepts
+// non-privileged debugging commands. The directory selects which routers in
+// the topology expose one, whether it supports BGP queries in addition to
+// traceroute (the paper found 168 of 1877 LGs do), and enforces the probing
+// etiquette the paper had to respect: a mandatory cool-down between queries
+// to the same looking glass, tracked in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct LookingGlassEntry {
+  RouterId router;
+  Asn owner;
+  bool supports_bgp = false;   // can run "show ip bgp" style queries
+  double cooldown_s = 60.0;    // minimum spacing between queries
+};
+
+class LookingGlassDirectory {
+ public:
+  struct Config {
+    double host_probability = 0.25;  // transit/tier1 routers hosting an LG
+    double bgp_support_probability = 0.1;
+    double cooldown_s = 60.0;
+    std::uint64_t seed = 1;
+  };
+
+  LookingGlassDirectory(const Topology& topo, const Config& config);
+
+  [[nodiscard]] const std::vector<LookingGlassEntry>& entries() const {
+    return entries_;
+  }
+
+  [[nodiscard]] const LookingGlassEntry* find(RouterId router) const;
+
+  // Virtual-time rate limiting: returns true and records the query time if
+  // the cool-down has elapsed; false when the caller must wait.
+  bool try_query(RouterId router, double now_s);
+
+  // Earliest virtual time the given LG may be queried again.
+  [[nodiscard]] double next_allowed_s(RouterId router) const;
+
+  // Distinct ASes hosting at least one looking glass.
+  [[nodiscard]] std::size_t distinct_ases() const;
+
+ private:
+  std::vector<LookingGlassEntry> entries_;
+  std::unordered_map<std::uint32_t, std::size_t> by_router_;
+  std::unordered_map<std::uint32_t, double> last_query_s_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,16 @@
+#include "bgp/relationships.h"
+
+namespace cfs {
+
+std::string_view route_kind_name(RouteKind kind) {
+  switch (kind) {
+    case RouteKind::None: return "none";
+    case RouteKind::Self: return "self";
+    case RouteKind::Customer: return "customer";
+    case RouteKind::Peer: return "peer";
+    case RouteKind::Provider: return "provider";
+  }
+  return "?";
+}
+
+}  // namespace cfs

@@ -1,0 +1,47 @@
+// Route preference model (Gao-Rexford).
+//
+// An AS prefers routes learned from customers over routes learned from
+// peers over routes learned from providers, and within a class prefers the
+// shortest AS path. Export rules make every usable path valley-free: a
+// sequence of customer-to-provider hops, at most one peer hop, then
+// provider-to-customer hops.
+#pragma once
+
+#include <string_view>
+
+#include "topology/topology.h"
+
+namespace cfs {
+
+enum class RouteKind : std::uint8_t {
+  None = 0,      // destination unreachable
+  Self = 1,      // this AS originates the prefix
+  Customer = 2,  // learned from a customer
+  Peer = 3,      // learned from a settlement-free peer
+  Provider = 4,  // learned from a provider
+};
+
+std::string_view route_kind_name(RouteKind kind);
+
+// Smaller is better: Self < Customer < Peer < Provider < None.
+[[nodiscard]] constexpr int route_preference(RouteKind kind) {
+  switch (kind) {
+    case RouteKind::Self: return 0;
+    case RouteKind::Customer: return 1;
+    case RouteKind::Peer: return 2;
+    case RouteKind::Provider: return 3;
+    case RouteKind::None: return 4;
+  }
+  return 4;
+}
+
+// True when a route of kind `kind` may be exported to a neighbor of the
+// given relationship (relationship seen from the exporter's side:
+// to_customer means the neighbor is the exporter's customer).
+[[nodiscard]] constexpr bool exportable(RouteKind kind, bool to_customer) {
+  if (to_customer) return kind != RouteKind::None;
+  // To peers and providers only self-originated and customer routes go out.
+  return kind == RouteKind::Self || kind == RouteKind::Customer;
+}
+
+}  // namespace cfs

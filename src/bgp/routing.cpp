@@ -1,0 +1,176 @@
+#include "bgp/routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace cfs {
+namespace {
+
+constexpr std::uint16_t unreachable_dist = 0xffff;
+constexpr std::uint32_t no_next = 0xffffffffu;
+
+}  // namespace
+
+RoutingOracle::RoutingOracle(const Topology& topo) : topo_(topo) {
+  const auto ases = topo.ases();
+  asn_of_.reserve(ases.size());
+  for (std::uint32_t i = 0; i < ases.size(); ++i) {
+    index_of_.emplace(ases[i].asn.value, i);
+    asn_of_.push_back(ases[i].asn);
+  }
+
+  providers_.resize(ases.size());
+  customers_.resize(ases.size());
+  peers_.resize(ases.size());
+
+  // Only physically instantiated adjacencies carry routes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_cp;  // cust, prov
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_pp;  // low, high
+  for (const auto& link : topo.links()) {
+    if (link.type == LinkType::Backbone) continue;
+    const std::uint32_t ia =
+        index_of_.at(topo.router(link.a.router).owner.value);
+    const std::uint32_t ib =
+        index_of_.at(topo.router(link.b.router).owner.value);
+    if (link.rel == BusinessRel::CustomerProvider) {
+      if (seen_cp.emplace(ia, ib).second) {
+        providers_[ia].push_back(ib);
+        customers_[ib].push_back(ia);
+      }
+    } else if (link.rel == BusinessRel::PeerPeer) {
+      const auto key = std::minmax(ia, ib);
+      if (seen_pp.emplace(key.first, key.second).second) {
+        peers_[ia].push_back(ib);
+        peers_[ib].push_back(ia);
+      }
+    }
+  }
+
+  // Sort adjacency by neighbor ASN for deterministic iteration order.
+  auto by_asn = [this](std::uint32_t x, std::uint32_t y) {
+    return asn_of_[x] < asn_of_[y];
+  };
+  for (auto& v : providers_) std::sort(v.begin(), v.end(), by_asn);
+  for (auto& v : customers_) std::sort(v.begin(), v.end(), by_asn);
+  for (auto& v : peers_) std::sort(v.begin(), v.end(), by_asn);
+}
+
+const RoutingOracle::DestTable& RoutingOracle::table_for(
+    std::uint32_t dst_index) const {
+  const auto it = cache_.find(dst_index);
+  if (it != cache_.end()) return it->second;
+  DestTable& table = cache_[dst_index];
+  compute(dst_index, table);
+  return table;
+}
+
+void RoutingOracle::compute(std::uint32_t dst, DestTable& t) const {
+  const std::size_t n = asn_of_.size();
+  t.kind.assign(n, RouteKind::None);
+  t.dist.assign(n, unreachable_dist);
+  t.next.assign(n, no_next);
+
+  t.kind[dst] = RouteKind::Self;
+  t.dist[dst] = 0;
+  t.next[dst] = dst;
+
+  // Phase 1: customer routes climb provider edges away from the origin.
+  // Plain BFS gives shortest distances; equal-distance updates keep the
+  // lowest next-hop ASN because improvement on ties is explicit.
+  std::vector<std::uint32_t> queue = {dst};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t x = queue[head];
+    for (const std::uint32_t p : providers_[x]) {
+      const std::uint16_t cand = static_cast<std::uint16_t>(t.dist[x] + 1);
+      if (t.kind[p] == RouteKind::None) {
+        t.kind[p] = RouteKind::Customer;
+        t.dist[p] = cand;
+        t.next[p] = x;
+        queue.push_back(p);
+      } else if (t.kind[p] == RouteKind::Customer && cand == t.dist[p] &&
+                 asn_of_[x] < asn_of_[t.next[p]]) {
+        t.next[p] = x;
+      }
+    }
+  }
+
+  // Phase 2: a single peer hop onto the customer cone (or the origin).
+  for (std::uint32_t x = 0; x < n; ++x) {
+    if (t.kind[x] != RouteKind::None) continue;
+    std::uint16_t best = unreachable_dist;
+    std::uint32_t best_next = no_next;
+    for (const std::uint32_t y : peers_[x]) {
+      if (t.kind[y] != RouteKind::Self && t.kind[y] != RouteKind::Customer)
+        continue;
+      const std::uint16_t cand = static_cast<std::uint16_t>(t.dist[y] + 1);
+      if (cand < best ||
+          (cand == best && asn_of_[y] < asn_of_[best_next])) {
+        best = cand;
+        best_next = y;
+      }
+    }
+    if (best_next != no_next) {
+      t.kind[x] = RouteKind::Peer;
+      t.dist[x] = best;
+      t.next[x] = best_next;
+    }
+  }
+
+  // Phase 3: provider routes descend customer edges from every routed AS.
+  // Multi-source Dijkstra (unit weights, heterogeneous source distances).
+  using Item = std::pair<std::uint16_t, std::uint32_t>;  // (dist, index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (std::uint32_t x = 0; x < n; ++x)
+    if (t.kind[x] != RouteKind::None) heap.emplace(t.dist[x], x);
+  while (!heap.empty()) {
+    const auto [d, x] = heap.top();
+    heap.pop();
+    if (d != t.dist[x]) continue;  // stale entry
+    for (const std::uint32_t c : customers_[x]) {
+      const std::uint16_t cand = static_cast<std::uint16_t>(d + 1);
+      if (t.kind[c] == RouteKind::None ||
+          (t.kind[c] == RouteKind::Provider && cand < t.dist[c])) {
+        t.kind[c] = RouteKind::Provider;
+        t.dist[c] = cand;
+        t.next[c] = x;
+        heap.emplace(cand, c);
+      } else if (t.kind[c] == RouteKind::Provider && cand == t.dist[c] &&
+                 asn_of_[x] < asn_of_[t.next[c]]) {
+        t.next[c] = x;
+      }
+    }
+  }
+}
+
+std::vector<Asn> RoutingOracle::as_path(Asn src, Asn dst) const {
+  const auto s = index_of_.find(src.value);
+  const auto d = index_of_.find(dst.value);
+  if (s == index_of_.end() || d == index_of_.end())
+    throw std::out_of_range("RoutingOracle::as_path: unknown ASN");
+
+  const DestTable& t = table_for(d->second);
+  if (t.kind[s->second] == RouteKind::None) return {};
+
+  std::vector<Asn> path;
+  std::uint32_t cur = s->second;
+  path.push_back(asn_of_[cur]);
+  while (cur != d->second) {
+    cur = t.next[cur];
+    path.push_back(asn_of_[cur]);
+    if (path.size() > asn_of_.size())
+      throw std::logic_error("RoutingOracle: routing loop detected");
+  }
+  return path;
+}
+
+RouteKind RoutingOracle::route_kind(Asn src, Asn dst) const {
+  const auto s = index_of_.find(src.value);
+  const auto d = index_of_.find(dst.value);
+  if (s == index_of_.end() || d == index_of_.end())
+    throw std::out_of_range("RoutingOracle::route_kind: unknown ASN");
+  return table_for(d->second).kind[s->second];
+}
+
+}  // namespace cfs

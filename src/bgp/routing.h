@@ -1,0 +1,58 @@
+// AS-level route computation over the ground-truth topology.
+//
+// RoutingOracle answers "which AS path does traffic from S to D take?"
+// under Gao-Rexford policies, using only adjacencies that are physically
+// instantiated by at least one inter-AS link (a declared relationship with
+// no circuit carries no traffic). Per-destination tables are computed once
+// and cached; traceroute campaigns hit a handful of destination ASes with
+// thousands of sources, which this layout makes cheap.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/relationships.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+class RoutingOracle {
+ public:
+  explicit RoutingOracle(const Topology& topo);
+
+  // AS path from src to dst inclusive; empty when unreachable.
+  // Deterministic: preference, then path length, then lowest next-hop ASN.
+  [[nodiscard]] std::vector<Asn> as_path(Asn src, Asn dst) const;
+
+  // The route kind src uses toward dst (None if unreachable).
+  [[nodiscard]] RouteKind route_kind(Asn src, Asn dst) const;
+
+  // True when the physically-instantiated adjacency graph connects the ASes.
+  [[nodiscard]] bool reachable(Asn src, Asn dst) const {
+    return route_kind(src, dst) != RouteKind::None;
+  }
+
+  // Number of destination tables currently cached (introspection/tests).
+  [[nodiscard]] std::size_t cached_tables() const { return cache_.size(); }
+
+ private:
+  struct DestTable {
+    std::vector<RouteKind> kind;   // indexed by dense AS index
+    std::vector<std::uint16_t> dist;
+    std::vector<std::uint32_t> next;  // dense index of next-hop AS
+  };
+
+  [[nodiscard]] const DestTable& table_for(std::uint32_t dst_index) const;
+  void compute(std::uint32_t dst_index, DestTable& table) const;
+
+  const Topology& topo_;
+  std::unordered_map<std::uint32_t, std::uint32_t> index_of_;  // asn -> dense
+  std::vector<Asn> asn_of_;                                    // dense -> asn
+  // Physically instantiated adjacency, deduplicated and sorted by ASN.
+  std::vector<std::vector<std::uint32_t>> providers_;  // index -> providers
+  std::vector<std::vector<std::uint32_t>> customers_;
+  std::vector<std::vector<std::uint32_t>> peers_;
+  mutable std::unordered_map<std::uint32_t, DestTable> cache_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,81 @@
+#include "core/bordermap.h"
+
+namespace cfs {
+
+BorderMapper::BorderMapper(const IpToAsnService& ip2asn,
+                           const BorderMapConfig& config)
+    : ip2asn_(ip2asn), config_(config) {}
+
+void BorderMapper::ingest(const TraceResult& trace) {
+  const auto& hops = trace.hops;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (!hops[i].responded) continue;
+    // IXP LAN addresses are handled by the public-peering classifier.
+    if (ip2asn_.ixp_of(hops[i].address)) continue;
+    Evidence& evidence = stats_[hops[i].address];
+
+    if (i + 1 < hops.size() && hops[i + 1].responded) {
+      if (ip2asn_.ixp_of(hops[i + 1].address)) {
+        ++evidence.ixp_successors;
+      } else if (const auto succ = ip2asn_.lookup(hops[i + 1].address)) {
+        ++evidence.successor_as[succ->value];
+      }
+    }
+    if (i > 0 && hops[i - 1].responded &&
+        !ip2asn_.ixp_of(hops[i - 1].address)) {
+      if (const auto pred = ip2asn_.lookup(hops[i - 1].address))
+        ++evidence.predecessor_as[pred->value];
+    }
+  }
+}
+
+void BorderMapper::ingest_all(const std::vector<TraceResult>& traces) {
+  for (const TraceResult& trace : traces) ingest(trace);
+}
+
+std::unordered_map<Ipv4, Asn> BorderMapper::corrections() const {
+  std::unordered_map<Ipv4, Asn> out;
+  for (const auto& [addr, evidence] : stats_) {
+    const auto raw = ip2asn_.lookup(addr);
+    if (!raw) continue;
+
+    std::size_t total = 0;
+    std::size_t own = 0;  // successors staying in the raw AS
+    std::uint32_t best_as = 0;
+    std::size_t best_count = 0;
+    for (const auto& [asn, count] : evidence.successor_as) {
+      total += count;
+      if (asn == raw->value) own += count;
+      if (asn != raw->value && count > best_count) {
+        best_count = count;
+        best_as = asn;
+      }
+    }
+    if (total < config_.min_observations) continue;
+    // X continuing inside its raw AS — or fronting an IXP — means X really
+    // is an internal or genuine border interface: never correct those.
+    if (own > 0 || evidence.ixp_successors > 0) continue;
+    if (static_cast<double>(best_count) / static_cast<double>(total) <
+        config_.majority)
+      continue;
+
+    // Predecessors must stay in the raw AS — that is what makes X the far
+    // end of a subnet numbered from the near side, rather than an address
+    // block delegated wholesale to another network.
+    std::size_t pred_total = 0;
+    std::size_t pred_raw = 0;
+    for (const auto& [asn, count] : evidence.predecessor_as) {
+      pred_total += count;
+      if (asn == raw->value) pred_raw += count;
+    }
+    if (pred_total == 0 ||
+        static_cast<double>(pred_raw) / static_cast<double>(pred_total) <
+            config_.majority)
+      continue;
+
+    out.emplace(addr, Asn(best_as));
+  }
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,49 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+std::vector<FacilityId> facility_intersection(
+    const std::vector<FacilityId>& a, const std::vector<FacilityId>& b) {
+  std::vector<FacilityId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool facility_subset(const std::vector<FacilityId>& inner,
+                     const std::vector<FacilityId>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+bool InterfaceInference::constrain(const std::vector<FacilityId>& allowed,
+                                   int iteration) {
+  if (allowed.empty()) return false;
+  if (!has_constraint) {
+    candidates = allowed;
+    has_constraint = true;
+    if (resolved()) resolved_iteration = iteration;
+    return true;
+  }
+  auto narrowed = facility_intersection(candidates, allowed);
+  if (narrowed.empty()) {
+    ++conflicts;
+    return false;
+  }
+  if (narrowed.size() == candidates.size()) return false;
+  candidates = std::move(narrowed);
+  if (resolved() && resolved_iteration < 0) resolved_iteration = iteration;
+  return true;
+}
+
+std::optional<MetroId> InterfaceInference::city(const Topology& topo) const {
+  if (!has_constraint || candidates.empty()) return std::nullopt;
+  const MetroId metro = topo.metro_of(candidates.front());
+  for (const FacilityId fac : candidates)
+    if (topo.metro_of(fac) != metro) return std::nullopt;
+  return metro;
+}
+
+}  // namespace cfs

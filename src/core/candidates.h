@@ -1,0 +1,49 @@
+// Candidate-facility constraint sets (the data structure CFS narrows).
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+// Sorted-vector set helpers (facility lists are kept sorted everywhere).
+[[nodiscard]] std::vector<FacilityId> facility_intersection(
+    const std::vector<FacilityId>& a, const std::vector<FacilityId>& b);
+[[nodiscard]] bool facility_subset(const std::vector<FacilityId>& inner,
+                                   const std::vector<FacilityId>& outer);
+
+// Per-interface inference state.
+struct InterfaceInference {
+  Ipv4 addr;
+  Asn asn;
+
+  // No constraint applied yet vs. an (possibly still wide) candidate set.
+  bool has_constraint = false;
+  std::vector<FacilityId> candidates;  // sorted
+
+  bool remote_suspect = false;  // Step 2 case 3a: no overlap with the IXP
+  int resolved_iteration = -1;  // first iteration with a single candidate
+  int conflicts = 0;            // constraints that would have emptied the set
+
+  // Follow-up bookkeeping.
+  std::vector<VantagePointId> seen_from;  // VPs whose traces contained addr
+  std::vector<IxpId> queried_ixps;        // IXPs already used as constraints
+
+  [[nodiscard]] bool resolved() const {
+    return has_constraint && candidates.size() == 1;
+  }
+  [[nodiscard]] FacilityId facility() const { return candidates.front(); }
+
+  // Intersects the candidate set with `allowed`; an intersection that would
+  // empty the set is recorded as a conflict and ignored (stale data must
+  // not erase good constraints). Returns true when the set narrowed.
+  bool constrain(const std::vector<FacilityId>& allowed, int iteration);
+
+  // Metro shared by all candidates, if any (the paper's "constrained to a
+  // single city" outcome for ~9% of unresolved interfaces).
+  [[nodiscard]] std::optional<MetroId> city(const Topology& topo) const;
+};
+
+}  // namespace cfs

@@ -1,0 +1,469 @@
+#include "core/cfs.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "core/bordermap.h"
+#include "core/reverse.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct ConstrainedFacilitySearch::State {
+  State(const IpToAsnService& ip2asn, const Topology& topo,
+        std::uint64_t seed)
+      : asn_map(ip2asn), resolver(topo, seed), rng(seed ^ 0x5eedULL) {}
+
+  std::vector<TraceResult> traces;
+  std::size_t classified_upto = 0;
+  std::map<std::pair<Ipv4, Ipv4>, PeeringObservation> observations;
+  std::unordered_map<Ipv4, InterfaceInference> interfaces;
+  std::unordered_set<Ipv4> known_addrs;  // all peering addresses ever seen
+  std::size_t aliased_addr_count = 0;    // addresses covered by last run
+  InterfaceAsnMap asn_map;
+  AliasSets aliases;
+  AliasResolver resolver;
+  Rng rng;
+  std::vector<std::size_t> history;
+  // Facility -> ASes present (per the public database), for follow-ups.
+  std::unordered_map<std::uint32_t, std::vector<Asn>> present_at;
+  // Hosting AS -> vantage points inside it (LG-in-backbone follow-ups).
+  std::unordered_map<std::uint32_t, std::vector<const VantagePoint*>>
+      vps_by_as;
+  // Observed AS adjacency (from classified crossings): targets picked from
+  // an AS's known neighbors are the ones whose traces can actually cross
+  // the interface's router.
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> neighbors;
+  // Vantage points usable for follow-ups (after any platform filter).
+  std::vector<const VantagePoint*> usable_vps;
+};
+
+namespace {
+
+void merge_observation(
+    std::map<std::pair<Ipv4, Ipv4>, PeeringObservation>& store,
+    const PeeringObservation& obs) {
+  const auto key = std::make_pair(obs.near_addr, obs.far_addr);
+  const auto it = store.find(key);
+  if (it == store.end()) {
+    store.emplace(key, obs);
+  } else {
+    it->second.near_rtt_ms = std::min(it->second.near_rtt_ms, obs.near_rtt_ms);
+    it->second.far_rtt_ms = std::min(it->second.far_rtt_ms, obs.far_rtt_ms);
+  }
+}
+
+void note_vp(InterfaceInference& inf, VantagePointId vp) {
+  if (std::find(inf.seen_from.begin(), inf.seen_from.end(), vp) ==
+      inf.seen_from.end())
+    inf.seen_from.push_back(vp);
+}
+
+}  // namespace
+
+ConstrainedFacilitySearch::ConstrainedFacilitySearch(
+    const Topology& topo, const FacilityDatabase& db,
+    const IpToAsnService& ip2asn, MeasurementCampaign& campaign,
+    const VantagePointSet& vps, const CfsConfig& config)
+    : topo_(topo),
+      db_(db),
+      ip2asn_(ip2asn),
+      campaign_(campaign),
+      vps_(vps),
+      config_(config) {}
+
+void ConstrainedFacilitySearch::ingest_traces(
+    State& state, std::vector<TraceResult> fresh) const {
+  for (auto& trace : fresh) state.traces.push_back(std::move(trace));
+
+  const HopClassifier classifier(ip2asn_, state.asn_map);
+  for (std::size_t i = state.classified_upto; i < state.traces.size(); ++i) {
+    for (const PeeringObservation& obs :
+         classifier.classify(state.traces[i])) {
+      merge_observation(state.observations, obs);
+      state.known_addrs.insert(obs.near_addr);
+      state.known_addrs.insert(obs.far_addr);
+
+      auto& near = state.interfaces[obs.near_addr];
+      near.addr = obs.near_addr;
+      near.asn = obs.near_as;
+      note_vp(near, obs.vp);
+
+      auto& far = state.interfaces[obs.far_addr];
+      far.addr = obs.far_addr;
+      far.asn = obs.far_as;
+
+      state.neighbors[obs.near_as.value].insert(obs.far_as.value);
+      state.neighbors[obs.far_as.value].insert(obs.near_as.value);
+    }
+  }
+  state.classified_upto = state.traces.size();
+}
+
+void ConstrainedFacilitySearch::refresh_aliases(State& state) const {
+  if (state.known_addrs.size() == state.aliased_addr_count) return;
+  std::vector<Ipv4> targets(state.known_addrs.begin(),
+                            state.known_addrs.end());
+  std::sort(targets.begin(), targets.end());  // determinism
+  state.aliases = state.resolver.resolve(targets);
+  state.aliased_addr_count = state.known_addrs.size();
+  state.asn_map.apply_alias_correction(state.aliases);
+
+  if (config_.use_border_mapping) {
+    // Repair foreign-numbered /30 ownership from the corpus itself
+    // (MAP-IT-style); catches the routers alias resolution cannot probe.
+    BorderMapper mapper(ip2asn_);
+    mapper.ingest_all(state.traces);
+    state.asn_map.apply_border_corrections(mapper.corrections());
+  }
+
+  // Corrected mappings can turn previously discarded crossings into
+  // classifiable ones: re-classify the whole corpus against the new map.
+  state.observations.clear();
+  state.classified_upto = 0;
+  ingest_traces(state, {});
+}
+
+void ConstrainedFacilitySearch::apply_facility_constraints(
+    State& state, int iteration) const {
+  const RemotePeeringDetector detector(config_.remote);
+
+  for (const auto& [key, obs] : state.observations) {
+    auto& near = state.interfaces.at(obs.near_addr);
+    auto& far = state.interfaces.at(obs.far_addr);
+    const auto& fa = db_.facilities_of(obs.near_as);
+    const auto& fb = db_.facilities_of(obs.far_as);
+
+    if (obs.kind == PeeringKind::Public) {
+      const auto& fe = db_.ixp_facilities(obs.ixp);
+      if (!fa.empty()) {
+        const auto common = facility_intersection(fa, fe);
+        if (!common.empty()) {
+          // Resolved or unresolved-local interface (Step 2 cases 1-2).
+          near.constrain(common, iteration);
+          if (std::find(near.queried_ixps.begin(), near.queried_ixps.end(),
+                        obs.ixp) == near.queried_ixps.end())
+            near.queried_ixps.push_back(obs.ixp);
+        } else {
+          // Step 2 case 3: no common facility. Distinguish a genuinely
+          // remote peer (3a) from missing data (3b): if the AS still has a
+          // facility in one of the exchange's metros, the shared building
+          // is most likely just absent from the database.
+          bool metro_overlap = false;
+          for (const FacilityId af : fa)
+            for (const FacilityId ef : fe)
+              if (topo_.metro_of(af) == topo_.metro_of(ef))
+                metro_overlap = true;
+          near.remote_suspect = !metro_overlap;
+          near.constrain(fa, iteration);
+        }
+      }
+      if (!fb.empty()) {
+        if (detector.far_side_remote(obs)) {
+          far.remote_suspect = true;
+          far.constrain(fb, iteration);
+        } else {
+          const auto common = facility_intersection(fb, fe);
+          if (!common.empty())
+            far.constrain(common, iteration);
+          else
+            far.constrain(fb, iteration);
+        }
+      }
+      continue;
+    }
+
+    // Private interconnection.
+    const bool long_haul = detector.far_side_remote(obs);
+    if (!long_haul) {
+      const auto common = facility_intersection(fa, fb);
+      if (!common.empty()) {
+        near.constrain(common, iteration);
+        far.constrain(common, iteration);
+        continue;
+      }
+    }
+    if (!fa.empty()) near.constrain(fa, iteration);
+    if (!fb.empty()) far.constrain(fb, iteration);
+    if (long_haul) far.remote_suspect = true;
+  }
+}
+
+void ConstrainedFacilitySearch::apply_alias_constraints(
+    State& state, int iteration) const {
+  for (const auto& set : state.aliases.sets) {
+    if (set.size() < 2) continue;
+    // Intersect the candidate sets of all constrained members.
+    std::vector<FacilityId> common;
+    bool first = true;
+    bool any = false;
+    for (const Ipv4 addr : set) {
+      const auto it = state.interfaces.find(addr);
+      if (it == state.interfaces.end() || !it->second.has_constraint)
+        continue;
+      any = true;
+      if (first) {
+        common = it->second.candidates;
+        first = false;
+      } else {
+        common = facility_intersection(common, it->second.candidates);
+      }
+    }
+    if (!any || common.empty()) continue;
+    for (const Ipv4 addr : set) {
+      const auto it = state.interfaces.find(addr);
+      if (it == state.interfaces.end()) continue;
+      it->second.constrain(common, iteration);
+    }
+  }
+}
+
+void ConstrainedFacilitySearch::launch_followups(State& state,
+                                                 int iteration) const {
+  // Gather unresolved-but-constrained interfaces, tightest first (they are
+  // one good constraint away from resolution).
+  std::vector<InterfaceInference*> unresolved;
+  for (auto& [addr, inf] : state.interfaces)
+    if (inf.has_constraint && !inf.resolved()) unresolved.push_back(&inf);
+  std::sort(unresolved.begin(), unresolved.end(),
+            [](const InterfaceInference* a, const InterfaceInference* b) {
+              if (a->candidates.size() != b->candidates.size())
+                return a->candidates.size() < b->candidates.size();
+              return a->addr < b->addr;
+            });
+
+  std::vector<TraceResult> fresh;
+  const auto& all_vps = state.usable_vps;
+  int chased = 0;
+  // Rotate through the unresolved pool across iterations so the same few
+  // tightly-constrained-but-stuck interfaces do not starve the rest.
+  const std::size_t offset =
+      unresolved.empty()
+          ? 0
+          : (static_cast<std::size_t>(iteration - 1) *
+             static_cast<std::size_t>(config_.followup_interfaces)) %
+                unresolved.size();
+  for (std::size_t slot = 0; slot < unresolved.size(); ++slot) {
+    InterfaceInference* inf = unresolved[(offset + slot) % unresolved.size()];
+    if (chased >= config_.followup_interfaces) break;
+    ++chased;
+
+    // Candidate target ASes: present at one of the interface's candidate
+    // facilities, preferring the smallest overlap (most constraining) and
+    // penalising ASes colocated at IXPs already used as constraints.
+    std::vector<std::pair<double, Asn>> scored;
+    if (config_.random_followups) {
+      for (int k = 0; k < config_.followup_targets; ++k) {
+        const auto& as = topo_.ases()[state.rng.index(topo_.ases().size())];
+        if (as.asn != inf->asn) scored.emplace_back(0.0, as.asn);
+      }
+    } else {
+      const auto neigh = state.neighbors.find(inf->asn.value);
+      std::unordered_set<std::uint32_t> considered;
+      for (const FacilityId fac : inf->candidates) {
+        const auto it = state.present_at.find(fac.value);
+        if (it == state.present_at.end()) continue;
+        for (const Asn cand : it->second) {
+          if (cand == inf->asn) continue;
+          if (!considered.insert(cand.value).second) continue;
+          const auto& ft = db_.facilities_of(cand);
+          const auto overlap = facility_intersection(ft, inf->candidates);
+          if (overlap.empty() || overlap.size() >= inf->candidates.size())
+            continue;
+          double score = static_cast<double>(overlap.size());
+          // A traceroute can only add a constraint for this AS's router if
+          // it exits through it: known neighbors are far more likely to.
+          if (neigh == state.neighbors.end() ||
+              !neigh->second.contains(cand.value))
+            score += 5.0;
+          for (const IxpId ixp : inf->queried_ixps) {
+            if (!facility_intersection(ft, db_.ixp_facilities(ixp)).empty())
+              score += 10.0;  // already-queried IXP: deprioritise
+          }
+          scored.emplace_back(score, cand);
+        }
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+    }
+
+    if (scored.empty()) continue;
+    scored.resize(std::min<std::size_t>(
+        scored.size(), static_cast<std::size_t>(config_.followup_targets)));
+
+    // Vantage points: ones that already traversed this interface (likely to
+    // cross the same router), then looking glasses *inside* the interface's
+    // own AS (paper Section 5: 46% of LG-visible interfaces sit in transit
+    // backbones Atlas never reaches), topped up with random picks.
+    std::vector<const VantagePoint*> probes;
+    for (const VantagePointId vp : inf->seen_from) {
+      if (probes.size() >= 2) break;
+      probes.push_back(&vps_.vp(vp));
+    }
+    if (const auto it = state.vps_by_as.find(inf->asn.value);
+        it != state.vps_by_as.end()) {
+      for (const VantagePoint* vp : it->second) {
+        if (probes.size() >= 4) break;
+        probes.push_back(vp);
+      }
+    }
+    // Always keep some random exploration in the mix; a fully deterministic
+    // probe set reaches a fixed point and stops contributing constraints.
+    for (int extra = 0; extra < std::max(1, config_.followup_vps - 2); ++extra)
+      if (!all_vps.empty())
+        probes.push_back(all_vps[state.rng.index(all_vps.size())]);
+
+    for (const auto& [score, target_as] : scored) {
+      if (!topo_.has_as(target_as)) continue;
+      const auto targets = MeasurementCampaign::targets_for(topo_, target_as);
+      if (targets.empty()) continue;
+      for (const VantagePoint* vp : probes) {
+        TraceResult trace = campaign_.probe(*vp, targets.front());
+        if (!trace.hops.empty()) fresh.push_back(std::move(trace));
+      }
+    }
+  }
+
+  // Reverse-direction probes for unresolved far ends (Section 4.3).
+  std::vector<PeeringObservation> observations;
+  observations.reserve(state.observations.size());
+  for (const auto& [key, obs] : state.observations)
+    observations.push_back(obs);
+  const auto reverse_plan = plan_reverse_probes(
+      topo_, vps_, state.interfaces, observations, /*budget=*/16,
+      config_.platform_filter);
+  for (const ReverseProbe& probe : reverse_plan) {
+    TraceResult trace = campaign_.probe(vps_.vp(probe.vp), probe.target);
+    if (!trace.hops.empty()) fresh.push_back(std::move(trace));
+  }
+
+  log_debug() << "iteration " << iteration << ": " << fresh.size()
+              << " follow-up traces";
+  ingest_traces(state, std::move(fresh));
+}
+
+CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
+  State state(ip2asn_, topo_, config_.seed);
+
+  // Public-database index: facility -> ASes present (for follow-ups).
+  for (const auto& as : topo_.ases())
+    for (const FacilityId fac : db_.facilities_of(as.asn))
+      state.present_at[fac.value].push_back(as.asn);
+  for (const VantagePoint& vp : vps_.all()) {
+    if (config_.platform_filter && vp.platform != *config_.platform_filter)
+      continue;
+    state.vps_by_as[vp.asn.value].push_back(&vp);
+    state.usable_vps.push_back(&vp);
+  }
+
+  ingest_traces(state, std::move(traces));
+
+  int iteration = 0;
+  for (iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+    if (config_.use_alias_constraints &&
+        (iteration == 1 ||
+         (iteration % std::max(1, config_.alias_refresh_interval)) == 0))
+      refresh_aliases(state);
+
+    apply_facility_constraints(state, iteration);
+    if (config_.use_alias_constraints) apply_alias_constraints(state, iteration);
+
+    std::size_t resolved = 0;
+    for (const auto& [addr, inf] : state.interfaces)
+      resolved += inf.resolved();
+    state.history.push_back(resolved);
+
+    if (resolved == state.interfaces.size() && !state.interfaces.empty())
+      break;
+    if (iteration < config_.max_iterations)
+      launch_followups(state, iteration);
+  }
+
+  // ---- final classification of each crossing ----
+  CfsReport report;
+  report.interfaces = std::move(state.interfaces);
+  report.aliases = std::move(state.aliases);
+  report.resolved_per_iteration = std::move(state.history);
+  report.traces_used = state.traces.size();
+  report.iterations_run = std::min(iteration, config_.max_iterations);
+
+  const RemotePeeringDetector detector(config_.remote);
+  ProximityHeuristic proximity;
+
+  for (const auto& [key, obs] : state.observations) {
+    LinkInference link;
+    link.obs = obs;
+    const auto* near = report.find(obs.near_addr);
+    const auto* far = report.find(obs.far_addr);
+    if (near != nullptr && near->resolved())
+      link.near_facility = near->facility();
+    if (far != nullptr && far->resolved()) link.far_facility = far->facility();
+
+    if (obs.kind == PeeringKind::Public) {
+      const bool far_remote = detector.far_side_remote(obs);
+      const bool near_remote = near != nullptr && near->remote_suspect;
+      link.type = (far_remote || near_remote)
+                      ? InterconnectionType::PublicRemote
+                      : InterconnectionType::PublicLocal;
+      if (link.near_facility && link.far_facility && !far_remote)
+        proximity.observe(obs.ixp, *link.near_facility, *link.far_facility);
+    } else {
+      const auto& fa = db_.facilities_of(obs.near_as);
+      const auto& fb = db_.facilities_of(obs.far_as);
+      const auto common = facility_intersection(fa, fb);
+      if (detector.far_side_remote(obs)) {
+        // A large RTT step with a shared building on record is almost
+        // always a phantom crossing (foreign-numbered /30 shifting the
+        // boundary one backbone hop): trust the facility data.
+        link.type = common.empty() ? InterconnectionType::PrivateRemote
+                                   : InterconnectionType::PrivateCrossConnect;
+      } else if (!common.empty()) {
+        link.type = InterconnectionType::PrivateCrossConnect;
+      } else {
+        // No shared building, local RTT: tethering over an exchange both
+        // sides can reach, otherwise missing data pointing at a plain
+        // cross-connect.
+        bool shared_ixp = false;
+        for (const auto& ixp : topo_.ixps()) {
+          const auto& fe = db_.ixp_facilities(ixp.id);
+          if (!facility_intersection(fa, fe).empty() &&
+              !facility_intersection(fb, fe).empty()) {
+            shared_ixp = true;
+            break;
+          }
+        }
+        link.type = shared_ixp ? InterconnectionType::PrivateTethering
+                               : InterconnectionType::PrivateCrossConnect;
+      }
+    }
+    report.links.push_back(std::move(link));
+  }
+
+  // Switch-proximity fallback for far ends still ambiguous (Section 4.4).
+  for (LinkInference& link : report.links) {
+    if (link.obs.kind != PeeringKind::Public) continue;
+    if (link.far_facility || !link.near_facility) continue;
+    const auto* far = report.find(link.obs.far_addr);
+    if (far == nullptr || !far->has_constraint) continue;
+    const auto inferred = proximity.infer_far(
+        link.obs.ixp, *link.near_facility, far->candidates);
+    if (inferred) {
+      link.far_facility = inferred;
+      link.far_by_proximity = true;
+    }
+  }
+
+  log_info() << "CFS: " << report.resolved_interfaces() << "/"
+             << report.observed_interfaces() << " interfaces resolved in "
+             << report.iterations_run << " iterations over "
+             << report.traces_used << " traces";
+  return report;
+}
+
+}  // namespace cfs

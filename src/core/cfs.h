@@ -1,0 +1,84 @@
+// Constrained Facility Search — the paper's core algorithm (Section 4).
+//
+// Given an initial traceroute corpus, CFS iterates:
+//   Step 1  classify peering crossings (public via IXP LAN / private);
+//   Step 2  constrain each peering interface to the facilities consistent
+//           with the AS-to-facility and IXP-to-facility databases,
+//           separating local, remote and data-less cases;
+//   Step 3  propagate constraints across alias sets (interfaces of one
+//           router must share its facility);
+//   Step 4  launch targeted follow-up traceroutes chosen to add the most
+//           constraining facility overlaps, plus reverse-direction probes
+//           from vantage points inside far-side ASes;
+// until every interface converges to a single facility or the iteration
+// budget (100 in the paper) is exhausted. A final pass classifies each
+// crossing's engineering (cross-connect, tethering, public local/remote,
+// remote private) and applies the switch-proximity heuristic to far ends
+// that the reverse search could not pin down.
+//
+// CFS deliberately sees only the public-information layers: the merged
+// facility database, the IP-to-ASN service, DNS-free traceroute output and
+// its own alias resolution. The ground-truth Topology is used solely for
+// public facts (facility -> metro, prefix origins for target selection).
+#pragma once
+
+#include "core/classify.h"
+#include "core/proximity.h"
+#include "core/remote.h"
+#include "core/report.h"
+#include "data/facility_db.h"
+#include "traceroute/campaign.h"
+#include "traceroute/platforms.h"
+
+namespace cfs {
+
+struct CfsConfig {
+  int max_iterations = 100;
+  // Follow-up budget per iteration: how many unresolved interfaces are
+  // chased, with how many vantage points and target ASes each.
+  int followup_interfaces = 48;
+  int followup_vps = 3;
+  int followup_targets = 2;
+  // Alias resolution is re-run over newly observed interfaces every this
+  // many iterations (it is the expensive probing stage).
+  int alias_refresh_interval = 10;
+  RemoteDetectorConfig remote;
+  // Ablation switches (DESIGN.md Section 4).
+  bool use_alias_constraints = true;
+  bool use_border_mapping = true;  // MAP-IT-style /30 ownership repair
+  bool random_followups = false;
+  // Restrict follow-up probing to one platform (Figure 7's per-platform
+  // convergence curves); initial traces are restricted by the caller.
+  std::optional<Platform> platform_filter;
+  std::uint64_t seed = 99;
+};
+
+class ConstrainedFacilitySearch {
+ public:
+  ConstrainedFacilitySearch(const Topology& topo, const FacilityDatabase& db,
+                            const IpToAsnService& ip2asn,
+                            MeasurementCampaign& campaign,
+                            const VantagePointSet& vps,
+                            const CfsConfig& config = {});
+
+  // Runs the full algorithm over (and beyond) the given traces.
+  [[nodiscard]] CfsReport run(std::vector<TraceResult> traces);
+
+ private:
+  struct State;
+
+  void ingest_traces(State& state, std::vector<TraceResult> fresh) const;
+  void refresh_aliases(State& state) const;
+  void apply_facility_constraints(State& state, int iteration) const;
+  void apply_alias_constraints(State& state, int iteration) const;
+  void launch_followups(State& state, int iteration) const;
+
+  const Topology& topo_;
+  const FacilityDatabase& db_;
+  const IpToAsnService& ip2asn_;
+  MeasurementCampaign& campaign_;
+  const VantagePointSet& vps_;
+  CfsConfig config_;
+};
+
+}  // namespace cfs

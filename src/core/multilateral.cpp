@@ -1,0 +1,68 @@
+#include "core/multilateral.h"
+
+namespace cfs {
+
+std::string_view session_kind_name(SessionKind kind) {
+  switch (kind) {
+    case SessionKind::Bilateral: return "bilateral";
+    case SessionKind::Multilateral: return "multilateral";
+    case SessionKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+MultilateralInference::MultilateralInference(const Topology& topo,
+                                             const LookingGlassDirectory& lgs)
+    : topo_(topo) {
+  for (const auto& entry : lgs.entries())
+    if (entry.supports_bgp) has_bgp_lg_[entry.owner.value] = true;
+}
+
+SessionKind MultilateralInference::classify(
+    const PeeringObservation& obs) const {
+  if (obs.kind != PeeringKind::Public) return SessionKind::Unknown;
+  // The technique requires BGP vantage inside the near-side AS: the LG's
+  // "show ip bgp" output names the neighbor the route was learned from —
+  // the route server's address for multilateral sessions, the peer's LAN
+  // address for bilateral ones.
+  if (!has_bgp_lg_.contains(obs.near_as.value)) return SessionKind::Unknown;
+
+  // Locate the session: the far side's LAN address pins the IXP and link.
+  const Interface* far_iface = topo_.find_interface(obs.far_addr);
+  if (far_iface == nullptr) return SessionKind::Unknown;
+  for (const LinkId lid : topo_.links_of(far_iface->router)) {
+    const Link& link = topo_.link(lid);
+    if (link.type != LinkType::PublicPeering) continue;
+    const bool matches =
+        (link.a.address == obs.far_addr &&
+         topo_.router(link.b.router).owner == obs.near_as) ||
+        (link.b.address == obs.far_addr &&
+         topo_.router(link.a.router).owner == obs.near_as);
+    if (matches)
+      return link.multilateral ? SessionKind::Multilateral
+                               : SessionKind::Bilateral;
+  }
+  return SessionKind::Unknown;
+}
+
+MultilateralInference::Stats MultilateralInference::survey(
+    const std::vector<PeeringObservation>& observations) const {
+  Stats stats;
+  for (const PeeringObservation& obs : observations) {
+    if (obs.kind != PeeringKind::Public) continue;
+    switch (classify(obs)) {
+      case SessionKind::Bilateral: ++stats.bilateral; break;
+      case SessionKind::Multilateral: ++stats.multilateral; break;
+      case SessionKind::Unknown: ++stats.unknown; break;
+    }
+  }
+  return stats;
+}
+
+double MultilateralInference::bgp_lg_coverage() const {
+  if (topo_.ases().empty()) return 0.0;
+  return static_cast<double>(has_bgp_lg_.size()) /
+         static_cast<double>(topo_.ases().size());
+}
+
+}  // namespace cfs

@@ -1,0 +1,54 @@
+// Bilateral vs multilateral session inference (extension).
+//
+// Route servers make public peering cheap: one BGP session to the RS
+// yields routes from much of the membership (Section 2). On the wire a
+// multilateral session is indistinguishable from a bilateral one — the RS
+// is control-plane only — so the distinction must come from BGP data:
+// querying a BGP-capable looking glass inside the near-side AS reveals
+// whether the route toward the far side was learned from the route
+// server's session. This mirrors "Inferring Multilateral Peering"
+// (Giotsas et al., CoNEXT 2013), the companion technique the paper builds
+// on for its peering inference pipeline.
+#pragma once
+
+#include "bgp/looking_glass.h"
+#include "core/types.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+enum class SessionKind { Bilateral, Multilateral, Unknown };
+std::string_view session_kind_name(SessionKind kind);
+
+class MultilateralInference {
+ public:
+  MultilateralInference(const Topology& topo,
+                        const LookingGlassDirectory& lgs);
+
+  // Classifies a public-peering observation. Returns Unknown when no
+  // BGP-capable looking glass exists inside the near-side AS (the coverage
+  // limit of the real technique) or when the session cannot be found.
+  [[nodiscard]] SessionKind classify(const PeeringObservation& obs) const;
+
+  // Batch statistics over a set of observations.
+  struct Stats {
+    std::size_t bilateral = 0;
+    std::size_t multilateral = 0;
+    std::size_t unknown = 0;
+
+    [[nodiscard]] std::size_t classified() const {
+      return bilateral + multilateral;
+    }
+  };
+  [[nodiscard]] Stats survey(
+      const std::vector<PeeringObservation>& observations) const;
+
+  // Coverage: fraction of ASes with a BGP-capable looking glass.
+  [[nodiscard]] double bgp_lg_coverage() const;
+
+ private:
+  const Topology& topo_;
+  std::unordered_map<std::uint32_t, bool> has_bgp_lg_;  // per ASN
+};
+
+}  // namespace cfs

@@ -1,0 +1,144 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace cfs {
+
+PipelineConfig PipelineConfig::tiny() {
+  PipelineConfig c;
+  c.generator = GeneratorConfig::tiny();
+  c.platforms.atlas_target = 40;
+  c.platforms.iplane_target = 8;
+  c.platforms.ark_target = 5;
+  c.cfs.max_iterations = 20;
+  c.cfs.followup_interfaces = 16;
+  return c;
+}
+
+PipelineConfig PipelineConfig::small_scale() {
+  PipelineConfig c;
+  c.generator = GeneratorConfig::small_scale();
+  c.platforms.atlas_target = 250;
+  c.platforms.iplane_target = 30;
+  c.platforms.ark_target = 15;
+  c.cfs.max_iterations = 40;
+  return c;
+}
+
+PipelineConfig PipelineConfig::paper_scale() {
+  PipelineConfig c;
+  c.generator = GeneratorConfig::paper_scale();
+  c.platforms.atlas_target = 1600;
+  c.platforms.iplane_target = 120;
+  c.platforms.ark_target = 60;
+  c.cfs.max_iterations = 100;
+  c.cfs.followup_interfaces = 64;
+  return c;
+}
+
+Pipeline::Pipeline(const PipelineConfig& config)
+    : config_(config),
+      topo_(generate_topology(config.generator)),
+      rng_(config.seed) {
+  auto lg_config = config.looking_glasses;
+  lg_config.seed ^= config.seed;
+  lgs_ = std::make_unique<LookingGlassDirectory>(topo_, lg_config);
+
+  auto platform_config = config.platforms;
+  platform_config.seed ^= config.seed;
+  vps_ = std::make_unique<VantagePointSet>(topo_, *lgs_, platform_config);
+
+  routing_ = std::make_unique<RoutingOracle>(topo_);
+  forwarding_ = std::make_unique<ForwardingEngine>(topo_, *routing_);
+  engine_ = std::make_unique<TracerouteEngine>(topo_, *forwarding_,
+                                               config.engine, config.seed);
+  campaign_ = std::make_unique<MeasurementCampaign>(topo_, *engine_, *lgs_);
+
+  ip2asn_ = std::make_unique<IpToAsnService>(topo_);
+  auto pdb_config = config.peeringdb;
+  pdb_config.seed ^= config.seed;
+  PeeringDb raw_pdb(topo_, pdb_config);
+  auto web_config = config.websites;
+  web_config.seed ^= config.seed;
+  noc_ = std::make_unique<NocWebsiteSource>(topo_, web_config);
+  ixp_sites_ = std::make_unique<IxpWebsiteSource>(topo_, web_config);
+  facility_db_ = std::make_unique<FacilityDatabase>(topo_, std::move(raw_pdb),
+                                                    *noc_, *ixp_sites_);
+
+  communities_ = std::make_unique<CommunityRegistry>(
+      topo_, config.community_adoption, config.seed ^ 0xc0117);
+  auto dns_config = config.dns;
+  dns_config.seed ^= config.seed;
+  dns_ = std::make_unique<DnsNames>(topo_, dns_config);
+  drop_ = std::make_unique<DropParser>(*dns_);
+  auto geo_config = config.geoip;
+  geo_config.seed ^= config.seed;
+  geoip_ = std::make_unique<GeoIpDb>(topo_, geo_config);
+
+  ValidationHarness::Config vconfig;
+  vconfig.cooperating_operators = default_targets(2, 0);
+  validation_ = std::make_unique<ValidationHarness>(
+      topo_, *communities_, *lgs_, *dns_, *drop_, *ixp_sites_, vconfig);
+}
+
+std::vector<Asn> Pipeline::default_targets(int content, int transit) const {
+  // Largest footprint first within each type.
+  std::vector<const AutonomousSystem*> contents;
+  std::vector<const AutonomousSystem*> transits;
+  for (const auto& as : topo_.ases()) {
+    if (as.type == AsType::Content) contents.push_back(&as);
+    if (as.type == AsType::Tier1 || as.type == AsType::Transit)
+      transits.push_back(&as);
+  }
+  auto by_footprint = [](const AutonomousSystem* a,
+                         const AutonomousSystem* b) {
+    return a->facilities.size() > b->facilities.size();
+  };
+  std::sort(contents.begin(), contents.end(), by_footprint);
+  std::sort(transits.begin(), transits.end(), by_footprint);
+
+  std::vector<Asn> out;
+  for (int i = 0; i < content && i < static_cast<int>(contents.size()); ++i)
+    out.push_back(contents[static_cast<std::size_t>(i)]->asn);
+  for (int i = 0; i < transit && i < static_cast<int>(transits.size()); ++i)
+    out.push_back(transits[static_cast<std::size_t>(i)]->asn);
+  return out;
+}
+
+std::vector<TraceResult> Pipeline::initial_campaign(
+    const std::vector<Asn>& target_ases, double vp_fraction) {
+  // Sample vantage points per platform, as the paper uses "more than 95%
+  // of active Atlas nodes" but rations looking glasses.
+  std::vector<const VantagePoint*> probes;
+  for (const Platform platform :
+       {Platform::RipeAtlas, Platform::LookingGlass, Platform::IPlane,
+        Platform::Ark}) {
+    auto pool = vps_->of(platform);
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(pool.size()) *
+                                    vp_fraction));
+    const auto idx = rng_.sample_indices(pool.size(),
+                                         std::min(want, pool.size()));
+    for (const std::size_t i : idx) probes.push_back(pool[i]);
+  }
+
+  std::vector<Ipv4> targets;
+  for (const Asn asn : target_ases) {
+    const auto per_as = MeasurementCampaign::targets_for(topo_, asn);
+    targets.insert(targets.end(), per_as.begin(), per_as.end());
+  }
+
+  log_info() << "initial campaign: " << probes.size() << " VPs x "
+             << targets.size() << " targets";
+  return campaign_->run(probes, targets);
+}
+
+CfsReport Pipeline::run_cfs(std::vector<TraceResult> traces) {
+  ConstrainedFacilitySearch cfs(topo_, *facility_db_, *ip2asn_, *campaign_,
+                                *vps_, config_.cfs);
+  return cfs.run(std::move(traces));
+}
+
+}  // namespace cfs

@@ -1,0 +1,97 @@
+// End-to-end experiment pipeline.
+//
+// Wires the full stack the way the paper's measurement study is wired:
+// ground-truth topology -> looking-glass directory -> vantage points ->
+// routing/forwarding/traceroute engines -> noisy public data sources ->
+// CFS -> validation harness. Benchmarks, examples and integration tests
+// all build on this instead of repeating the plumbing.
+#pragma once
+
+#include <memory>
+
+#include "core/cfs.h"
+#include "core/validation.h"
+#include "data/geoip.h"
+#include "data/normalize.h"
+#include "topology/generator.h"
+
+namespace cfs {
+
+struct PipelineConfig {
+  GeneratorConfig generator;
+  PlatformConfig platforms;
+  LookingGlassDirectory::Config looking_glasses;
+  EngineConfig engine;
+  PeeringDbConfig peeringdb;
+  WebsiteConfig websites;
+  DnsConfig dns;
+  GeoIpConfig geoip;
+  CfsConfig cfs;
+  double community_adoption = 0.6;
+  std::uint64_t seed = 4242;
+
+  // Presets mirroring the generator scales.
+  static PipelineConfig tiny();
+  static PipelineConfig small_scale();
+  static PipelineConfig paper_scale();
+};
+
+// Owns every stage; construction order is the dependency order.
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  // --- the paper's workflow ---
+  // Initial traceroute campaign toward the given target ASes from a sample
+  // of vantage points per platform (fractions of each platform's pool).
+  [[nodiscard]] std::vector<TraceResult> initial_campaign(
+      const std::vector<Asn>& target_ases, double vp_fraction = 0.5);
+
+  // Runs CFS over the traces (plus its own follow-ups).
+  [[nodiscard]] CfsReport run_cfs(std::vector<TraceResult> traces);
+
+  // Default interesting targets: the largest content and transit ASes.
+  [[nodiscard]] std::vector<Asn> default_targets(int content, int transit) const;
+
+  // --- accessors ---
+  Topology& topology() { return topo_; }
+  const Topology& topology() const { return topo_; }
+  const VantagePointSet& vantage_points() const { return *vps_; }
+  LookingGlassDirectory& looking_glasses() { return *lgs_; }
+  FacilityDatabase& facility_db() { return *facility_db_; }
+  const IpToAsnService& ip2asn() const { return *ip2asn_; }
+  MeasurementCampaign& campaign() { return *campaign_; }
+  TracerouteEngine& engine() { return *engine_; }
+  const RoutingOracle& routing() const { return *routing_; }
+  const ForwardingEngine& forwarding() const { return *forwarding_; }
+  const CommunityRegistry& communities() const { return *communities_; }
+  const DnsNames& dns() const { return *dns_; }
+  const DropParser& drop() const { return *drop_; }
+  const GeoIpDb& geoip() const { return *geoip_; }
+  const IxpWebsiteSource& ixp_websites() const { return *ixp_sites_; }
+  const NocWebsiteSource& noc_websites() const { return *noc_; }
+  ValidationHarness& validation() { return *validation_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+  Topology topo_;
+  std::unique_ptr<LookingGlassDirectory> lgs_;
+  std::unique_ptr<VantagePointSet> vps_;
+  std::unique_ptr<RoutingOracle> routing_;
+  std::unique_ptr<ForwardingEngine> forwarding_;
+  std::unique_ptr<TracerouteEngine> engine_;
+  std::unique_ptr<MeasurementCampaign> campaign_;
+  std::unique_ptr<IpToAsnService> ip2asn_;
+  std::unique_ptr<NocWebsiteSource> noc_;
+  std::unique_ptr<IxpWebsiteSource> ixp_sites_;
+  std::unique_ptr<FacilityDatabase> facility_db_;
+  std::unique_ptr<CommunityRegistry> communities_;
+  std::unique_ptr<DnsNames> dns_;
+  std::unique_ptr<DropParser> drop_;
+  std::unique_ptr<GeoIpDb> geoip_;
+  std::unique_ptr<ValidationHarness> validation_;
+  Rng rng_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,44 @@
+#include "core/proximity.h"
+
+namespace cfs {
+
+std::uint64_t ProximityHeuristic::key(IxpId ixp, FacilityId near_facility,
+                                      FacilityId far_facility) {
+  return (std::uint64_t{ixp.value} << 44) ^
+         (std::uint64_t{near_facility.value} << 22) ^ far_facility.value;
+}
+
+void ProximityHeuristic::observe(IxpId ixp, FacilityId near_facility,
+                                 FacilityId far_facility) {
+  ++counts_[key(ixp, near_facility, far_facility)];
+  ++observations_;
+}
+
+std::optional<FacilityId> ProximityHeuristic::infer_far(
+    IxpId ixp, FacilityId near_facility,
+    std::span<const FacilityId> candidates) const {
+  if (candidates.size() == 1) return candidates.front();
+  // Fabric rule: a far-end port in the near end's own facility sits on the
+  // same access switch (switch distance zero) and always wins the local-
+  // delivery preference, regardless of learned counts.
+  for (const FacilityId cand : candidates)
+    if (cand == near_facility) return cand;
+  std::optional<FacilityId> best;
+  std::size_t best_count = 0;
+  bool tie = false;
+  for (const FacilityId cand : candidates) {
+    const auto it = counts_.find(key(ixp, near_facility, cand));
+    const std::size_t count = it == counts_.end() ? 0 : it->second;
+    if (count > best_count) {
+      best = cand;
+      best_count = count;
+      tie = false;
+    } else if (count == best_count && best_count > 0) {
+      tie = true;
+    }
+  }
+  if (!best || tie || best_count == 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace cfs

@@ -1,0 +1,46 @@
+// Switch-proximity heuristic (paper Section 4.4).
+//
+// IXP members on the same access or backhaul switch exchange traffic
+// locally, so the far-end router of a public peering is most often the
+// member's port *nearest* the near-end's facility. A detailed switch map
+// is rarely public; the heuristic learns a probabilistic proximity ranking
+// from the (near facility, far facility) pairs that earlier CFS stages
+// resolved, then uses the ranking to pick a far-end facility when a member
+// has several candidate IXP facilities.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+class ProximityHeuristic {
+ public:
+  // Records a fully-resolved public peering: near-end router at
+  // `near_facility`, far-end at `far_facility`, over `ixp`.
+  void observe(IxpId ixp, FacilityId near_facility, FacilityId far_facility);
+
+  // Most-proximate far-end facility among the candidates, given the
+  // resolved near-end facility; nullopt when the ranking cannot separate
+  // the candidates (ties or no observations — the heuristic abstains, as
+  // in the paper's same-backhaul case).
+  [[nodiscard]] std::optional<FacilityId> infer_far(
+      IxpId ixp, FacilityId near_facility,
+      std::span<const FacilityId> candidates) const;
+
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+
+ private:
+  // (ixp, near, far) -> count
+  std::unordered_map<std::uint64_t, std::size_t> counts_;
+  std::size_t observations_ = 0;
+
+  static std::uint64_t key(IxpId ixp, FacilityId near_facility,
+                           FacilityId far_facility);
+};
+
+}  // namespace cfs

@@ -1,0 +1,20 @@
+#include "core/remote.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+RemotePeeringDetector::RemotePeeringDetector(
+    const RemoteDetectorConfig& config)
+    : config_(config) {}
+
+double RemotePeeringDetector::delta_ms(const PeeringObservation& obs) const {
+  return std::max(0.0, obs.far_rtt_ms - obs.near_rtt_ms);
+}
+
+bool RemotePeeringDetector::far_side_remote(
+    const PeeringObservation& obs) const {
+  return delta_ms(obs) > config_.rtt_delta_threshold_ms;
+}
+
+}  // namespace cfs

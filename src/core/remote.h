@@ -1,0 +1,35 @@
+// RTT-based remote-peering detection (Castro et al., CoNEXT 2014 — the
+// method the paper adopts in Step 2).
+//
+// Crossing an IXP fabric between two metro-local routers adds well under a
+// millisecond; a reseller-backed remote peer or a long-haul private circuit
+// adds the propagation delay to wherever the far router actually lives.
+// The detector thresholds the *minimum* RTT increment across the boundary
+// hop over repeated measurements, which cancels transient queueing.
+#pragma once
+
+#include "core/types.h"
+
+namespace cfs {
+
+struct RemoteDetectorConfig {
+  // Minimum RTT increase across the peering hop implying the far router is
+  // outside the metro (round-trip milliseconds).
+  double rtt_delta_threshold_ms = 3.0;
+};
+
+class RemotePeeringDetector {
+ public:
+  explicit RemotePeeringDetector(const RemoteDetectorConfig& config = {});
+
+  // RTT increment across the observed boundary.
+  [[nodiscard]] double delta_ms(const PeeringObservation& obs) const;
+
+  // True when the far side of the observation looks remote.
+  [[nodiscard]] bool far_side_remote(const PeeringObservation& obs) const;
+
+ private:
+  RemoteDetectorConfig config_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,51 @@
+// Inference results: per-interface facility inferences, per-link
+// interconnection classifications, convergence history and router-level
+// statistics (multi-role and multi-IXP routers, Section 5).
+#pragma once
+
+#include <unordered_map>
+
+#include "alias/midar.h"
+#include "core/candidates.h"
+#include "core/types.h"
+
+namespace cfs {
+
+struct LinkInference {
+  PeeringObservation obs;  // representative observation of the crossing
+  InterconnectionType type = InterconnectionType::Unknown;
+  std::optional<FacilityId> near_facility;
+  std::optional<FacilityId> far_facility;
+  bool far_by_proximity = false;  // far end inferred by the heuristic
+};
+
+struct CfsReport {
+  std::unordered_map<Ipv4, InterfaceInference> interfaces;
+  std::vector<LinkInference> links;
+  // Cumulative resolved-interface count after each iteration (Fig. 7).
+  std::vector<std::size_t> resolved_per_iteration;
+  AliasSets aliases;
+  std::size_t traces_used = 0;
+  std::size_t iterations_run = 0;
+
+  [[nodiscard]] const InterfaceInference* find(Ipv4 addr) const;
+
+  [[nodiscard]] std::size_t observed_interfaces() const {
+    return interfaces.size();
+  }
+  [[nodiscard]] std::size_t resolved_interfaces() const;
+  [[nodiscard]] double resolved_fraction() const;
+  // Unresolved interfaces whose candidates all sit in one metro.
+  [[nodiscard]] std::size_t city_constrained(const Topology& topo) const;
+  // Interfaces with no facility data at all.
+  [[nodiscard]] std::size_t no_data_interfaces() const;
+
+  struct RouterStats {
+    std::size_t routers = 0;     // alias sets observed in peering links
+    std::size_t multi_role = 0;  // implement both public and private
+    std::size_t multi_ixp = 0;   // public peering over >= 2 IXPs
+  };
+  [[nodiscard]] RouterStats router_stats() const;
+};
+
+}  // namespace cfs

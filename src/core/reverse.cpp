@@ -1,0 +1,49 @@
+#include "core/reverse.h"
+
+#include <unordered_set>
+
+#include "traceroute/campaign.h"
+
+namespace cfs {
+
+std::vector<ReverseProbe> plan_reverse_probes(
+    const Topology& topo, const VantagePointSet& vps,
+    const std::unordered_map<Ipv4, InterfaceInference>& interfaces,
+    const std::vector<PeeringObservation>& observations, std::size_t budget,
+    std::optional<Platform> platform_filter) {
+  std::vector<ReverseProbe> plan;
+
+  // Index vantage points by hosting AS once.
+  std::unordered_map<std::uint32_t, std::vector<const VantagePoint*>> by_as;
+  for (const VantagePoint& vp : vps.all()) {
+    if (platform_filter && vp.platform != *platform_filter) continue;
+    by_as[vp.asn.value].push_back(&vp);
+  }
+
+  std::unordered_set<Ipv4> planned_far;
+  for (const PeeringObservation& obs : observations) {
+    if (plan.size() >= budget) break;
+    if (obs.kind != PeeringKind::Public) continue;
+    const auto it = interfaces.find(obs.far_addr);
+    if (it == interfaces.end() || it->second.resolved()) continue;
+    if (!planned_far.insert(obs.far_addr).second) continue;
+
+    const auto vps_in_far = by_as.find(obs.far_as.value);
+    if (vps_in_far == by_as.end()) continue;
+    if (!topo.has_as(obs.near_as)) continue;
+    const auto targets = MeasurementCampaign::targets_for(topo, obs.near_as);
+    if (targets.empty()) continue;
+
+    // One probe from the first vantage point in the far AS toward each of
+    // up to two near-side targets.
+    std::size_t used = 0;
+    for (const Ipv4 target : targets) {
+      if (used >= 2 || plan.size() >= budget) break;
+      plan.push_back(ReverseProbe{vps_in_far->second.front()->id, target});
+      ++used;
+    }
+  }
+  return plan;
+}
+
+}  // namespace cfs

@@ -1,0 +1,30 @@
+// Reverse-direction facility search (paper Section 4.3).
+//
+// Traceroute replies reveal only ingress interfaces, so the far side of a
+// crossing stays dark from one direction. When the measurement platforms
+// include vantage points *inside* the far-side AS, probing back toward the
+// near-side AS turns the far router into a near-side observation and lets
+// Steps 1-4 resolve it. This helper plans those reverse probes.
+#pragma once
+
+#include <vector>
+
+#include "core/report.h"
+#include "traceroute/platforms.h"
+
+namespace cfs {
+
+struct ReverseProbe {
+  VantagePointId vp;  // vantage point inside the far-side AS
+  Ipv4 target;        // address inside the near-side AS
+};
+
+// Plans up to `budget` reverse probes for public-peering far interfaces
+// that are not yet resolved. Deterministic given the report contents.
+std::vector<ReverseProbe> plan_reverse_probes(
+    const Topology& topo, const VantagePointSet& vps,
+    const std::unordered_map<Ipv4, InterfaceInference>& interfaces,
+    const std::vector<PeeringObservation>& observations, std::size_t budget,
+    std::optional<Platform> platform_filter = std::nullopt);
+
+}  // namespace cfs

@@ -1,0 +1,43 @@
+// Shared value types for the inference layer.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "topology/entities.h"
+
+namespace cfs {
+
+// The engineering options of Section 2, as CFS infers them.
+enum class InterconnectionType {
+  PublicLocal,          // public peering, both sides local to the IXP
+  PublicRemote,         // public peering through a reseller (remote peering)
+  PrivateCrossConnect,  // dedicated circuit inside one facility
+  PrivateTethering,     // point-to-point VLAN over an IXP fabric
+  PrivateRemote,        // long-haul private interconnect
+  Unknown,
+};
+
+std::string_view interconnection_type_name(InterconnectionType type);
+
+enum class PeeringKind { Public, Private };
+
+// One peering crossing observed in a traceroute (paper Step 1).
+struct PeeringObservation {
+  PeeringKind kind = PeeringKind::Private;
+  VantagePointId vp;
+
+  Ipv4 near_addr;  // IP_A: near-side border interface
+  Asn near_as;
+  Ipv4 far_addr;   // public: IP_e (far router's IXP LAN address);
+                   // private: IP_B (far side of the /30)
+  Asn far_as;
+  IxpId ixp;       // valid for public observations
+
+  // Minimum observed RTTs at the two hops (remote-peering detection).
+  double near_rtt_ms = 0.0;
+  double far_rtt_ms = 0.0;
+};
+
+}  // namespace cfs

@@ -1,0 +1,222 @@
+#include "data/dns.h"
+
+#include <algorithm>
+
+#include "topology/metro.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cfs {
+namespace {
+
+std::string slug(std::string_view text) {
+  std::string out = to_lower(text);
+  std::replace(out.begin(), out.end(), ' ', '-');
+  std::replace(out.begin(), out.end(), '.', '-');
+  return out;
+}
+
+std::string operator_initials(const std::string& name) {
+  std::string out;
+  bool word_start = true;
+  for (const char c : name) {
+    if (c == ' ') {
+      word_start = true;
+    } else {
+      if (word_start)
+        out.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c))));
+      word_start = false;
+    }
+  }
+  return out.empty() ? std::string("x") : out;
+}
+
+std::string ixp_zone(const Ixp& ixp) { return slug(ixp.name) + ".net"; }
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DnsNames::DnsNames(const Topology& topo, const DnsConfig& config)
+    : topo_(topo), config_(config) {
+  // Metro codes from the catalog (airport-style), with a fallback prefix.
+  metro_codes_.resize(topo.metros().size());
+  std::unordered_map<std::string, std::string> catalog_codes;
+  for (const auto& seed : metro_catalog())
+    catalog_codes.emplace(seed.name, seed.airport_code);
+  for (const auto& metro : topo.metros()) {
+    const auto it = catalog_codes.find(metro.name);
+    metro_codes_[metro.id.value] =
+        it != catalog_codes.end() ? it->second : slug(metro.name).substr(0, 3);
+  }
+
+  // Facility codes: operator initials + per-(operator, metro) serial, the
+  // way "thn" (Telehouse North) style codes work in practice.
+  facility_codes_.resize(topo.facilities().size());
+  std::unordered_map<std::string, int> serial;
+  for (const auto& fac : topo.facilities()) {
+    const std::string base = operator_initials(topo.oper(fac.oper).name);
+    const std::string key =
+        base + "/" + std::to_string(fac.metro.value);
+    facility_codes_[fac.id.value] = base + std::to_string(++serial[key]);
+  }
+
+  // Which FacilityCode operators' schemes are documented for the parser.
+  Rng rng(config.seed);
+  for (const auto& as : topo.ases()) {
+    if (as.dns != DnsConvention::FacilityCode &&
+        as.dns != DnsConvention::Stale)
+      continue;
+    if (rng.chance(config.documented_operator_fraction))
+      documented_zones_.insert(as.dns_zone);
+  }
+}
+
+std::uint64_t DnsNames::mix(Ipv4 addr, std::uint64_t salt) const {
+  return splitmix(addr.value() ^ (config_.seed << 17) ^ (salt * 0x10001));
+}
+
+std::optional<std::string> DnsNames::ptr(Ipv4 addr) const {
+  const Interface* iface = topo_.find_interface(addr);
+  if (iface == nullptr) return std::nullopt;
+  const Router& router = topo_.router(iface->router);
+  const AutonomousSystem& as = topo_.as_of(router.owner);
+
+  if (iface->role == InterfaceRole::IxpLan) {
+    const auto ixp_id = topo_.ixp_of_address(addr);
+    if (ixp_id && mix(addr, 1) % 1000 <
+                      static_cast<std::uint64_t>(config_.ixp_lan_named * 1000))
+      return "as" + std::to_string(as.asn.value) + "." +
+             ixp_zone(topo_.ixp(*ixp_id));
+    return std::nullopt;
+  }
+
+  if (as.dns == DnsConvention::None) return std::nullopt;
+  if (mix(addr, 2) % 1000 <
+      static_cast<std::uint64_t>(config_.record_missing * 1000))
+    return std::nullopt;
+
+  const std::string rtr = "rtr" + std::to_string(router.id.value);
+  FacilityId named_facility = router.facility;
+  if (as.dns == DnsConvention::Stale &&
+      mix(addr, 3) % 1000 <
+          static_cast<std::uint64_t>(config_.stale_wrong * 1000)) {
+    // Records never updated after a move: name some other facility of the
+    // operator (deterministic per address).
+    const auto& facs = as.facilities;
+    if (facs.size() > 1) {
+      const FacilityId other =
+          facs[mix(addr, 4) % facs.size()];
+      named_facility = other;
+    }
+  }
+  const MetroId named_metro = topo_.facility(named_facility).metro;
+
+  switch (as.dns) {
+    case DnsConvention::Opaque:
+      return "ip" + std::to_string((addr.value() >> 8) & 0xff) + "-" +
+             std::to_string(addr.value() & 0xff) + "." + as.dns_zone;
+    case DnsConvention::AirportCode:
+      return rtr + "." + metro_codes_[named_metro.value] + "." + as.dns_zone;
+    case DnsConvention::CityName:
+      return rtr + "." + slug(topo_.metro(named_metro).name) + "." +
+             as.dns_zone;
+    case DnsConvention::FacilityCode:
+    case DnsConvention::Stale:
+      return rtr + "." + facility_codes_[named_facility.value] + "." +
+             metro_codes_[named_metro.value] + "." + as.dns_zone;
+    case DnsConvention::None:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+const std::string& DnsNames::facility_code(FacilityId facility) const {
+  return facility_codes_.at(facility.value);
+}
+
+const std::string& DnsNames::metro_code(MetroId metro) const {
+  return metro_codes_.at(metro.value);
+}
+
+DropParser::DropParser(const DnsNames& names) : names_(names) {
+  const Topology& topo = names.topology();
+  for (const auto& metro : topo.metros()) {
+    metro_tokens_.emplace(names.metro_code(metro.id), metro.id);
+    city_tokens_.emplace(slug(metro.name), metro.id);
+  }
+  for (const auto& fac : topo.facilities()) {
+    const std::string key =
+        names.metro_code(fac.metro) + "/" + names.facility_code(fac.id);
+    facility_tokens_.emplace(key, fac.id);
+  }
+  for (const auto& ixp : topo.ixps())
+    ixp_zones_.emplace(ixp_zone(ixp), ixp.metro);
+}
+
+DnsGeoHint DropParser::parse(const std::string& hostname) const {
+  DnsGeoHint hint;
+  const auto tokens = split(hostname, '.');
+  if (tokens.size() < 2) return hint;
+
+  // Zones may have two or more labels; match the longest known suffix.
+  bool zone_documented = false;
+  for (std::size_t take = 2; take <= std::min<std::size_t>(4, tokens.size());
+       ++take) {
+    std::string zone = tokens[tokens.size() - take];
+    for (std::size_t k = tokens.size() - take + 1; k < tokens.size(); ++k)
+      zone += "." + tokens[k];
+    if (const auto it = ixp_zones_.find(zone); it != ixp_zones_.end()) {
+      hint.level = DnsGeoHint::Level::Metro;
+      hint.metro = it->second;
+      return hint;
+    }
+    zone_documented |= names_.documented_zones().contains(zone);
+  }
+
+  // Find a metro token first (airport code or city name).
+  std::string metro_code;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (const auto it = metro_tokens_.find(token);
+        it != metro_tokens_.end()) {
+      hint.level = DnsGeoHint::Level::Metro;
+      hint.metro = it->second;
+      metro_code = token;
+      break;
+    }
+    if (const auto it = city_tokens_.find(token); it != city_tokens_.end()) {
+      hint.level = DnsGeoHint::Level::Metro;
+      hint.metro = it->second;
+      metro_code = names_.metro_code(it->second);
+      break;
+    }
+  }
+  if (hint.level == DnsGeoHint::Level::None) return hint;
+
+  // Facility tokens decode only for operators whose scheme is documented.
+  if (!zone_documented) return hint;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    const auto it = facility_tokens_.find(metro_code + "/" + tokens[i]);
+    if (it != facility_tokens_.end()) {
+      hint.level = DnsGeoHint::Level::Facility;
+      hint.facility = it->second;
+      return hint;
+    }
+  }
+  return hint;
+}
+
+DnsGeoHint DropParser::geolocate(Ipv4 addr) const {
+  const auto name = names_.ptr(addr);
+  if (!name) return DnsGeoHint{};
+  return parse(*name);
+}
+
+}  // namespace cfs

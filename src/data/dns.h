@@ -1,0 +1,85 @@
+// Reverse-DNS hostname generation and the DRoP-style parsing baseline.
+//
+// Each operator names router interfaces per its convention (facility code,
+// airport code, city name, opaque, stale, or no PTR at all); IXPs publish
+// member records under their own zone. DnsNames renders the PTR record for
+// an address; DropParser extracts geographic hints from hostnames using
+// dictionaries of airport codes, city names, and the facility-code schemes
+// of the operators whose conventions are documented/confirmed (the paper
+// confirmed 7). DNS is both the geolocation baseline CFS is compared
+// against (32% coverage in the paper) and one of the validation sources.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct DnsConfig {
+  double ixp_lan_named = 0.35;     // IXP publishes PTR for a member port
+  double stale_wrong = 0.35;      // Stale-convention name points elsewhere
+  double record_missing = 0.25;   // PTR record simply absent (rot)
+  // Fraction of FacilityCode operators whose scheme is documented so the
+  // parser can decode facility tokens.
+  double documented_operator_fraction = 0.5;
+  std::uint64_t seed = 29;
+};
+
+class DnsNames {
+ public:
+  DnsNames(const Topology& topo, const DnsConfig& config);
+
+  // PTR record for an interface address; nullopt when none exists.
+  [[nodiscard]] std::optional<std::string> ptr(Ipv4 addr) const;
+
+  // --- introspection shared with the parser ---
+  [[nodiscard]] const std::string& facility_code(FacilityId facility) const;
+  [[nodiscard]] const std::string& metro_code(MetroId metro) const;
+  [[nodiscard]] const std::unordered_set<std::string>& documented_zones()
+      const {
+    return documented_zones_;
+  }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  [[nodiscard]] std::uint64_t mix(Ipv4 addr, std::uint64_t salt) const;
+
+  const Topology& topo_;
+  DnsConfig config_;
+  std::vector<std::string> facility_codes_;  // per facility
+  std::vector<std::string> metro_codes_;     // per metro
+  std::unordered_set<std::string> documented_zones_;
+};
+
+struct DnsGeoHint {
+  enum class Level { None, Metro, Facility };
+  Level level = Level::None;
+  MetroId metro;        // valid for Metro and Facility
+  FacilityId facility;  // valid for Facility
+};
+
+class DropParser {
+ public:
+  explicit DropParser(const DnsNames& names);
+
+  // Geographic hint encoded in a hostname (which may be wrong when the
+  // operator's records are stale — the parser reports what the name says).
+  [[nodiscard]] DnsGeoHint parse(const std::string& hostname) const;
+
+  // Convenience: PTR lookup + parse.
+  [[nodiscard]] DnsGeoHint geolocate(Ipv4 addr) const;
+
+ private:
+  const DnsNames& names_;
+  std::unordered_map<std::string, MetroId> metro_tokens_;
+  std::unordered_map<std::string, MetroId> city_tokens_;
+  // facility code -> facility, only for documented operators' codes
+  std::unordered_map<std::string, FacilityId> facility_tokens_;
+  std::unordered_map<std::string, MetroId> ixp_zones_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,55 @@
+#include "data/facility_db.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+FacilityDatabase::FacilityDatabase(const Topology& topo, PeeringDb base,
+                                   const NocWebsiteSource& noc,
+                                   const IxpWebsiteSource& ixps)
+    : db_(std::move(base)) {
+  // Figure 2 is measured at assembly time: for every AS with a NOC page,
+  // compare the website list against the pre-augmentation PeeringDB record,
+  // then fold the website data in.
+  for (const auto& as : topo.ases()) {
+    const auto website = noc.facilities_of(as.asn);
+    if (!website) continue;
+    const auto& pdb = db_.facilities_of(as.asn);
+    Coverage cov;
+    cov.asn = as.asn;
+    cov.website_facilities = website->size();
+    cov.peeringdb_facilities = static_cast<std::size_t>(std::count_if(
+        website->begin(), website->end(), [&](FacilityId fac) {
+          return std::binary_search(pdb.begin(), pdb.end(), fac);
+        }));
+    coverage_.push_back(cov);
+    db_.augment_as(as.asn, *website);
+  }
+  std::sort(coverage_.begin(), coverage_.end(),
+            [](const Coverage& a, const Coverage& b) {
+              return a.website_facilities > b.website_facilities;
+            });
+
+  for (const auto& ixp : topo.ixps()) {
+    const auto website = ixps.facilities_of(ixp.id);
+    if (!website) continue;
+    const auto before = db_.ixp_facilities(ixp.id).size();
+    db_.augment_ixp(ixp.id, *website);
+    if (db_.ixp_facilities(ixp.id).size() > before) ++ixp_patched_;
+  }
+}
+
+FacilityDatabase::CoverageTotals FacilityDatabase::coverage_totals() const {
+  CoverageTotals totals;
+  totals.checked_ases = coverage_.size();
+  for (const Coverage& cov : coverage_) {
+    const std::size_t missing =
+        cov.website_facilities - cov.peeringdb_facilities;
+    totals.missing_links += missing;
+    totals.ases_with_missing += missing > 0;
+    totals.ases_without_any_record += cov.peeringdb_facilities == 0;
+  }
+  return totals;
+}
+
+}  // namespace cfs

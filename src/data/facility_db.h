@@ -1,0 +1,68 @@
+// The assembled AS/IXP-to-facility database (paper Section 3.1).
+//
+// Bootstraps from PeeringDB, then patches records with the fuller facility
+// lists published on NOC websites and IXP websites — reproducing the
+// paper's assembly pipeline, including its Figure 2 measurement of what
+// the augmentation actually bought. This merged view is the *only*
+// facility data the CFS algorithm sees; the ground-truth Topology stays on
+// the other side of the validation oracle.
+#pragma once
+
+#include "data/peeringdb.h"
+#include "data/websites.h"
+
+namespace cfs {
+
+class FacilityDatabase {
+ public:
+  FacilityDatabase(const Topology& topo, PeeringDb base,
+                   const NocWebsiteSource& noc, const IxpWebsiteSource& ixps);
+
+  // Merged views (sorted, set-intersection friendly).
+  [[nodiscard]] const std::vector<FacilityId>& facilities_of(Asn asn) const {
+    return db_.facilities_of(asn);
+  }
+  [[nodiscard]] const std::vector<FacilityId>& ixp_facilities(
+      IxpId ixp) const {
+    return db_.ixp_facilities(ixp);
+  }
+  [[nodiscard]] bool has_as_record(Asn asn) const {
+    return db_.has_as_record(asn);
+  }
+
+  // --- Figure 2: PeeringDB coverage vs NOC-website ground truth ---
+  struct Coverage {
+    Asn asn;
+    std::size_t website_facilities = 0;  // facilities on the NOC website
+    std::size_t peeringdb_facilities = 0;  // of those, how many PeeringDB had
+  };
+  // One entry per AS with a NOC website, sorted by website_facilities desc.
+  [[nodiscard]] const std::vector<Coverage>& coverage_report() const {
+    return coverage_;
+  }
+  // Aggregates the paper quotes: links missing from PeeringDB, ASes
+  // affected, ASes with no PeeringDB facilities at all.
+  struct CoverageTotals {
+    std::size_t checked_ases = 0;
+    std::size_t missing_links = 0;
+    std::size_t ases_with_missing = 0;
+    std::size_t ases_without_any_record = 0;
+  };
+  [[nodiscard]] CoverageTotals coverage_totals() const;
+
+  // --- Figure 8: degrade the database by dropping facilities ---
+  std::size_t remove_facility(FacilityId facility) {
+    return db_.remove_facility(facility);
+  }
+
+  [[nodiscard]] std::size_t ixp_records_patched() const {
+    return ixp_patched_;
+  }
+
+ private:
+  PeeringDb db_;
+  std::vector<Coverage> coverage_;
+  std::size_t ixp_patched_ = 0;
+};
+
+}  // namespace cfs

@@ -1,0 +1,34 @@
+#include "data/geoip.h"
+
+#include "util/rng.h"
+
+namespace cfs {
+
+GeoIpDb::GeoIpDb(const Topology& topo, const GeoIpConfig& config)
+    : topo_(topo) {
+  Rng rng(config.seed);
+  for (const auto& as : topo.ases()) {
+    if (as.facilities.empty()) continue;
+    // Registration address: the operator's headquarters metro.
+    const MetroId hq = topo.metro_of(as.facilities.front());
+    for (const Prefix& prefix : as.prefixes) {
+      MetroId metro = hq;
+      if (rng.chance(config.garbage_entry))
+        metro = MetroId(
+            static_cast<std::uint32_t>(rng.index(topo.metros().size())));
+      entries_.emplace(prefix,
+                       GeoIpEntry{topo.metro(metro).country, metro});
+    }
+  }
+}
+
+std::optional<GeoIpEntry> GeoIpDb::lookup(Ipv4 addr) const {
+  // Longest announced prefix containing the address.
+  const auto hit = topo_.announcements().lookup(addr);
+  if (!hit) return std::nullopt;
+  const auto it = entries_.find(hit->first);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cfs

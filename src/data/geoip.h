@@ -1,0 +1,42 @@
+// IP-geolocation database baseline.
+//
+// Commercial geolocation databases resolve a prefix to where it is
+// *registered*, not where it is routed: a global network's whole block maps
+// to its headquarters (the paper's example — every Google interconnection
+// address geolocating to California). The emulated database registers each
+// announced prefix at the origin AS's headquarters metro, with a small
+// chance of being outright garbage, and is accurate at country level far
+// more often than at metro level — matching the measurement literature the
+// paper cites.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct GeoIpConfig {
+  double garbage_entry = 0.05;  // entry pointing at a random metro
+  std::uint64_t seed = 37;
+};
+
+struct GeoIpEntry {
+  std::string country;
+  MetroId metro;
+};
+
+class GeoIpDb {
+ public:
+  GeoIpDb(const Topology& topo, const GeoIpConfig& config);
+
+  [[nodiscard]] std::optional<GeoIpEntry> lookup(Ipv4 addr) const;
+
+ private:
+  const Topology& topo_;
+  std::unordered_map<Prefix, GeoIpEntry> entries_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,23 @@
+#include "data/ip2asn.h"
+
+namespace cfs {
+
+IpToAsnService::IpToAsnService(const Topology& topo) : topo_(topo) {}
+
+std::optional<Asn> IpToAsnService::lookup(Ipv4 addr) const {
+  const auto hit = topo_.announcements().lookup(addr);
+  if (!hit) return std::nullopt;
+  return hit->second;
+}
+
+std::optional<Prefix> IpToAsnService::matched_prefix(Ipv4 addr) const {
+  const auto hit = topo_.announcements().lookup(addr);
+  if (!hit) return std::nullopt;
+  return hit->first;
+}
+
+std::optional<IxpId> IpToAsnService::ixp_of(Ipv4 addr) const {
+  return topo_.ixp_of_address(addr);
+}
+
+}  // namespace cfs

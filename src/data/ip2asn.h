@@ -1,0 +1,37 @@
+// Team-Cymru-style IP-to-ASN mapping service.
+//
+// Longest-prefix match over the public BGP announcements. Correct for most
+// addresses, but point-to-point subnets are numbered out of one endpoint's
+// space, so the far side's interface maps to the wrong AS — the error mode
+// the paper works around with alias-resolution majority voting (Section
+// 4.1). The service also supports the IXP peering-LAN lookup used by CFS
+// Step 1 to classify public peering hops.
+#pragma once
+
+#include <optional>
+
+#include "net/prefix_trie.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+class IpToAsnService {
+ public:
+  explicit IpToAsnService(const Topology& topo);
+
+  // Longest-prefix ASN for the address; nullopt for unannounced space
+  // (IXP peering LANs are intentionally not announced in BGP).
+  [[nodiscard]] std::optional<Asn> lookup(Ipv4 addr) const;
+
+  // The matched prefix itself (diagnostics / tests).
+  [[nodiscard]] std::optional<Prefix> matched_prefix(Ipv4 addr) const;
+
+  // IXP whose peering LAN contains the address, per the assembled IXP
+  // dataset (Section 3.1.2).
+  [[nodiscard]] std::optional<IxpId> ixp_of(Ipv4 addr) const;
+
+ private:
+  const Topology& topo_;
+};
+
+}  // namespace cfs

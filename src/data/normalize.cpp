@@ -1,0 +1,44 @@
+#include "data/normalize.h"
+
+#include "topology/metro.h"
+#include "util/strings.h"
+
+namespace cfs {
+
+CityNormalizer::CityNormalizer(const Topology& topo) : topo_(topo) {
+  // Canonical names straight from the topology.
+  for (const auto& metro : topo.metros())
+    by_name_.emplace(to_lower(metro.name), metro.id);
+  // Alias suburbs from the catalog, matched to topology metros by name.
+  for (const auto& seed : metro_catalog()) {
+    const auto it = by_name_.find(to_lower(seed.name));
+    if (it == by_name_.end()) continue;
+    for (const auto& alias : seed.aliases)
+      by_name_.emplace(to_lower(alias), it->second);
+  }
+}
+
+std::optional<MetroId> CityNormalizer::normalize(
+    const std::string& raw_city,
+    const std::optional<GeoPoint>& location) const {
+  const auto it = by_name_.find(to_lower(raw_city));
+  if (it != by_name_.end()) return it->second;
+  if (location) return by_location(*location);
+  return std::nullopt;
+}
+
+std::optional<MetroId> CityNormalizer::by_location(
+    const GeoPoint& location) const {
+  std::optional<MetroId> best;
+  double best_km = metro_merge_km * 4;  // generous facility-jitter radius
+  for (const auto& metro : topo_.metros()) {
+    const double km = haversine_km(location, metro.location);
+    if (km < best_km) {
+      best_km = km;
+      best = metro.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace cfs

@@ -1,0 +1,36 @@
+// City-name normalisation (paper Section 3.1.1).
+//
+// PeeringDB-style records carry free-form city strings ("Jersey City",
+// "Secaucus", "Slough"); the paper folds any two cities closer than five
+// miles into one metropolitan area by geocoding postcodes. Our normaliser
+// resolves a raw string against the metro catalog's alias lists first and
+// falls back to coordinate proximity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "topology/topology.h"
+
+namespace cfs {
+
+class CityNormalizer {
+ public:
+  explicit CityNormalizer(const Topology& topo);
+
+  // Metro for a raw city string, optionally disambiguated by coordinates.
+  [[nodiscard]] std::optional<MetroId> normalize(
+      const std::string& raw_city,
+      const std::optional<GeoPoint>& location = std::nullopt) const;
+
+  // Nearest metro within the merge radius of the location.
+  [[nodiscard]] std::optional<MetroId> by_location(
+      const GeoPoint& location) const;
+
+ private:
+  const Topology& topo_;
+  std::unordered_map<std::string, MetroId> by_name_;  // lower-cased
+};
+
+}  // namespace cfs

@@ -1,0 +1,102 @@
+#include "data/peeringdb.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+const std::vector<FacilityId> PeeringDb::empty_;
+
+namespace {
+
+void sort_unique(std::vector<FacilityId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+PeeringDb::PeeringDb(const Topology& topo, const PeeringDbConfig& config) {
+  Rng rng(config.seed);
+
+  for (const auto& as : topo.ases()) {
+    if (rng.chance(config.as_record_missing)) continue;
+    std::vector<FacilityId> facs;
+    for (const FacilityId fac : as.facilities) {
+      if (rng.chance(config.fac_link_missing)) continue;
+      facs.push_back(fac);
+    }
+    if (rng.chance(config.stale_link) && !topo.facilities().empty()) {
+      // A link the operator never cleaned up: facility the AS is not at.
+      const FacilityId bogus(
+          static_cast<std::uint32_t>(rng.index(topo.facilities().size())));
+      if (std::find(as.facilities.begin(), as.facilities.end(), bogus) ==
+          as.facilities.end())
+        facs.push_back(bogus);
+    }
+    sort_unique(facs);
+    as_facilities_.emplace(as.asn.value, std::move(facs));
+  }
+
+  for (const auto& ixp : topo.ixps()) {
+    if (rng.chance(config.ixp_record_missing)) continue;
+    std::vector<FacilityId> facs;
+    for (const FacilityId fac : ixp.facilities()) {
+      if (rng.chance(config.ixp_fac_link_missing)) continue;
+      facs.push_back(fac);
+    }
+    sort_unique(facs);
+    ixp_facilities_.emplace(ixp.id.value, std::move(facs));
+  }
+}
+
+const std::vector<FacilityId>& PeeringDb::facilities_of(Asn asn) const {
+  const auto it = as_facilities_.find(asn.value);
+  return it == as_facilities_.end() ? empty_ : it->second;
+}
+
+const std::vector<FacilityId>& PeeringDb::ixp_facilities(IxpId ixp) const {
+  const auto it = ixp_facilities_.find(ixp.value);
+  return it == ixp_facilities_.end() ? empty_ : it->second;
+}
+
+bool PeeringDb::has_as_record(Asn asn) const {
+  return as_facilities_.contains(asn.value);
+}
+
+bool PeeringDb::has_ixp_record(IxpId ixp) const {
+  return ixp_facilities_.contains(ixp.value);
+}
+
+void PeeringDb::augment_as(Asn asn, std::span<const FacilityId> facilities) {
+  auto& record = as_facilities_[asn.value];
+  record.insert(record.end(), facilities.begin(), facilities.end());
+  sort_unique(record);
+}
+
+void PeeringDb::augment_ixp(IxpId ixp, std::span<const FacilityId> facilities) {
+  auto& record = ixp_facilities_[ixp.value];
+  record.insert(record.end(), facilities.begin(), facilities.end());
+  sort_unique(record);
+}
+
+std::size_t PeeringDb::remove_facility(FacilityId facility) {
+  std::size_t touched = 0;
+  auto strip = [&](std::vector<FacilityId>& v) {
+    const auto it = std::remove(v.begin(), v.end(), facility);
+    if (it != v.end()) {
+      v.erase(it, v.end());
+      ++touched;
+    }
+  };
+  for (auto& [asn, v] : as_facilities_) strip(v);
+  for (auto& [ixp, v] : ixp_facilities_) strip(v);
+  return touched;
+}
+
+std::size_t PeeringDb::total_as_facility_links() const {
+  std::size_t total = 0;
+  for (const auto& [asn, v] : as_facilities_) total += v.size();
+  return total;
+}
+
+}  // namespace cfs

@@ -1,0 +1,60 @@
+// PeeringDB emulation: the volunteer-maintained, incomplete public view of
+// AS-to-facility and IXP-to-facility association that CFS bootstraps from.
+//
+// Incompleteness is a first-class, configurable property: whole AS records
+// may be missing, individual AS-facility links dropped, IXP-facility
+// associations absent (the paper's JPNAP example), and the occasional stale
+// link pointing at a facility the AS has already left. Figure 2 quantifies
+// the AS-side gaps against NOC websites; Figure 8 measures how CFS degrades
+// as records are removed.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct PeeringDbConfig {
+  double as_record_missing = 0.08;    // AS absent from the DB entirely
+  double fac_link_missing = 0.22;     // each AS-facility link dropped
+  double ixp_record_missing = 0.05;   // IXP absent entirely
+  double ixp_fac_link_missing = 0.18; // each IXP-facility link dropped
+  double stale_link = 0.02;           // AS-facility link that is wrong
+  std::uint64_t seed = 17;
+};
+
+class PeeringDb {
+ public:
+  PeeringDb(const Topology& topo, const PeeringDbConfig& config);
+
+  // --- the view CFS queries (sorted vectors, set-intersection friendly) ---
+  [[nodiscard]] const std::vector<FacilityId>& facilities_of(Asn asn) const;
+  [[nodiscard]] const std::vector<FacilityId>& ixp_facilities(IxpId ixp) const;
+  [[nodiscard]] bool has_as_record(Asn asn) const;
+  [[nodiscard]] bool has_ixp_record(IxpId ixp) const;
+
+  // --- augmentation from NOC / IXP websites (paper Section 3.1) ---
+  void augment_as(Asn asn, std::span<const FacilityId> facilities);
+  void augment_ixp(IxpId ixp, std::span<const FacilityId> facilities);
+
+  // --- mutation for the Figure 8 robustness sweep ---
+  // Removes a facility from every AS and IXP record; returns how many
+  // records were touched.
+  std::size_t remove_facility(FacilityId facility);
+
+  // --- census helpers ---
+  [[nodiscard]] std::size_t as_records() const { return as_facilities_.size(); }
+  [[nodiscard]] std::size_t total_as_facility_links() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<FacilityId>> as_facilities_;
+  std::unordered_map<std::uint32_t, std::vector<FacilityId>> ixp_facilities_;
+  static const std::vector<FacilityId> empty_;
+};
+
+}  // namespace cfs

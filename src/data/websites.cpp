@@ -1,0 +1,76 @@
+#include "data/websites.h"
+
+namespace cfs {
+
+NocWebsiteSource::NocWebsiteSource(const Topology& topo,
+                                   const WebsiteConfig& config)
+    : topo_(topo) {
+  Rng rng(config.seed);
+  for (const auto& as : topo.ases()) {
+    double p = 0.0;
+    switch (as.type) {
+      case AsType::Tier1: p = config.tier1_noc; break;
+      case AsType::Transit: p = config.transit_noc; break;
+      case AsType::Content: p = config.content_noc; break;
+      case AsType::Eyeball: p = config.eyeball_noc; break;
+      case AsType::Enterprise: p = config.enterprise_noc; break;
+    }
+    if (rng.chance(p)) published_.insert(as.asn.value);
+  }
+}
+
+std::optional<std::vector<FacilityId>> NocWebsiteSource::facilities_of(
+    Asn asn) const {
+  if (!published_.contains(asn.value)) return std::nullopt;
+  return topo_.as_of(asn).facilities;
+}
+
+bool NocWebsiteSource::publishes(Asn asn) const {
+  return published_.contains(asn.value);
+}
+
+IxpWebsiteSource::IxpWebsiteSource(const Topology& topo,
+                                   const WebsiteConfig& config)
+    : topo_(topo) {
+  Rng rng(config.seed ^ 0xabcdef);
+  for (const auto& ixp : topo.ixps()) {
+    if (rng.chance(config.ixp_facility_list)) {
+      facility_lists_.insert(ixp.id.value);
+      if (rng.chance(config.ixp_member_table))
+        member_tables_.insert(ixp.id.value);
+    }
+  }
+}
+
+std::optional<std::vector<FacilityId>> IxpWebsiteSource::facilities_of(
+    IxpId ixp) const {
+  if (!facility_lists_.contains(ixp.value)) return std::nullopt;
+  return topo_.ixp(ixp).facilities();
+}
+
+std::optional<std::vector<IxpMemberPortRecord>> IxpWebsiteSource::member_table(
+    IxpId ixp_id) const {
+  if (!member_tables_.contains(ixp_id.value)) return std::nullopt;
+  const Ixp& ixp = topo_.ixp(ixp_id);
+  std::vector<IxpMemberPortRecord> out;
+  out.reserve(ixp.ports.size());
+  for (const auto& port : ixp.ports) {
+    IxpMemberPortRecord record;
+    record.member = port.member;
+    record.lan_address = port.lan_address;
+    record.facility = ixp.switches[port.access_switch].facility;
+    record.remote = port.remote;
+    out.push_back(record);
+  }
+  return out;
+}
+
+bool IxpWebsiteSource::publishes_facilities(IxpId ixp) const {
+  return facility_lists_.contains(ixp.value);
+}
+
+std::size_t IxpWebsiteSource::member_table_count() const {
+  return member_tables_.size();
+}
+
+}  // namespace cfs

@@ -1,0 +1,75 @@
+// NOC- and IXP-website data sources (paper Section 3.1).
+//
+// Operators that publish complete colocation lists on their NOC pages let
+// the paper patch 1,424 AS-facility links PeeringDB was missing (Fig. 2);
+// a handful of large IXPs publish full facility lists, and a few (AMS-IX,
+// France-IX, ...) even publish member interface -> facility tables that
+// serve as ground truth for validation (Fig. 9) and for the switch-
+// proximity experiment (Section 4.4).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct WebsiteConfig {
+  // Probability an AS of each type documents its full facility list.
+  double tier1_noc = 0.9;
+  double transit_noc = 0.6;
+  double content_noc = 0.4;
+  double eyeball_noc = 0.25;
+  double enterprise_noc = 0.05;
+  // Probability an IXP website lists its partner facilities.
+  double ixp_facility_list = 0.7;
+  // Probability a listing IXP also publishes the member-port table.
+  double ixp_member_table = 0.12;
+  std::uint64_t seed = 23;
+};
+
+class NocWebsiteSource {
+ public:
+  NocWebsiteSource(const Topology& topo, const WebsiteConfig& config);
+
+  // Full ground-truth facility list when the AS publishes one.
+  [[nodiscard]] std::optional<std::vector<FacilityId>> facilities_of(
+      Asn asn) const;
+  [[nodiscard]] bool publishes(Asn asn) const;
+  [[nodiscard]] std::size_t publishers() const { return published_.size(); }
+
+ private:
+  const Topology& topo_;
+  std::unordered_set<std::uint32_t> published_;
+};
+
+struct IxpMemberPortRecord {
+  Asn member;
+  Ipv4 lan_address;
+  FacilityId facility;  // facility of the access switch the port is on
+  bool remote = false;
+};
+
+class IxpWebsiteSource {
+ public:
+  IxpWebsiteSource(const Topology& topo, const WebsiteConfig& config);
+
+  [[nodiscard]] std::optional<std::vector<FacilityId>> facilities_of(
+      IxpId ixp) const;
+  // AMS-IX-style connected-parties table (ground-truth-derived).
+  [[nodiscard]] std::optional<std::vector<IxpMemberPortRecord>> member_table(
+      IxpId ixp) const;
+  [[nodiscard]] bool publishes_facilities(IxpId ixp) const;
+  [[nodiscard]] std::size_t member_table_count() const;
+
+ private:
+  const Topology& topo_;
+  std::unordered_set<std::uint32_t> facility_lists_;
+  std::unordered_set<std::uint32_t> member_tables_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,525 @@
+#include "io/export.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace cfs {
+namespace {
+
+constexpr int format_version = 1;
+
+JsonValue geo_json(const GeoPoint& p) {
+  JsonValue::Object o;
+  o.emplace("lat", p.lat_deg);
+  o.emplace("lon", p.lon_deg);
+  return JsonValue(std::move(o));
+}
+
+GeoPoint geo_from(const JsonValue& v) {
+  return GeoPoint{v.at("lat").as_number(), v.at("lon").as_number()};
+}
+
+template <class IdType>
+JsonValue id_json(IdType id) {
+  if (!id.valid()) return JsonValue(nullptr);
+  return JsonValue(id.value);
+}
+
+template <class IdType>
+IdType id_from(const JsonValue& v) {
+  if (v.is_null()) return IdType::invalid();
+  return IdType(static_cast<std::uint32_t>(v.as_int()));
+}
+
+JsonValue prefix_json(const Prefix& p) { return JsonValue(p.to_string()); }
+
+Prefix prefix_from(const JsonValue& v) {
+  const auto parsed = Prefix::parse(v.as_string());
+  if (!parsed) throw std::runtime_error("bad prefix: " + v.as_string());
+  return *parsed;
+}
+
+JsonValue addr_json(Ipv4 a) { return JsonValue(a.to_string()); }
+
+Ipv4 addr_from(const JsonValue& v) {
+  const auto parsed = Ipv4::parse(v.as_string());
+  if (!parsed) throw std::runtime_error("bad address: " + v.as_string());
+  return *parsed;
+}
+
+template <class Enum>
+JsonValue enum_json(Enum e) {
+  return JsonValue(static_cast<int>(e));
+}
+
+template <class Enum>
+Enum enum_from(const JsonValue& v) {
+  return static_cast<Enum>(v.as_int());
+}
+
+}  // namespace
+
+JsonValue topology_to_json(const Topology& topo) {
+  JsonValue::Object root;
+  root.emplace("format_version", format_version);
+
+  JsonValue::Array metros;
+  for (const auto& m : topo.metros()) {
+    JsonValue::Object o;
+    o.emplace("name", m.name);
+    o.emplace("country", m.country);
+    o.emplace("region", enum_json(m.region));
+    o.emplace("location", geo_json(m.location));
+    metros.emplace_back(std::move(o));
+  }
+  root.emplace("metros", std::move(metros));
+
+  JsonValue::Array operators;
+  for (const auto& op : topo.operators()) {
+    JsonValue::Object o;
+    o.emplace("name", op.name);
+    o.emplace("carrier_neutral", op.carrier_neutral);
+    operators.emplace_back(std::move(o));
+  }
+  root.emplace("operators", std::move(operators));
+
+  JsonValue::Array facilities;
+  for (const auto& f : topo.facilities()) {
+    JsonValue::Object o;
+    o.emplace("name", f.name);
+    o.emplace("operator", f.oper.value);
+    o.emplace("metro", f.metro.value);
+    o.emplace("location", geo_json(f.location));
+    o.emplace("raw_city", f.raw_city_name);
+    facilities.emplace_back(std::move(o));
+  }
+  root.emplace("facilities", std::move(facilities));
+
+  JsonValue::Array ixps;
+  for (const auto& ixp : topo.ixps()) {
+    JsonValue::Object o;
+    o.emplace("name", ixp.name);
+    o.emplace("metro", ixp.metro.value);
+    o.emplace("peering_lan", prefix_json(ixp.peering_lan));
+    o.emplace("has_route_server", ixp.has_route_server);
+    o.emplace("route_server_asn", ixp.has_route_server
+                                      ? JsonValue(ixp.route_server_asn.value)
+                                      : JsonValue(nullptr));
+    o.emplace("route_server_address",
+              ixp.has_route_server ? addr_json(ixp.route_server_address)
+                                   : JsonValue(nullptr));
+    JsonValue::Array switches;
+    for (const auto& sw : ixp.switches) {
+      JsonValue::Object s;
+      s.emplace("kind", enum_json(sw.kind));
+      s.emplace("facility", sw.facility.value);
+      s.emplace("parent", sw.parent);
+      switches.emplace_back(std::move(s));
+    }
+    o.emplace("switches", std::move(switches));
+    JsonValue::Array ports;
+    for (const auto& port : ixp.ports) {
+      JsonValue::Object p;
+      p.emplace("member", port.member.value);
+      p.emplace("router", port.router.value);
+      p.emplace("address", addr_json(port.lan_address));
+      p.emplace("access_switch", port.access_switch);
+      p.emplace("remote", port.remote);
+      p.emplace("reseller", port.reseller.valid()
+                                ? JsonValue(port.reseller.value)
+                                : JsonValue(nullptr));
+      p.emplace("route_server_session", port.route_server_session);
+      ports.emplace_back(std::move(p));
+    }
+    o.emplace("ports", std::move(ports));
+    ixps.emplace_back(std::move(o));
+  }
+  root.emplace("ixps", std::move(ixps));
+
+  JsonValue::Array ases;
+  for (const auto& as : topo.ases()) {
+    JsonValue::Object o;
+    o.emplace("asn", as.asn.value);
+    o.emplace("name", as.name);
+    o.emplace("type", enum_json(as.type));
+    JsonValue::Array prefixes;
+    for (const auto& p : as.prefixes) prefixes.push_back(prefix_json(p));
+    o.emplace("prefixes", std::move(prefixes));
+    JsonValue::Array facs;
+    for (const auto f : as.facilities) facs.emplace_back(f.value);
+    o.emplace("facilities", std::move(facs));
+    JsonValue::Array memberships;
+    for (const auto ix : as.ixps) memberships.emplace_back(ix.value);
+    o.emplace("ixps", std::move(memberships));
+    o.emplace("dns", enum_json(as.dns));
+    o.emplace("dns_zone", as.dns_zone);
+    ases.emplace_back(std::move(o));
+  }
+  root.emplace("ases", std::move(ases));
+
+  JsonValue::Array routers;
+  for (const auto& r : topo.routers()) {
+    JsonValue::Object o;
+    o.emplace("owner", r.owner.value);
+    o.emplace("facility", r.facility.value);
+    o.emplace("local_address", addr_json(r.local_address));
+    o.emplace("ipid", enum_json(r.ipid));
+    o.emplace("responds", r.responds_to_traceroute);
+    routers.emplace_back(std::move(o));
+  }
+  root.emplace("routers", std::move(routers));
+
+  JsonValue::Array links;
+  for (const auto& l : topo.links()) {
+    JsonValue::Object o;
+    o.emplace("type", enum_json(l.type));
+    o.emplace("rel", enum_json(l.rel));
+    o.emplace("a_router", l.a.router.value);
+    o.emplace("a_address", addr_json(l.a.address));
+    o.emplace("b_router", l.b.router.value);
+    o.emplace("b_address", addr_json(l.b.address));
+    o.emplace("ixp", id_json(l.ixp));
+    o.emplace("facility", id_json(l.facility));
+    o.emplace("latency_ms", l.latency_ms);
+    o.emplace("multilateral", l.multilateral);
+    links.emplace_back(std::move(o));
+  }
+  root.emplace("links", std::move(links));
+
+  // Interfaces: everything except router local addresses (re-registered by
+  // the importer) -- we export all and let the importer skip duplicates via
+  // the link/role data. Simplest lossless form: every registered interface.
+  JsonValue::Array interfaces;
+  for (const auto& r : topo.routers()) {
+    for (const Ipv4 addr : r.interfaces) {
+      const Interface* iface = topo.find_interface(addr);
+      JsonValue::Object o;
+      o.emplace("address", addr_json(addr));
+      o.emplace("router", iface->router.value);
+      o.emplace("link", id_json(iface->link));
+      o.emplace("role", enum_json(iface->role));
+      interfaces.emplace_back(std::move(o));
+    }
+  }
+  root.emplace("interfaces", std::move(interfaces));
+
+  JsonValue::Array customer_provider;
+  JsonValue::Array peering;
+  for (const auto& as : topo.ases()) {
+    for (const Asn p : topo.relations(as.asn).providers) {
+      JsonValue::Array pair;
+      pair.emplace_back(as.asn.value);
+      pair.emplace_back(p.value);
+      customer_provider.emplace_back(std::move(pair));
+    }
+    for (const Asn p : topo.relations(as.asn).peers) {
+      if (p.value < as.asn.value) continue;  // emit each pair once
+      JsonValue::Array pair;
+      pair.emplace_back(as.asn.value);
+      pair.emplace_back(p.value);
+      peering.emplace_back(std::move(pair));
+    }
+  }
+  JsonValue::Object rels;
+  rels.emplace("customer_provider", std::move(customer_provider));
+  rels.emplace("peering", std::move(peering));
+  root.emplace("relationships", std::move(rels));
+
+  JsonValue::Array announcements;
+  topo.announcements().for_each([&](const Prefix& prefix, Asn origin) {
+    JsonValue::Array pair;
+    pair.push_back(prefix_json(prefix));
+    pair.emplace_back(origin.value);
+    announcements.emplace_back(std::move(pair));
+  });
+  root.emplace("announcements", std::move(announcements));
+
+  return JsonValue(std::move(root));
+}
+
+Topology topology_from_json(const JsonValue& doc) {
+  if (doc.at("format_version").as_int() != format_version)
+    throw std::runtime_error("unsupported topology format version");
+
+  Topology topo;
+
+  for (const auto& m : doc.at("metros").as_array()) {
+    Metro metro;
+    metro.name = m.at("name").as_string();
+    metro.country = m.at("country").as_string();
+    metro.region = enum_from<Region>(m.at("region"));
+    metro.location = geo_from(m.at("location"));
+    topo.add_metro(std::move(metro));
+  }
+
+  for (const auto& op : doc.at("operators").as_array()) {
+    FacilityOperator fo;
+    fo.name = op.at("name").as_string();
+    fo.carrier_neutral = op.at("carrier_neutral").as_bool();
+    topo.add_operator(std::move(fo));
+  }
+
+  for (const auto& f : doc.at("facilities").as_array()) {
+    Facility fac;
+    fac.name = f.at("name").as_string();
+    fac.oper = OperatorId(static_cast<std::uint32_t>(f.at("operator").as_int()));
+    fac.metro = MetroId(static_cast<std::uint32_t>(f.at("metro").as_int()));
+    fac.location = geo_from(f.at("location"));
+    fac.raw_city_name = f.at("raw_city").as_string();
+    topo.add_facility(std::move(fac));
+  }
+
+  // IXPs first without ports (ports reference routers).
+  for (const auto& x : doc.at("ixps").as_array()) {
+    Ixp ixp;
+    ixp.name = x.at("name").as_string();
+    ixp.metro = MetroId(static_cast<std::uint32_t>(x.at("metro").as_int()));
+    ixp.peering_lan = prefix_from(x.at("peering_lan"));
+    ixp.has_route_server = x.at("has_route_server").as_bool();
+    if (ixp.has_route_server) {
+      ixp.route_server_asn = Asn(
+          static_cast<std::uint32_t>(x.at("route_server_asn").as_int()));
+      ixp.route_server_address = addr_from(x.at("route_server_address"));
+    }
+    for (const auto& s : x.at("switches").as_array()) {
+      IxpSwitch sw;
+      sw.kind = enum_from<IxpSwitch::Kind>(s.at("kind"));
+      sw.facility =
+          FacilityId(static_cast<std::uint32_t>(s.at("facility").as_int()));
+      sw.parent = static_cast<std::uint32_t>(s.at("parent").as_int());
+      ixp.switches.push_back(sw);
+    }
+    topo.add_ixp(std::move(ixp));
+  }
+
+  for (const auto& a : doc.at("ases").as_array()) {
+    AutonomousSystem as;
+    as.asn = Asn(static_cast<std::uint32_t>(a.at("asn").as_int()));
+    as.name = a.at("name").as_string();
+    as.type = enum_from<AsType>(a.at("type"));
+    for (const auto& p : a.at("prefixes").as_array())
+      as.prefixes.push_back(prefix_from(p));
+    for (const auto& f : a.at("facilities").as_array())
+      as.facilities.emplace_back(static_cast<std::uint32_t>(f.as_int()));
+    for (const auto& ix : a.at("ixps").as_array())
+      as.ixps.emplace_back(static_cast<std::uint32_t>(ix.as_int()));
+    as.dns = enum_from<DnsConvention>(a.at("dns"));
+    as.dns_zone = a.at("dns_zone").as_string();
+    topo.add_as(std::move(as));
+  }
+
+  for (const auto& r : doc.at("routers").as_array()) {
+    Router router;
+    router.owner = Asn(static_cast<std::uint32_t>(r.at("owner").as_int()));
+    router.facility =
+        FacilityId(static_cast<std::uint32_t>(r.at("facility").as_int()));
+    router.local_address = addr_from(r.at("local_address"));
+    router.ipid = enum_from<IpIdBehaviour>(r.at("ipid"));
+    router.responds_to_traceroute = r.at("responds").as_bool();
+    topo.add_router(std::move(router));
+  }
+
+  for (const auto& i : doc.at("interfaces").as_array()) {
+    Interface iface;
+    iface.address = addr_from(i.at("address"));
+    iface.router =
+        RouterId(static_cast<std::uint32_t>(i.at("router").as_int()));
+    iface.link = id_from<LinkId>(i.at("link"));
+    iface.role = enum_from<InterfaceRole>(i.at("role"));
+    topo.add_interface(iface);
+  }
+
+  for (const auto& l : doc.at("links").as_array()) {
+    Link link;
+    link.type = enum_from<LinkType>(l.at("type"));
+    link.rel = enum_from<BusinessRel>(l.at("rel"));
+    link.a = LinkEnd{
+        RouterId(static_cast<std::uint32_t>(l.at("a_router").as_int())),
+        addr_from(l.at("a_address"))};
+    link.b = LinkEnd{
+        RouterId(static_cast<std::uint32_t>(l.at("b_router").as_int())),
+        addr_from(l.at("b_address"))};
+    link.ixp = id_from<IxpId>(l.at("ixp"));
+    link.facility = id_from<FacilityId>(l.at("facility"));
+    link.latency_ms = l.at("latency_ms").as_number();
+    link.multilateral = l.at("multilateral").as_bool();
+    topo.add_link(link);
+  }
+
+  // Ports after routers exist.
+  {
+    std::uint32_t ixp_index = 0;
+    for (const auto& x : doc.at("ixps").as_array()) {
+      Ixp& ixp = topo.mutable_ixp(IxpId(ixp_index++));
+      for (const auto& p : x.at("ports").as_array()) {
+        IxpPort port;
+        port.member = Asn(static_cast<std::uint32_t>(p.at("member").as_int()));
+        port.router =
+            RouterId(static_cast<std::uint32_t>(p.at("router").as_int()));
+        port.lan_address = addr_from(p.at("address"));
+        port.access_switch =
+            static_cast<std::uint32_t>(p.at("access_switch").as_int());
+        port.remote = p.at("remote").as_bool();
+        if (!p.at("reseller").is_null())
+          port.reseller =
+              Asn(static_cast<std::uint32_t>(p.at("reseller").as_int()));
+        port.route_server_session =
+            p.at("route_server_session").as_bool();
+        ixp.ports.push_back(port);
+      }
+    }
+  }
+
+  const auto& rels = doc.at("relationships");
+  for (const auto& pair : rels.at("customer_provider").as_array())
+    topo.add_relationship(
+        Asn(static_cast<std::uint32_t>(pair.at(0).as_int())),
+        Asn(static_cast<std::uint32_t>(pair.at(1).as_int())));
+  for (const auto& pair : rels.at("peering").as_array())
+    topo.add_peering(Asn(static_cast<std::uint32_t>(pair.at(0).as_int())),
+                     Asn(static_cast<std::uint32_t>(pair.at(1).as_int())));
+
+  for (const auto& pair : doc.at("announcements").as_array())
+    topo.announce(prefix_from(pair.at(0)),
+                  Asn(static_cast<std::uint32_t>(pair.at(1).as_int())));
+
+  topo.validate();
+  return topo;
+}
+
+JsonValue report_to_json(const CfsReport& report) {
+  JsonValue::Object root;
+  root.emplace("format_version", format_version);
+  root.emplace("traces_used", static_cast<std::uint64_t>(report.traces_used));
+  root.emplace("iterations_run",
+               static_cast<std::uint64_t>(report.iterations_run));
+
+  JsonValue::Array history;
+  for (const auto v : report.resolved_per_iteration)
+    history.emplace_back(static_cast<std::uint64_t>(v));
+  root.emplace("resolved_per_iteration", std::move(history));
+
+  JsonValue::Array interfaces;
+  for (const auto& [addr, inf] : report.interfaces) {
+    JsonValue::Object o;
+    o.emplace("address", addr_json(addr));
+    o.emplace("asn", inf.asn.value);
+    o.emplace("has_constraint", inf.has_constraint);
+    JsonValue::Array cands;
+    for (const auto f : inf.candidates) cands.emplace_back(f.value);
+    o.emplace("candidates", std::move(cands));
+    o.emplace("remote_suspect", inf.remote_suspect);
+    o.emplace("resolved_iteration", inf.resolved_iteration);
+    o.emplace("conflicts", inf.conflicts);
+    interfaces.emplace_back(std::move(o));
+  }
+  root.emplace("interfaces", std::move(interfaces));
+
+  JsonValue::Array links;
+  for (const auto& link : report.links) {
+    JsonValue::Object o;
+    o.emplace("kind", enum_json(link.obs.kind));
+    o.emplace("near_address", addr_json(link.obs.near_addr));
+    o.emplace("near_as", link.obs.near_as.value);
+    o.emplace("far_address", addr_json(link.obs.far_addr));
+    o.emplace("far_as", link.obs.far_as.value);
+    o.emplace("ixp", id_json(link.obs.ixp));
+    o.emplace("near_rtt_ms", link.obs.near_rtt_ms);
+    o.emplace("far_rtt_ms", link.obs.far_rtt_ms);
+    o.emplace("type", enum_json(link.type));
+    o.emplace("near_facility", link.near_facility
+                                   ? JsonValue(link.near_facility->value)
+                                   : JsonValue(nullptr));
+    o.emplace("far_facility", link.far_facility
+                                  ? JsonValue(link.far_facility->value)
+                                  : JsonValue(nullptr));
+    o.emplace("far_by_proximity", link.far_by_proximity);
+    links.emplace_back(std::move(o));
+  }
+  root.emplace("links", std::move(links));
+
+  JsonValue::Array alias_sets;
+  for (const auto& set : report.aliases.sets) {
+    JsonValue::Array addrs;
+    for (const Ipv4 a : set) addrs.push_back(addr_json(a));
+    alias_sets.emplace_back(std::move(addrs));
+  }
+  root.emplace("alias_sets", std::move(alias_sets));
+
+  JsonValue::Array unresolved;
+  for (const Ipv4 a : report.aliases.unresolved)
+    unresolved.push_back(addr_json(a));
+  root.emplace("alias_unresolved", std::move(unresolved));
+
+  return JsonValue(std::move(root));
+}
+
+CfsReport report_from_json(const JsonValue& doc) {
+  if (doc.at("format_version").as_int() != format_version)
+    throw std::runtime_error("unsupported report format version");
+
+  CfsReport report;
+  report.traces_used =
+      static_cast<std::size_t>(doc.at("traces_used").as_int());
+  report.iterations_run =
+      static_cast<std::size_t>(doc.at("iterations_run").as_int());
+  for (const auto& v : doc.at("resolved_per_iteration").as_array())
+    report.resolved_per_iteration.push_back(
+        static_cast<std::size_t>(v.as_int()));
+
+  for (const auto& i : doc.at("interfaces").as_array()) {
+    InterfaceInference inf;
+    inf.addr = addr_from(i.at("address"));
+    inf.asn = Asn(static_cast<std::uint32_t>(i.at("asn").as_int()));
+    inf.has_constraint = i.at("has_constraint").as_bool();
+    for (const auto& f : i.at("candidates").as_array())
+      inf.candidates.emplace_back(static_cast<std::uint32_t>(f.as_int()));
+    inf.remote_suspect = i.at("remote_suspect").as_bool();
+    inf.resolved_iteration =
+        static_cast<int>(i.at("resolved_iteration").as_int());
+    inf.conflicts = static_cast<int>(i.at("conflicts").as_int());
+    report.interfaces.emplace(inf.addr, std::move(inf));
+  }
+
+  for (const auto& l : doc.at("links").as_array()) {
+    LinkInference link;
+    link.obs.kind = enum_from<PeeringKind>(l.at("kind"));
+    link.obs.near_addr = addr_from(l.at("near_address"));
+    link.obs.near_as =
+        Asn(static_cast<std::uint32_t>(l.at("near_as").as_int()));
+    link.obs.far_addr = addr_from(l.at("far_address"));
+    link.obs.far_as = Asn(static_cast<std::uint32_t>(l.at("far_as").as_int()));
+    link.obs.ixp = id_from<IxpId>(l.at("ixp"));
+    link.obs.near_rtt_ms = l.at("near_rtt_ms").as_number();
+    link.obs.far_rtt_ms = l.at("far_rtt_ms").as_number();
+    link.type = enum_from<InterconnectionType>(l.at("type"));
+    if (!l.at("near_facility").is_null())
+      link.near_facility = FacilityId(
+          static_cast<std::uint32_t>(l.at("near_facility").as_int()));
+    if (!l.at("far_facility").is_null())
+      link.far_facility = FacilityId(
+          static_cast<std::uint32_t>(l.at("far_facility").as_int()));
+    link.far_by_proximity = l.at("far_by_proximity").as_bool();
+    report.links.push_back(std::move(link));
+  }
+
+  for (const auto& set : doc.at("alias_sets").as_array()) {
+    std::vector<Ipv4> addrs;
+    for (const auto& a : set.as_array()) addrs.push_back(addr_from(a));
+    report.aliases.sets.push_back(std::move(addrs));
+  }
+  for (const auto& a : doc.at("alias_unresolved").as_array())
+    report.aliases.unresolved.push_back(addr_from(a));
+
+  return report;
+}
+
+void write_topology(std::ostream& os, const Topology& topo) {
+  os << topology_to_json(topo).pretty() << '\n';
+}
+
+void write_report(std::ostream& os, const CfsReport& report) {
+  os << report_to_json(report).pretty() << '\n';
+}
+
+}  // namespace cfs

@@ -1,0 +1,32 @@
+// Dataset export / import.
+//
+// The paper publishes its inference dataset as supplemental material; this
+// layer does the same for the synthetic study: the full ground-truth
+// topology and any CfsReport serialise to JSON documents that round-trip
+// losslessly, so experiments can be archived, diffed and post-processed
+// outside the process that ran them.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/report.h"
+#include "io/json.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+// --- ground-truth topology ---
+[[nodiscard]] JsonValue topology_to_json(const Topology& topo);
+// Rebuilds a validated topology; throws std::runtime_error on malformed
+// documents and std::logic_error if the rebuilt structure fails validate().
+[[nodiscard]] Topology topology_from_json(const JsonValue& doc);
+
+// --- inference results ---
+[[nodiscard]] JsonValue report_to_json(const CfsReport& report);
+[[nodiscard]] CfsReport report_from_json(const JsonValue& doc);
+
+// Stream helpers (pretty JSON).
+void write_topology(std::ostream& os, const Topology& topo);
+void write_report(std::ostream& os, const CfsReport& report);
+
+}  // namespace cfs

@@ -1,0 +1,329 @@
+#include "io/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cfs {
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end())
+    throw std::out_of_range("JsonValue: missing key '" + key + "'");
+  return it->second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& arr = as_array();
+  if (index >= arr.size())
+    throw std::out_of_range("JsonValue: index " + std::to_string(index));
+  return arr[index];
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  throw std::logic_error("JsonValue::size on scalar");
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_number(double d) {
+  if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : "";
+  const std::string pad_in =
+      indent > 0
+          ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+          : "";
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    out += render_number(as_number());
+  } else if (is_string()) {
+    out += '"';
+    out += json_escape(as_string());
+    out += '"';
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad_in;
+      arr[i].write(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += pad;
+    out += ']';
+  } else {
+    const auto& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      out += pad_in;
+      out += '"';
+      out += json_escape(key);
+      out += indent > 0 ? "\": " : "\":";
+      value.write(out, indent, depth + 1);
+      if (++i < obj.size()) out += ',';
+      out += nl;
+    }
+    out += pad;
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal)
+      fail("expected '" + std::string(literal) + "'");
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': expect("true"); return JsonValue(true);
+      case 'f': expect("false"); return JsonValue(false);
+      case 'n': expect("null"); return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    take();  // '{'
+    JsonValue::Object obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      take();
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      if (take() != ':') fail("expected ':'");
+      obj.emplace(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    take();  // '['
+    JsonValue::Array arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      take();
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '+') fail("numbers may not have a leading '+'");
+    if (peek() == '-') take();
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      if (used != token.size()) fail("malformed number '" + token + "'");
+      return JsonValue(value);
+    } catch (const std::logic_error&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cfs

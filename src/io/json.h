@@ -1,0 +1,103 @@
+// Minimal self-contained JSON value, parser and writer.
+//
+// Used by the dataset export/import layer (the paper publishes its
+// supplemental dataset; we publish the generated ground truth and the
+// inference results the same way). No external dependencies; supports the
+// JSON subset we emit: objects, arrays, strings, doubles/integers, bools,
+// null, UTF-8 passthrough, and \" \\ \/ \b \f \n \r \t escapes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cfs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint32_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    return std::get<Array>(value_);
+  }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(value_);
+  }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(value_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(value_); }
+
+  // Object member access; throws std::out_of_range on missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  // Nullable lookup.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  // Array element access.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Compact single-line rendering.
+  [[nodiscard]] std::string dump() const;
+  // Pretty rendering with 2-space indent.
+  [[nodiscard]] std::string pretty() const;
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+// Parses a complete JSON document; throws std::runtime_error with a
+// position-annotated message on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+// Escapes a string for embedding in JSON output (without quotes).
+std::string json_escape(std::string_view raw);
+
+}  // namespace cfs

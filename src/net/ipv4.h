@@ -1,0 +1,97 @@
+// IPv4 address and prefix value types.
+//
+// The simulator allocates address space to ASes, IXP peering LANs and
+// point-to-point links out of a flat 32-bit space, exactly like the real
+// Internet; the inference side then only ever sees addresses and must map
+// them back through the (noisy) IP-to-ASN service.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cfs {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  [[nodiscard]] std::string to_string() const;
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  // Canonicalises: host bits below the mask are zeroed.
+  constexpr Prefix(Ipv4 network, int length)
+      : network_(mask(length) & network.value()), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4 network() const { return Ipv4(network_); }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4 addr) const {
+    return (addr.value() & mask(length_)) == network_;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network());
+  }
+
+  // Number of addresses covered by the prefix.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  // Address at offset within the prefix (offset < size()).
+  [[nodiscard]] constexpr Ipv4 at(std::uint64_t offset) const {
+    return Ipv4(network_ + static_cast<std::uint32_t>(offset));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  static std::optional<Prefix> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  std::uint32_t network_ = 0;
+  int length_ = 0;
+};
+
+}  // namespace cfs
+
+namespace std {
+
+template <>
+struct hash<cfs::Ipv4> {
+  size_t operator()(cfs::Ipv4 addr) const noexcept {
+    return std::hash<std::uint32_t>{}(addr.value());
+  }
+};
+
+template <>
+struct hash<cfs::Prefix> {
+  size_t operator()(const cfs::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 6) ^
+        static_cast<std::uint64_t>(p.length()));
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,11 @@
+// PrefixTrie is header-only (template); this translation unit exists so the
+// build exercises the header standalone and keeps a stable library target.
+#include "net/prefix_trie.h"
+
+namespace cfs {
+
+// Explicit instantiation with a small payload to catch template regressions
+// at library build time rather than first use.
+template class PrefixTrie<std::uint32_t>;
+
+}  // namespace cfs

@@ -1,0 +1,101 @@
+// Binary (Patricia-style, one bit per level) trie for longest-prefix match.
+//
+// Backs the IP-to-ASN service and the IXP peering-LAN lookup. Values are an
+// arbitrary payload type; lookup returns the most specific covering prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace cfs {
+
+template <class Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  // Inserts or overwrites the value at the exact prefix.
+  void insert(const Prefix& prefix, Value value) {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = bit_at(prefix.network().value(), depth);
+      std::size_t& child = nodes_[node].child[bit];
+      if (child == 0) {
+        child = nodes_.size();
+        const std::size_t fresh = child;  // nodes_ may reallocate below
+        nodes_.push_back(Node{});
+        node = fresh;
+      } else {
+        node = child;
+      }
+    }
+    if (!nodes_[node].value) ++size_;
+    nodes_[node].value = std::move(value);
+    nodes_[node].prefix = prefix;
+  }
+
+  // Longest-prefix match; nullopt if no covering prefix exists.
+  [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup(
+      Ipv4 addr) const {
+    std::optional<std::pair<Prefix, Value>> best;
+    std::size_t node = 0;
+    for (int depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value)
+        best = std::make_pair(nodes_[node].prefix, *nodes_[node].value);
+      if (depth == 32) break;
+      const int bit = bit_at(addr.value(), depth);
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+    }
+    return best;
+  }
+
+  // Exact-prefix lookup.
+  [[nodiscard]] const Value* find_exact(const Prefix& prefix) const {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = bit_at(prefix.network().value(), depth);
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == 0) return nullptr;
+      node = child;
+    }
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Visit all stored (prefix, value) pairs in depth-first order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    visit(0, fn);
+  }
+
+ private:
+  struct Node {
+    std::size_t child[2] = {0, 0};  // 0 = absent (root is never a child)
+    std::optional<Value> value;
+    Prefix prefix;
+  };
+
+  static int bit_at(std::uint32_t value, int depth) {
+    return (value >> (31 - depth)) & 1u;
+  }
+
+  template <class Fn>
+  void visit(std::size_t node, Fn& fn) const {
+    if (nodes_[node].value) fn(nodes_[node].prefix, *nodes_[node].value);
+    for (const std::size_t child : nodes_[node].child)
+      if (child != 0) visit(child, fn);
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cfs

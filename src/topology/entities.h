@@ -1,0 +1,152 @@
+// Plain-value entity model for the synthetic peering ecosystem.
+//
+// The ground-truth topology mirrors the physical reality the paper reasons
+// about: metros contain interconnection facilities run by operators; IXPs
+// deploy access switches inside facilities; ASes place border routers at
+// facilities and interconnect over four engineering options (cross-connect,
+// public peering, tethering, remote peering).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/geo.h"
+#include "util/ids.h"
+
+namespace cfs {
+
+enum class Region {
+  NorthAmerica,
+  Europe,
+  Asia,
+  Oceania,
+  SouthAmerica,
+  Africa,
+};
+
+std::string_view region_name(Region region);
+inline constexpr int region_count = 6;
+
+struct Metro {
+  MetroId id;
+  std::string name;       // canonical metro name, e.g. "London"
+  std::string country;    // ISO-ish country name
+  Region region = Region::Europe;
+  GeoPoint location;
+};
+
+struct FacilityOperator {
+  OperatorId id;
+  std::string name;
+  bool carrier_neutral = true;
+};
+
+struct Facility {
+  FacilityId id;
+  std::string name;          // e.g. "Equinix LD5"
+  OperatorId oper;
+  MetroId metro;
+  GeoPoint location;         // jittered around the metro centre
+  std::string raw_city_name; // as it would appear in PeeringDB (pre-normalise)
+};
+
+enum class AsType {
+  Tier1,       // global transit, settlement-free core
+  Transit,     // regional / national transit provider
+  Content,     // CDN or large content provider
+  Eyeball,     // access / broadband ISP
+  Enterprise,  // stub enterprise or small hoster
+};
+
+std::string_view as_type_name(AsType type);
+
+// How an operator names router interfaces in DNS (consumed by the DNS
+// data-source emulation and the DRoP baseline).
+enum class DnsConvention {
+  None,          // no PTR records at all (e.g. large content providers)
+  FacilityCode,  // encodes facility + city, e.g. rtr1.thn.lon.example.net
+  AirportCode,   // encodes IATA-style metro code only
+  CityName,      // encodes full city name
+  Opaque,        // PTR exists but carries no location hint
+  Stale,         // encodes a location, sometimes the wrong one
+};
+
+struct AutonomousSystem {
+  Asn asn;
+  std::string name;
+  AsType type = AsType::Enterprise;
+  std::vector<Prefix> prefixes;        // announced address space
+  std::vector<FacilityId> facilities;  // ground-truth presence
+  std::vector<IxpId> ixps;             // memberships (see Ixp::ports)
+  DnsConvention dns = DnsConvention::Opaque;
+  std::string dns_zone;                // e.g. "as3320.example.net"
+};
+
+// How a router source generates IP-ID values; drives MIDAR-style alias
+// resolution fidelity.
+enum class IpIdBehaviour {
+  SharedCounter,  // classic shared monotonic counter -> resolvable
+  Random,         // randomised IP-ID -> false negatives
+  Zero,           // constant zero -> false negatives
+  Unresponsive,   // drops alias-resolution probes entirely
+};
+
+struct Router {
+  RouterId id;
+  Asn owner;
+  FacilityId facility;            // ground-truth location
+  Ipv4 local_address;             // loopback-style address in owner space
+  std::vector<Ipv4> interfaces;   // all addresses incl. local_address
+  IpIdBehaviour ipid = IpIdBehaviour::SharedCounter;
+  bool responds_to_traceroute = true;
+};
+
+enum class LinkType {
+  Backbone,            // intra-AS connection between two routers
+  PrivateCrossConnect, // inter-AS dedicated circuit inside one facility
+  PublicPeering,       // BGP adjacency over an IXP peering LAN
+  Tethering,           // private VLAN point-to-point over an IXP fabric
+};
+
+enum class BusinessRel {
+  CustomerProvider,  // endpoint A is customer of endpoint B
+  PeerPeer,
+  Intra,             // backbone
+};
+
+struct LinkEnd {
+  RouterId router;
+  Ipv4 address;  // this router's interface address on the link
+};
+
+struct Link {
+  LinkId id;
+  LinkType type = LinkType::Backbone;
+  BusinessRel rel = BusinessRel::Intra;
+  LinkEnd a;
+  LinkEnd b;
+  IxpId ixp;                 // valid for PublicPeering / Tethering
+  FacilityId facility;       // valid for PrivateCrossConnect (the building)
+  double latency_ms = 0.1;   // one-way propagation + switching delay
+  // PublicPeering only: session established through the IXP route server
+  // (multilateral peering) rather than a bilateral BGP session.
+  bool multilateral = false;
+};
+
+enum class InterfaceRole {
+  Local,       // router's own address (first-hop / loopback style)
+  Backbone,
+  IxpLan,      // address from an IXP peering LAN
+  PrivatePtp,  // address on a private inter-AS point-to-point subnet
+  Host,        // end host (vantage point or probe target)
+};
+
+struct Interface {
+  Ipv4 address;
+  RouterId router;
+  LinkId link;  // invalid for Local/Host
+  InterfaceRole role = InterfaceRole::Local;
+};
+
+}  // namespace cfs

@@ -1,0 +1,1185 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "topology/metro.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Address planning.
+//
+// AS blocks are /16s carved sequentially from 20.0.0.0; IXP peering LANs are
+// /22s carved from 185.0.0.0. Each AS sub-allocates router local addresses
+// and point-to-point /30 subnets from its own block, so a longest-prefix
+// match on the announcements recovers the *owner* of a subnet — which for a
+// /30 numbered by the far side of a private link is the wrong AS for one of
+// the two interfaces: exactly the IP-to-ASN error mode the paper corrects
+// with alias resolution.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t as_space_base = 20u << 24;     // 20.0.0.0
+constexpr std::uint32_t ixp_space_base = 185u << 24;   // 185.0.0.0
+constexpr int as_block_len = 16;
+constexpr int ixp_lan_len = 22;
+
+class AsAddressPool {
+ public:
+  AsAddressPool() = default;
+  explicit AsAddressPool(Prefix block) : block_(block), next_(1) {}
+
+  Ipv4 take() {
+    ensure(1);
+    return block_.at(next_++);
+  }
+
+  // Returns an aligned /30; .1 and .2 are usable endpoint addresses.
+  Prefix take_ptp() {
+    next_ = (next_ + 3u) & ~3u;  // align to 4
+    ensure(4);
+    const Prefix subnet(block_.at(next_), 30);
+    next_ += 4;
+    return subnet;
+  }
+
+  [[nodiscard]] const Prefix& block() const { return block_; }
+
+ private:
+  void ensure(std::uint64_t count) {
+    if (next_ + count >= block_.size())
+      throw std::logic_error("AsAddressPool exhausted for " +
+                             block_.to_string());
+  }
+
+  Prefix block_;
+  std::uint64_t next_ = 1;
+};
+
+struct BuildState {
+  explicit BuildState(const GeneratorConfig& c) : cfg(c), rng(c.seed) {}
+
+  const GeneratorConfig& cfg;
+  Rng rng;
+  Topology topo;
+
+  std::vector<std::vector<FacilityId>> metro_facilities;  // per metro
+  std::vector<std::vector<IxpId>> metro_ixps;             // per metro
+  std::unordered_map<Asn, AsAddressPool> pools;
+  std::unordered_map<Asn, std::vector<Prefix>> extra_blocks;
+  std::uint32_t next_as_block = 0;
+  std::uint32_t next_ixp_lan = 0;
+
+  // router lookup: (asn, facility) -> router
+  std::unordered_map<std::uint64_t, RouterId> router_at;
+
+  [[nodiscard]] RouterId find_router(Asn asn, FacilityId fac) const {
+    const auto it =
+        router_at.find((std::uint64_t{asn.value} << 32) | fac.value);
+    return it == router_at.end() ? RouterId::invalid() : it->second;
+  }
+};
+
+Prefix next_as_prefix(BuildState& st) {
+  const Prefix block(Ipv4(as_space_base + (st.next_as_block << (32 - as_block_len))),
+                     as_block_len);
+  ++st.next_as_block;
+  if (st.next_as_block >= (1u << 11))
+    throw std::logic_error("AS address space exhausted");
+  return block;
+}
+
+Prefix next_ixp_lan(BuildState& st) {
+  const Prefix lan(Ipv4(ixp_space_base + (st.next_ixp_lan << (32 - ixp_lan_len))),
+                   ixp_lan_len);
+  ++st.next_ixp_lan;
+  if (st.next_ixp_lan >= (1u << 13))
+    throw std::logic_error("IXP address space exhausted");
+  return lan;
+}
+
+GeoPoint jitter_around(Rng& rng, const GeoPoint& centre, double spread_deg) {
+  return GeoPoint{centre.lat_deg + rng.normal(0.0, spread_deg),
+                  centre.lon_deg + rng.normal(0.0, spread_deg)};
+}
+
+// ---------------------------------------------------------------------------
+// Step 1-2: metros, facility operators, facilities.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& global_operator_names() {
+  static const std::vector<std::string> names = {
+      "Equinor",   "TeleHaven",  "InterPoint", "NeutralPath", "CoreSite X",
+      "DataDock",  "GlobalColo", "CarrierOne", "MetroVault",  "PeakColo",
+  };
+  return names;
+}
+
+void build_metros_and_facilities(BuildState& st) {
+  const auto& catalog = metro_catalog();
+  const int metro_count =
+      std::min<int>(st.cfg.metros, static_cast<int>(catalog.size()));
+
+  std::vector<OperatorId> global_ops;
+  for (const auto& name : global_operator_names())
+    global_ops.push_back(
+        st.topo.add_operator(FacilityOperator{{}, name, true}));
+
+  st.metro_facilities.resize(metro_count);
+  st.metro_ixps.resize(metro_count);
+
+  for (int m = 0; m < metro_count; ++m) {
+    const MetroSeed& seed = catalog[m];
+    const MetroId metro = st.topo.add_metro(
+        Metro{{}, seed.name, seed.country, seed.region, seed.location});
+
+    const double scaled = seed.weight * st.cfg.facility_density;
+    int count = std::max(
+        1, static_cast<int>(scaled * st.rng.uniform_real(0.8, 1.2) + 0.5));
+
+    // A couple of metro-local operators alongside the global ones.
+    std::vector<OperatorId> local_ops;
+    const int locals = count >= 6 ? 2 : 1;
+    for (int i = 0; i < locals; ++i)
+      local_ops.push_back(st.topo.add_operator(FacilityOperator{
+          {}, seed.name + " Colo " + std::to_string(i + 1), i == 0}));
+
+    std::unordered_map<std::uint32_t, int> per_op_count;
+    for (int f = 0; f < count; ++f) {
+      // Global operators dominate big hubs; locals the tail.
+      OperatorId op;
+      if (st.rng.chance(count >= 8 ? 0.75 : 0.4))
+        op = global_ops[st.rng.index(global_ops.size())];
+      else
+        op = local_ops[st.rng.index(local_ops.size())];
+
+      const int serial = ++per_op_count[op.value];
+      std::string name = st.topo.oper(op).name + " " + seed.name + " " +
+                         std::to_string(serial);
+
+      // PeeringDB-style raw city string: sometimes an alias suburb name.
+      std::string raw_city = seed.name;
+      if (!seed.aliases.empty() && st.rng.chance(0.25))
+        raw_city = seed.aliases[st.rng.index(seed.aliases.size())];
+
+      const FacilityId fac = st.topo.add_facility(
+          Facility{{}, std::move(name), op, metro,
+                   jitter_around(st.rng, seed.location, 0.08),
+                   std::move(raw_city)});
+      st.metro_facilities[m].push_back(fac);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step 3: IXPs with switch fabric.
+// ---------------------------------------------------------------------------
+
+void build_ixps(BuildState& st) {
+  const auto& catalog = metro_catalog();
+  for (std::size_t m = 0; m < st.metro_facilities.size(); ++m) {
+    const MetroSeed& seed = catalog[m];
+    const auto& facs = st.metro_facilities[m];
+
+    int ixp_count = 0;
+    if (seed.weight >= 30)
+      ixp_count = 3;
+    else if (seed.weight >= 15)
+      ixp_count = 2;
+    else if (seed.weight >= 6)
+      ixp_count = st.rng.chance(0.5) ? 2 : 1;
+    else
+      ixp_count = st.rng.chance(0.5) ? 1 : 0;
+
+    for (int i = 0; i < ixp_count; ++i) {
+      Ixp ixp;
+      ixp.metro = MetroId(static_cast<std::uint32_t>(m));
+      ixp.name = (i == 0 ? seed.name + "-IX"
+                         : seed.name + "-IX " + std::to_string(i + 1));
+      ixp.peering_lan = next_ixp_lan(st);
+
+      // Primary IXP in a hub spans many facilities; secondary ones few.
+      const int max_span = std::min<int>(
+          static_cast<int>(facs.size()),
+          i == 0 ? st.cfg.max_ixp_span : std::max(3, st.cfg.max_ixp_span / 2));
+      int span = 1 + static_cast<int>(st.rng.zipf(
+                     static_cast<std::uint64_t>(max_span), 0.9)) -
+                 1;
+      span = std::clamp(span, 1, max_span);
+      if (seed.weight >= 25 && i == 0)
+        span = std::max(span, std::min<int>(6, max_span));
+
+      // Access switches cluster in the metro's hub facilities (carrier
+      // hotels attract every exchange), which is also what puts several
+      // IXPs into one building -- the cross-IXP facilities of Section 5.
+      std::vector<std::size_t> chosen;
+      {
+        std::vector<std::size_t> pool(facs.size());
+        std::vector<double> weights(facs.size());
+        for (std::size_t k = 0; k < facs.size(); ++k) {
+          pool[k] = k;
+          weights[k] = 1.0 / (1.0 + static_cast<double>(k));
+        }
+        while (chosen.size() < static_cast<std::size_t>(span)) {
+          const std::size_t pick = st.rng.weighted_index(weights);
+          chosen.push_back(pool[pick]);
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+          weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      }
+
+      // Core switch lives at the first chosen facility.
+      ixp.switches.push_back(
+          IxpSwitch{IxpSwitch::Kind::Core, facs[chosen[0]], 0});
+
+      // Backhaul switches aggregate groups of access switches.
+      std::uint32_t current_backhaul = 0;
+      int on_current = 0;
+      const bool use_backhauls =
+          span > st.cfg.backhaul_fanin && st.cfg.backhaul_fanin > 0;
+      for (std::size_t k = 0; k < chosen.size(); ++k) {
+        std::uint32_t parent = 0;
+        if (use_backhauls) {
+          if (on_current == 0) {
+            current_backhaul = static_cast<std::uint32_t>(ixp.switches.size());
+            ixp.switches.push_back(IxpSwitch{IxpSwitch::Kind::Backhaul,
+                                             facs[chosen[k]], 0});
+          }
+          parent = current_backhaul;
+          on_current = (on_current + 1) % st.cfg.backhaul_fanin;
+        }
+        ixp.switches.push_back(
+            IxpSwitch{IxpSwitch::Kind::Access, facs[chosen[k]], parent});
+      }
+
+      if (st.rng.chance(st.cfg.route_server_prob)) {
+        ixp.has_route_server = true;
+        ixp.route_server_asn =
+            Asn(64500u + static_cast<std::uint32_t>(st.topo.ixps().size()));
+        ixp.route_server_address =
+            ixp.peering_lan.at(ixp.peering_lan.size() - 2);
+      }
+      const IxpId id = st.topo.add_ixp(std::move(ixp));
+      st.metro_ixps[m].push_back(id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step 4: ASes -- numbers, names, types, DNS conventions, footprints.
+// ---------------------------------------------------------------------------
+
+struct Footprint {
+  std::vector<int> metros;  // metro indices
+};
+
+DnsConvention pick_dns(Rng& rng, AsType type) {
+  const double roll = rng.uniform01();
+  switch (type) {
+    case AsType::Content:
+      return roll < 0.6 ? DnsConvention::None : DnsConvention::Opaque;
+    case AsType::Tier1:
+      if (roll < 0.22) return DnsConvention::FacilityCode;
+      if (roll < 0.42) return DnsConvention::AirportCode;
+      if (roll < 0.52) return DnsConvention::Stale;
+      return DnsConvention::Opaque;
+    case AsType::Transit:
+      if (roll < 0.15) return DnsConvention::FacilityCode;
+      if (roll < 0.32) return DnsConvention::AirportCode;
+      if (roll < 0.47) return DnsConvention::CityName;
+      if (roll < 0.92) return DnsConvention::Opaque;
+      return DnsConvention::None;
+    case AsType::Eyeball:
+      if (roll < 0.20) return DnsConvention::CityName;
+      if (roll < 0.70) return DnsConvention::Opaque;
+      return DnsConvention::None;
+    case AsType::Enterprise:
+      return roll < 0.5 ? DnsConvention::None : DnsConvention::Opaque;
+  }
+  return DnsConvention::Opaque;
+}
+
+// Weighted metro pick (hub metros more likely), without replacement.
+std::vector<int> pick_metros(BuildState& st, int count,
+                             std::optional<Region> region) {
+  const auto& catalog = metro_catalog();
+  std::vector<int> candidates;
+  std::vector<double> weights;
+  for (std::size_t m = 0; m < st.metro_facilities.size(); ++m) {
+    if (region && catalog[m].region != *region) continue;
+    candidates.push_back(static_cast<int>(m));
+    weights.push_back(catalog[m].weight);
+  }
+  if (candidates.empty()) {
+    // No metro in the requested region at this scale: fall back to the
+    // global pool so every AS gets a footprint.
+    for (std::size_t m = 0; m < st.metro_facilities.size(); ++m) {
+      candidates.push_back(static_cast<int>(m));
+      weights.push_back(catalog[m].weight);
+    }
+  }
+  std::vector<int> out;
+  while (!candidates.empty() && static_cast<int>(out.size()) < count) {
+    const std::size_t i = st.rng.weighted_index(weights);
+    out.push_back(candidates[i]);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(i));
+    weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return out;
+}
+
+Region random_region(BuildState& st) {
+  // Weighted toward where facilities actually are (Europe, North America).
+  static const double weights[region_count] = {0.30, 0.40, 0.14, 0.05, 0.07,
+                                               0.04};
+  return static_cast<Region>(st.rng.weighted_index(weights));
+}
+
+void add_as(BuildState& st, Asn asn, std::string name, AsType type,
+            const Footprint& fp, int facilities_per_metro_max) {
+  AutonomousSystem as;
+  as.asn = asn;
+  as.name = std::move(name);
+  as.type = type;
+  as.dns = pick_dns(st.rng, type);
+  std::string zone = as.name;
+  std::transform(zone.begin(), zone.end(), zone.begin(), [](unsigned char c) {
+    return c == ' ' ? '-' : static_cast<char>(std::tolower(c));
+  });
+  as.dns_zone = zone + ".net";
+
+  const Prefix block = next_as_prefix(st);
+  as.prefixes.push_back(block);
+  st.pools.emplace(asn, AsAddressPool(block));
+  if (type == AsType::Content) {
+    // Content providers announce additional blocks (white-list realism).
+    const Prefix extra = next_as_prefix(st);
+    as.prefixes.push_back(extra);
+    st.extra_blocks[asn].push_back(extra);
+  }
+
+  std::set<FacilityId> chosen;
+  for (const int m : fp.metros) {
+    const auto& facs = st.metro_facilities[static_cast<std::size_t>(m)];
+    if (facs.empty()) continue;
+    const int want = 1 + static_cast<int>(st.rng.uniform(
+                         static_cast<std::uint64_t>(facilities_per_metro_max)));
+    const auto idx = st.rng.sample_indices(
+        facs.size(), std::min<std::size_t>(facs.size(),
+                                           static_cast<std::size_t>(want)));
+    for (const auto i : idx) chosen.insert(facs[i]);
+  }
+  as.facilities.assign(chosen.begin(), chosen.end());
+
+  st.topo.add_as(std::move(as));
+  for (const Prefix& p : st.topo.as_of(asn).prefixes) st.topo.announce(p, asn);
+}
+
+struct AsCensus {
+  std::vector<Asn> tier1;
+  std::vector<Asn> transit;
+  std::vector<Asn> content;
+  std::vector<Asn> eyeball;
+  std::vector<Asn> enterprise;
+};
+
+AsCensus build_ases(BuildState& st) {
+  AsCensus census;
+  const int metro_count = static_cast<int>(st.metro_facilities.size());
+
+  for (int i = 0; i < st.cfg.tier1_count; ++i) {
+    const Asn asn(100u + static_cast<std::uint32_t>(i));
+    Footprint fp;
+    const int want = std::max(2, static_cast<int>(
+                                  metro_count * st.rng.uniform_real(0.5, 0.8)));
+    fp.metros = pick_metros(st, want, std::nullopt);
+    add_as(st, asn, "Backbone-" + std::to_string(i + 1), AsType::Tier1, fp, 2);
+    census.tier1.push_back(asn);
+  }
+
+  for (int i = 0; i < st.cfg.transit_count; ++i) {
+    const Asn asn(1000u + static_cast<std::uint32_t>(i));
+    Footprint fp;
+    const Region home = random_region(st);
+    // Zipf footprint: a few large regional transits, many small ones.
+    const int want = 2 + static_cast<int>(st.rng.zipf(12, 1.1));
+    fp.metros = pick_metros(st, want, home);
+    if (st.rng.chance(0.35)) {
+      const auto hub = pick_metros(st, 1, std::nullopt);
+      fp.metros.insert(fp.metros.end(), hub.begin(), hub.end());
+    }
+    add_as(st, asn, "Transit-" + std::to_string(i + 1), AsType::Transit, fp,
+           2);
+    census.transit.push_back(asn);
+  }
+
+  for (int i = 0; i < st.cfg.content_count; ++i) {
+    const Asn asn(5000u + static_cast<std::uint32_t>(i));
+    Footprint fp;
+    // First few are global CDNs, the rest regional content networks.
+    int want;
+    if (i < std::max(2, st.cfg.content_count / 8))
+      want = std::max(3, static_cast<int>(metro_count *
+                                          st.rng.uniform_real(0.4, 0.7)));
+    else
+      want = 2 + static_cast<int>(st.rng.zipf(10, 1.0));
+    fp.metros = pick_metros(st, want, std::nullopt);
+    add_as(st, asn, "CDN-" + std::to_string(i + 1), AsType::Content, fp, 2);
+    census.content.push_back(asn);
+  }
+
+  for (int i = 0; i < st.cfg.eyeball_count; ++i) {
+    const Asn asn(10000u + static_cast<std::uint32_t>(i));
+    Footprint fp;
+    const Region home = random_region(st);
+    fp.metros = pick_metros(st, 1 + static_cast<int>(st.rng.uniform(3)), home);
+    add_as(st, asn, "Access-" + std::to_string(i + 1), AsType::Eyeball, fp, 2);
+    census.eyeball.push_back(asn);
+  }
+
+  for (int i = 0; i < st.cfg.enterprise_count; ++i) {
+    const Asn asn(30000u + static_cast<std::uint32_t>(i));
+    Footprint fp;
+    fp.metros = pick_metros(st, st.rng.chance(0.25) ? 2 : 1, random_region(st));
+    add_as(st, asn, "Corp-" + std::to_string(i + 1), AsType::Enterprise, fp,
+           1);
+    census.enterprise.push_back(asn);
+  }
+
+  return census;
+}
+
+// ---------------------------------------------------------------------------
+// Step 5: routers (one per AS-facility presence) and intra-AS backbone.
+// ---------------------------------------------------------------------------
+
+IpIdBehaviour pick_ipid(BuildState& st, AsType type) {
+  if (type == AsType::Content && st.rng.chance(st.cfg.content_probe_filtering))
+    return IpIdBehaviour::Unresponsive;
+  const double roll = st.rng.uniform01();
+  if (roll < st.cfg.ipid_random_prob) return IpIdBehaviour::Random;
+  if (roll < st.cfg.ipid_random_prob + st.cfg.ipid_zero_prob)
+    return IpIdBehaviour::Zero;
+  if (roll < st.cfg.ipid_random_prob + st.cfg.ipid_zero_prob +
+                 st.cfg.ipid_unresponsive_prob)
+    return IpIdBehaviour::Unresponsive;
+  return IpIdBehaviour::SharedCounter;
+}
+
+void build_routers(BuildState& st) {
+  for (const auto& as : st.topo.ases()) {
+    auto& pool = st.pools.at(as.asn);
+    for (const FacilityId fac : as.facilities) {
+      Router r;
+      r.owner = as.asn;
+      r.facility = fac;
+      r.local_address = pool.take();
+      r.ipid = pick_ipid(st, as.type);
+      r.responds_to_traceroute = !st.rng.chance(st.cfg.router_unresponsive_prob);
+      const RouterId id = st.topo.add_router(r);
+      st.topo.add_interface(
+          Interface{r.local_address, id, LinkId::invalid(),
+                    InterfaceRole::Local});
+      st.router_at.emplace((std::uint64_t{as.asn.value} << 32) | fac.value,
+                           id);
+    }
+  }
+}
+
+// Connects routers a-b with a backbone /30 and registers interfaces.
+void add_backbone_link(BuildState& st, Asn asn, RouterId a, RouterId b) {
+  auto& pool = st.pools.at(asn);
+  const Prefix ptp = pool.take_ptp();
+  const Ipv4 addr_a = ptp.at(1);
+  const Ipv4 addr_b = ptp.at(2);
+
+  const auto& fa = st.topo.facility(st.topo.router(a).facility);
+  const auto& fb = st.topo.facility(st.topo.router(b).facility);
+
+  Link link;
+  link.type = LinkType::Backbone;
+  link.rel = BusinessRel::Intra;
+  link.a = LinkEnd{a, addr_a};
+  link.b = LinkEnd{b, addr_b};
+  link.latency_ms =
+      propagation_delay_ms(fa.location, fb.location) + 0.05;
+  const LinkId id = st.topo.add_link(link);
+  st.topo.add_interface(Interface{addr_a, a, id, InterfaceRole::Backbone});
+  st.topo.add_interface(Interface{addr_b, b, id, InterfaceRole::Backbone});
+}
+
+void build_backbones(BuildState& st) {
+  for (const auto& as : st.topo.ases()) {
+    const auto routers = st.topo.routers_of(as.asn);
+    if (routers.size() < 2) continue;
+
+    // Group routers per metro; chain within a metro, then connect metro
+    // hubs with a nearest-neighbour tree plus occasional chords.
+    std::unordered_map<std::uint32_t, std::vector<RouterId>> by_metro;
+    for (const RouterId r : routers)
+      by_metro[st.topo.metro_of(st.topo.router(r).facility).value].push_back(
+          r);
+
+    std::vector<RouterId> hubs;
+    for (auto& [metro, local] : by_metro) {
+      for (std::size_t i = 1; i < local.size(); ++i)
+        add_backbone_link(st, as.asn, local[i - 1], local[i]);
+      hubs.push_back(local.front());
+    }
+
+    if (hubs.size() < 2) continue;
+    auto geo_of = [&](RouterId r) {
+      return st.topo.facility(st.topo.router(r).facility).location;
+    };
+
+    std::vector<RouterId> connected = {hubs[0]};
+    std::vector<RouterId> pending(hubs.begin() + 1, hubs.end());
+    while (!pending.empty()) {
+      // Attach the pending hub closest to any connected hub (Prim).
+      std::size_t best_p = 0;
+      RouterId best_anchor = connected[0];
+      double best_d = 1e18;
+      for (std::size_t p = 0; p < pending.size(); ++p)
+        for (const RouterId c : connected) {
+          const double d = haversine_km(geo_of(pending[p]), geo_of(c));
+          if (d < best_d) {
+            best_d = d;
+            best_p = p;
+            best_anchor = c;
+          }
+        }
+      add_backbone_link(st, as.asn, best_anchor, pending[best_p]);
+      connected.push_back(pending[best_p]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_p));
+    }
+
+    // Redundant chords for larger backbones.
+    if (hubs.size() >= 4) {
+      const std::size_t chords = hubs.size() / 4;
+      for (std::size_t i = 0; i < chords; ++i) {
+        const RouterId a = hubs[st.rng.index(hubs.size())];
+        const RouterId b = hubs[st.rng.index(hubs.size())];
+        if (a != b) add_backbone_link(st, as.asn, a, b);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step 6: IXP memberships (local ports, then remote ports via resellers).
+// ---------------------------------------------------------------------------
+
+double membership_prob(AsType type) {
+  switch (type) {
+    case AsType::Content: return 0.9;
+    case AsType::Eyeball: return 0.7;
+    case AsType::Transit: return 0.55;
+    case AsType::Tier1: return 0.4;
+    case AsType::Enterprise: return 0.12;
+  }
+  return 0.0;
+}
+
+void add_port(BuildState& st, IxpId ixp_id, Asn member, RouterId router,
+              std::uint32_t access_switch, bool remote, Asn reseller) {
+  Ixp& ixp = st.topo.mutable_ixp(ixp_id);
+  const std::uint64_t offset = 1 + ixp.ports.size();
+  if (offset + 1 >= ixp.peering_lan.size())
+    throw std::logic_error("IXP LAN exhausted: " + ixp.name);
+  IxpPort port;
+  port.member = member;
+  port.router = router;
+  port.lan_address = ixp.peering_lan.at(offset);
+  port.access_switch = access_switch;
+  port.remote = remote;
+  port.reseller = reseller;
+  if (ixp.has_route_server) {
+    const AsType type = st.topo.as_of(member).type;
+    const double p = (type == AsType::Eyeball || type == AsType::Enterprise)
+                         ? st.cfg.rs_session_prob_small
+                         : st.cfg.rs_session_prob_large;
+    port.route_server_session = st.rng.chance(p);
+  }
+  ixp.ports.push_back(port);
+  st.topo.add_interface(Interface{port.lan_address, router, LinkId::invalid(),
+                                  InterfaceRole::IxpLan});
+
+  auto& as = st.topo.mutable_as(member);
+  if (std::find(as.ixps.begin(), as.ixps.end(), ixp_id) == as.ixps.end())
+    as.ixps.push_back(ixp_id);
+}
+
+void build_memberships(BuildState& st) {
+  // Pass A: local ports -- AS has a facility hosting an access switch.
+  for (const auto& as : st.topo.ases()) {
+    std::unordered_set<std::uint32_t> metros_seen;
+    for (const FacilityId fac : as.facilities)
+      metros_seen.insert(st.topo.metro_of(fac).value);
+
+    for (const std::uint32_t m : metros_seen) {
+      // Networks consolidate: once a router at some facility holds an IXP
+      // port, further exchanges reachable from the same building terminate
+      // on that router too (the cross-IXP facilities of Section 5).
+      FacilityId anchor = FacilityId::invalid();
+      for (const IxpId ixp_id : st.metro_ixps[m]) {
+        if (!st.rng.chance(membership_prob(as.type))) continue;
+        const Ixp& ixp = st.topo.ixp(ixp_id);
+
+        // Facilities of this AS that host an access switch of the IXP.
+        std::vector<std::pair<FacilityId, std::uint32_t>> options;
+        for (const FacilityId fac : as.facilities) {
+          if (const auto sw = ixp.access_switch_at(fac))
+            options.emplace_back(fac, *sw);
+        }
+        if (options.empty()) continue;
+
+        auto pick = options[st.rng.index(options.size())];
+        if (anchor.valid())
+          for (const auto& option : options)
+            if (option.first == anchor) pick = option;
+        const auto [fac0, sw0] = pick;
+        anchor = fac0;
+        add_port(st, ixp_id, as.asn, st.find_router(as.asn, fac0), sw0, false,
+                 Asn{});
+        const double second_port_prob =
+            as.type == AsType::Content || as.type == AsType::Tier1 ? 0.5
+            : as.type == AsType::Transit                           ? 0.3
+                                                                    : 0.1;
+        if (options.size() > 1 && st.rng.chance(second_port_prob)) {
+          for (const auto& [fac1, sw1] : options) {
+            if (fac1 == fac0) continue;
+            add_port(st, ixp_id, as.asn, st.find_router(as.asn, fac1), sw1,
+                     false, Asn{});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Pass B: remote ports via resellers. Sample members for each IXP from
+  // ASes with no local port, proportional to local membership size.
+  for (const auto& ixp_const : st.topo.ixps()) {
+    const IxpId ixp_id = ixp_const.id;
+    // Copy local ports by value: add_port below grows the port vector and
+    // would invalidate pointers into it.
+    std::vector<IxpPort> local_ports;
+    for (const auto& p : st.topo.ixp(ixp_id).ports)
+      if (!p.remote) local_ports.push_back(p);
+    if (local_ports.empty()) continue;
+
+    // Resellers: transit members with a local port.
+    std::vector<IxpPort> resellers;
+    for (const auto& p : local_ports)
+      if (st.topo.as_of(p.member).type == AsType::Transit ||
+          st.topo.as_of(p.member).type == AsType::Tier1)
+        resellers.push_back(p);
+    if (resellers.empty()) continue;
+
+    const int remote_count = static_cast<int>(
+        static_cast<double>(local_ports.size()) *
+        st.cfg.remote_member_fraction / (1.0 - st.cfg.remote_member_fraction));
+
+    int added = 0;
+    int attempts = 0;
+    while (added < remote_count && attempts < remote_count * 20) {
+      ++attempts;
+      const auto& ases = st.topo.ases();
+      const auto& cand = ases[st.rng.index(ases.size())];
+      if (cand.type == AsType::Tier1) continue;  // Tier1s do not peer remotely
+      if (cand.facilities.empty()) continue;
+      if (st.topo.ixp(ixp_id).is_member(cand.asn)) continue;
+
+      // Remote member's router stays at one of its home facilities.
+      const FacilityId home =
+          cand.facilities[st.rng.index(cand.facilities.size())];
+      const RouterId router = st.find_router(cand.asn, home);
+      if (!router.valid()) continue;
+
+      const IxpPort& reseller = resellers[st.rng.index(resellers.size())];
+      add_port(st, ixp_id, cand.asn, router, reseller.access_switch, true,
+               reseller.member);
+      ++added;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step 7: business relationships and their physical instantiation.
+// ---------------------------------------------------------------------------
+
+// Weighted pick among common facilities: buildings hosting IXP access
+// switches attract private interconnects too (equipment consolidation),
+// which is what makes many routers multi-role in practice.
+FacilityId pick_interconnect_facility(BuildState& st,
+                                      const std::vector<FacilityId>& common) {
+  std::vector<double> weights;
+  weights.reserve(common.size());
+  for (const FacilityId fac : common) {
+    double w = 1.0;
+    for (const auto& ixp : st.topo.ixps())
+      if (ixp.access_switch_at(fac)) {
+        w = 4.0;
+        break;
+      }
+    weights.push_back(w);
+  }
+  return common[st.rng.weighted_index(weights)];
+}
+
+std::vector<FacilityId> common_facilities(const Topology& topo, Asn a, Asn b) {
+  const auto& fa = topo.as_of(a).facilities;  // kept sorted (std::set source)
+  const auto& fb = topo.as_of(b).facilities;
+  std::vector<FacilityId> out;
+  std::set_intersection(fa.begin(), fa.end(), fb.begin(), fb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<IxpId> common_ixps(const Topology& topo, Asn a, Asn b) {
+  auto ia = topo.as_of(a).ixps;
+  auto ib = topo.as_of(b).ixps;
+  std::sort(ia.begin(), ia.end());
+  std::sort(ib.begin(), ib.end());
+  std::vector<IxpId> out;
+  std::set_intersection(ia.begin(), ia.end(), ib.begin(), ib.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+double link_latency(const Topology& topo, RouterId a, RouterId b) {
+  const auto& fa = topo.facility(topo.router(a).facility);
+  const auto& fb = topo.facility(topo.router(b).facility);
+  return propagation_delay_ms(fa.location, fb.location) + 0.05;
+}
+
+// Creates a private cross-connect between a and b at the given facility
+// (both must have routers there), numbering the /30 from one side's space.
+void add_cross_connect(BuildState& st, Asn a, Asn b, FacilityId fac,
+                       BusinessRel rel) {
+  const RouterId ra = st.find_router(a, fac);
+  const RouterId rb = st.find_router(b, fac);
+  if (!ra.valid() || !rb.valid()) return;
+
+  const bool number_from_b = st.rng.chance(st.cfg.foreign_numbered_ptp);
+  auto& pool = st.pools.at(number_from_b ? b : a);
+  const Prefix ptp = pool.take_ptp();
+
+  Link link;
+  link.type = LinkType::PrivateCrossConnect;
+  link.rel = rel;
+  link.a = LinkEnd{ra, ptp.at(1)};
+  link.b = LinkEnd{rb, ptp.at(2)};
+  link.facility = fac;
+  link.latency_ms = 0.05;
+  const LinkId id = st.topo.add_link(link);
+  st.topo.add_interface(
+      Interface{ptp.at(1), ra, id, InterfaceRole::PrivatePtp});
+  st.topo.add_interface(
+      Interface{ptp.at(2), rb, id, InterfaceRole::PrivatePtp});
+}
+
+// Remote private interconnect: dedicated long-haul circuit landing at one of
+// the provider-side routers; the customer router stays in its own facility.
+void add_remote_private(BuildState& st, Asn customer, Asn provider) {
+  const auto& cas = st.topo.as_of(customer);
+  const auto& pas = st.topo.as_of(provider);
+  if (cas.facilities.empty() || pas.facilities.empty()) return;
+  const FacilityId cf = cas.facilities[st.rng.index(cas.facilities.size())];
+  const FacilityId pf = pas.facilities[st.rng.index(pas.facilities.size())];
+  const RouterId rc = st.find_router(customer, cf);
+  const RouterId rp = st.find_router(provider, pf);
+  if (!rc.valid() || !rp.valid()) return;
+
+  auto& pool = st.pools.at(provider);
+  const Prefix ptp = pool.take_ptp();
+
+  Link link;
+  link.type = LinkType::PrivateCrossConnect;
+  link.rel = BusinessRel::CustomerProvider;
+  link.a = LinkEnd{rc, ptp.at(1)};
+  link.b = LinkEnd{rp, ptp.at(2)};
+  link.facility = pf;  // circuit terminates in the provider's facility
+  link.latency_ms = link_latency(st.topo, rc, rp);
+  const LinkId id = st.topo.add_link(link);
+  st.topo.add_interface(
+      Interface{ptp.at(1), rc, id, InterfaceRole::PrivatePtp});
+  st.topo.add_interface(
+      Interface{ptp.at(2), rp, id, InterfaceRole::PrivatePtp});
+}
+
+// Public peering session between two members over one IXP. The far side's
+// port is the one nearest (in switch hops) to the near side's port.
+bool add_public_peering(BuildState& st, IxpId ixp_id, Asn a, Asn b,
+                        BusinessRel rel, bool multilateral = false) {
+  const Ixp& ixp = st.topo.ixp(ixp_id);
+  const auto ports_a = ixp.ports_of(a);
+  if (ports_a.empty()) return false;
+  const IxpPort* pa = ports_a[st.rng.index(ports_a.size())];
+  const auto nearest = ixp.nearest_port(b, pa->access_switch);
+  if (!nearest) return false;
+  const IxpPort* pb = &ixp.ports[*nearest];
+
+  Link link;
+  link.type = LinkType::PublicPeering;
+  link.rel = rel;
+  link.a = LinkEnd{pa->router, pa->lan_address};
+  link.b = LinkEnd{pb->router, pb->lan_address};
+  link.ixp = ixp_id;
+  link.multilateral = multilateral;
+  link.latency_ms = link_latency(st.topo, pa->router, pb->router) +
+                    0.05 * ixp.switch_distance(pa->access_switch,
+                                               pb->access_switch);
+  st.topo.add_link(link);
+  return true;
+}
+
+// Tethering: private VLAN over the IXP fabric between two member routers.
+bool add_tethering(BuildState& st, IxpId ixp_id, Asn a, Asn b,
+                   BusinessRel rel) {
+  const Ixp& ixp = st.topo.ixp(ixp_id);
+  const auto ports_a = ixp.ports_of(a);
+  const auto ports_b = ixp.ports_of(b);
+  if (ports_a.empty() || ports_b.empty()) return false;
+  const IxpPort* pa = ports_a[st.rng.index(ports_a.size())];
+  const IxpPort* pb = ports_b[st.rng.index(ports_b.size())];
+
+  const bool number_from_b = st.rng.chance(st.cfg.foreign_numbered_ptp);
+  auto& pool = st.pools.at(number_from_b ? b : a);
+  const Prefix ptp = pool.take_ptp();
+
+  Link link;
+  link.type = LinkType::Tethering;
+  link.rel = rel;
+  link.a = LinkEnd{pa->router, ptp.at(1)};
+  link.b = LinkEnd{pb->router, ptp.at(2)};
+  link.ixp = ixp_id;
+  link.latency_ms = link_latency(st.topo, pa->router, pb->router) + 0.1;
+  const LinkId id = st.topo.add_link(link);
+  st.topo.add_interface(
+      Interface{ptp.at(1), pa->router, id, InterfaceRole::PrivatePtp});
+  st.topo.add_interface(
+      Interface{ptp.at(2), pb->router, id, InterfaceRole::PrivatePtp});
+  return true;
+}
+
+// Instantiates a customer-provider relationship physically and registers it
+// in the relationship graph.
+void connect_customer(BuildState& st, Asn customer, Asn provider) {
+  st.topo.add_relationship(customer, provider);
+
+  const auto cf = common_facilities(st.topo, customer, provider);
+  if (!cf.empty()) {
+    add_cross_connect(st, customer, provider,
+                      pick_interconnect_facility(st, cf),
+                      BusinessRel::CustomerProvider);
+    if (cf.size() > 1 && st.rng.chance(0.3))
+      add_cross_connect(st, customer, provider,
+                        cf[st.rng.index(cf.size())],
+                        BusinessRel::CustomerProvider);
+    return;
+  }
+
+  const auto ci = common_ixps(st.topo, customer, provider);
+  if (!ci.empty() && st.rng.chance(0.5)) {
+    // Either a tethered VLAN or a plain public session carrying transit.
+    const IxpId ixp = ci[st.rng.index(ci.size())];
+    if (st.rng.chance(st.cfg.tether_fraction * 5)) {
+      if (add_tethering(st, ixp, customer, provider,
+                        BusinessRel::CustomerProvider))
+        return;
+    }
+    if (add_public_peering(st, ixp, customer, provider,
+                           BusinessRel::CustomerProvider))
+      return;
+  }
+
+  add_remote_private(st, customer, provider);
+}
+
+// Instantiates a settlement-free peering; chooses medium by network types.
+void connect_peers(BuildState& st, Asn a, Asn b) {
+  st.topo.add_peering(a, b);
+
+  const auto& as_a = st.topo.as_of(a);
+  const auto& as_b = st.topo.as_of(b);
+  const auto cf = common_facilities(st.topo, a, b);
+  const auto ci = common_ixps(st.topo, a, b);
+
+  const bool heavyweight_pair = (as_a.type == AsType::Tier1 ||
+                                 as_a.type == AsType::Transit) &&
+                                (as_b.type == AsType::Tier1 ||
+                                 as_b.type == AsType::Transit);
+
+  bool connected = false;
+  if (heavyweight_pair && !cf.empty()) {
+    // Backbone networks interconnect privately at several buildings.
+    const std::size_t sites = std::min<std::size_t>(
+        cf.size(), 1 + (st.rng.chance(st.cfg.multi_location_peering_prob)
+                            ? 1 + st.rng.index(3)
+                            : 0));
+    const auto idx = st.rng.sample_indices(cf.size(), sites);
+    for (const auto i : idx)
+      add_cross_connect(st, a, b, cf[i], BusinessRel::PeerPeer);
+    connected = !idx.empty();
+  }
+
+  if (!connected && !ci.empty()) {
+    const std::size_t sessions =
+        std::min<std::size_t>(ci.size(),
+                              st.rng.chance(st.cfg.multi_location_peering_prob)
+                                  ? 2
+                                  : 1);
+    const auto idx = st.rng.sample_indices(ci.size(), sessions);
+    for (const auto i : idx)
+      connected |= add_public_peering(st, ci[i], a, b, BusinessRel::PeerPeer);
+
+    // High-volume pairs complement public peering with a cross-connect.
+    if (connected && !cf.empty() &&
+        st.rng.chance(st.cfg.private_over_public_threshold))
+      add_cross_connect(st, a, b, pick_interconnect_facility(st, cf),
+                        BusinessRel::PeerPeer);
+  }
+
+  if (!connected && !cf.empty()) {
+    add_cross_connect(st, a, b, pick_interconnect_facility(st, cf),
+                      BusinessRel::PeerPeer);
+    connected = true;
+  }
+}
+
+// Multilateral peering: members with a route-server session exchange
+// routes with each other by default. Instantiating the full mesh is
+// neither realistic for traffic nor tractable at scale, so a configurable
+// density of the mesh becomes actual adjacencies.
+void build_multilateral(BuildState& st) {
+  for (const auto& ixp : st.topo.ixps()) {
+    if (!ixp.has_route_server) continue;
+    std::vector<Asn> members;
+    for (const auto& port : ixp.ports)
+      if (port.route_server_session) members.push_back(port.member);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (!st.rng.chance(st.cfg.multilateral_density)) continue;
+        const Asn a = members[i];
+        const Asn b = members[j];
+        if (st.topo.is_peer_of(a, b) || st.topo.is_provider_of(a, b) ||
+            st.topo.is_provider_of(b, a))
+          continue;
+        if (add_public_peering(st, ixp.id, a, b, BusinessRel::PeerPeer,
+                               /*multilateral=*/true))
+          st.topo.add_peering(a, b);
+      }
+    }
+  }
+}
+
+// Prefers candidates sharing a facility or an IXP with `who`.
+Asn pick_provider(BuildState& st, Asn who, const std::vector<Asn>& candidates,
+                  const std::vector<Asn>& already) {
+  std::vector<Asn> pool;
+  std::vector<double> weights;
+  for (const Asn c : candidates) {
+    if (c == who) continue;
+    if (std::find(already.begin(), already.end(), c) != already.end())
+      continue;
+    double w = 0.2;
+    if (!common_facilities(st.topo, who, c).empty()) w += 3.0;
+    if (!common_ixps(st.topo, who, c).empty()) w += 1.0;
+    pool.push_back(c);
+    weights.push_back(w);
+  }
+  if (pool.empty()) return Asn{};
+  return pool[st.rng.weighted_index(weights)];
+}
+
+void build_relationships(BuildState& st, const AsCensus& census) {
+  // Tier-1 clique.
+  for (std::size_t i = 0; i < census.tier1.size(); ++i)
+    for (std::size_t j = i + 1; j < census.tier1.size(); ++j)
+      connect_peers(st, census.tier1[i], census.tier1[j]);
+
+  // Transit providers buy from tier1s (and occasionally a larger transit).
+  for (std::size_t i = 0; i < census.transit.size(); ++i) {
+    const Asn asn = census.transit[i];
+    std::vector<Asn> providers;
+    const int want = 1 + static_cast<int>(st.rng.uniform(2));
+    for (int k = 0; k < want; ++k) {
+      const Asn p = pick_provider(st, asn, census.tier1, providers);
+      if (p.valid()) {
+        providers.push_back(p);
+        connect_customer(st, asn, p);
+      }
+    }
+    if (i >= census.transit.size() / 4 && st.rng.chance(0.4)) {
+      const std::vector<Asn> big(census.transit.begin(),
+                                 census.transit.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         census.transit.size() / 4));
+      const Asn p = pick_provider(st, asn, big, providers);
+      if (p.valid()) connect_customer(st, asn, p);
+    }
+  }
+
+  // Content providers buy some transit and peer openly.
+  for (const Asn asn : census.content) {
+    std::vector<Asn> providers;
+    const int want = 1 + static_cast<int>(st.rng.uniform(2));
+    std::vector<Asn> upstream_pool = census.tier1;
+    upstream_pool.insert(upstream_pool.end(), census.transit.begin(),
+                         census.transit.end());
+    for (int k = 0; k < want; ++k) {
+      const Asn p = pick_provider(st, asn, upstream_pool, providers);
+      if (p.valid()) {
+        providers.push_back(p);
+        connect_customer(st, asn, p);
+      }
+    }
+  }
+
+  // Eyeballs buy transit.
+  for (const Asn asn : census.eyeball) {
+    std::vector<Asn> providers;
+    std::vector<Asn> upstream_pool = census.transit;
+    upstream_pool.insert(upstream_pool.end(), census.tier1.begin(),
+                         census.tier1.end());
+    const int want = 1 + static_cast<int>(st.rng.uniform(3));
+    for (int k = 0; k < want; ++k) {
+      const Asn p = pick_provider(st, asn, upstream_pool, providers);
+      if (p.valid()) {
+        providers.push_back(p);
+        connect_customer(st, asn, p);
+      }
+    }
+  }
+
+  // Enterprises buy from transit or eyeball networks.
+  for (const Asn asn : census.enterprise) {
+    std::vector<Asn> providers;
+    std::vector<Asn> upstream_pool = census.transit;
+    upstream_pool.insert(upstream_pool.end(), census.eyeball.begin(),
+                         census.eyeball.end());
+    const int want = 1 + (st.rng.chance(0.3) ? 1 : 0);
+    for (int k = 0; k < want; ++k) {
+      const Asn p = pick_provider(st, asn, upstream_pool, providers);
+      if (p.valid()) {
+        providers.push_back(p);
+        connect_customer(st, asn, p);
+      }
+    }
+  }
+
+  // Open peering: content <-> eyeball/transit at common IXPs.
+  for (const Asn c : census.content) {
+    for (const Asn e : census.eyeball) {
+      if (!st.rng.chance(st.cfg.content_open_peering_prob)) continue;
+      if (common_ixps(st.topo, c, e).empty() &&
+          common_facilities(st.topo, c, e).empty())
+        continue;
+      connect_peers(st, c, e);
+    }
+    for (const Asn t : census.transit) {
+      if (!st.rng.chance(st.cfg.content_open_peering_prob * 0.5)) continue;
+      if (common_ixps(st.topo, c, t).empty() &&
+          common_facilities(st.topo, c, t).empty())
+        continue;
+      connect_peers(st, c, t);
+    }
+  }
+
+  // Transit <-> transit peering to flatten the hierarchy a little.
+  for (std::size_t i = 0; i < census.transit.size(); ++i)
+    for (std::size_t j = i + 1; j < census.transit.size(); ++j) {
+      if (!st.rng.chance(st.cfg.transit_peering_prob)) continue;
+      const Asn a = census.transit[i];
+      const Asn b = census.transit[j];
+      if (common_ixps(st.topo, a, b).empty() &&
+          common_facilities(st.topo, a, b).empty())
+        continue;
+      connect_peers(st, a, b);
+    }
+
+  // A sprinkle of eyeball-eyeball public peering.
+  for (std::size_t i = 0; i < census.eyeball.size(); ++i)
+    for (std::size_t j = i + 1; j < census.eyeball.size(); ++j) {
+      if (!st.rng.chance(0.02)) continue;
+      const Asn a = census.eyeball[i];
+      const Asn b = census.eyeball[j];
+      if (common_ixps(st.topo, a, b).empty()) continue;
+      connect_peers(st, a, b);
+    }
+}
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::tiny() {
+  GeneratorConfig c;
+  c.seed = 7;
+  c.metros = 6;
+  c.facility_density = 0.4;
+  c.tier1_count = 3;
+  c.transit_count = 8;
+  c.content_count = 4;
+  c.eyeball_count = 18;
+  c.enterprise_count = 10;
+  c.max_ixp_span = 6;
+  return c;
+}
+
+GeneratorConfig GeneratorConfig::small_scale() {
+  GeneratorConfig c;
+  c.seed = 11;
+  c.metros = 24;
+  c.facility_density = 0.6;
+  c.tier1_count = 6;
+  c.transit_count = 36;
+  c.content_count = 14;
+  c.eyeball_count = 110;
+  c.enterprise_count = 70;
+  return c;
+}
+
+GeneratorConfig GeneratorConfig::paper_scale() {
+  GeneratorConfig c;
+  c.seed = 2015;
+  c.metros = 88;
+  c.facility_density = 0.95;
+  c.tier1_count = 12;
+  c.transit_count = 180;
+  c.content_count = 70;
+  c.eyeball_count = 520;
+  c.enterprise_count = 320;
+  return c;
+}
+
+Topology generate_topology(const GeneratorConfig& config) {
+  BuildState st(config);
+
+  build_metros_and_facilities(st);
+  build_ixps(st);
+  const AsCensus census = build_ases(st);
+  build_routers(st);
+  build_backbones(st);
+  build_memberships(st);
+  build_relationships(st, census);
+  build_multilateral(st);
+
+  st.topo.validate();
+  log_info() << "generated topology: " << st.topo.facilities().size()
+             << " facilities, " << st.topo.ixps().size() << " IXPs, "
+             << st.topo.ases().size() << " ASes, "
+             << st.topo.routers().size() << " routers, "
+             << st.topo.links().size() << " links";
+  return std::move(st.topo);
+}
+
+}  // namespace cfs

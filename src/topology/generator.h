@@ -1,0 +1,67 @@
+// Synthetic peering-ecosystem generator.
+//
+// Produces a ground-truth Topology whose structural statistics track the
+// ones the paper measured: Zipf-sized metros (Fig. 3), IXPs spanning many
+// facilities in large hubs, ASes of five business types with realistic
+// presence footprints, the four interconnection engineering options of
+// Section 2, remote peering at ~15-20% of large-IXP members, and the
+// address-numbering quirks (point-to-point subnets numbered from one side)
+// that make IP-to-ASN mapping genuinely error-prone.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // --- scale ---
+  int metros = 40;              // catalog entries used (largest first)
+  double facility_density = 0.8;  // multiplier on metro facility counts
+  int tier1_count = 8;
+  int transit_count = 60;
+  int content_count = 24;
+  int eyeball_count = 180;
+  int enterprise_count = 120;
+
+  // --- IXP fabric ---
+  int max_ixp_span = 18;            // max facilities one IXP reaches
+  int backhaul_fanin = 3;           // access switches per backhaul switch
+  double remote_member_fraction = 0.15;
+  // Route servers: fraction of IXPs operating one, per-member session
+  // probability, and the density of the resulting multilateral mesh that
+  // is actually instantiated as peering adjacencies.
+  double route_server_prob = 0.7;
+  double rs_session_prob_small = 0.85;  // eyeball / enterprise members
+  double rs_session_prob_large = 0.35;  // tier1 / transit / content members
+  double multilateral_density = 0.2;
+
+  // --- interconnection style ---
+  double content_open_peering_prob = 0.45;  // peer with colocated eyeballs
+  double transit_peering_prob = 0.25;       // transit-transit at common IXP
+  double private_over_public_threshold = 0.25;  // big peers add x-connects
+  double tether_fraction = 0.06;   // customer links carried as IXP VLANs
+  double multi_location_peering_prob = 0.35;  // instantiate link in 2+ sites
+
+  // --- numbering / router behaviour ---
+  double foreign_numbered_ptp = 0.3;   // /30 numbered from far side's space
+  double router_unresponsive_prob = 0.03;
+  double ipid_random_prob = 0.12;
+  double ipid_zero_prob = 0.04;
+  double ipid_unresponsive_prob = 0.08;
+  double content_probe_filtering = 0.6;  // content routers ignoring probes
+
+  // Presets.
+  static GeneratorConfig tiny();         // unit tests: a handful of entities
+  static GeneratorConfig small_scale();  // integration tests: seconds to run
+  static GeneratorConfig paper_scale();  // benchmark harnesses
+};
+
+// Builds and validates a topology; throws std::logic_error if the generated
+// structure violates an invariant (indicates a generator bug).
+Topology generate_topology(const GeneratorConfig& config);
+
+}  // namespace cfs

@@ -1,0 +1,70 @@
+#include "topology/ixp.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+std::vector<FacilityId> Ixp::facilities() const {
+  std::vector<FacilityId> out;
+  for (const auto& sw : switches)
+    if (sw.kind == IxpSwitch::Kind::Access) out.push_back(sw.facility);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<std::uint32_t> Ixp::access_switch_at(FacilityId facility) const {
+  for (std::uint32_t i = 0; i < switches.size(); ++i)
+    if (switches[i].kind == IxpSwitch::Kind::Access &&
+        switches[i].facility == facility)
+      return i;
+  return std::nullopt;
+}
+
+int Ixp::switch_distance(std::uint32_t access_a, std::uint32_t access_b) const {
+  if (access_a == access_b) return 0;
+  if (switches[access_a].parent == switches[access_b].parent) {
+    // Same parent; if that parent is a backhaul switch the traffic stays on
+    // it, otherwise both hang directly off the core.
+    return switches[switches[access_a].parent].kind ==
+                   IxpSwitch::Kind::Backhaul
+               ? 1
+               : 2;
+  }
+  return 2;
+}
+
+std::optional<std::size_t> Ixp::nearest_port(Asn member,
+                                             std::uint32_t from_switch) const {
+  std::optional<std::size_t> best;
+  int best_dist = 3;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].member != member) continue;
+    const int d = switch_distance(from_switch, ports[i].access_switch);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+const IxpPort* Ixp::port_of(Asn member, RouterId router) const {
+  for (const auto& port : ports)
+    if (port.member == member && port.router == router) return &port;
+  return nullptr;
+}
+
+std::vector<const IxpPort*> Ixp::ports_of(Asn member) const {
+  std::vector<const IxpPort*> out;
+  for (const auto& port : ports)
+    if (port.member == member) out.push_back(&port);
+  return out;
+}
+
+bool Ixp::is_member(Asn asn) const {
+  return std::any_of(ports.begin(), ports.end(),
+                     [&](const IxpPort& p) { return p.member == asn; });
+}
+
+}  // namespace cfs

@@ -1,0 +1,76 @@
+// IXP model with explicit switch fabric.
+//
+// Mirrors Figure 1 / Figure 6 of the paper: an IXP operates one core switch,
+// optional backhaul switches, and access switches installed inside partner
+// interconnection facilities. Members lease a port on an access switch
+// (either locally, or through a reseller when peering remotely). Traffic
+// between two ports stays local to the lowest common switch; the switch
+// proximity heuristic (core/proximity.*) exploits exactly this behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "topology/entities.h"
+
+namespace cfs {
+
+struct IxpSwitch {
+  enum class Kind { Core, Backhaul, Access };
+  Kind kind = Kind::Access;
+  FacilityId facility;       // where the switch is installed
+  std::uint32_t parent = 0;  // index of backhaul/core above (self for core)
+};
+
+struct IxpPort {
+  Asn member;
+  RouterId router;        // the member's router terminating the port
+  Ipv4 lan_address;       // address on the IXP peering LAN
+  std::uint32_t access_switch = 0;  // index into Ixp::switches
+  bool remote = false;    // true when connected through a reseller
+  Asn reseller;           // valid when remote
+  // Member maintains a session to the IXP route server (Section 2: an
+  // increasing number of IXPs offer route servers for multilateral
+  // peering; ~every member of the larger European exchanges uses one).
+  bool route_server_session = false;
+};
+
+struct Ixp {
+  IxpId id;
+  std::string name;     // e.g. "DE-CIX Frankfurt"
+  MetroId metro;
+  Prefix peering_lan;   // address block assigned to the exchange
+  std::vector<IxpSwitch> switches;  // switches[0] is always the core
+  std::vector<IxpPort> ports;
+  // Route server (control-plane only; never appears in the data path).
+  bool has_route_server = false;
+  Asn route_server_asn;
+  Ipv4 route_server_address;
+
+  // Facilities hosting at least one access switch of this exchange.
+  [[nodiscard]] std::vector<FacilityId> facilities() const;
+
+  // Access-switch index installed at `facility`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> access_switch_at(
+      FacilityId facility) const;
+
+  // Fabric distance between two access switches: 0 = same switch,
+  // 1 = same backhaul, 2 = via core. Drives far-end facility selection.
+  [[nodiscard]] int switch_distance(std::uint32_t access_a,
+                                    std::uint32_t access_b) const;
+
+  // Port of `member` whose access switch is nearest (by switch_distance)
+  // to `from_switch`; ties broken by lowest port index. Nullopt when the
+  // member has no port.
+  [[nodiscard]] std::optional<std::size_t> nearest_port(
+      Asn member, std::uint32_t from_switch) const;
+
+  [[nodiscard]] const IxpPort* port_of(Asn member, RouterId router) const;
+  [[nodiscard]] std::vector<const IxpPort*> ports_of(Asn member) const;
+  [[nodiscard]] bool is_member(Asn asn) const;
+};
+
+}  // namespace cfs

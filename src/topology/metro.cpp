@@ -1,0 +1,142 @@
+#include "topology/metro.h"
+
+namespace cfs {
+
+std::string_view region_name(Region region) {
+  switch (region) {
+    case Region::NorthAmerica: return "North America";
+    case Region::Europe: return "Europe";
+    case Region::Asia: return "Asia";
+    case Region::Oceania: return "Oceania";
+    case Region::SouthAmerica: return "South America";
+    case Region::Africa: return "Africa";
+  }
+  return "?";
+}
+
+std::string_view as_type_name(AsType type) {
+  switch (type) {
+    case AsType::Tier1: return "Tier1";
+    case AsType::Transit: return "Transit";
+    case AsType::Content: return "Content";
+    case AsType::Eyeball: return "Eyeball";
+    case AsType::Enterprise: return "Enterprise";
+  }
+  return "?";
+}
+
+const std::vector<MetroSeed>& metro_catalog() {
+  // Weights loosely follow the Figure 3 ordering of the paper: the largest
+  // interconnection hubs (London, New York, Paris, Frankfurt, Amsterdam)
+  // host dozens of facilities, with a long tail of ~10-facility metros.
+  static const std::vector<MetroSeed> catalog = {
+      {"London", "GB", Region::Europe, {51.51, -0.13}, 45,
+       {"Slough", "Docklands"}, "lon"},
+      {"New York", "US", Region::NorthAmerica, {40.71, -74.01}, 42,
+       {"Jersey City", "Secaucus", "Newark"}, "nyc"},
+      {"Paris", "FR", Region::Europe, {48.86, 2.35}, 36,
+       {"Aubervilliers", "Saint-Denis"}, "par"},
+      {"Frankfurt", "DE", Region::Europe, {50.11, 8.68}, 34,
+       {"Offenbach"}, "fra"},
+      {"Amsterdam", "NL", Region::Europe, {52.37, 4.90}, 32,
+       {"Haarlem", "Schiphol-Rijk"}, "ams"},
+      {"San Jose", "US", Region::NorthAmerica, {37.34, -121.89}, 28,
+       {"Santa Clara", "Milpitas", "Palo Alto"}, "sjc"},
+      {"Moscow", "RU", Region::Europe, {55.76, 37.62}, 26, {}, "mow"},
+      {"Los Angeles", "US", Region::NorthAmerica, {34.05, -118.24}, 25,
+       {"El Segundo"}, "lax"},
+      {"Stockholm", "SE", Region::Europe, {59.33, 18.06}, 24,
+       {"Kista"}, "sto"},
+      {"Manchester", "GB", Region::Europe, {53.48, -2.24}, 22, {}, "man"},
+      {"Miami", "US", Region::NorthAmerica, {25.76, -80.19}, 22,
+       {"Boca Raton"}, "mia"},
+      {"Berlin", "DE", Region::Europe, {52.52, 13.40}, 21, {}, "ber"},
+      {"Tokyo", "JP", Region::Asia, {35.68, 139.69}, 21,
+       {"Otemachi"}, "tyo"},
+      {"Kiev", "UA", Region::Europe, {50.45, 30.52}, 20, {}, "iev"},
+      {"Sao Paulo", "BR", Region::SouthAmerica, {-23.55, -46.63}, 20,
+       {"Barueri"}, "sao"},
+      {"Vienna", "AT", Region::Europe, {48.21, 16.37}, 19, {}, "vie"},
+      {"Singapore", "SG", Region::Asia, {1.35, 103.82}, 19, {}, "sin"},
+      {"Auckland", "NZ", Region::Oceania, {-36.85, 174.76}, 18, {}, "akl"},
+      {"Hong Kong", "HK", Region::Asia, {22.32, 114.17}, 18, {}, "hkg"},
+      {"Melbourne", "AU", Region::Oceania, {-37.81, 144.96}, 17, {}, "mel"},
+      {"Montreal", "CA", Region::NorthAmerica, {45.50, -73.57}, 17, {}, "yul"},
+      {"Zurich", "CH", Region::Europe, {47.37, 8.54}, 16, {}, "zrh"},
+      {"Prague", "CZ", Region::Europe, {50.08, 14.44}, 16, {}, "prg"},
+      {"Seattle", "US", Region::NorthAmerica, {47.61, -122.33}, 15, {}, "sea"},
+      {"Chicago", "US", Region::NorthAmerica, {41.88, -87.63}, 15, {}, "chi"},
+      {"Dallas", "US", Region::NorthAmerica, {32.78, -96.80}, 14, {}, "dfw"},
+      {"Hamburg", "DE", Region::Europe, {53.55, 9.99}, 14, {}, "ham"},
+      {"Atlanta", "US", Region::NorthAmerica, {33.75, -84.39}, 13, {}, "atl"},
+      {"Bucharest", "RO", Region::Europe, {44.43, 26.10}, 13, {}, "buh"},
+      {"Madrid", "ES", Region::Europe, {40.42, -3.70}, 12, {}, "mad"},
+      {"Milan", "IT", Region::Europe, {45.46, 9.19}, 12, {}, "mil"},
+      {"Duesseldorf", "DE", Region::Europe, {51.23, 6.77}, 11, {}, "dus"},
+      {"Sofia", "BG", Region::Europe, {42.70, 23.32}, 11, {}, "sof"},
+      {"St. Petersburg", "RU", Region::Europe, {59.93, 30.34}, 10, {}, "led"},
+      {"Washington", "US", Region::NorthAmerica, {38.91, -77.04}, 10,
+       {"Ashburn", "Reston", "Vienna VA"}, "iad"},
+      {"Toronto", "CA", Region::NorthAmerica, {43.65, -79.38}, 9, {}, "yyz"},
+      {"Sydney", "AU", Region::Oceania, {-33.87, 151.21}, 9, {}, "syd"},
+      {"Warsaw", "PL", Region::Europe, {52.23, 21.01}, 8, {}, "waw"},
+      {"Copenhagen", "DK", Region::Europe, {55.68, 12.57}, 8, {}, "cph"},
+      {"Oslo", "NO", Region::Europe, {59.91, 10.75}, 7, {}, "osl"},
+      {"Helsinki", "FI", Region::Europe, {60.17, 24.94}, 7, {}, "hel"},
+      {"Brussels", "BE", Region::Europe, {50.85, 4.35}, 7, {}, "bru"},
+      {"Dublin", "IE", Region::Europe, {53.35, -6.26}, 7, {}, "dub"},
+      {"Lisbon", "PT", Region::Europe, {38.72, -9.14}, 6, {}, "lis"},
+      {"Athens", "GR", Region::Europe, {37.98, 23.73}, 6, {}, "ath"},
+      {"Budapest", "HU", Region::Europe, {47.50, 19.04}, 6, {}, "bud"},
+      {"Istanbul", "TR", Region::Europe, {41.01, 28.98}, 6, {}, "ist"},
+      {"Mumbai", "IN", Region::Asia, {19.08, 72.88}, 6, {}, "bom"},
+      {"Chennai", "IN", Region::Asia, {13.08, 80.27}, 5, {}, "maa"},
+      {"Seoul", "KR", Region::Asia, {37.57, 126.98}, 5, {}, "sel"},
+      {"Taipei", "TW", Region::Asia, {25.03, 121.57}, 5, {}, "tpe"},
+      {"Osaka", "JP", Region::Asia, {34.69, 135.50}, 5, {}, "osa"},
+      {"Kuala Lumpur", "MY", Region::Asia, {3.14, 101.69}, 5, {}, "kul"},
+      {"Jakarta", "ID", Region::Asia, {-6.21, 106.85}, 5, {}, "jkt"},
+      {"Bangkok", "TH", Region::Asia, {13.76, 100.50}, 4, {}, "bkk"},
+      {"Manila", "PH", Region::Asia, {14.60, 120.98}, 4, {}, "mnl"},
+      {"Johannesburg", "ZA", Region::Africa, {-26.20, 28.05}, 5, {}, "jnb"},
+      {"Cape Town", "ZA", Region::Africa, {-33.92, 18.42}, 4, {}, "cpt"},
+      {"Nairobi", "KE", Region::Africa, {-1.29, 36.82}, 3, {}, "nbo"},
+      {"Lagos", "NG", Region::Africa, {6.52, 3.38}, 3, {}, "los"},
+      {"Cairo", "EG", Region::Africa, {30.04, 31.24}, 3, {}, "cai"},
+      {"Buenos Aires", "AR", Region::SouthAmerica, {-34.60, -58.38}, 5,
+       {}, "bue"},
+      {"Santiago", "CL", Region::SouthAmerica, {-33.45, -70.67}, 4, {}, "scl"},
+      {"Bogota", "CO", Region::SouthAmerica, {4.71, -74.07}, 3, {}, "bog"},
+      {"Lima", "PE", Region::SouthAmerica, {-12.05, -77.04}, 3, {}, "lim"},
+      {"Rio de Janeiro", "BR", Region::SouthAmerica, {-22.91, -43.17}, 4,
+       {}, "rio"},
+      {"Mexico City", "MX", Region::NorthAmerica, {19.43, -99.13}, 4,
+       {}, "mex"},
+      {"Denver", "US", Region::NorthAmerica, {39.74, -104.99}, 5, {}, "den"},
+      {"Phoenix", "US", Region::NorthAmerica, {33.45, -112.07}, 4, {}, "phx"},
+      {"Boston", "US", Region::NorthAmerica, {42.36, -71.06}, 5, {}, "bos"},
+      {"Houston", "US", Region::NorthAmerica, {29.76, -95.37}, 4, {}, "hou"},
+      {"Minneapolis", "US", Region::NorthAmerica, {44.98, -93.27}, 3,
+       {}, "msp"},
+      {"Vancouver", "CA", Region::NorthAmerica, {49.28, -123.12}, 4,
+       {}, "yvr"},
+      {"Munich", "DE", Region::Europe, {48.14, 11.58}, 6, {}, "muc"},
+      {"Rome", "IT", Region::Europe, {41.90, 12.50}, 4, {}, "rom"},
+      {"Barcelona", "ES", Region::Europe, {41.39, 2.17}, 4, {}, "bcn"},
+      {"Marseille", "FR", Region::Europe, {43.30, 5.37}, 5, {}, "mrs"},
+      {"Geneva", "CH", Region::Europe, {46.20, 6.14}, 3, {}, "gva"},
+      {"Riga", "LV", Region::Europe, {56.95, 24.11}, 3, {}, "rix"},
+      {"Vilnius", "LT", Region::Europe, {54.69, 25.28}, 3, {}, "vno"},
+      {"Tallinn", "EE", Region::Europe, {59.44, 24.75}, 3, {}, "tll"},
+      {"Luxembourg", "LU", Region::Europe, {49.61, 6.13}, 3, {}, "lux"},
+      {"Bratislava", "SK", Region::Europe, {48.15, 17.11}, 2, {}, "bts"},
+      {"Zagreb", "HR", Region::Europe, {45.81, 15.98}, 2, {}, "zag"},
+      {"Belgrade", "RS", Region::Europe, {44.79, 20.45}, 2, {}, "beg"},
+      {"Brisbane", "AU", Region::Oceania, {-27.47, 153.03}, 3, {}, "bne"},
+      {"Perth", "AU", Region::Oceania, {-31.95, 115.86}, 2, {}, "per"},
+      {"Wellington", "NZ", Region::Oceania, {-41.29, 174.78}, 2, {}, "wlg"},
+  };
+  return catalog;
+}
+
+}  // namespace cfs

@@ -1,0 +1,27 @@
+// Catalog of world metros used to seed the generator, plus city-name alias
+// handling (the paper normalises "Jersey City" and "New York City" into one
+// NYC metropolitan area; our PeeringDB emulation re-introduces those aliases
+// so the normaliser has real work to do).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/entities.h"
+
+namespace cfs {
+
+struct MetroSeed {
+  std::string name;
+  std::string country;
+  Region region;
+  GeoPoint location;
+  double weight;  // relative importance: facility/IXP density driver
+  std::vector<std::string> aliases;  // nearby city names merged into metro
+  std::string airport_code;          // IATA-style code for DNS conventions
+};
+
+// Ordered by decreasing weight (London, New York, Paris, Frankfurt, ...).
+const std::vector<MetroSeed>& metro_catalog();
+
+}  // namespace cfs

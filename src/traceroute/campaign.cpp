@@ -1,0 +1,74 @@
+#include "traceroute/campaign.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+MeasurementCampaign::MeasurementCampaign(const Topology& topo,
+                                         TracerouteEngine& engine,
+                                         LookingGlassDirectory& lgs)
+    : topo_(topo), engine_(engine), lgs_(lgs) {}
+
+std::vector<TraceResult> MeasurementCampaign::run(
+    std::span<const VantagePoint* const> vps,
+    const std::vector<Ipv4>& targets) {
+  std::vector<TraceResult> out;
+  for (const Ipv4 target : targets) {
+    bool used_parallel_batch = false;
+    for (const VantagePoint* vp : vps) {
+      ++attempted_;
+      if (vp->platform == Platform::LookingGlass) {
+        // Respect the per-LG cool-down: fast-forward the virtual clock to
+        // the earliest allowed instant, as the paper's pipeline waits.
+        const double ready = lgs_.next_allowed_s(vp->attach);
+        clock_s_ = std::max(clock_s_, ready);
+        lgs_.try_query(vp->attach, clock_s_);
+        clock_s_ += single_trace_s;
+      } else {
+        used_parallel_batch = true;
+      }
+      TraceResult trace = engine_.trace(*vp, target);
+      if (trace.hops.empty()) continue;
+      ++kept_;
+      out.push_back(std::move(trace));
+    }
+    if (used_parallel_batch) clock_s_ += parallel_batch_s;
+  }
+  return out;
+}
+
+TraceResult MeasurementCampaign::probe(const VantagePoint& vp, Ipv4 target) {
+  ++attempted_;
+  if (vp.platform == Platform::LookingGlass) {
+    const double ready = lgs_.next_allowed_s(vp.attach);
+    clock_s_ = std::max(clock_s_, ready);
+    lgs_.try_query(vp.attach, clock_s_);
+    clock_s_ += single_trace_s;
+  } else {
+    clock_s_ += single_trace_s;
+  }
+  TraceResult trace = engine_.trace(vp, target);
+  if (!trace.hops.empty()) ++kept_;
+  return trace;
+}
+
+std::vector<Ipv4> MeasurementCampaign::targets_for(const Topology& topo,
+                                                   Asn asn) {
+  std::vector<Ipv4> out;
+  const auto& as = topo.as_of(asn);
+  for (const Prefix& prefix : as.prefixes) {
+    // Probe an address deep inside the block, skipping over any that happen
+    // to be infrastructure interfaces.
+    for (std::uint64_t probe = prefix.size() / 2;
+         probe + 2 < prefix.size(); ++probe) {
+      const Ipv4 cand = prefix.at(probe);
+      if (topo.find_interface(cand) == nullptr) {
+        out.push_back(cand);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cfs

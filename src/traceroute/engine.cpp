@@ -1,0 +1,91 @@
+#include "traceroute/engine.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+TracerouteEngine::TracerouteEngine(const Topology& topo,
+                                   const ForwardingEngine& forwarding,
+                                   const EngineConfig& config,
+                                   std::uint64_t seed)
+    : topo_(topo), forwarding_(forwarding), config_(config), rng_(seed) {}
+
+TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
+  ++traces_;
+  TraceResult result;
+  result.vp = vp.id;
+  result.target = target;
+
+  const auto path = forwarding_.route(vp.attach, target);
+  if (path.empty()) return result;
+
+  int ttl = 0;
+  for (const RouterHop& hop : path) {
+    if (++ttl > config_.max_ttl) return result;
+    const Router& router = topo_.router(hop.router);
+    Hop out;
+    const bool lost = rng_.chance(config_.probe_loss);
+    if (router.responds_to_traceroute && !lost) {
+      out.responded = true;
+      out.address = hop.ingress;
+      out.rtt_ms = 2.0 * (vp.access_ms + hop.cumulative_ms) +
+                   config_.processing_ms +
+                   std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+    }
+    result.hops.push_back(out);
+  }
+
+  // Destination host reply. When the target is a router interface the final
+  // router hop already answered with the right address; otherwise the end
+  // host itself responds one hop further.
+  const Interface* iface = topo_.find_interface(target);
+  if (iface == nullptr || iface->role == InterfaceRole::Host) {
+    if (++ttl <= config_.max_ttl && !rng_.chance(config_.probe_loss)) {
+      Hop out;
+      out.responded = true;
+      out.address = target;
+      out.rtt_ms = 2.0 * (vp.access_ms + path.back().cumulative_ms + 0.1) +
+                   config_.processing_ms +
+                   std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+      result.hops.push_back(out);
+      result.reached_target = true;
+    }
+  } else {
+    // Rewrite the final hop to the probed interface address: the
+    // destination answers an ICMP echo from the probed address itself.
+    if (!result.hops.empty()) {
+      result.hops.back().address = target;
+      result.hops.back().responded = true;
+      if (result.hops.back().rtt_ms == 0.0)
+        result.hops.back().rtt_ms =
+            2.0 * (vp.access_ms + path.back().cumulative_ms) +
+            config_.processing_ms;
+      result.reached_target = true;
+    }
+  }
+  return result;
+}
+
+std::vector<TraceResult> TracerouteEngine::trace_all(
+    const VantagePoint& vp, const std::vector<Ipv4>& targets) {
+  std::vector<TraceResult> out;
+  out.reserve(targets.size());
+  for (const Ipv4 target : targets) out.push_back(trace(vp, target));
+  return out;
+}
+
+double TracerouteEngine::min_rtt_ms(const VantagePoint& vp, Ipv4 target,
+                                    int probes) {
+  const auto path = forwarding_.route(vp.attach, target);
+  if (path.empty()) return -1.0;
+  double best = 1e18;
+  for (int i = 0; i < probes; ++i) {
+    const double rtt = 2.0 * (vp.access_ms + path.back().cumulative_ms) +
+                       config_.processing_ms +
+                       std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+    best = std::min(best, rtt);
+  }
+  return best;
+}
+
+}  // namespace cfs

@@ -1,0 +1,66 @@
+// Traceroute measurement simulation.
+//
+// Executes an ICMP Paris-style traceroute along the ForwardingEngine path:
+// per-hop RTT = 2x cumulative one-way latency + last-mile access delay +
+// processing jitter; routers that filter ICMP show up as missing hops; the
+// destination answers if probing reaches it. Paris flow pinning means the
+// path itself is deterministic — artifacts come from loss and filtering,
+// the ones the paper's pipeline must survive.
+#pragma once
+
+#include <vector>
+
+#include "traceroute/forwarding.h"
+#include "traceroute/platforms.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct Hop {
+  Ipv4 address;          // meaningful only when responded
+  double rtt_ms = 0.0;
+  bool responded = false;
+};
+
+struct TraceResult {
+  VantagePointId vp;
+  Ipv4 target;
+  std::vector<Hop> hops;
+  bool reached_target = false;
+};
+
+struct EngineConfig {
+  double jitter_ms = 0.25;        // std-dev of per-reply queueing noise
+  double processing_ms = 0.08;    // ICMP generation cost per hop
+  double probe_loss = 0.01;       // independent per-hop probe loss
+  int max_ttl = 40;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const Topology& topo, const ForwardingEngine& forwarding,
+                   const EngineConfig& config, std::uint64_t seed);
+
+  // One traceroute from the vantage point to the target address.
+  TraceResult trace(const VantagePoint& vp, Ipv4 target);
+
+  // Batch helper.
+  std::vector<TraceResult> trace_all(const VantagePoint& vp,
+                                     const std::vector<Ipv4>& targets);
+
+  // Minimum-RTT estimate to an address from a vantage point over n probes
+  // (used by the remote-peering detector exactly as the paper uses repeated
+  // pings at different times of day).
+  double min_rtt_ms(const VantagePoint& vp, Ipv4 target, int probes);
+
+  [[nodiscard]] std::size_t traces_executed() const { return traces_; }
+
+ private:
+  const Topology& topo_;
+  const ForwardingEngine& forwarding_;
+  EngineConfig config_;
+  Rng rng_;
+  std::size_t traces_ = 0;
+};
+
+}  // namespace cfs

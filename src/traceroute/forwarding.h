@@ -1,0 +1,68 @@
+// Router-level forwarding over the ground-truth topology.
+//
+// Combines the AS-level RoutingOracle with hot-potato intra-AS routing:
+// inside an AS, traffic takes the shortest (latency) backbone path to the
+// egress border router closest to where it entered, which is how real
+// ISPs behave and what gives traceroute its familiar shape. The hop list
+// records, for every router on the path, the *ingress* interface — the
+// address traceroute replies come from — so public peerings naturally
+// surface as an IXP-LAN address on the far-side router (the paper's
+// (IP_A, IP_e, IP_B) signature) and private peerings as the bare
+// (IP_A, IP_B) adjacency.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/routing.h"
+#include "topology/topology.h"
+
+namespace cfs {
+
+struct RouterHop {
+  RouterId router;
+  Ipv4 ingress;             // address this router replies from
+  LinkId via_link;          // link used to reach this router (invalid: first)
+  double cumulative_ms = 0;  // one-way latency from the source router
+};
+
+class ForwardingEngine {
+ public:
+  ForwardingEngine(const Topology& topo, const RoutingOracle& oracle);
+
+  // Full router path from src to the router responsible for `target`.
+  // Empty when the destination AS is unreachable. The first hop is `src`
+  // itself (replying with its local address).
+  [[nodiscard]] std::vector<RouterHop> route(RouterId src, Ipv4 target) const;
+
+  // Router that answers for a destination address: the owning router for
+  // registered interfaces, else a deterministic "homing" router inside the
+  // origin AS (per-/24 anycast-free assignment).
+  [[nodiscard]] std::optional<RouterId> responsible_router(Ipv4 target) const;
+
+  // Intra-AS shortest path (backbone links only); includes both endpoints.
+  // Empty when disconnected (generator guarantees connectivity).
+  [[nodiscard]] std::vector<RouterHop> intra_as_path(RouterId from,
+                                                     RouterId to) const;
+
+  // All non-backbone links instantiating the (a, b) AS adjacency.
+  [[nodiscard]] const std::vector<LinkId>& links_between(Asn a, Asn b) const;
+
+ private:
+  struct Adjacency {
+    RouterId peer;
+    LinkId link;
+    double latency;
+  };
+
+  [[nodiscard]] double intra_distance(RouterId from, RouterId to) const;
+
+  const Topology& topo_;
+  const RoutingOracle& oracle_;
+  std::vector<std::vector<Adjacency>> backbone_;  // per router
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> inter_as_links_;
+  static const std::vector<LinkId> no_links_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,161 @@
+#include "traceroute/platforms.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace cfs {
+namespace {
+
+// Allocates an unused host address near the top of the AS's first block.
+Ipv4 allocate_host_address(const Topology& topo, const AutonomousSystem& as,
+                           std::uint64_t& cursor) {
+  const Prefix& block = as.prefixes.front();
+  while (cursor + 2 < block.size()) {
+    const Ipv4 cand = block.at(block.size() - 2 - cursor);
+    ++cursor;
+    if (topo.find_interface(cand) == nullptr) return cand;
+  }
+  throw std::logic_error("no free host address in " + as.name);
+}
+
+}  // namespace
+
+std::string_view platform_name(Platform platform) {
+  switch (platform) {
+    case Platform::RipeAtlas: return "RIPE Atlas";
+    case Platform::LookingGlass: return "LGs";
+    case Platform::IPlane: return "iPlane";
+    case Platform::Ark: return "Ark";
+  }
+  return "?";
+}
+
+VantagePointSet::VantagePointSet(Topology& topo,
+                                 const LookingGlassDirectory& lgs,
+                                 const PlatformConfig& config) {
+  Rng rng(config.seed);
+  std::unordered_map<std::uint32_t, std::uint64_t> cursors;  // per ASN
+
+  auto add_host = [&](Platform platform, const AutonomousSystem& as,
+                      RouterId attach, double access_ms) {
+    auto& cursor = cursors[as.asn.value];
+    const Ipv4 addr = allocate_host_address(topo, as, cursor);
+    VantagePoint vp;
+    vp.id = VantagePointId(static_cast<std::uint32_t>(vps_.size()));
+    vp.platform = platform;
+    vp.attach = attach;
+    vp.asn = as.asn;
+    vp.address = addr;
+    vp.access_ms = access_ms;
+    topo.add_interface(
+        Interface{addr, attach, LinkId::invalid(), InterfaceRole::Host});
+    vps_.push_back(vp);
+  };
+
+  // --- RIPE Atlas: eyeball-hosted, Europe-biased, last-mile latency ---
+  {
+    std::vector<const AutonomousSystem*> hosts;
+    std::vector<double> weights;
+    for (const auto& as : topo.ases()) {
+      if (as.type != AsType::Eyeball && as.type != AsType::Enterprise)
+        continue;
+      if (as.facilities.empty()) continue;
+      const Region region =
+          topo.metro(topo.metro_of(as.facilities.front())).region;
+      const double w =
+          region == Region::Europe ? config.atlas_europe_bias : 1.0;
+      hosts.push_back(&as);
+      weights.push_back(w * (as.type == AsType::Eyeball ? 3.0 : 1.0));
+    }
+    for (int i = 0; i < config.atlas_target && !hosts.empty(); ++i) {
+      const auto& as = *hosts[rng.weighted_index(weights)];
+      const auto routers = topo.routers_of(as.asn);
+      add_host(Platform::RipeAtlas, as, routers[rng.index(routers.size())],
+               rng.uniform_real(2.0, 20.0));
+    }
+  }
+
+  // --- Looking glasses: the LG routers themselves ---
+  for (const auto& entry : lgs.entries()) {
+    const auto& as = topo.as_of(entry.owner);
+    add_host(Platform::LookingGlass, as, entry.router, 0.05);
+  }
+
+  // --- iPlane: enterprise/academic hosts, worldwide ---
+  {
+    std::vector<const AutonomousSystem*> hosts;
+    for (const auto& as : topo.ases())
+      if (as.type == AsType::Enterprise && !as.facilities.empty())
+        hosts.push_back(&as);
+    for (int i = 0; i < config.iplane_target && !hosts.empty(); ++i) {
+      const auto& as = *hosts[rng.index(hosts.size())];
+      const auto routers = topo.routers_of(as.asn);
+      add_host(Platform::IPlane, as, routers[rng.index(routers.size())],
+               rng.uniform_real(0.5, 3.0));
+    }
+  }
+
+  // --- Ark: few monitors, spread across regions/AS types ---
+  {
+    std::vector<const AutonomousSystem*> hosts;
+    for (const auto& as : topo.ases())
+      if ((as.type == AsType::Eyeball || as.type == AsType::Transit ||
+           as.type == AsType::Enterprise) &&
+          !as.facilities.empty())
+        hosts.push_back(&as);
+    for (int i = 0; i < config.ark_target && !hosts.empty(); ++i) {
+      const auto& as = *hosts[rng.index(hosts.size())];
+      const auto routers = topo.routers_of(as.asn);
+      add_host(Platform::Ark, as, routers[rng.index(routers.size())],
+               rng.uniform_real(0.5, 5.0));
+    }
+  }
+}
+
+std::vector<const VantagePoint*> VantagePointSet::of(Platform platform) const {
+  std::vector<const VantagePoint*> out;
+  for (const auto& vp : vps_)
+    if (vp.platform == platform) out.push_back(&vp);
+  return out;
+}
+
+const VantagePoint& VantagePointSet::vp(VantagePointId id) const {
+  if (id.value >= vps_.size())
+    throw std::out_of_range("VantagePointSet::vp: bad id");
+  return vps_[id.value];
+}
+
+VantagePointSet::PlatformStats VantagePointSet::stats(
+    Platform platform, const Topology& topo) const {
+  PlatformStats out;
+  std::set<std::uint32_t> asns;
+  std::set<std::string> countries;
+  for (const auto& vp : vps_) {
+    if (vp.platform != platform) continue;
+    ++out.vantage_points;
+    asns.insert(vp.asn.value);
+    countries.insert(
+        topo.metro(topo.metro_of(topo.router(vp.attach).facility)).country);
+  }
+  out.distinct_asns = asns.size();
+  out.distinct_countries = countries.size();
+  return out;
+}
+
+VantagePointSet::PlatformStats VantagePointSet::totals(
+    const Topology& topo) const {
+  PlatformStats out;
+  std::set<std::uint32_t> asns;
+  std::set<std::string> countries;
+  for (const auto& vp : vps_) {
+    ++out.vantage_points;
+    asns.insert(vp.asn.value);
+    countries.insert(
+        topo.metro(topo.metro_of(topo.router(vp.attach).facility)).country);
+  }
+  out.distinct_asns = asns.size();
+  out.distinct_countries = countries.size();
+  return out;
+}
+
+}  // namespace cfs

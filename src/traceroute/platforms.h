@@ -1,0 +1,67 @@
+// Measurement platforms: RIPE-Atlas-, looking-glass-, iPlane- and Ark-like
+// vantage point sets (paper Table 1).
+//
+// Each vantage point is an end host attached to a router in the topology.
+// Platform profiles reproduce the biases the paper discusses: Atlas probes
+// sit in eyeball networks with a strong European skew and noticeable
+// last-mile latency; looking glasses *are* transit routers (zero access
+// delay, many in IXP members); iPlane nodes live in enterprise/academic
+// networks; Ark monitors are few but well spread.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/looking_glass.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+enum class Platform { RipeAtlas, LookingGlass, IPlane, Ark };
+std::string_view platform_name(Platform platform);
+inline constexpr int platform_count = 4;
+
+struct VantagePoint {
+  VantagePointId id;
+  Platform platform = Platform::RipeAtlas;
+  RouterId attach;            // router the host sits behind
+  Asn asn;                    // hosting AS
+  Ipv4 address;               // host address (in the hosting AS space)
+  double access_ms = 0.0;     // host-to-first-router one-way latency
+};
+
+struct PlatformConfig {
+  int atlas_target = 800;   // requested probe counts (feasibility-capped)
+  int iplane_target = 60;
+  int ark_target = 30;
+  double atlas_europe_bias = 2.5;  // relative weight for European hosts
+  std::uint64_t seed = 3;
+};
+
+class VantagePointSet {
+ public:
+  // Builds hosts for all four platforms; LG vantage points are taken from
+  // the directory (one per looking glass).
+  VantagePointSet(Topology& topo, const LookingGlassDirectory& lgs,
+                  const PlatformConfig& config);
+
+  [[nodiscard]] std::span<const VantagePoint> all() const { return vps_; }
+  [[nodiscard]] std::vector<const VantagePoint*> of(Platform platform) const;
+  [[nodiscard]] const VantagePoint& vp(VantagePointId id) const;
+
+  struct PlatformStats {
+    std::size_t vantage_points = 0;
+    std::size_t distinct_asns = 0;
+    std::size_t distinct_countries = 0;
+  };
+  [[nodiscard]] PlatformStats stats(Platform platform,
+                                    const Topology& topo) const;
+  [[nodiscard]] PlatformStats totals(const Topology& topo) const;
+
+ private:
+  std::vector<VantagePoint> vps_;
+};
+
+}  // namespace cfs

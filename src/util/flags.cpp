@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cfs {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  used_.insert(name);
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1")
+    return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              it->second + "'");
+}
+
+std::vector<std::string> Flags::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_)
+    if (!used_.contains(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the tools/ binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--name" forms plus
+// positional arguments. No registration step: callers query typed getters
+// with defaults and then call `unknown_flags()` to reject typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cfs {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  // Flags present on the command line but never queried; call after all
+  // gets to report typos. (Query order matters: getters mark flags used.)
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::map<std::string, std::string> values_;  // "" for bare booleans
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace cfs

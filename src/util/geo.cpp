@@ -1,0 +1,32 @@
+#include "util/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cfs {
+namespace {
+
+constexpr double earth_radius_km = 6371.0;
+constexpr double fibre_km_per_ms = 299.792458 * (2.0 / 3.0);  // ~200 km/ms
+constexpr double path_stretch = 1.4;
+
+double deg2rad(double deg) { return deg * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * earth_radius_km * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b) {
+  return haversine_km(a, b) * path_stretch / fibre_km_per_ms;
+}
+
+}  // namespace cfs

@@ -1,0 +1,28 @@
+// Geographic primitives: coordinates, great-circle distance, and the
+// propagation-delay model used by the traceroute RTT simulation.
+#pragma once
+
+#include <compare>
+
+namespace cfs {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr auto operator<=>(const GeoPoint&, const GeoPoint&) = default;
+};
+
+// Great-circle distance in kilometres (haversine formula, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// One-way propagation delay in milliseconds for a fibre path between two
+// points. Uses c * 2/3 for the speed of light in fibre and a path-stretch
+// factor of 1.4 to account for non-great-circle cable routing.
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b);
+
+// Distance below which two city locations are treated as the same
+// metropolitan area (the paper merges cities < 5 miles apart).
+inline constexpr double metro_merge_km = 8.0;
+
+}  // namespace cfs

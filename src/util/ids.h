@@ -1,0 +1,81 @@
+// Strong identifier types.
+//
+// Every entity in the topology (metro, facility, IXP, AS, router, interface,
+// link, vantage point) is referred to by a small integer handle. Using a
+// distinct wrapper type per entity prevents the classic bug of indexing the
+// facility table with a router id. The wrapper is trivially copyable and has
+// no runtime cost over a bare uint32_t.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cfs {
+
+template <class Tag>
+struct Id {
+  using value_type = std::uint32_t;
+  static constexpr value_type invalid_value =
+      std::numeric_limits<value_type>::max();
+
+  value_type value = invalid_value;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != invalid_value; }
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct MetroTag {};
+struct FacilityTag {};
+struct OperatorTag {};
+struct IxpTag {};
+struct RouterTag {};
+struct LinkTag {};
+struct VantagePointTag {};
+
+using MetroId = Id<MetroTag>;
+using FacilityId = Id<FacilityTag>;
+using OperatorId = Id<OperatorTag>;
+using IxpId = Id<IxpTag>;
+using RouterId = Id<RouterTag>;
+using LinkId = Id<LinkTag>;
+using VantagePointId = Id<VantagePointTag>;
+
+// AS numbers are real-world-meaningful values (not dense handles), so they
+// keep their own wrapper distinct from the Id<> template.
+struct Asn {
+  std::uint32_t value = 0;
+
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+};
+
+}  // namespace cfs
+
+namespace std {
+
+template <class Tag>
+struct hash<cfs::Id<Tag>> {
+  size_t operator()(cfs::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct hash<cfs::Asn> {
+  size_t operator()(cfs::Asn asn) const noexcept {
+    return std::hash<std::uint32_t>{}(asn.value);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,153 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cfs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_in: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : uniform(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; one value per call keeps the generator state simple.
+  double u1 = uniform01();
+  while (u1 <= 1e-300) u1 = uniform01();
+  const double u2 = uniform01();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  double u = uniform01();
+  while (u <= 1e-300) u = uniform01();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  return ZipfSampler(n, s).sample(*this);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(uniform(size));
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all weights zero");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  // Partial Fisher-Yates over an index vector; fine at simulator scales.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  cdf_.reserve(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return static_cast<std::uint64_t>(lo + 1);
+}
+
+}  // namespace cfs

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules (parsing data-source records,
+// DNS hostname handling, report formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfs {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+
+// Render a double with fixed decimals (report output).
+std::string fixed(double value, int decimals);
+
+// "12,345" style thousands separator for readable report tables.
+std::string with_commas(std::uint64_t value);
+
+}  // namespace cfs

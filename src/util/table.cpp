@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cfs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell(std::uint64_t v) { return with_commas(v); }
+std::string Table::cell(std::int64_t v) {
+  return v < 0 ? "-" + with_commas(static_cast<std::uint64_t>(-v))
+               : with_commas(static_cast<std::uint64_t>(v));
+}
+std::string Table::cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+std::string Table::cell(double v, int decimals) { return fixed(v, decimals); }
+std::string Table::percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad)
+        os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  auto rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto sanitize = [](const std::string& s) {
+    std::string out = s;
+    std::replace(out.begin(), out.end(), ',', ';');
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << sanitize(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << sanitize(row[c]);
+    os << '\n';
+  }
+}
+
+}  // namespace cfs

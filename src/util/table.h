@@ -1,0 +1,39 @@
+// ASCII / CSV table rendering used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform way.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience: builds the row from heterogeneous cells already rendered by
+  // caller; numeric helpers below reduce boilerplate at call sites.
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+  static std::string cell(double v, int decimals = 2);
+  static std::string percent(double fraction, int decimals = 1);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Pretty-printed, pipe-delimited table with aligned columns.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (no quoting needed for our content, commas stripped).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,70 @@
+#include "alias/ally.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct AllyFixture {
+  MiniNet net;
+  Asn a;
+
+  AllyFixture() { a = net.add_as(1000, AsType::Transit, {1, 2, 4}); }
+
+  Ipv4 local(int fac_index) const {
+    return net.topo.router(net.router(a, fac_index)).local_address;
+  }
+};
+
+TEST(Ally, AcceptsSameRouterInterfaces) {
+  AllyFixture fx;
+  const auto& ifaces =
+      fx.net.topo.router(fx.net.router(fx.a, 1)).interfaces;
+  ASSERT_GE(ifaces.size(), 2u);
+  AllyResolver ally(fx.net.topo, 3);
+  EXPECT_EQ(ally.test_pair(ifaces[0], ifaces[1]), AllyVerdict::Alias);
+  EXPECT_EQ(ally.probes_sent(), 9u);  // 3 trials x 3 probes
+}
+
+TEST(Ally, RejectsDistinctRouters) {
+  AllyFixture fx;
+  AllyResolver ally(fx.net.topo, 3);
+  EXPECT_EQ(ally.test_pair(fx.local(1), fx.local(2)), AllyVerdict::NotAlias);
+}
+
+TEST(Ally, UnresponsiveRouterDetected) {
+  AllyFixture fx;
+  fx.net.topo.mutable_router(fx.net.router(fx.a, 1)).ipid =
+      IpIdBehaviour::Unresponsive;
+  AllyResolver ally(fx.net.topo, 3);
+  EXPECT_EQ(ally.test_pair(fx.local(1), fx.local(2)),
+            AllyVerdict::Unresponsive);
+}
+
+TEST(Ally, RandomIpIdMostlyRejected) {
+  AllyFixture fx;
+  fx.net.topo.mutable_router(fx.net.router(fx.a, 1)).ipid =
+      IpIdBehaviour::Random;
+  AllyResolver ally(fx.net.topo, 3);
+  // Random counters sail through only with vanishing probability.
+  EXPECT_NE(ally.test_pair(fx.local(1), fx.local(1)), AllyVerdict::Alias);
+}
+
+TEST(Ally, SelfPairIsAlias) {
+  AllyFixture fx;
+  AllyResolver ally(fx.net.topo, 3);
+  EXPECT_EQ(ally.test_pair(fx.local(1), fx.local(1)), AllyVerdict::Alias);
+}
+
+TEST(Ally, VerdictNames) {
+  EXPECT_EQ(ally_verdict_name(AllyVerdict::Alias), "alias");
+  EXPECT_EQ(ally_verdict_name(AllyVerdict::NotAlias), "not-alias");
+  EXPECT_EQ(ally_verdict_name(AllyVerdict::Unresponsive), "unresponsive");
+}
+
+}  // namespace
+}  // namespace cfs

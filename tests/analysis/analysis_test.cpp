@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "analysis/footprint.h"
+#include "analysis/resilience.h"
+#include "core/pipeline.h"
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+// Hand-crafted report over the MiniNet world: A peers with C privately at
+// fac[1] (located both ends), publicly with E over the IXP (near located),
+// and with C again at fac[4] (second site for the A-C pair).
+struct AnalysisFixture {
+  MiniNet net;
+  Asn a{0}, c{0}, e{0};
+  CfsReport report;
+
+  AnalysisFixture() {
+    a = net.add_as(1000, AsType::Transit, {1, 4});
+    c = net.add_as(5000, AsType::Content, {1, 4});
+    e = net.add_as(10000, AsType::Eyeball, {3});
+
+    report.links.push_back(make_link(PeeringKind::Private, a, c,
+                                     InterconnectionType::PrivateCrossConnect,
+                                     net.fac[1], net.fac[1]));
+    report.links.push_back(make_link(PeeringKind::Public, a, e,
+                                     InterconnectionType::PublicLocal,
+                                     net.fac[1], std::nullopt));
+    report.links.push_back(make_link(PeeringKind::Private, a, c,
+                                     InterconnectionType::PrivateCrossConnect,
+                                     net.fac[4], net.fac[4]));
+    // An observed-but-unlocated crossing.
+    report.links.push_back(make_link(PeeringKind::Public, e, c,
+                                     InterconnectionType::PublicLocal,
+                                     std::nullopt, std::nullopt));
+  }
+
+  LinkInference make_link(PeeringKind kind, Asn near, Asn far,
+                          InterconnectionType type,
+                          std::optional<FacilityId> near_fac,
+                          std::optional<FacilityId> far_fac) {
+    LinkInference link;
+    link.obs.kind = kind;
+    link.obs.near_as = near;
+    link.obs.far_as = far;
+    link.obs.near_addr = net.take_address(near);
+    link.obs.far_addr = net.take_address(far);
+    link.obs.ixp = kind == PeeringKind::Public ? net.ix : IxpId::invalid();
+    link.type = type;
+    link.near_facility = near_fac;
+    link.far_facility = far_fac;
+    return link;
+  }
+};
+
+TEST(Footprint, TypeTallyArithmetic) {
+  TypeTally tally;
+  tally.bump(InterconnectionType::PublicLocal);
+  tally.bump(InterconnectionType::PublicRemote);
+  tally.bump(InterconnectionType::PrivateCrossConnect);
+  tally.bump(InterconnectionType::Unknown);  // ignored
+  EXPECT_EQ(tally.total(), 3u);
+  EXPECT_EQ(tally.public_total(), 2u);
+  EXPECT_EQ(tally.private_total(), 1u);
+  EXPECT_NEAR(tally.public_share(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(TypeTally{}.public_share(), 0.0);
+}
+
+TEST(Footprint, PerAsAggregation) {
+  AnalysisFixture fx;
+  FootprintAnalyzer analyzer(fx.net.topo, fx.report);
+
+  const AsFootprint fa = analyzer.footprint(fx.a);
+  // A appears on 3 links, all located on its side.
+  EXPECT_EQ(fa.types.total(), 3u);
+  EXPECT_EQ(fa.located, 3u);
+  EXPECT_EQ(fa.unlocated, 0u);
+  EXPECT_EQ(fa.types.cross_connect, 2u);
+  EXPECT_EQ(fa.types.public_local, 1u);
+  EXPECT_EQ(fa.metros(), 2u);  // Frankfurt (fac 1) and London (fac 4)
+
+  const AsFootprint fe = analyzer.footprint(fx.e);
+  // E: far side of A-E public (unlocated far), near side of E-C (unlocated).
+  EXPECT_EQ(fe.types.total(), 2u);
+  EXPECT_EQ(fe.located, 0u);
+  EXPECT_EQ(fe.unlocated, 2u);
+}
+
+TEST(Footprint, UnknownAsGivesEmptyFootprint) {
+  AnalysisFixture fx;
+  FootprintAnalyzer analyzer(fx.net.topo, fx.report);
+  const AsFootprint fp = analyzer.footprint(Asn(424242));
+  EXPECT_EQ(fp.types.total(), 0u);
+  EXPECT_EQ(fp.located + fp.unlocated, 0u);
+}
+
+TEST(Footprint, RankingByLocatedCount) {
+  AnalysisFixture fx;
+  FootprintAnalyzer analyzer(fx.net.topo, fx.report);
+  const auto ranking = analyzer.ranking();
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking.front(), fx.a);  // 3 located appearances
+}
+
+TEST(Resilience, PairSiteCounting) {
+  AnalysisFixture fx;
+  ResilienceAnalyzer analyzer(fx.net.topo, fx.report);
+  EXPECT_EQ(analyzer.pair_site_count(fx.a, fx.c), 2u);  // fac 1 and fac 4
+  EXPECT_EQ(analyzer.pair_site_count(fx.c, fx.a), 2u);  // symmetric
+  EXPECT_EQ(analyzer.pair_site_count(fx.a, fx.e), 1u);
+  EXPECT_EQ(analyzer.pair_site_count(fx.e, fx.c), 0u);  // never located
+}
+
+TEST(Resilience, SingleHomedPairsPerFacility) {
+  AnalysisFixture fx;
+  ResilienceAnalyzer analyzer(fx.net.topo, fx.report);
+  // At fac[1]: pairs (A,C) [two sites] and (A,E) [single site].
+  const auto singles = analyzer.single_homed_pairs(fx.net.fac[1]);
+  ASSERT_EQ(singles.size(), 1u);
+  EXPECT_EQ(std::minmax(singles[0].first.value, singles[0].second.value),
+            std::minmax(fx.a.value, fx.e.value));
+  EXPECT_TRUE(analyzer.single_homed_pairs(fx.net.fac[3]).empty());
+}
+
+TEST(Resilience, CriticalityRankingOrdersBySingleHomedThenCount) {
+  AnalysisFixture fx;
+  ResilienceAnalyzer analyzer(fx.net.topo, fx.report);
+  const auto ranking = analyzer.criticality_ranking();
+  ASSERT_EQ(ranking.size(), 2u);  // fac[1] and fac[4]
+  EXPECT_EQ(ranking.front().facility, fx.net.fac[1]);
+  EXPECT_EQ(ranking.front().interconnections, 2u);
+  EXPECT_EQ(ranking.front().as_pairs, 2u);
+  EXPECT_EQ(ranking.front().single_homed_pairs, 1u);
+  EXPECT_EQ(ranking.back().facility, fx.net.fac[4]);
+  EXPECT_EQ(ranking.back().single_homed_pairs, 0u);
+}
+
+TEST(AnalysisIntegration, WorksOnRealPipelineOutput) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 8;
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(2, 2), 0.6);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  FootprintAnalyzer footprints(pipeline.topology(), report);
+  EXPECT_FALSE(footprints.all().empty());
+  std::size_t located = 0;
+  for (const auto& [asn, fp] : footprints.all()) located += fp.located;
+  EXPECT_GT(located, 0u);
+
+  ResilienceAnalyzer resilience(pipeline.topology(), report);
+  const auto ranking = resilience.criticality_ranking();
+  ASSERT_FALSE(ranking.empty());
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].single_homed_pairs + 1,
+              ranking[i].single_homed_pairs);  // non-strict ordering check
+  }
+  // Content networks should skew more public than tier1/transit overall.
+  double content_public = 0, content_n = 0, transit_public = 0, transit_n = 0;
+  for (const auto& [asn_value, fp] : footprints.all()) {
+    if (!pipeline.topology().has_as(Asn(asn_value))) continue;
+    const auto type = pipeline.topology().as_of(Asn(asn_value)).type;
+    if (fp.types.total() < 3) continue;
+    if (type == AsType::Content) {
+      content_public += fp.types.public_share();
+      ++content_n;
+    } else if (type == AsType::Tier1 || type == AsType::Transit) {
+      transit_public += fp.types.public_share();
+      ++transit_n;
+    }
+  }
+  if (content_n > 0 && transit_n > 0)
+    EXPECT_GT(content_public / content_n, transit_public / transit_n - 0.25);
+}
+
+}  // namespace
+}  // namespace cfs

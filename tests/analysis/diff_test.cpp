@@ -1,0 +1,113 @@
+#include "analysis/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace cfs {
+namespace {
+
+Ipv4 ip(std::uint32_t v) { return Ipv4(v); }
+
+InterfaceInference resolved_iface(Ipv4 addr, FacilityId fac) {
+  InterfaceInference inf;
+  inf.addr = addr;
+  inf.constrain({fac}, 1);
+  return inf;
+}
+
+InterfaceInference open_iface(Ipv4 addr) {
+  InterfaceInference inf;
+  inf.addr = addr;
+  inf.constrain({FacilityId(1), FacilityId(2)}, 1);
+  return inf;
+}
+
+LinkInference plain_link(Ipv4 near, Ipv4 far, InterconnectionType type) {
+  LinkInference link;
+  link.obs.near_addr = near;
+  link.obs.far_addr = far;
+  link.type = type;
+  return link;
+}
+
+TEST(Diff, IdenticalReportsAreEmpty) {
+  CfsReport report;
+  report.interfaces.emplace(ip(1), resolved_iface(ip(1), FacilityId(0)));
+  report.links.push_back(
+      plain_link(ip(1), ip(2), InterconnectionType::PublicLocal));
+  EXPECT_TRUE(diff_reports(report, report).empty());
+}
+
+TEST(Diff, ResolutionTransitions) {
+  CfsReport before;
+  before.interfaces.emplace(ip(1), open_iface(ip(1)));
+  before.interfaces.emplace(ip(2), resolved_iface(ip(2), FacilityId(5)));
+
+  CfsReport after;
+  after.interfaces.emplace(ip(1), resolved_iface(ip(1), FacilityId(3)));
+  after.interfaces.emplace(ip(2), open_iface(ip(2)));
+
+  const ReportDiff diff = diff_reports(before, after);
+  ASSERT_EQ(diff.newly_resolved.size(), 1u);
+  EXPECT_EQ(diff.newly_resolved[0], ip(1));
+  ASSERT_EQ(diff.lost.size(), 1u);
+  EXPECT_EQ(diff.lost[0], ip(2));
+  EXPECT_TRUE(diff.moved.empty());
+}
+
+TEST(Diff, MovedFacilities) {
+  CfsReport before;
+  before.interfaces.emplace(ip(1), resolved_iface(ip(1), FacilityId(5)));
+  CfsReport after;
+  after.interfaces.emplace(ip(1), resolved_iface(ip(1), FacilityId(9)));
+
+  const ReportDiff diff = diff_reports(before, after);
+  ASSERT_EQ(diff.moved.size(), 1u);
+  EXPECT_EQ(diff.moved[0].before, FacilityId(5));
+  EXPECT_EQ(diff.moved[0].after, FacilityId(9));
+  EXPECT_TRUE(diff.newly_resolved.empty());
+  EXPECT_TRUE(diff.lost.empty());
+}
+
+TEST(Diff, LinkAppearanceAndRetyping) {
+  CfsReport before;
+  before.links.push_back(
+      plain_link(ip(1), ip(2), InterconnectionType::PublicLocal));
+  before.links.push_back(
+      plain_link(ip(3), ip(4), InterconnectionType::PrivateCrossConnect));
+
+  CfsReport after;
+  after.links.push_back(
+      plain_link(ip(1), ip(2), InterconnectionType::PublicRemote));
+  after.links.push_back(
+      plain_link(ip(5), ip(6), InterconnectionType::PrivateTethering));
+
+  const ReportDiff diff = diff_reports(before, after);
+  ASSERT_EQ(diff.retyped.size(), 1u);
+  EXPECT_EQ(diff.retyped[0].before, InterconnectionType::PublicLocal);
+  EXPECT_EQ(diff.retyped[0].after, InterconnectionType::PublicRemote);
+  ASSERT_EQ(diff.new_links.size(), 1u);
+  EXPECT_EQ(diff.new_links[0], std::make_pair(ip(5), ip(6)));
+  ASSERT_EQ(diff.gone_links.size(), 1u);
+  EXPECT_EQ(diff.gone_links[0], std::make_pair(ip(3), ip(4)));
+}
+
+TEST(Diff, SelfDiffOfRealRunIsEmptyAndCrossSeedIsNot) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 5;
+  Pipeline p1(config);
+  auto t1 = p1.initial_campaign(p1.default_targets(1, 1), 0.5);
+  const CfsReport r1 = p1.run_cfs(std::move(t1));
+  EXPECT_TRUE(diff_reports(r1, r1).empty());
+
+  config.seed += 1;
+  config.generator.seed += 1;
+  Pipeline p2(config);
+  auto t2 = p2.initial_campaign(p2.default_targets(1, 1), 0.5);
+  const CfsReport r2 = p2.run_cfs(std::move(t2));
+  EXPECT_FALSE(diff_reports(r1, r2).empty());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,124 @@
+#include "analysis/planning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct PlanningFixture {
+  MiniNet net;
+  Asn a, c, e;
+  CfsReport report;
+  std::unique_ptr<NocWebsiteSource> noc;
+  std::unique_ptr<IxpWebsiteSource> ixp_sites;
+  std::unique_ptr<FacilityDatabase> db;
+
+  PlanningFixture() {
+    a = net.add_as(1000, AsType::Transit, {1, 4});
+    c = net.add_as(5000, AsType::Content, {1, 2});
+    e = net.add_as(10000, AsType::Eyeball, {3});
+
+    // Located interconnections: A and C at fac[1]; C also at fac[5]
+    // (a building with no IXP switch); E at fac[3] (hosts an access
+    // switch of FRA-IX).
+    report.links.push_back(located(a, c, net.fac[1], net.fac[1]));
+    report.links.push_back(located(c, e, net.fac[5], std::nullopt));
+    report.links.push_back(located(e, a, net.fac[3], std::nullopt));
+
+    PeeringDbConfig pdb;
+    pdb.as_record_missing = 0.0;
+    pdb.fac_link_missing = 0.0;
+    pdb.ixp_record_missing = 0.0;
+    pdb.ixp_fac_link_missing = 0.0;
+    pdb.stale_link = 0.0;
+    WebsiteConfig web;
+    noc = std::make_unique<NocWebsiteSource>(net.topo, web);
+    ixp_sites = std::make_unique<IxpWebsiteSource>(net.topo, web);
+    db = std::make_unique<FacilityDatabase>(
+        net.topo, PeeringDb(net.topo, pdb), *noc, *ixp_sites);
+  }
+
+  LinkInference located(Asn near, Asn far, FacilityId near_fac,
+                        std::optional<FacilityId> far_fac) {
+    LinkInference link;
+    link.obs.near_as = near;
+    link.obs.far_as = far;
+    link.obs.near_addr = net.take_address(near);
+    link.obs.far_addr = net.take_address(far);
+    link.near_facility = near_fac;
+    link.far_facility = far_fac;
+    return link;
+  }
+};
+
+TEST(Planning, RanksByDesiredPeerDensity) {
+  PlanningFixture fx;
+  PeeringPlanner planner(fx.net.topo, *fx.db, fx.report);
+  // Want to reach A and C: fac[1] hosts both, fac[2] hosts only C.
+  const auto ranked = planner.rank_for({fx.a, fx.c});
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].facility, fx.net.fac[1]);
+  EXPECT_EQ(ranked[0].peer_candidates, 2u);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(Planning, IxpPresenceBreaksTies) {
+  PlanningFixture fx;
+  PeeringPlanner planner(fx.net.topo, *fx.db, fx.report);
+  // fac[5] (plain) vs fac[3] (hosts an access switch of FRA-IX): wanting
+  // one peer at each, the IXP building wins.
+  const auto ranked = planner.rank_for({fx.c, fx.e}, {fx.net.fac[1]});
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].facility, fx.net.fac[3]);
+  EXPECT_GT(ranked[0].ixps_reachable, 0u);
+}
+
+TEST(Planning, ExcludeRemovesExistingPresence) {
+  PlanningFixture fx;
+  PeeringPlanner planner(fx.net.topo, *fx.db, fx.report);
+  for (const auto& score : planner.rank_for({fx.a, fx.c}, {fx.net.fac[1]}))
+    EXPECT_NE(score.facility, fx.net.fac[1]);
+}
+
+TEST(Planning, ZeroMatchFacilitiesOmitted) {
+  PlanningFixture fx;
+  PeeringPlanner planner(fx.net.topo, *fx.db, fx.report);
+  // Nobody wants AS E: facilities hosting only E are not suggested.
+  const auto ranked = planner.rank_for({fx.a});
+  for (const auto& score : ranked) {
+    EXPECT_GT(score.peer_candidates, 0u);
+    EXPECT_NE(score.facility, fx.net.fac[5]);  // only C there
+  }
+}
+
+TEST(Planning, NetworksAtListsLocatedAses) {
+  PlanningFixture fx;
+  PeeringPlanner planner(fx.net.topo, *fx.db, fx.report);
+  const auto at1 = planner.networks_at(fx.net.fac[1]);
+  EXPECT_EQ(at1.size(), 2u);  // A and C
+  EXPECT_EQ(planner.networks_at(fx.net.fac[5]).size(), 1u);  // C only
+  EXPECT_TRUE(planner.networks_at(fx.net.fac[4]).empty());
+}
+
+TEST(Planning, WorksOnRealPipelineOutput) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 8;
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(2, 2), 0.6);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  PeeringPlanner planner(pipeline.topology(), pipeline.facility_db(), report);
+  const auto targets = pipeline.default_targets(2, 2);
+  const auto ranked = planner.rank_for(targets);
+  ASSERT_FALSE(ranked.empty());
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,76 @@
+#include "bgp/communities.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+TEST(Communities, OnlyTransitAndTier1Adopt) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  CommunityRegistry reg(topo, 1.0, 5);
+  for (const Asn asn : reg.adopters()) {
+    const auto type = topo.as_of(asn).type;
+    EXPECT_TRUE(type == AsType::Tier1 || type == AsType::Transit);
+  }
+  EXPECT_GT(reg.adopters().size(), 0u);
+}
+
+TEST(Communities, ZeroAdoptionMeansNoTags) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  CommunityRegistry reg(topo, 0.0, 5);
+  EXPECT_TRUE(reg.adopters().empty());
+  EXPECT_EQ(reg.dictionary_size(), 0u);
+}
+
+TEST(Communities, EncodeDecodeRoundTrip) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {0, 1, 4});
+  CommunityRegistry reg(net.topo, 1.0, 5);
+  ASSERT_TRUE(reg.tags_ingress(t));
+  for (const FacilityId fac : net.topo.as_of(t).facilities) {
+    const auto tag = reg.tag_for(t, fac);
+    ASSERT_TRUE(tag.has_value());
+    const auto decoded = reg.decode(*tag);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, fac);
+  }
+}
+
+TEST(Communities, ValuesDistinctPerFacility) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {0, 1, 2, 3});
+  CommunityRegistry reg(net.topo, 1.0, 5);
+  std::set<std::uint32_t> values;
+  for (const FacilityId fac : net.topo.as_of(t).facilities)
+    values.insert(reg.tag_for(t, fac)->value);
+  EXPECT_EQ(values.size(), net.topo.as_of(t).facilities.size());
+}
+
+TEST(Communities, UnknownLookupsReturnNullopt) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {0});
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  CommunityRegistry reg(net.topo, 1.0, 5);
+  EXPECT_FALSE(reg.tags_ingress(c));  // content ASes never adopt
+  EXPECT_FALSE(reg.tag_for(c, net.fac[1]).has_value());
+  // Facility where the transit AS is absent.
+  EXPECT_FALSE(reg.tag_for(t, net.fac[5]).has_value());
+  EXPECT_FALSE(reg.decode(Community{t.value, 1}).has_value());
+  EXPECT_FALSE(reg.decode(Community{999999, 1000}).has_value());
+}
+
+TEST(Communities, DeterministicForSeed) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  CommunityRegistry r1(topo, 0.5, 9);
+  CommunityRegistry r2(topo, 0.5, 9);
+  EXPECT_EQ(r1.adopters(), r2.adopters());
+  EXPECT_EQ(r1.dictionary_size(), r2.dictionary_size());
+}
+
+}  // namespace
+}  // namespace cfs

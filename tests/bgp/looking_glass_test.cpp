@@ -1,0 +1,72 @@
+#include "bgp/looking_glass.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+LookingGlassDirectory::Config config_with(double host_p, double bgp_p) {
+  LookingGlassDirectory::Config c;
+  c.host_probability = host_p;
+  c.bgp_support_probability = bgp_p;
+  return c;
+}
+
+TEST(LookingGlass, EnterprisesNeverHost) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  LookingGlassDirectory dir(topo, config_with(1.0, 0.5));
+  for (const auto& entry : dir.entries())
+    EXPECT_NE(topo.as_of(entry.owner).type, AsType::Enterprise);
+  EXPECT_GT(dir.entries().size(), 0u);
+}
+
+TEST(LookingGlass, SomeSupportBgpQueries) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  LookingGlassDirectory dir(topo, config_with(1.0, 0.3));
+  std::size_t bgp = 0;
+  for (const auto& entry : dir.entries()) bgp += entry.supports_bgp;
+  EXPECT_GT(bgp, 0u);
+  EXPECT_LT(bgp, dir.entries().size());
+}
+
+TEST(LookingGlass, FindByRouter) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  LookingGlassDirectory dir(topo, config_with(1.0, 0.5));
+  ASSERT_FALSE(dir.entries().empty());
+  const auto& first = dir.entries().front();
+  const auto* found = dir.find(first.router);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->owner, first.owner);
+}
+
+TEST(LookingGlass, CooldownEnforced) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  LookingGlassDirectory dir(topo, config_with(1.0, 0.5));
+  ASSERT_FALSE(dir.entries().empty());
+  const RouterId router = dir.entries().front().router;
+
+  EXPECT_EQ(dir.next_allowed_s(router), 0.0);
+  EXPECT_TRUE(dir.try_query(router, 100.0));
+  EXPECT_FALSE(dir.try_query(router, 120.0));  // within 60 s cool-down
+  EXPECT_EQ(dir.next_allowed_s(router), 160.0);
+  EXPECT_TRUE(dir.try_query(router, 160.0));
+}
+
+TEST(LookingGlass, QueriesOnNonLgRouterRejected) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  LookingGlassDirectory dir(topo, config_with(0.0, 0.0));
+  EXPECT_TRUE(dir.entries().empty());
+  EXPECT_FALSE(dir.try_query(RouterId(0), 0.0));
+}
+
+TEST(LookingGlass, DistinctAsesCounted) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  LookingGlassDirectory dir(topo, config_with(1.0, 0.1));
+  EXPECT_GT(dir.distinct_ases(), 1u);
+  EXPECT_LE(dir.distinct_ases(), dir.entries().size());
+}
+
+}  // namespace
+}  // namespace cfs

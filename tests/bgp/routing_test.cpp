@@ -1,0 +1,222 @@
+#include "bgp/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+// Reference scenario:
+//   tier1s T1a(100), T1b(101) peer privately;
+//   transit A(1000) buys from T1a, transit B(1001) buys from T1b;
+//   content C(5000) buys from A, eyeball E(10000) buys from B;
+//   C and E peer publicly at the Frankfurt IXP;
+//   stub D(30000) buys from E.
+struct RoutingFixture {
+  MiniNet net;
+  Asn t1a, t1b, a, b, c, e, d;
+
+  RoutingFixture() {
+    t1a = net.add_as(100, AsType::Tier1, {0, 1, 4});
+    t1b = net.add_as(101, AsType::Tier1, {0, 2, 5});
+    a = net.add_as(1000, AsType::Transit, {1, 4});
+    b = net.add_as(1001, AsType::Transit, {2, 5});
+    c = net.add_as(5000, AsType::Content, {1, 3});
+    e = net.add_as(10000, AsType::Eyeball, {2, 3});
+    d = net.add_as(30000, AsType::Enterprise, {3});
+
+    net.xconnect(t1a, t1b, 0, BusinessRel::PeerPeer);
+    net.xconnect(a, t1a, 1, BusinessRel::CustomerProvider);
+    net.xconnect(b, t1b, 2, BusinessRel::CustomerProvider);
+    net.xconnect(c, a, 1, BusinessRel::CustomerProvider);
+    net.xconnect(e, b, 2, BusinessRel::CustomerProvider);
+    net.join_ixp(c, 3);
+    net.join_ixp(e, 3);
+    net.public_peer(c, e, BusinessRel::PeerPeer);
+    net.xconnect(d, e, 3, BusinessRel::CustomerProvider);
+
+    net.topo.validate();
+  }
+};
+
+std::vector<std::uint32_t> values(const std::vector<Asn>& path) {
+  std::vector<std::uint32_t> out;
+  for (const Asn asn : path) out.push_back(asn.value);
+  return out;
+}
+
+TEST(Routing, SelfPath) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(values(oracle.as_path(fx.c, fx.c)),
+            (std::vector<std::uint32_t>{5000}));
+  EXPECT_EQ(oracle.route_kind(fx.c, fx.c), RouteKind::Self);
+}
+
+TEST(Routing, PeerRoutePreferredOverProviderChain) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(values(oracle.as_path(fx.c, fx.e)),
+            (std::vector<std::uint32_t>{5000, 10000}));
+  EXPECT_EQ(oracle.route_kind(fx.c, fx.e), RouteKind::Peer);
+  // And symmetrically.
+  EXPECT_EQ(values(oracle.as_path(fx.e, fx.c)),
+            (std::vector<std::uint32_t>{10000, 5000}));
+}
+
+TEST(Routing, ProviderChainCrossesTier1Peering) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(values(oracle.as_path(fx.a, fx.b)),
+            (std::vector<std::uint32_t>{1000, 100, 101, 1001}));
+  EXPECT_EQ(oracle.route_kind(fx.a, fx.b), RouteKind::Provider);
+}
+
+TEST(Routing, PeerLinkIsNotTransited) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  // A must not reach B through the C-E peering (C would be transiting).
+  const auto path = oracle.as_path(fx.a, fx.b);
+  for (const Asn asn : path) {
+    EXPECT_NE(asn, fx.c);
+    EXPECT_NE(asn, fx.e);
+  }
+}
+
+TEST(Routing, CustomerConeRoutes) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(oracle.route_kind(fx.a, fx.c), RouteKind::Customer);
+  EXPECT_EQ(oracle.route_kind(fx.t1a, fx.c), RouteKind::Customer);
+  EXPECT_EQ(values(oracle.as_path(fx.t1a, fx.c)),
+            (std::vector<std::uint32_t>{100, 1000, 5000}));
+}
+
+TEST(Routing, PeerHopOntoCustomerCone) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  // C reaches D through its peer E (E has a customer route to D), beating
+  // the long provider path via A, T1a, T1b, B, E.
+  EXPECT_EQ(values(oracle.as_path(fx.c, fx.d)),
+            (std::vector<std::uint32_t>{5000, 10000, 30000}));
+  EXPECT_EQ(oracle.route_kind(fx.c, fx.d), RouteKind::Peer);
+}
+
+TEST(Routing, StubSeesProviderRoutes) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(oracle.route_kind(fx.d, fx.c), RouteKind::Provider);
+  EXPECT_EQ(values(oracle.as_path(fx.d, fx.c)),
+            (std::vector<std::uint32_t>{30000, 10000, 5000}));
+}
+
+TEST(Routing, UnreachableWithoutPhysicalLinks) {
+  RoutingFixture fx;
+  // An AS with presence but no interconnection whatsoever.
+  fx.net.add_as(65000, AsType::Enterprise, {3});
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_TRUE(oracle.as_path(Asn(65000), fx.c).empty());
+  EXPECT_FALSE(oracle.reachable(fx.c, Asn(65000)));
+}
+
+TEST(Routing, UnknownAsnThrows) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_THROW(oracle.as_path(Asn(424242), fx.c), std::out_of_range);
+}
+
+TEST(Routing, TablesAreCachedPerDestination) {
+  RoutingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  EXPECT_EQ(oracle.cached_tables(), 0u);
+  oracle.as_path(fx.a, fx.c);
+  oracle.as_path(fx.b, fx.c);
+  EXPECT_EQ(oracle.cached_tables(), 1u);
+  oracle.as_path(fx.a, fx.e);
+  EXPECT_EQ(oracle.cached_tables(), 2u);
+}
+
+// ---- property tests over a generated topology ----
+
+enum class HopDir { Up, Peer, Down };
+
+HopDir classify(const Topology& topo, Asn from, Asn to) {
+  if (topo.is_provider_of(to, from)) return HopDir::Up;
+  if (topo.is_provider_of(from, to)) return HopDir::Down;
+  if (topo.is_peer_of(from, to)) return HopDir::Peer;
+  throw std::logic_error("hop without relationship");
+}
+
+TEST(RoutingProperty, GeneratedPathsAreValleyFree) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  RoutingOracle oracle(topo);
+  Rng rng(77);
+  const auto ases = topo.ases();
+
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Asn src = ases[rng.index(ases.size())].asn;
+    const Asn dst = ases[rng.index(ases.size())].asn;
+    const auto path = oracle.as_path(src, dst);
+    if (path.size() < 2) continue;
+    ++checked;
+
+    // Pattern must be Up* Peer? Down*.
+    int phase = 0;  // 0 = climbing, 1 = after peer, 2 = descending
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const HopDir dir = classify(topo, path[i], path[i + 1]);
+      switch (dir) {
+        case HopDir::Up:
+          EXPECT_EQ(phase, 0) << "uphill after peak " << src.value << "->"
+                              << dst.value;
+          break;
+        case HopDir::Peer:
+          EXPECT_EQ(phase, 0) << "second peer hop " << src.value << "->"
+                              << dst.value;
+          phase = 1;
+          break;
+        case HopDir::Down:
+          phase = 2;
+          break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(RoutingProperty, GeneratedTopologyLargelyConnected) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  RoutingOracle oracle(topo);
+  Rng rng(78);
+  const auto ases = topo.ases();
+  int reachable = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    const Asn src = ases[rng.index(ases.size())].asn;
+    const Asn dst = ases[rng.index(ases.size())].asn;
+    reachable += oracle.reachable(src, dst);
+  }
+  EXPECT_GT(static_cast<double>(reachable) / trials, 0.95);
+}
+
+TEST(RoutingProperty, PathEndpointsAndNeighborsConsistent) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  RoutingOracle oracle(topo);
+  const auto ases = topo.ases();
+  for (const auto& s : ases) {
+    const auto path = oracle.as_path(s.asn, ases.front().asn);
+    if (path.empty()) continue;
+    EXPECT_EQ(path.front(), s.asn);
+    EXPECT_EQ(path.back(), ases.front().asn);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      EXPECT_NO_THROW(classify(topo, path[i], path[i + 1]));
+  }
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,138 @@
+#include "core/bordermap.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct BorderMapFixture {
+  MiniNet net;
+  Asn a, b;
+  LinkId foreign_link;  // numbered from A, terminating on B's router
+  std::unique_ptr<IpToAsnService> ip2asn;
+
+  BorderMapFixture() {
+    a = net.add_as(1000, AsType::Transit, {1, 2});
+    b = net.add_as(1001, AsType::Transit, {1, 4});
+    foreign_link = net.xconnect(b, a, 1, BusinessRel::CustomerProvider,
+                                /*number_from_b=*/true);  // from A's space
+    ip2asn = std::make_unique<IpToAsnService>(net.topo);
+  }
+
+  static Hop hop(Ipv4 addr) { return Hop{addr, 1.0, true}; }
+
+  // Phantom-style trace: A-internal, A-egress, B-border (A-space ptp),
+  // B-internal.
+  TraceResult phantom_trace() const {
+    const Link& link = net.topo.link(foreign_link);  // a-side = B's router
+    TraceResult trace;
+    trace.hops = {
+        hop(net.topo.router(net.router(a, 2)).local_address),  // A internal
+        hop(net.topo.router(net.router(a, 1)).local_address),  // A egress
+        hop(link.a.address),   // B's border, raw-maps to A (foreign /30)
+        hop(net.topo.router(net.router(b, 4)).local_address),  // B internal
+    };
+    return trace;
+  }
+};
+
+TEST(BorderMap, RepairsForeignNumberedFarInterface) {
+  BorderMapFixture fx;
+  const Link& link = fx.net.topo.link(fx.foreign_link);
+  ASSERT_EQ(fx.ip2asn->lookup(link.a.address), fx.a);  // the raw error
+
+  BorderMapper mapper(*fx.ip2asn);
+  mapper.ingest(fx.phantom_trace());
+  mapper.ingest(fx.phantom_trace());
+  const auto corrections = mapper.corrections();
+  const auto it = corrections.find(link.a.address);
+  ASSERT_NE(it, corrections.end());
+  EXPECT_EQ(it->second, fx.b);
+}
+
+TEST(BorderMap, DoesNotTouchGenuineInternalInterfaces) {
+  BorderMapFixture fx;
+  BorderMapper mapper(*fx.ip2asn);
+  mapper.ingest(fx.phantom_trace());
+  mapper.ingest(fx.phantom_trace());
+  const auto corrections = mapper.corrections();
+  // The A-egress border interface precedes the foreign hop but its own
+  // successors stay... the successor (the foreign /30) raw-maps to A, so
+  // the egress must remain uncorrected.
+  const Ipv4 egress = fx.net.topo.router(fx.net.router(fx.a, 1)).local_address;
+  EXPECT_FALSE(corrections.contains(egress));
+  const Ipv4 internal =
+      fx.net.topo.router(fx.net.router(fx.a, 2)).local_address;
+  EXPECT_FALSE(corrections.contains(internal));
+}
+
+TEST(BorderMap, RequiresMinimumObservations) {
+  BorderMapFixture fx;
+  BorderMapper mapper(*fx.ip2asn, BorderMapConfig{.min_observations = 3,
+                                                  .majority = 0.75});
+  mapper.ingest(fx.phantom_trace());
+  mapper.ingest(fx.phantom_trace());
+  EXPECT_TRUE(mapper.corrections().empty());
+  mapper.ingest(fx.phantom_trace());
+  EXPECT_FALSE(mapper.corrections().empty());
+}
+
+TEST(BorderMap, MixedSuccessorsBlockCorrection) {
+  BorderMapFixture fx;
+  const Link& link = fx.net.topo.link(fx.foreign_link);
+  BorderMapper mapper(*fx.ip2asn);
+  mapper.ingest(fx.phantom_trace());
+  mapper.ingest(fx.phantom_trace());
+
+  // A trace where the candidate continues inside A: proves the interface
+  // really is A-internal, so no correction may be emitted.
+  TraceResult stay_in_a;
+  stay_in_a.hops = {
+      BorderMapFixture::hop(
+          fx.net.topo.router(fx.net.router(fx.a, 1)).local_address),
+      BorderMapFixture::hop(link.a.address),
+      BorderMapFixture::hop(
+          fx.net.topo.router(fx.net.router(fx.a, 2)).local_address),
+  };
+  mapper.ingest(stay_in_a);
+  EXPECT_FALSE(mapper.corrections().contains(link.a.address));
+}
+
+TEST(BorderMap, UnresponsiveNeighborsContributeNothing) {
+  BorderMapFixture fx;
+  const Link& link = fx.net.topo.link(fx.foreign_link);
+  TraceResult gappy;
+  gappy.hops = {
+      Hop{Ipv4(0), 0.0, false},
+      BorderMapFixture::hop(link.a.address),
+      Hop{Ipv4(0), 0.0, false},
+  };
+  BorderMapper mapper(*fx.ip2asn);
+  mapper.ingest(gappy);
+  mapper.ingest(gappy);
+  EXPECT_TRUE(mapper.corrections().empty());
+}
+
+TEST(BorderMap, IxpLanHopsIgnored) {
+  BorderMapFixture fx;
+  fx.net.join_ixp(fx.a, 1);
+  const auto& port = fx.net.topo.ixp(fx.net.ix).ports.front();
+  TraceResult trace;
+  trace.hops = {
+      BorderMapFixture::hop(
+          fx.net.topo.router(fx.net.router(fx.a, 2)).local_address),
+      BorderMapFixture::hop(port.lan_address),
+  };
+  BorderMapper mapper(*fx.ip2asn);
+  mapper.ingest(trace);
+  mapper.ingest(trace);
+  EXPECT_EQ(mapper.interfaces_seen(), 1u);  // LAN address skipped
+  EXPECT_TRUE(mapper.corrections().empty());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,92 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+std::vector<FacilityId> facs(std::initializer_list<std::uint32_t> ids) {
+  std::vector<FacilityId> out;
+  for (const auto id : ids) out.emplace_back(id);
+  return out;
+}
+
+TEST(Candidates, IntersectionBasics) {
+  EXPECT_EQ(facility_intersection(facs({1, 2, 5}), facs({2, 3, 5})),
+            facs({2, 5}));
+  EXPECT_TRUE(facility_intersection(facs({1}), facs({2})).empty());
+  EXPECT_TRUE(facility_intersection({}, facs({1})).empty());
+}
+
+TEST(Candidates, SubsetBasics) {
+  EXPECT_TRUE(facility_subset(facs({2, 5}), facs({1, 2, 5})));
+  EXPECT_TRUE(facility_subset({}, facs({1})));
+  EXPECT_FALSE(facility_subset(facs({1, 9}), facs({1, 2, 5})));
+}
+
+TEST(Candidates, FirstConstraintAdopted) {
+  InterfaceInference inf;
+  EXPECT_FALSE(inf.has_constraint);
+  EXPECT_TRUE(inf.constrain(facs({1, 2, 5}), 3));
+  EXPECT_TRUE(inf.has_constraint);
+  EXPECT_FALSE(inf.resolved());
+  EXPECT_EQ(inf.resolved_iteration, -1);
+}
+
+TEST(Candidates, IntersectionNarrowsToResolution) {
+  InterfaceInference inf;
+  inf.constrain(facs({2, 5}), 1);       // paper Fig. 5: A.1 -> {f2, f5}
+  EXPECT_TRUE(inf.constrain(facs({1, 2}), 2));  // A.3 -> {f1, f2}
+  EXPECT_TRUE(inf.resolved());
+  EXPECT_EQ(inf.facility(), FacilityId(2));
+  EXPECT_EQ(inf.resolved_iteration, 2);
+}
+
+TEST(Candidates, EmptyIntersectionIsConflictNotErasure) {
+  InterfaceInference inf;
+  inf.constrain(facs({1, 2}), 1);
+  EXPECT_FALSE(inf.constrain(facs({7, 8}), 2));
+  EXPECT_EQ(inf.candidates, facs({1, 2}));
+  EXPECT_EQ(inf.conflicts, 1);
+}
+
+TEST(Candidates, EmptyAllowedIsIgnored) {
+  InterfaceInference inf;
+  EXPECT_FALSE(inf.constrain({}, 1));
+  EXPECT_FALSE(inf.has_constraint);
+}
+
+TEST(Candidates, RepeatedSameConstraintIsNoop) {
+  InterfaceInference inf;
+  inf.constrain(facs({1, 2}), 1);
+  EXPECT_FALSE(inf.constrain(facs({1, 2}), 2));
+  EXPECT_EQ(inf.conflicts, 0);
+}
+
+TEST(Candidates, ResolvedIterationRecordedOnFirstConstraintWhenSingleton) {
+  InterfaceInference inf;
+  inf.constrain(facs({4}), 7);
+  EXPECT_TRUE(inf.resolved());
+  EXPECT_EQ(inf.resolved_iteration, 7);
+}
+
+TEST(Candidates, CityLevelConstraint) {
+  testing::MiniNet net;  // fac 0..3 in metro m0, fac 4..5 in m1
+  InterfaceInference inf;
+  inf.constrain(facs({1, 2, 3}), 1);
+  const auto city = inf.city(net.topo);
+  ASSERT_TRUE(city.has_value());
+  EXPECT_EQ(*city, net.m0);
+
+  InterfaceInference cross_metro;
+  cross_metro.constrain(facs({1, 4}), 1);
+  EXPECT_FALSE(cross_metro.city(net.topo).has_value());
+
+  InterfaceInference unconstrained;
+  EXPECT_FALSE(unconstrained.city(net.topo).has_value());
+}
+
+}  // namespace
+}  // namespace cfs

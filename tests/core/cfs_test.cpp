@@ -1,0 +1,183 @@
+// Deterministic end-to-end CFS scenarios on the hand-built MiniNet,
+// mirroring the paper's Figure 5 walk-through.
+#include "core/cfs.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct Scenario {
+  MiniNet net;
+  Asn a, c, e, r, v;
+  LinkId ca_link, ae_public, ar_public;
+
+  std::unique_ptr<LookingGlassDirectory> lgs;
+  std::unique_ptr<VantagePointSet> vps;
+  std::unique_ptr<RoutingOracle> routing;
+  std::unique_ptr<ForwardingEngine> forwarding;
+  std::unique_ptr<TracerouteEngine> engine;
+  std::unique_ptr<MeasurementCampaign> campaign;
+  std::unique_ptr<IpToAsnService> ip2asn;
+  std::unique_ptr<NocWebsiteSource> noc;
+  std::unique_ptr<IxpWebsiteSource> ixp_sites;
+  std::unique_ptr<FacilityDatabase> db;
+
+  Scenario() {
+    // Transit A spans four facilities; its fac[2] router holds both the
+    // IXP port and the private cross-connect with content C -- the same
+    // multi-role situation the paper's toy example narrows to one site.
+    a = net.add_as(1000, AsType::Transit, {0, 1, 2, 5});
+    c = net.add_as(5000, AsType::Content, {2, 5});
+    e = net.add_as(10000, AsType::Eyeball, {3});
+    r = net.add_as(10001, AsType::Eyeball, {5});  // remote IXP member
+    v = net.add_as(30000, AsType::Enterprise, {0});
+
+    net.xconnect(v, a, 0, BusinessRel::CustomerProvider);
+    ca_link = net.xconnect(c, a, 2, BusinessRel::CustomerProvider);
+    net.join_ixp(a, 2);
+    net.join_ixp(e, 3);
+    net.join_ixp_remote(r, 5, a);
+    ae_public = net.public_peer(a, e, BusinessRel::PeerPeer);
+    ar_public = net.public_peer(a, r, BusinessRel::CustomerProvider);
+    net.topo.validate();
+
+    lgs = std::make_unique<LookingGlassDirectory>(
+        net.topo, LookingGlassDirectory::Config{.host_probability = 0.0,
+                                                .bgp_support_probability = 0,
+                                                .cooldown_s = 60,
+                                                .seed = 1});
+    PlatformConfig pcfg;
+    pcfg.atlas_target = 6;  // all hosted in V or the eyeballs
+    pcfg.iplane_target = 2;
+    pcfg.ark_target = 0;
+    vps = std::make_unique<VantagePointSet>(net.topo, *lgs, pcfg);
+
+    routing = std::make_unique<RoutingOracle>(net.topo);
+    forwarding = std::make_unique<ForwardingEngine>(net.topo, *routing);
+    EngineConfig ecfg;
+    ecfg.jitter_ms = 0.05;
+    ecfg.probe_loss = 0.0;
+    engine = std::make_unique<TracerouteEngine>(net.topo, *forwarding, ecfg, 5);
+    campaign = std::make_unique<MeasurementCampaign>(net.topo, *engine, *lgs);
+    ip2asn = std::make_unique<IpToAsnService>(net.topo);
+
+    // Perfect facility data: isolates the constraint logic itself.
+    PeeringDbConfig pdb;
+    pdb.as_record_missing = 0.0;
+    pdb.fac_link_missing = 0.0;
+    pdb.ixp_record_missing = 0.0;
+    pdb.ixp_fac_link_missing = 0.0;
+    pdb.stale_link = 0.0;
+    WebsiteConfig web;
+    noc = std::make_unique<NocWebsiteSource>(net.topo, web);
+    ixp_sites = std::make_unique<IxpWebsiteSource>(net.topo, web);
+    db = std::make_unique<FacilityDatabase>(net.topo, PeeringDb(net.topo, pdb),
+                                            *noc, *ixp_sites);
+  }
+
+  CfsReport run(const std::vector<Asn>& targets, CfsConfig cfg = {}) {
+    std::vector<const VantagePoint*> probes;
+    for (const VantagePoint& vp : vps->all()) probes.push_back(&vp);
+    std::vector<Ipv4> addrs;
+    for (const Asn asn : targets) {
+      const auto t = MeasurementCampaign::targets_for(net.topo, asn);
+      addrs.insert(addrs.end(), t.begin(), t.end());
+    }
+    auto traces = campaign->run(probes, addrs);
+    cfg.max_iterations = 12;
+    ConstrainedFacilitySearch cfs(net.topo, *db, *ip2asn, *campaign, *vps,
+                                  cfg);
+    return cfs.run(std::move(traces));
+  }
+};
+
+TEST(CfsScenario, ResolvesMultiRoleRouterToSingleFacility) {
+  Scenario sc;
+  const CfsReport report = sc.run({sc.c, sc.e});
+
+  // The near-side interface of the A->C crossing and of the A->E public
+  // peering both live on A's fac[2] router; CFS must pin them there.
+  bool saw_private = false;
+  bool saw_public = false;
+  for (const LinkInference& link : report.links) {
+    if (link.obs.kind == PeeringKind::Private && link.obs.near_as == sc.a &&
+        link.obs.far_as == sc.c) {
+      saw_private = true;
+      ASSERT_TRUE(link.near_facility.has_value());
+      EXPECT_EQ(*link.near_facility, sc.net.fac[2]);
+      EXPECT_EQ(link.type, InterconnectionType::PrivateCrossConnect);
+    }
+    if (link.obs.kind == PeeringKind::Public && link.obs.near_as == sc.a &&
+        link.obs.far_as == sc.e) {
+      saw_public = true;
+      ASSERT_TRUE(link.near_facility.has_value());
+      EXPECT_EQ(*link.near_facility, sc.net.fac[2]);
+      EXPECT_EQ(link.type, InterconnectionType::PublicLocal);
+    }
+  }
+  EXPECT_TRUE(saw_private);
+  EXPECT_TRUE(saw_public);
+}
+
+TEST(CfsScenario, FarSideOfPublicPeeringConstrainedToIxpFacility) {
+  Scenario sc;
+  const CfsReport report = sc.run({sc.e});
+  // E has a single facility hosting the access switch: its LAN interface
+  // resolves immediately (Step 2 case 1 from the far side).
+  const Link& pub = sc.net.topo.link(sc.ae_public);
+  const auto* far = report.find(pub.b.address);
+  ASSERT_NE(far, nullptr);
+  ASSERT_TRUE(far->resolved());
+  EXPECT_EQ(far->facility(), sc.net.fac[3]);
+}
+
+TEST(CfsScenario, RemoteIxpMemberClassifiedRemote) {
+  Scenario sc;
+  const CfsReport report = sc.run({sc.r});
+  bool saw = false;
+  for (const LinkInference& link : report.links) {
+    if (link.obs.kind != PeeringKind::Public) continue;
+    if (link.obs.far_as != sc.r) continue;
+    saw = true;
+    EXPECT_EQ(link.type, InterconnectionType::PublicRemote);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(CfsScenario, ConvergenceHistoryIsMonotonic) {
+  Scenario sc;
+  const CfsReport report = sc.run({sc.c, sc.e, sc.r});
+  ASSERT_FALSE(report.resolved_per_iteration.empty());
+  for (std::size_t i = 1; i < report.resolved_per_iteration.size(); ++i)
+    EXPECT_GE(report.resolved_per_iteration[i],
+              report.resolved_per_iteration[i - 1]);
+  EXPECT_EQ(report.resolved_per_iteration.back(),
+            report.resolved_interfaces());
+}
+
+TEST(CfsScenario, MultiRoleRouterStatistics) {
+  Scenario sc;
+  const CfsReport report = sc.run({sc.c, sc.e, sc.r});
+  const auto stats = report.router_stats();
+  EXPECT_GT(stats.routers, 0u);
+  // A's fac[2] router implements the cross-connect and the IXP sessions.
+  EXPECT_GE(stats.multi_role, 1u);
+}
+
+TEST(CfsScenario, EmptyTraceSetYieldsEmptyReport) {
+  Scenario sc;
+  ConstrainedFacilitySearch cfs(sc.net.topo, *sc.db, *sc.ip2asn, *sc.campaign,
+                                *sc.vps, CfsConfig{.max_iterations = 3});
+  const CfsReport report = cfs.run({});
+  EXPECT_EQ(report.observed_interfaces(), 0u);
+  EXPECT_EQ(report.resolved_interfaces(), 0u);
+  EXPECT_TRUE(report.links.empty());
+}
+
+}  // namespace
+}  // namespace cfs

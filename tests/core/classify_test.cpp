@@ -1,0 +1,175 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct ClassifyFixture {
+  MiniNet net;
+  Asn a, c, e;
+  LinkId c_a_link;   // private, numbered from C
+  LinkId c_a_foreign;  // private, numbered from A (error source)
+  LinkId c_e_public;
+
+  std::unique_ptr<IpToAsnService> ip2asn;
+  std::unique_ptr<InterfaceAsnMap> map;
+
+  ClassifyFixture() {
+    a = net.add_as(1000, AsType::Transit, {1, 2});
+    c = net.add_as(5000, AsType::Content, {1, 3});
+    e = net.add_as(10000, AsType::Eyeball, {2, 3});
+    // Numbered from A (the far side of the C->A crossing below), so the
+    // far hop maps to A and the boundary is visible to plain LPM.
+    c_a_link = net.xconnect(c, a, 1, BusinessRel::CustomerProvider, true);
+    c_a_foreign =
+        net.xconnect(e, a, 2, BusinessRel::CustomerProvider, true);
+    net.join_ixp(c, 3);
+    net.join_ixp(e, 3);
+    c_e_public = net.public_peer(c, e, BusinessRel::PeerPeer);
+    ip2asn = std::make_unique<IpToAsnService>(net.topo);
+    map = std::make_unique<InterfaceAsnMap>(*ip2asn);
+  }
+
+  static Hop hop(Ipv4 addr, double rtt = 1.0) {
+    return Hop{addr, rtt, true};
+  }
+};
+
+TEST(Classify, PrivatePairDetected) {
+  ClassifyFixture fx;
+  const Link& link = fx.net.topo.link(fx.c_a_link);
+  // Near hop: C's border router answering from a C-space interface; far
+  // hop: A's side of the /30 (A-space).
+  const Ipv4 c_side = fx.net.topo.router(link.a.router).local_address;
+  TraceResult trace;
+  trace.vp = VantagePointId(0);
+  trace.hops = {ClassifyFixture::hop(c_side, 1.0),
+                ClassifyFixture::hop(link.b.address, 1.2)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  const auto obs = classifier.classify(trace);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].kind, PeeringKind::Private);
+  EXPECT_EQ(obs[0].near_as, fx.c);
+  EXPECT_EQ(obs[0].far_as, fx.a);
+  EXPECT_EQ(obs[0].near_addr, c_side);
+  EXPECT_EQ(obs[0].far_addr, link.b.address);
+}
+
+TEST(Classify, PublicTripleDetected) {
+  ClassifyFixture fx;
+  const Link& pub = fx.net.topo.link(fx.c_e_public);
+  // (IP_C, IP_e of E, IP inside E): use E's local address as the third hop.
+  const Ipv4 c_side = fx.net.topo.router(pub.a.router).local_address;
+  const Ipv4 e_lan = pub.b.address;
+  const Ipv4 e_inside = fx.net.topo.router(pub.b.router).local_address;
+  TraceResult trace;
+  trace.vp = VantagePointId(0);
+  trace.hops = {ClassifyFixture::hop(c_side, 1.0),
+                ClassifyFixture::hop(e_lan, 1.4),
+                ClassifyFixture::hop(e_inside, 1.6)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  const auto obs = classifier.classify(trace);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].kind, PeeringKind::Public);
+  EXPECT_EQ(obs[0].near_as, fx.c);
+  EXPECT_EQ(obs[0].far_as, fx.e);
+  EXPECT_EQ(obs[0].ixp, fx.net.ix);
+  EXPECT_EQ(obs[0].far_addr, e_lan);
+  EXPECT_DOUBLE_EQ(obs[0].near_rtt_ms, 1.0);
+  EXPECT_DOUBLE_EQ(obs[0].far_rtt_ms, 1.4);
+}
+
+TEST(Classify, UnresponsiveBoundaryDiscarded) {
+  ClassifyFixture fx;
+  const Link& link = fx.net.topo.link(fx.c_a_link);
+  TraceResult trace;
+  trace.hops = {
+      ClassifyFixture::hop(fx.net.topo.router(link.a.router).local_address),
+      Hop{link.b.address, 0.0, false}};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  EXPECT_TRUE(classifier.classify(trace).empty());
+}
+
+TEST(Classify, IntraAsHopsIgnored) {
+  ClassifyFixture fx;
+  // Two backbone interfaces of the same AS.
+  const RouterId r1 = fx.net.router(fx.c, 1);
+  const RouterId r3 = fx.net.router(fx.c, 3);
+  TraceResult trace;
+  trace.hops = {
+      ClassifyFixture::hop(fx.net.topo.router(r1).local_address),
+      ClassifyFixture::hop(fx.net.topo.router(r3).local_address)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  EXPECT_TRUE(classifier.classify(trace).empty());
+}
+
+TEST(Classify, ForeignNumberedPtpMissedWithoutAliasCorrection) {
+  ClassifyFixture fx;
+  // Link numbered from A's space: both hops map to A, so the raw
+  // classifier sees no AS boundary.
+  const Link& link = fx.net.topo.link(fx.c_a_foreign);
+  TraceResult trace;
+  trace.hops = {ClassifyFixture::hop(link.a.address),
+                ClassifyFixture::hop(link.b.address)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  EXPECT_TRUE(classifier.classify(trace).empty());
+}
+
+TEST(Classify, AliasMajorityCorrectionRepairsMapping) {
+  ClassifyFixture fx;
+  const Link& link = fx.net.topo.link(fx.c_a_foreign);  // E(a side) - A
+  // E's router at facility 2 owns link.a.address (in A's space) plus
+  // E-space interfaces; a perfect alias set majority-votes it back to E.
+  const RouterId e_router = link.a.router;
+  AliasSets sets;
+  sets.sets.push_back(fx.net.topo.router(e_router).interfaces);
+  fx.map->apply_alias_correction(sets);
+  EXPECT_GT(fx.map->corrections(), 0u);
+  EXPECT_EQ(fx.map->asn_of(link.a.address), fx.e);
+
+  TraceResult trace;
+  trace.hops = {ClassifyFixture::hop(link.b.address),
+                ClassifyFixture::hop(link.a.address)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  const auto obs = classifier.classify(trace);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].near_as, fx.a);
+  EXPECT_EQ(obs[0].far_as, fx.e);
+}
+
+TEST(Classify, MajorityRequiredForCorrection) {
+  ClassifyFixture fx;
+  const Link& link = fx.net.topo.link(fx.c_a_foreign);
+  // A two-interface set split between two ASes has no strict majority.
+  AliasSets sets;
+  sets.sets.push_back({link.a.address,
+                       fx.net.topo.router(link.b.router).local_address});
+  InterfaceAsnMap map(*fx.ip2asn);
+  map.apply_alias_correction(sets);
+  EXPECT_EQ(map.corrections(), 0u);
+}
+
+TEST(Classify, ClassifyAllMergesDuplicateCrossings) {
+  ClassifyFixture fx;
+  const Link& link = fx.net.topo.link(fx.c_a_link);
+  const Ipv4 c_side = fx.net.topo.router(link.a.router).local_address;
+  TraceResult t1;
+  t1.hops = {ClassifyFixture::hop(c_side, 5.0),
+             ClassifyFixture::hop(link.b.address, 6.0)};
+  TraceResult t2;
+  t2.hops = {ClassifyFixture::hop(c_side, 2.0),
+             ClassifyFixture::hop(link.b.address, 2.5)};
+  HopClassifier classifier(*fx.ip2asn, *fx.map);
+  const auto obs = classifier.classify_all({t1, t2});
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].near_rtt_ms, 2.0);
+  EXPECT_DOUBLE_EQ(obs[0].far_rtt_ms, 2.5);
+}
+
+}  // namespace
+}  // namespace cfs

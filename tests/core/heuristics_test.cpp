@@ -1,0 +1,89 @@
+// Remote-peering detector and switch-proximity heuristic unit tests.
+#include <gtest/gtest.h>
+
+#include "core/proximity.h"
+#include "core/remote.h"
+
+namespace cfs {
+namespace {
+
+PeeringObservation obs_with_delta(double near_ms, double far_ms) {
+  PeeringObservation obs;
+  obs.near_rtt_ms = near_ms;
+  obs.far_rtt_ms = far_ms;
+  return obs;
+}
+
+TEST(RemoteDetector, LocalCrossingBelowThreshold) {
+  RemotePeeringDetector detector;
+  EXPECT_FALSE(detector.far_side_remote(obs_with_delta(10.0, 10.6)));
+  EXPECT_DOUBLE_EQ(detector.delta_ms(obs_with_delta(10.0, 10.6)), 0.6);
+}
+
+TEST(RemoteDetector, LongHaulAboveThreshold) {
+  RemotePeeringDetector detector;
+  EXPECT_TRUE(detector.far_side_remote(obs_with_delta(10.0, 25.0)));
+}
+
+TEST(RemoteDetector, NegativeDeltaClampedToZero) {
+  RemotePeeringDetector detector;
+  // Jitter can make the far hop look faster; never negative.
+  EXPECT_DOUBLE_EQ(detector.delta_ms(obs_with_delta(12.0, 11.0)), 0.0);
+  EXPECT_FALSE(detector.far_side_remote(obs_with_delta(12.0, 11.0)));
+}
+
+TEST(RemoteDetector, ConfigurableThreshold) {
+  RemotePeeringDetector strict(RemoteDetectorConfig{.rtt_delta_threshold_ms = 0.5});
+  EXPECT_TRUE(strict.far_side_remote(obs_with_delta(10.0, 10.6)));
+}
+
+TEST(Proximity, SingleCandidateTrivial) {
+  ProximityHeuristic prox;
+  const std::vector<FacilityId> one = {FacilityId(4)};
+  EXPECT_EQ(prox.infer_far(IxpId(0), FacilityId(1), one), FacilityId(4));
+}
+
+TEST(Proximity, AbstainsWithoutObservations) {
+  ProximityHeuristic prox;
+  const std::vector<FacilityId> two = {FacilityId(4), FacilityId(5)};
+  EXPECT_FALSE(prox.infer_far(IxpId(0), FacilityId(1), two).has_value());
+}
+
+TEST(Proximity, LearnsRankingFromResolvedPairs) {
+  ProximityHeuristic prox;
+  for (int i = 0; i < 5; ++i)
+    prox.observe(IxpId(0), FacilityId(1), FacilityId(4));
+  prox.observe(IxpId(0), FacilityId(1), FacilityId(5));
+  const std::vector<FacilityId> two = {FacilityId(4), FacilityId(5)};
+  EXPECT_EQ(prox.infer_far(IxpId(0), FacilityId(1), two), FacilityId(4));
+  EXPECT_EQ(prox.observations(), 6u);
+}
+
+TEST(Proximity, AbstainsOnTies) {
+  ProximityHeuristic prox;
+  prox.observe(IxpId(0), FacilityId(1), FacilityId(4));
+  prox.observe(IxpId(0), FacilityId(1), FacilityId(5));
+  const std::vector<FacilityId> two = {FacilityId(4), FacilityId(5)};
+  EXPECT_FALSE(prox.infer_far(IxpId(0), FacilityId(1), two).has_value());
+}
+
+TEST(Proximity, RankingIsPerIxpAndPerNearFacility) {
+  ProximityHeuristic prox;
+  prox.observe(IxpId(0), FacilityId(1), FacilityId(4));
+  const std::vector<FacilityId> two = {FacilityId(4), FacilityId(5)};
+  // Different IXP: no data.
+  EXPECT_FALSE(prox.infer_far(IxpId(1), FacilityId(1), two).has_value());
+  // Different near facility: no data.
+  EXPECT_FALSE(prox.infer_far(IxpId(0), FacilityId(2), two).has_value());
+}
+
+TEST(Proximity, CandidateOutsideObservationsIgnored) {
+  ProximityHeuristic prox;
+  prox.observe(IxpId(0), FacilityId(1), FacilityId(9));
+  const std::vector<FacilityId> cands = {FacilityId(4), FacilityId(5)};
+  // Observed facility is not among the candidates: abstain.
+  EXPECT_FALSE(prox.infer_far(IxpId(0), FacilityId(1), cands).has_value());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,184 @@
+#include "core/multilateral.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct MultilateralFixture {
+  MiniNet net;
+  Asn a, e, c;
+  LinkId bilateral_link, multilateral_link;
+  std::unique_ptr<LookingGlassDirectory> lgs;
+
+  explicit MultilateralFixture(double bgp_lg_probability = 1.0) {
+    a = net.add_as(1000, AsType::Transit, {1, 4});
+    e = net.add_as(10000, AsType::Eyeball, {3});
+    c = net.add_as(5000, AsType::Content, {2});
+    Ixp& ixp = net.topo.mutable_ixp(net.ix);
+    ixp.has_route_server = true;
+    ixp.route_server_asn = Asn(64500);
+    ixp.route_server_address = ixp.peering_lan.at(ixp.peering_lan.size() - 2);
+
+    net.join_ixp(a, 1);
+    net.join_ixp(e, 3);
+    net.join_ixp(c, 2);
+    bilateral_link = net.public_peer(a, e, BusinessRel::PeerPeer);
+    multilateral_link = net.public_peer(a, c, BusinessRel::PeerPeer);
+    // Flag the second session as established via the route server.
+    net.topo.mutable_link(multilateral_link).multilateral = true;
+
+    lgs = std::make_unique<LookingGlassDirectory>(
+        net.topo,
+        LookingGlassDirectory::Config{.host_probability = 1.0,
+                                      .bgp_support_probability =
+                                          bgp_lg_probability,
+                                      .cooldown_s = 60,
+                                      .seed = 1});
+  }
+
+  PeeringObservation obs_for(LinkId lid) {
+    const Link& link = net.topo.link(lid);
+    PeeringObservation obs;
+    obs.kind = PeeringKind::Public;
+    obs.near_addr = net.topo.router(link.a.router).local_address;
+    obs.near_as = net.topo.router(link.a.router).owner;
+    obs.far_addr = link.b.address;
+    obs.far_as = net.topo.router(link.b.router).owner;
+    obs.ixp = net.ix;
+    return obs;
+  }
+};
+
+TEST(Multilateral, ClassifiesBilateralSession) {
+  MultilateralFixture fx;
+  MultilateralInference inference(fx.net.topo, *fx.lgs);
+  EXPECT_EQ(inference.classify(fx.obs_for(fx.bilateral_link)),
+            SessionKind::Bilateral);
+}
+
+TEST(Multilateral, ClassifiesRouteServerSession) {
+  MultilateralFixture fx;
+  MultilateralInference inference(fx.net.topo, *fx.lgs);
+  EXPECT_EQ(inference.classify(fx.obs_for(fx.multilateral_link)),
+            SessionKind::Multilateral);
+}
+
+TEST(Multilateral, UnknownWithoutBgpLookingGlass) {
+  MultilateralFixture fx(/*bgp_lg_probability=*/0.0);
+  MultilateralInference inference(fx.net.topo, *fx.lgs);
+  EXPECT_EQ(inference.classify(fx.obs_for(fx.bilateral_link)),
+            SessionKind::Unknown);
+  EXPECT_EQ(inference.bgp_lg_coverage(), 0.0);
+}
+
+TEST(Multilateral, PrivateObservationsAreUnknown) {
+  MultilateralFixture fx;
+  MultilateralInference inference(fx.net.topo, *fx.lgs);
+  auto obs = fx.obs_for(fx.bilateral_link);
+  obs.kind = PeeringKind::Private;
+  EXPECT_EQ(inference.classify(obs), SessionKind::Unknown);
+}
+
+TEST(Multilateral, SurveyAggregates) {
+  MultilateralFixture fx;
+  MultilateralInference inference(fx.net.topo, *fx.lgs);
+  const auto stats = inference.survey(
+      {fx.obs_for(fx.bilateral_link), fx.obs_for(fx.multilateral_link)});
+  EXPECT_EQ(stats.bilateral, 1u);
+  EXPECT_EQ(stats.multilateral, 1u);
+  EXPECT_EQ(stats.unknown, 0u);
+  EXPECT_EQ(stats.classified(), 2u);
+}
+
+TEST(Multilateral, SessionKindNames) {
+  EXPECT_EQ(session_kind_name(SessionKind::Bilateral), "bilateral");
+  EXPECT_EQ(session_kind_name(SessionKind::Multilateral), "multilateral");
+  EXPECT_EQ(session_kind_name(SessionKind::Unknown), "unknown");
+}
+
+// --- generator-level properties of the route-server extension ---
+
+TEST(MultilateralGenerator, RouteServersAndMeshAppear) {
+  GeneratorConfig config = GeneratorConfig::small_scale();
+  config.route_server_prob = 1.0;
+  const Topology topo = generate_topology(config);
+
+  std::size_t with_rs = 0;
+  std::size_t rs_sessions = 0;
+  for (const auto& ixp : topo.ixps()) {
+    with_rs += ixp.has_route_server;
+    if (ixp.has_route_server) {
+      EXPECT_TRUE(ixp.route_server_asn.valid());
+      EXPECT_TRUE(ixp.peering_lan.contains(ixp.route_server_address));
+    }
+    for (const auto& port : ixp.ports) rs_sessions += port.route_server_session;
+  }
+  EXPECT_EQ(with_rs, topo.ixps().size());
+  EXPECT_GT(rs_sessions, 0u);
+
+  std::size_t multilateral = 0;
+  for (const auto& link : topo.links()) {
+    if (link.multilateral) {
+      ++multilateral;
+      EXPECT_EQ(link.type, LinkType::PublicPeering);
+      // Both endpoints hold route-server sessions at that exchange.
+      const Ixp& ixp = topo.ixp(link.ixp);
+      for (const RouterId router : {link.a.router, link.b.router}) {
+        const Asn owner = topo.router(router).owner;
+        bool has_session = false;
+        for (const auto& port : ixp.ports)
+          if (port.member == owner && port.route_server_session)
+            has_session = true;
+        EXPECT_TRUE(has_session);
+      }
+    }
+  }
+  EXPECT_GT(multilateral, 0u);
+}
+
+TEST(MultilateralGenerator, DisabledRouteServersMeanNoMesh) {
+  GeneratorConfig config = GeneratorConfig::tiny();
+  config.route_server_prob = 0.0;
+  const Topology topo = generate_topology(config);
+  for (const auto& ixp : topo.ixps()) {
+    EXPECT_FALSE(ixp.has_route_server);
+    for (const auto& port : ixp.ports)
+      EXPECT_FALSE(port.route_server_session);
+  }
+  for (const auto& link : topo.links()) EXPECT_FALSE(link.multilateral);
+}
+
+TEST(MultilateralGenerator, SmallMembersUseRouteServerMore) {
+  GeneratorConfig config = GeneratorConfig::small_scale();
+  config.route_server_prob = 1.0;
+  const Topology topo = generate_topology(config);
+  std::size_t small_total = 0;
+  std::size_t small_rs = 0;
+  std::size_t large_total = 0;
+  std::size_t large_rs = 0;
+  for (const auto& ixp : topo.ixps()) {
+    for (const auto& port : ixp.ports) {
+      const AsType type = topo.as_of(port.member).type;
+      if (type == AsType::Eyeball || type == AsType::Enterprise) {
+        ++small_total;
+        small_rs += port.route_server_session;
+      } else {
+        ++large_total;
+        large_rs += port.route_server_session;
+      }
+    }
+  }
+  ASSERT_GT(small_total, 0u);
+  ASSERT_GT(large_total, 0u);
+  EXPECT_GT(static_cast<double>(small_rs) / small_total,
+            static_cast<double>(large_rs) / large_total);
+}
+
+}  // namespace
+}  // namespace cfs

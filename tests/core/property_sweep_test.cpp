@@ -1,0 +1,103 @@
+// Parameterized property sweeps over seeds and data-noise levels: the
+// paper's quality claims must hold across generated worlds, not on one
+// lucky seed.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace cfs {
+namespace {
+
+CfsReport run_world(PipelineConfig config, Pipeline** out_pipeline) {
+  static std::unique_ptr<Pipeline> pipeline;  // keep alive for validation
+  pipeline = std::make_unique<Pipeline>(config);
+  *out_pipeline = pipeline.get();
+  auto traces =
+      pipeline->initial_campaign(pipeline->default_targets(2, 2), 0.7);
+  return pipeline->run_cfs(std::move(traces));
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, AccuracyHoldsAcrossWorlds) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = GetParam();
+  config.generator.seed = GetParam() * 31 + 7;
+  Pipeline* pipeline = nullptr;
+  const CfsReport report = run_world(config, &pipeline);
+
+  ASSERT_GT(report.observed_interfaces(), 10u);
+  EXPECT_GT(report.resolved_fraction(), 0.3);
+
+  const auto acc = pipeline->validation().oracle_interface_accuracy(report);
+  ASSERT_GT(acc.total, 10u);
+  EXPECT_GT(acc.accuracy(), 0.7) << "seed " << GetParam();
+  EXPECT_GT(acc.city_accuracy(), 0.85) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, ResolvedInterfacesHaveExactlyOneCandidate) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = GetParam();
+  config.generator.seed = GetParam() * 31 + 7;
+  Pipeline* pipeline = nullptr;
+  const CfsReport report = run_world(config, &pipeline);
+
+  for (const auto& [addr, inf] : report.interfaces) {
+    if (inf.resolved()) {
+      EXPECT_EQ(inf.candidates.size(), 1u);
+      EXPECT_GE(inf.resolved_iteration, 0);
+    }
+    if (inf.has_constraint) EXPECT_FALSE(inf.candidates.empty());
+    EXPECT_TRUE(std::is_sorted(inf.candidates.begin(), inf.candidates.end()));
+  }
+}
+
+TEST_P(SeedSweep, LinksReferenceObservedInterfaces) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = GetParam();
+  config.generator.seed = GetParam() * 31 + 7;
+  Pipeline* pipeline = nullptr;
+  const CfsReport report = run_world(config, &pipeline);
+
+  for (const LinkInference& link : report.links) {
+    EXPECT_NE(report.find(link.obs.near_addr), nullptr);
+    EXPECT_NE(report.find(link.obs.far_addr), nullptr);
+    EXPECT_NE(link.obs.near_as, link.obs.far_as);
+    if (link.obs.kind == PeeringKind::Public) {
+      EXPECT_TRUE(link.obs.ixp.valid());
+      // Far address of a public observation is an IXP LAN address.
+      EXPECT_TRUE(pipeline->topology()
+                      .ixp_of_address(link.obs.far_addr)
+                      .has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(3, 17, 101, 9999));
+
+// Noise sweep: CFS accuracy must degrade gracefully, not collapse, as the
+// facility database loses records (the Figure 8 property, test-sized).
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, AccuracySurvivesDatabaseNoise) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.peeringdb.fac_link_missing = GetParam();
+  Pipeline pipeline(config);
+  auto traces =
+      pipeline.initial_campaign(pipeline.default_targets(2, 2), 0.7);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+  const auto acc = pipeline.validation().oracle_interface_accuracy(report);
+  if (acc.total < 10u) GTEST_SKIP() << "too few resolutions to score";
+  // Completeness falls with noise, but what resolves must not collapse
+  // (paper-scale behaviour is measured by bench_fig8_robustness).
+  EXPECT_GT(acc.city_accuracy(), 0.6) << "missing=" << GetParam();
+  if (GetParam() <= 0.2)
+    EXPECT_GT(acc.city_accuracy(), 0.8) << "missing=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(MissingLinkRates, NoiseSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6));
+
+}  // namespace
+}  // namespace cfs

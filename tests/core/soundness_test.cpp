@@ -1,0 +1,104 @@
+// CFS soundness properties: the algorithm must never manufacture
+// information that its public inputs cannot justify.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace cfs {
+namespace {
+
+struct SharedRun {
+  std::unique_ptr<Pipeline> pipeline;
+  CfsReport report;
+};
+
+const SharedRun& shared_run() {
+  static const SharedRun run = [] {
+    SharedRun out;
+    PipelineConfig config = PipelineConfig::tiny();
+    config.cfs.max_iterations = 10;
+    out.pipeline = std::make_unique<Pipeline>(config);
+    auto traces = out.pipeline->initial_campaign(
+        out.pipeline->default_targets(2, 2), 0.7);
+    out.report = out.pipeline->run_cfs(std::move(traces));
+    return out;
+  }();
+  return run;
+}
+
+TEST(CfsSoundness, CandidatesComeFromTheFacilityDatabase) {
+  const SharedRun& run = shared_run();
+  const auto& db = const_cast<Pipeline&>(*run.pipeline).facility_db();
+  for (const auto& [addr, inf] : run.report.interfaces) {
+    if (!inf.has_constraint) continue;
+    // Alias propagation may legitimately place an interface using facility
+    // knowledge of its router-mates' ASes, so those are exempt.
+    if (run.report.aliases.set_of(addr) >= 0) continue;
+    // Otherwise every candidate facility must be one the interface's AS is
+    // listed at (the database is the only source of facility knowledge).
+    const auto& allowed = db.facilities_of(inf.asn);
+    for (const FacilityId cand : inf.candidates)
+      EXPECT_TRUE(std::binary_search(allowed.begin(), allowed.end(), cand))
+          << addr.to_string() << " candidate outside its AS's DB record";
+  }
+}
+
+TEST(CfsSoundness, LinkFacilitiesMatchInterfaceState) {
+  const SharedRun& run = shared_run();
+  for (const LinkInference& link : run.report.links) {
+    const auto* near = run.report.find(link.obs.near_addr);
+    if (link.near_facility) {
+      ASSERT_NE(near, nullptr);
+      ASSERT_TRUE(near->resolved());
+      EXPECT_EQ(*link.near_facility, near->facility());
+    }
+    if (link.far_facility && !link.far_by_proximity) {
+      const auto* far = run.report.find(link.obs.far_addr);
+      ASSERT_NE(far, nullptr);
+      ASSERT_TRUE(far->resolved());
+      EXPECT_EQ(*link.far_facility, far->facility());
+    }
+    // Proximity-inferred far ends must at least be among the far side's
+    // candidate set.
+    if (link.far_facility && link.far_by_proximity) {
+      const auto* far = run.report.find(link.obs.far_addr);
+      ASSERT_NE(far, nullptr);
+      EXPECT_TRUE(std::binary_search(far->candidates.begin(),
+                                     far->candidates.end(),
+                                     *link.far_facility));
+    }
+  }
+}
+
+TEST(CfsSoundness, ObservationEndpointsDiffer) {
+  const SharedRun& run = shared_run();
+  for (const LinkInference& link : run.report.links) {
+    EXPECT_NE(link.obs.near_as, link.obs.far_as);
+    EXPECT_NE(link.obs.near_addr, link.obs.far_addr);
+    if (link.obs.kind == PeeringKind::Public)
+      EXPECT_TRUE(link.obs.ixp.valid());
+  }
+}
+
+TEST(CfsSoundness, ResolvedIterationWithinRunLength) {
+  const SharedRun& run = shared_run();
+  for (const auto& [addr, inf] : run.report.interfaces) {
+    if (!inf.resolved()) continue;
+    EXPECT_GE(inf.resolved_iteration, 1);
+    EXPECT_LE(inf.resolved_iteration,
+              static_cast<int>(run.report.iterations_run));
+  }
+}
+
+TEST(CfsSoundness, AliasSetsOnlyContainObservedOrProbedAddresses) {
+  const SharedRun& run = shared_run();
+  // Every aliased address was part of the observed peering-address corpus;
+  // its inference entry may or may not exist (far-side LAN addresses do),
+  // but alias sets must never contain unrelated addresses.
+  for (const auto& set : run.report.aliases.sets)
+    for (const Ipv4 addr : set)
+      EXPECT_NE(run.pipeline->topology().find_interface(addr), nullptr);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/facility_db.h"
+#include "data/geoip.h"
+#include "data/ip2asn.h"
+#include "data/normalize.h"
+#include "support/mini_net.h"
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+// ---- CityNormalizer ----
+
+TEST(Normalize, CanonicalNamesResolve) {
+  MiniNet net;
+  CityNormalizer norm(net.topo);
+  EXPECT_EQ(norm.normalize("Frankfurt"), net.m0);
+  EXPECT_EQ(norm.normalize("frankfurt"), net.m0);
+  EXPECT_EQ(norm.normalize("LONDON"), net.m1);
+}
+
+TEST(Normalize, CatalogAliasesFoldIntoMetro) {
+  MiniNet net;
+  CityNormalizer norm(net.topo);
+  // "Slough" and "Docklands" are London aliases in the catalog.
+  EXPECT_EQ(norm.normalize("Slough"), net.m1);
+  EXPECT_EQ(norm.normalize("Docklands"), net.m1);
+}
+
+TEST(Normalize, UnknownNameWithoutLocationFails) {
+  MiniNet net;
+  CityNormalizer norm(net.topo);
+  EXPECT_FALSE(norm.normalize("Atlantis").has_value());
+}
+
+TEST(Normalize, UnknownNameFallsBackToCoordinates) {
+  MiniNet net;
+  CityNormalizer norm(net.topo);
+  const GeoPoint near_frankfurt{50.12, 8.70};
+  EXPECT_EQ(norm.normalize("Atlantis", near_frankfurt), net.m0);
+}
+
+TEST(Normalize, ByLocationRejectsFarAwayPoints) {
+  MiniNet net;
+  CityNormalizer norm(net.topo);
+  const GeoPoint mid_atlantic{40.0, -35.0};
+  EXPECT_FALSE(norm.by_location(mid_atlantic).has_value());
+}
+
+// ---- PeeringDb ----
+
+TEST(PeeringDb, PerfectConfigIsComplete) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  PeeringDbConfig cfg;
+  cfg.as_record_missing = 0.0;
+  cfg.fac_link_missing = 0.0;
+  cfg.ixp_record_missing = 0.0;
+  cfg.ixp_fac_link_missing = 0.0;
+  cfg.stale_link = 0.0;
+  PeeringDb db(topo, cfg);
+  for (const auto& as : topo.ases()) {
+    ASSERT_TRUE(db.has_as_record(as.asn));
+    EXPECT_EQ(db.facilities_of(as.asn), as.facilities);
+  }
+  for (const auto& ixp : topo.ixps())
+    EXPECT_EQ(db.ixp_facilities(ixp.id), ixp.facilities());
+}
+
+TEST(PeeringDb, MissingnessRatesRoughlyHonoured) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  PeeringDbConfig cfg;
+  cfg.as_record_missing = 0.2;
+  cfg.fac_link_missing = 0.3;
+  cfg.stale_link = 0.0;
+  PeeringDb db(topo, cfg);
+
+  const double record_fraction =
+      static_cast<double>(db.as_records()) / topo.ases().size();
+  EXPECT_NEAR(record_fraction, 0.8, 0.06);
+
+  std::size_t truth_links = 0;
+  for (const auto& as : topo.ases())
+    if (db.has_as_record(as.asn)) truth_links += as.facilities.size();
+  const double link_fraction =
+      static_cast<double>(db.total_as_facility_links()) / truth_links;
+  EXPECT_NEAR(link_fraction, 0.7, 0.06);
+}
+
+TEST(PeeringDb, RecordsAreSortedSubsetsOfTruthWithoutStale) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  PeeringDbConfig cfg;
+  cfg.stale_link = 0.0;
+  PeeringDb db(topo, cfg);
+  for (const auto& as : topo.ases()) {
+    const auto& record = db.facilities_of(as.asn);
+    EXPECT_TRUE(std::is_sorted(record.begin(), record.end()));
+    for (const FacilityId fac : record)
+      EXPECT_TRUE(std::binary_search(as.facilities.begin(),
+                                     as.facilities.end(), fac));
+  }
+}
+
+TEST(PeeringDb, AugmentMergesAndDeduplicates) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  PeeringDbConfig cfg;
+  cfg.fac_link_missing = 1.0;  // records exist but are empty
+  cfg.as_record_missing = 0.0;
+  cfg.stale_link = 0.0;
+  PeeringDb db(topo, cfg);
+  const auto& as = topo.ases().front();
+  EXPECT_TRUE(db.facilities_of(as.asn).empty());
+  db.augment_as(as.asn, as.facilities);
+  db.augment_as(as.asn, as.facilities);  // duplicate augmentation
+  EXPECT_EQ(db.facilities_of(as.asn), as.facilities);
+}
+
+TEST(PeeringDb, RemoveFacilityStripsEverywhere) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  PeeringDbConfig cfg;
+  cfg.as_record_missing = 0.0;
+  cfg.fac_link_missing = 0.0;
+  cfg.stale_link = 0.0;
+  PeeringDb db(topo, cfg);
+  // Pick a facility referenced by at least one AS.
+  const FacilityId victim = topo.ases().front().facilities.front();
+  const std::size_t touched = db.remove_facility(victim);
+  EXPECT_GT(touched, 0u);
+  for (const auto& as : topo.ases()) {
+    const auto& record = db.facilities_of(as.asn);
+    EXPECT_FALSE(std::binary_search(record.begin(), record.end(), victim));
+  }
+}
+
+// ---- FacilityDatabase (assembly + Figure 2 semantics) ----
+
+TEST(FacilityDatabase, WebsiteAugmentationFillsGaps) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  PeeringDbConfig pcfg;
+  pcfg.fac_link_missing = 0.5;
+  pcfg.stale_link = 0.0;
+  PeeringDb raw(topo, pcfg);
+
+  WebsiteConfig wcfg;
+  wcfg.tier1_noc = wcfg.transit_noc = wcfg.content_noc = 1.0;
+  wcfg.eyeball_noc = wcfg.enterprise_noc = 1.0;
+  NocWebsiteSource noc(topo, wcfg);
+  IxpWebsiteSource ixps(topo, wcfg);
+  FacilityDatabase db(topo, std::move(raw), noc, ixps);
+
+  // With every NOC publishing, the merged DB is complete for every AS.
+  for (const auto& as : topo.ases())
+    EXPECT_EQ(db.facilities_of(as.asn), as.facilities) << as.name;
+
+  const auto totals = db.coverage_totals();
+  EXPECT_EQ(totals.checked_ases, topo.ases().size());
+  EXPECT_GT(totals.missing_links, 0u);
+  EXPECT_GT(totals.ases_with_missing, 0u);
+}
+
+TEST(FacilityDatabase, CoverageReportSortedAndConsistent) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  PeeringDb raw(topo, PeeringDbConfig{});
+  WebsiteConfig wcfg;
+  NocWebsiteSource noc(topo, wcfg);
+  IxpWebsiteSource ixps(topo, wcfg);
+  FacilityDatabase db(topo, std::move(raw), noc, ixps);
+
+  const auto& report = db.coverage_report();
+  ASSERT_FALSE(report.empty());
+  for (std::size_t i = 1; i < report.size(); ++i)
+    EXPECT_GE(report[i - 1].website_facilities,
+              report[i].website_facilities);
+  for (const auto& cov : report)
+    EXPECT_LE(cov.peeringdb_facilities, cov.website_facilities);
+}
+
+// ---- IpToAsnService ----
+
+TEST(Ip2Asn, ForeignNumberedPtpMapsToWrongAs) {
+  MiniNet net;
+  const Asn a = net.add_as(1000, AsType::Transit, {1});
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  // Numbered from A's space: C's interface resolves to A — the error.
+  const LinkId lid =
+      net.xconnect(c, a, 1, BusinessRel::CustomerProvider, true);
+  const Link& link = net.topo.link(lid);  // numbered from A (b side)
+  IpToAsnService svc(net.topo);
+  EXPECT_EQ(svc.lookup(link.a.address), a);  // C's router, A's address space
+  EXPECT_EQ(svc.lookup(link.b.address), a);
+}
+
+TEST(Ip2Asn, IxpLanAddressesAreUnannounced) {
+  MiniNet net;
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  net.join_ixp(c, 1);
+  const auto& port = net.topo.ixp(net.ix).ports.front();
+  IpToAsnService svc(net.topo);
+  EXPECT_FALSE(svc.lookup(port.lan_address).has_value());
+  EXPECT_EQ(svc.ixp_of(port.lan_address), net.ix);
+}
+
+TEST(Ip2Asn, RegularAddressesResolveToOrigin) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  IpToAsnService svc(topo);
+  for (const auto& as : topo.ases()) {
+    const auto& block = as.prefixes.front();
+    EXPECT_EQ(svc.lookup(block.at(77)), as.asn);
+    EXPECT_EQ(svc.matched_prefix(block.at(77)), block);
+  }
+  EXPECT_FALSE(svc.lookup(*Ipv4::parse("8.8.8.8")).has_value());
+}
+
+// ---- GeoIpDb ----
+
+TEST(GeoIp, GlobalNetworkCollapsesToHeadquarters) {
+  MiniNet net;
+  // Content AS present in both metros; HQ = first facility (Frankfurt).
+  const Asn c = net.add_as(5000, AsType::Content, {1, 4});
+  GeoIpDb db(net.topo, GeoIpConfig{.garbage_entry = 0.0, .seed = 1});
+  const auto& block = net.topo.as_of(c).prefixes.front();
+  // Addresses used in London still geolocate to the HQ metro.
+  const auto entry = db.lookup(block.at(9999));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->metro, net.m0);
+  EXPECT_EQ(entry->country, "DE");
+}
+
+TEST(GeoIp, UnknownAddressesMiss) {
+  MiniNet net;
+  net.add_as(5000, AsType::Content, {1});
+  GeoIpDb db(net.topo, GeoIpConfig{});
+  EXPECT_FALSE(db.lookup(*Ipv4::parse("9.9.9.9")).has_value());
+}
+
+TEST(GeoIp, MetroAccuracyIsPoorForGlobalNetworksButCountryDecent) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  GeoIpDb db(topo, GeoIpConfig{});
+  std::size_t metro_right = 0;
+  std::size_t country_right = 0;
+  std::size_t total = 0;
+  for (const auto& router : topo.routers()) {
+    const auto entry = db.lookup(router.local_address);
+    if (!entry) continue;
+    const MetroId truth = topo.metro_of(router.facility);
+    ++total;
+    metro_right += entry->metro == truth;
+    country_right += entry->country == topo.metro(truth).country;
+  }
+  ASSERT_GT(total, 100u);
+  const double metro_acc = static_cast<double>(metro_right) / total;
+  const double country_acc = static_cast<double>(country_right) / total;
+  EXPECT_LT(metro_acc, 0.75);
+  EXPECT_GT(country_acc, metro_acc);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,202 @@
+#include "data/dns.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+DnsConfig reliable() {
+  DnsConfig cfg;
+  cfg.record_missing = 0.0;
+  cfg.stale_wrong = 0.0;
+  cfg.documented_operator_fraction = 1.0;
+  cfg.ixp_lan_named = 1.0;
+  return cfg;
+}
+
+// Sets an AS's convention after construction (MiniNet defaults to nothing).
+void set_convention(Topology& topo, Asn asn, DnsConvention conv) {
+  topo.mutable_as(asn).dns = conv;
+}
+
+TEST(Dns, NoneConventionHasNoPtr) {
+  MiniNet net;
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  set_convention(net.topo, c, DnsConvention::None);
+  DnsNames names(net.topo, reliable());
+  const Ipv4 addr = net.topo.router(net.router(c, 1)).local_address;
+  EXPECT_FALSE(names.ptr(addr).has_value());
+}
+
+TEST(Dns, FacilityCodeEncodesFacilityAndMetro) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {1, 4});
+  set_convention(net.topo, t, DnsConvention::FacilityCode);
+  DnsNames names(net.topo, reliable());
+
+  const RouterId router = net.router(t, 1);
+  const Ipv4 addr = net.topo.router(router).local_address;
+  const auto host = names.ptr(addr);
+  ASSERT_TRUE(host.has_value());
+  const FacilityId fac = net.topo.router(router).facility;
+  EXPECT_NE(host->find(names.facility_code(fac)), std::string::npos);
+  EXPECT_NE(host->find(names.metro_code(net.m0)), std::string::npos);
+  EXPECT_NE(host->find("as1000.example.net"), std::string::npos);
+}
+
+TEST(Dns, ParserRoundTripsFacilityCodeHostnames) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {1, 4});
+  set_convention(net.topo, t, DnsConvention::FacilityCode);
+  DnsNames names(net.topo, reliable());
+  DropParser parser(names);
+
+  for (const int fidx : {1, 4}) {
+    const RouterId router = net.router(t, fidx);
+    const Ipv4 addr = net.topo.router(router).local_address;
+    const auto hint = parser.geolocate(addr);
+    EXPECT_EQ(hint.level, DnsGeoHint::Level::Facility);
+    EXPECT_EQ(hint.facility, net.topo.router(router).facility);
+    EXPECT_EQ(hint.metro, net.topo.metro_of(hint.facility));
+  }
+}
+
+TEST(Dns, UndocumentedOperatorsOnlyGeolocateToMetro) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {1});
+  set_convention(net.topo, t, DnsConvention::FacilityCode);
+  DnsConfig cfg = reliable();
+  cfg.documented_operator_fraction = 0.0;
+  DnsNames names(net.topo, cfg);
+  DropParser parser(names);
+
+  const Ipv4 addr = net.topo.router(net.router(t, 1)).local_address;
+  const auto hint = parser.geolocate(addr);
+  EXPECT_EQ(hint.level, DnsGeoHint::Level::Metro);
+  EXPECT_EQ(hint.metro, net.m0);
+}
+
+TEST(Dns, AirportAndCityConventionsGiveMetroHints) {
+  MiniNet net;
+  const Asn a = net.add_as(1000, AsType::Transit, {1});
+  const Asn b = net.add_as(1001, AsType::Transit, {4});
+  set_convention(net.topo, a, DnsConvention::AirportCode);
+  set_convention(net.topo, b, DnsConvention::CityName);
+  DnsNames names(net.topo, reliable());
+  DropParser parser(names);
+
+  const auto hint_a =
+      parser.geolocate(net.topo.router(net.router(a, 1)).local_address);
+  EXPECT_EQ(hint_a.level, DnsGeoHint::Level::Metro);
+  EXPECT_EQ(hint_a.metro, net.m0);
+
+  const auto hint_b =
+      parser.geolocate(net.topo.router(net.router(b, 4)).local_address);
+  EXPECT_EQ(hint_b.level, DnsGeoHint::Level::Metro);
+  EXPECT_EQ(hint_b.metro, net.m1);
+}
+
+TEST(Dns, OpaqueNamesCarryNoHint) {
+  MiniNet net;
+  const Asn a = net.add_as(1000, AsType::Transit, {1});
+  set_convention(net.topo, a, DnsConvention::Opaque);
+  DnsNames names(net.topo, reliable());
+  DropParser parser(names);
+  const Ipv4 addr = net.topo.router(net.router(a, 1)).local_address;
+  ASSERT_TRUE(names.ptr(addr).has_value());
+  EXPECT_EQ(parser.geolocate(addr).level, DnsGeoHint::Level::None);
+}
+
+TEST(Dns, IxpLanNamesGeolocateToIxpMetro) {
+  MiniNet net;
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  set_convention(net.topo, c, DnsConvention::None);
+  net.join_ixp(c, 1);
+  DnsNames names(net.topo, reliable());
+  DropParser parser(names);
+  const auto& port = net.topo.ixp(net.ix).ports.front();
+  const auto host = names.ptr(port.lan_address);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_NE(host->find("fra-ix"), std::string::npos);
+  const auto hint = parser.parse(*host);
+  EXPECT_EQ(hint.level, DnsGeoHint::Level::Metro);
+  EXPECT_EQ(hint.metro, net.m0);
+}
+
+TEST(Dns, StaleConventionSometimesLies) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {1, 2, 4});
+  set_convention(net.topo, t, DnsConvention::Stale);
+  DnsConfig cfg = reliable();
+  cfg.stale_wrong = 1.0;  // every stale name points elsewhere
+  DnsNames names(net.topo, cfg);
+  DropParser parser(names);
+
+  int wrong = 0;
+  int named = 0;
+  for (const int fidx : {1, 2, 4}) {
+    const RouterId router = net.router(t, fidx);
+    const Ipv4 addr = net.topo.router(router).local_address;
+    const auto hint = parser.geolocate(addr);
+    if (hint.level != DnsGeoHint::Level::Facility) continue;
+    ++named;
+    wrong += hint.facility != net.topo.router(router).facility;
+  }
+  ASSERT_GT(named, 0);
+  EXPECT_GT(wrong, 0);
+}
+
+TEST(Dns, RecordRotRemovesPtrs) {
+  MiniNet net;
+  const Asn t = net.add_as(1000, AsType::Transit, {1});
+  set_convention(net.topo, t, DnsConvention::AirportCode);
+  DnsConfig cfg = reliable();
+  cfg.record_missing = 1.0;
+  DnsNames names(net.topo, cfg);
+  const Ipv4 addr = net.topo.router(net.router(t, 1)).local_address;
+  EXPECT_FALSE(names.ptr(addr).has_value());
+}
+
+TEST(Dns, UnknownAddressHasNoPtr) {
+  MiniNet net;
+  net.add_as(1000, AsType::Transit, {1});
+  DnsNames names(net.topo, reliable());
+  EXPECT_FALSE(names.ptr(*Ipv4::parse("9.9.9.9")).has_value());
+}
+
+TEST(Dns, PaperLikeCoverageOnGeneratedTopology) {
+  // With default (lossy) DNS config, a substantial share of peering
+  // interfaces should lack PTRs or geo hints, echoing the paper's 29% /
+  // 55% / 32% breakdown in spirit.
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  DnsNames names(topo, DnsConfig{});
+  DropParser parser(names);
+  std::size_t no_ptr = 0;
+  std::size_t ptr_no_hint = 0;
+  std::size_t hinted = 0;
+  for (const auto& router : topo.routers()) {
+    const auto ptr = names.ptr(router.local_address);
+    if (!ptr) {
+      ++no_ptr;
+      continue;
+    }
+    const auto hint = parser.parse(*ptr);
+    if (hint.level == DnsGeoHint::Level::None)
+      ++ptr_no_hint;
+    else
+      ++hinted;
+  }
+  const double total = static_cast<double>(no_ptr + ptr_no_hint + hinted);
+  EXPECT_GT(no_ptr / total, 0.1);
+  EXPECT_GT(ptr_no_hint / total, 0.1);
+  EXPECT_GT(hinted / total, 0.1);
+  EXPECT_LT(hinted / total, 0.8);
+}
+
+}  // namespace
+}  // namespace cfs

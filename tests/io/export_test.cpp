@@ -1,0 +1,151 @@
+#include "io/export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "support/mini_net.h"
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+TEST(TopologyExport, RoundTripsGeneratedWorld) {
+  const Topology original = generate_topology(GeneratorConfig::tiny());
+  const JsonValue doc = topology_to_json(original);
+  const Topology rebuilt = topology_from_json(doc);  // validates internally
+
+  ASSERT_EQ(rebuilt.metros().size(), original.metros().size());
+  ASSERT_EQ(rebuilt.operators().size(), original.operators().size());
+  ASSERT_EQ(rebuilt.facilities().size(), original.facilities().size());
+  ASSERT_EQ(rebuilt.ixps().size(), original.ixps().size());
+  ASSERT_EQ(rebuilt.ases().size(), original.ases().size());
+  ASSERT_EQ(rebuilt.routers().size(), original.routers().size());
+  ASSERT_EQ(rebuilt.links().size(), original.links().size());
+
+  // Spot-check deep content.
+  for (std::size_t i = 0; i < original.links().size(); ++i) {
+    EXPECT_EQ(rebuilt.links()[i].a.address, original.links()[i].a.address);
+    EXPECT_EQ(rebuilt.links()[i].type, original.links()[i].type);
+    EXPECT_EQ(rebuilt.links()[i].latency_ms, original.links()[i].latency_ms);
+  }
+  for (const auto& as : original.ases()) {
+    const auto& copy = rebuilt.as_of(as.asn);
+    EXPECT_EQ(copy.facilities, as.facilities);
+    EXPECT_EQ(copy.prefixes, as.prefixes);
+    EXPECT_EQ(copy.type, as.type);
+    EXPECT_EQ(copy.dns_zone, as.dns_zone);
+  }
+  for (const auto& ixp : original.ixps()) {
+    const auto& copy = rebuilt.ixp(ixp.id);
+    ASSERT_EQ(copy.ports.size(), ixp.ports.size());
+    for (std::size_t i = 0; i < ixp.ports.size(); ++i) {
+      EXPECT_EQ(copy.ports[i].lan_address, ixp.ports[i].lan_address);
+      EXPECT_EQ(copy.ports[i].remote, ixp.ports[i].remote);
+    }
+  }
+}
+
+TEST(TopologyExport, SerialisedTextRoundTrips) {
+  const Topology original = generate_topology(GeneratorConfig::tiny());
+  const std::string text = topology_to_json(original).pretty();
+  const Topology rebuilt = topology_from_json(parse_json(text));
+  EXPECT_EQ(rebuilt.links().size(), original.links().size());
+  // Double round-trip must be textually identical (canonical form).
+  EXPECT_EQ(topology_to_json(rebuilt).pretty(), text);
+}
+
+TEST(TopologyExport, RebuiltWorldBehavesIdentically) {
+  // The rebuilt topology must route and announce exactly like the original.
+  const Topology original = generate_topology(GeneratorConfig::tiny());
+  const Topology rebuilt =
+      topology_from_json(topology_to_json(original));
+
+  RoutingOracle o1(original);
+  RoutingOracle o2(rebuilt);
+  const auto ases = original.ases();
+  for (std::size_t i = 0; i < ases.size(); i += 5)
+    for (std::size_t j = 0; j < ases.size(); j += 7) {
+      const auto p1 = o1.as_path(ases[i].asn, ases[j].asn);
+      const auto p2 = o2.as_path(ases[i].asn, ases[j].asn);
+      EXPECT_EQ(p1, p2);
+    }
+}
+
+TEST(TopologyExport, VersionMismatchRejected) {
+  const Topology original = generate_topology(GeneratorConfig::tiny());
+  JsonValue doc = topology_to_json(original);
+  doc.as_object()["format_version"] = JsonValue(999);
+  EXPECT_THROW(topology_from_json(doc), std::runtime_error);
+}
+
+TEST(ReportExport, RoundTripsRealReport) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 6;
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.5);
+  const CfsReport original = pipeline.run_cfs(std::move(traces));
+
+  const CfsReport rebuilt = report_from_json(report_to_json(original));
+
+  EXPECT_EQ(rebuilt.traces_used, original.traces_used);
+  EXPECT_EQ(rebuilt.iterations_run, original.iterations_run);
+  EXPECT_EQ(rebuilt.resolved_per_iteration, original.resolved_per_iteration);
+  EXPECT_EQ(rebuilt.observed_interfaces(), original.observed_interfaces());
+  EXPECT_EQ(rebuilt.resolved_interfaces(), original.resolved_interfaces());
+  EXPECT_EQ(rebuilt.links.size(), original.links.size());
+  EXPECT_EQ(rebuilt.aliases.sets.size(), original.aliases.sets.size());
+
+  for (const auto& [addr, inf] : original.interfaces) {
+    const auto* copy = rebuilt.find(addr);
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->candidates, inf.candidates);
+    EXPECT_EQ(copy->resolved_iteration, inf.resolved_iteration);
+    EXPECT_EQ(copy->remote_suspect, inf.remote_suspect);
+  }
+
+  // Router statistics computed from the rebuilt report agree.
+  const auto s1 = original.router_stats();
+  const auto s2 = rebuilt.router_stats();
+  EXPECT_EQ(s1.routers, s2.routers);
+  EXPECT_EQ(s1.multi_role, s2.multi_role);
+  EXPECT_EQ(s1.multi_ixp, s2.multi_ixp);
+}
+
+TEST(ReportExport, LinkFieldsSurvive) {
+  MiniNet net;
+  CfsReport report;
+  report.traces_used = 3;
+  report.iterations_run = 2;
+  report.resolved_per_iteration = {1, 2};
+
+  LinkInference link;
+  link.obs.kind = PeeringKind::Public;
+  link.obs.near_addr = *Ipv4::parse("20.0.0.1");
+  link.obs.near_as = Asn(1000);
+  link.obs.far_addr = *Ipv4::parse("185.0.0.1");
+  link.obs.far_as = Asn(5000);
+  link.obs.ixp = net.ix;
+  link.obs.near_rtt_ms = 1.5;
+  link.obs.far_rtt_ms = 2.25;
+  link.type = InterconnectionType::PublicRemote;
+  link.near_facility = net.fac[1];
+  link.far_by_proximity = true;
+  report.links.push_back(link);
+
+  const CfsReport rebuilt = report_from_json(report_to_json(report));
+  ASSERT_EQ(rebuilt.links.size(), 1u);
+  const LinkInference& copy = rebuilt.links.front();
+  EXPECT_EQ(copy.obs.kind, PeeringKind::Public);
+  EXPECT_EQ(copy.obs.ixp, net.ix);
+  EXPECT_DOUBLE_EQ(copy.obs.far_rtt_ms, 2.25);
+  EXPECT_EQ(copy.type, InterconnectionType::PublicRemote);
+  ASSERT_TRUE(copy.near_facility.has_value());
+  EXPECT_EQ(*copy.near_facility, net.fac[1]);
+  EXPECT_FALSE(copy.far_facility.has_value());
+  EXPECT_TRUE(copy.far_by_proximity);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,74 @@
+// Property test: randomly generated JSON values round-trip through dump()
+// and pretty() byte-identically after one normalisation pass.
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+JsonValue random_value(Rng& rng, int depth) {
+  const std::uint64_t kind = rng.uniform(depth >= 4 ? 4 : 6);
+  switch (kind) {
+    case 0: return JsonValue(nullptr);
+    case 1: return JsonValue(rng.chance(0.5));
+    case 2:
+      // Integral doubles only: arbitrary reals are not guaranteed to
+      // round-trip through the compact formatter digit-for-digit.
+      return JsonValue(rng.uniform_in(-1'000'000, 1'000'000));
+    case 3: {
+      std::string s;
+      const std::uint64_t len = rng.uniform(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Mix printable ASCII with characters that need escaping.
+        const char* alphabet =
+            "abcXYZ019 _-\"\\\n\t/";
+        s.push_back(alphabet[rng.index(18)]);
+      }
+      return JsonValue(std::move(s));
+    }
+    case 4: {
+      JsonValue::Array arr;
+      const std::uint64_t len = rng.uniform(5);
+      for (std::uint64_t i = 0; i < len; ++i)
+        arr.push_back(random_value(rng, depth + 1));
+      return JsonValue(std::move(arr));
+    }
+    default: {
+      JsonValue::Object obj;
+      const std::uint64_t len = rng.uniform(5);
+      for (std::uint64_t i = 0; i < len; ++i)
+        obj.emplace("k" + std::to_string(rng.uniform(100)),
+                    random_value(rng, depth + 1));
+      return JsonValue(std::move(obj));
+    }
+  }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, DumpParseRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const JsonValue original = random_value(rng, 0);
+    const std::string compact = original.dump();
+    const JsonValue reparsed = parse_json(compact);
+    EXPECT_EQ(reparsed, original) << compact;
+    // Canonical form: a second dump is byte-identical.
+    EXPECT_EQ(reparsed.dump(), compact);
+  }
+}
+
+TEST_P(JsonFuzz, PrettyParseRoundTrip) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 100; ++trial) {
+    const JsonValue original = random_value(rng, 0);
+    EXPECT_EQ(parse_json(original.pretty()), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,99 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(parse_json("null"), JsonValue(nullptr));
+  EXPECT_EQ(parse_json("true"), JsonValue(true));
+  EXPECT_EQ(parse_json("false"), JsonValue(false));
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("x").dump(), "\"x\"");
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(parse_json(v.dump()), v);
+}
+
+TEST(Json, UnicodeEscapeParses) {
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(Json, ControlCharacterEscaped) {
+  const JsonValue v(std::string(1, '\x01'));
+  EXPECT_EQ(v.dump(), "\"\\u0001\"");
+  EXPECT_EQ(parse_json(v.dump()), v);
+}
+
+TEST(Json, ArraysAndObjects) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, {"b": null}], "c": true})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a").at(0).as_int(), 1);
+  EXPECT_TRUE(v.at("a").at(2).at("b").is_null());
+  EXPECT_TRUE(v.at("c").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::out_of_range);
+  EXPECT_THROW(v.at("a").at(9), std::out_of_range);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(parse_json("[]").dump(), "[]");
+  EXPECT_EQ(parse_json("{}").dump(), "{}");
+  EXPECT_EQ(parse_json("[ ]").size(), 0u);
+}
+
+TEST(Json, NestedRoundTrip) {
+  JsonValue::Object inner;
+  inner.emplace("x", 1);
+  inner.emplace("y", JsonValue::Array{JsonValue("a"), JsonValue(2.25)});
+  JsonValue::Object outer;
+  outer.emplace("inner", JsonValue(std::move(inner)));
+  outer.emplace("flag", false);
+  const JsonValue original{std::move(outer)};
+
+  EXPECT_EQ(parse_json(original.dump()), original);
+  EXPECT_EQ(parse_json(original.pretty()), original);
+}
+
+TEST(Json, PrettyIsIndented) {
+  const JsonValue v = parse_json(R"({"a": [1]})");
+  const std::string pretty = v.pretty();
+  EXPECT_NE(pretty.find("\n  \"a\""), std::string::npos);
+}
+
+TEST(Json, WhitespaceTolerant) {
+  EXPECT_EQ(parse_json("  {\n\t\"a\" : 1 }\r\n").at("a").as_int(), 1);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01a", "\"unterminated",
+        "[1] trailing", "{\"a\":1,}", "nul", "\"bad\\escape\"", "+5"}) {
+    EXPECT_THROW(parse_json(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, LargeIntegersPreserved) {
+  const auto v = parse_json("4294967295");
+  EXPECT_EQ(v.as_int(), 4294967295LL);
+  EXPECT_EQ(v.dump(), "4294967295");
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,91 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+TEST(Ipv4, ToStringRoundTrip) {
+  const Ipv4 addr(0xC0A80101);  // 192.168.1.1
+  EXPECT_EQ(addr.to_string(), "192.168.1.1");
+  const auto parsed = Ipv4::parse("192.168.1.1");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(Ipv4, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(1), Ipv4(2));
+  EXPECT_EQ(Ipv4(7), Ipv4(7));
+}
+
+TEST(Prefix, CanonicalisesHostBits) {
+  const Prefix p(Ipv4(0xC0A801FF), 24);  // 192.168.1.255/24
+  EXPECT_EQ(p.network().to_string(), "192.168.1.0");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(*Ipv4::parse("10.0.0.0"), 8);
+  EXPECT_TRUE(p.contains(*Ipv4::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(*Ipv4::parse("11.0.0.0")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix p16(*Ipv4::parse("10.1.0.0"), 16);
+  const Prefix p24(*Ipv4::parse("10.1.2.0"), 24);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(Prefix, SizeAndAt) {
+  const Prefix p(*Ipv4::parse("10.1.2.0"), 30);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(1).to_string(), "10.1.2.1");
+  EXPECT_EQ(p.at(2).to_string(), "10.1.2.2");
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix all(Ipv4(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4(0)));
+  EXPECT_TRUE(all.contains(Ipv4(0xFFFFFFFF)));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("185.0.4.0/22");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "185.0.4.0/22");
+  EXPECT_EQ(p->length(), 22);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::parse("/8").has_value());
+}
+
+TEST(Prefix, HostRoute) {
+  const Prefix host(*Ipv4::parse("1.2.3.4"), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(*Ipv4::parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(*Ipv4::parse("1.2.3.5")));
+}
+
+}  // namespace
+}  // namespace cfs

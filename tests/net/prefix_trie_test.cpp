@@ -1,0 +1,128 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+Prefix pfx(const std::string& text) { return *Prefix::parse(text); }
+Ipv4 ip(const std::string& text) { return *Ipv4::parse(text); }
+
+TEST(PrefixTrie, EmptyLookupMisses) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.lookup(ip("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTrie, ExactMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  const auto hit = trie.lookup(ip("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->second, 1);
+  EXPECT_EQ(hit->first.to_string(), "10.0.0.0/8");
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(ip("10.1.2.3"))->second, 24);
+  EXPECT_EQ(trie.lookup(ip("10.1.9.9"))->second, 16);
+  EXPECT_EQ(trie.lookup(ip("10.9.9.9"))->second, 8);
+  EXPECT_FALSE(trie.lookup(ip("11.0.0.0")).has_value());
+}
+
+TEST(PrefixTrie, OverwriteKeepsSize) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(ip("10.0.0.1"))->second, 2);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 99);
+  EXPECT_EQ(trie.lookup(ip("1.2.3.4"))->second, 99);
+  EXPECT_FALSE(trie.lookup(ip("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 7);
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  EXPECT_EQ(trie.lookup(ip("99.0.0.1"))->second, 7);
+  EXPECT_EQ(trie.lookup(ip("10.0.0.1"))->second, 8);
+}
+
+TEST(PrefixTrie, FindExact) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  EXPECT_NE(trie.find_exact(pfx("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(trie.find_exact(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.find_exact(pfx("10.1.0.0/24")), nullptr);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("20.0.0.0/8"), 2);
+  trie.insert(pfx("10.5.0.0/16"), 3);
+  int count = 0;
+  int sum = 0;
+  trie.for_each([&](const Prefix&, int v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+// Property test: trie lookup agrees with a brute-force scan over random
+// prefixes and addresses.
+TEST(PrefixTrie, MatchesBruteForceOnRandomInput) {
+  Rng rng(99);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> prefixes;
+  for (int i = 0; i < 300; ++i) {
+    const int len = 4 + static_cast<int>(rng.uniform(25));
+    const Prefix p(Ipv4(static_cast<std::uint32_t>(rng.next())), len);
+    trie.insert(p, prefixes.size());
+    prefixes.push_back(p);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(rng.next()));
+    // Brute force: longest covering prefix, latest insert wins ties (since
+    // insert overwrites equal prefixes; distinct vector entries may repeat).
+    int best_len = -1;
+    std::size_t best_val = 0;
+    for (std::size_t k = 0; k < prefixes.size(); ++k) {
+      if (prefixes[k].contains(addr) && prefixes[k].length() >= best_len) {
+        // For equal prefixes the trie stores the last inserted value, and
+        // identical (network,len) pairs compare equal here, so >= mirrors it.
+        if (prefixes[k].length() > best_len ||
+            prefixes[k] == prefixes[best_val]) {
+          best_len = prefixes[k].length();
+          best_val = k;
+        }
+      }
+    }
+    const auto hit = trie.lookup(addr);
+    if (best_len < 0) {
+      EXPECT_FALSE(hit.has_value());
+    } else {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->first.length(), best_len);
+      EXPECT_TRUE(hit->first.contains(addr));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,235 @@
+#include "support/mini_net.h"
+
+#include <stdexcept>
+
+namespace cfs::testing {
+namespace {
+
+constexpr std::uint32_t as_base = 20u << 24;
+
+std::uint64_t rkey(Asn asn, FacilityId fac) {
+  return (std::uint64_t{asn.value} << 32) | fac.value;
+}
+
+}  // namespace
+
+MiniNet::MiniNet() {
+  m0 = topo.add_metro(
+      Metro{{}, "Frankfurt", "DE", Region::Europe, {50.11, 8.68}});
+  m1 = topo.add_metro(Metro{{}, "London", "GB", Region::Europe, {51.51, -0.13}});
+  const OperatorId op = topo.add_operator(FacilityOperator{{}, "MiniColo", true});
+
+  auto add_fac = [&](MetroId metro, const char* name, double dlat) {
+    const GeoPoint base = topo.metro(metro).location;
+    return topo.add_facility(Facility{{},
+                                      name,
+                                      op,
+                                      metro,
+                                      {base.lat_deg + dlat, base.lon_deg},
+                                      topo.metro(metro).name});
+  };
+  fac.push_back(add_fac(m0, "FRA-0", 0.00));
+  fac.push_back(add_fac(m0, "FRA-1", 0.01));
+  fac.push_back(add_fac(m0, "FRA-2", 0.02));
+  fac.push_back(add_fac(m0, "FRA-3", 0.03));
+  fac.push_back(add_fac(m1, "LON-0", 0.00));
+  fac.push_back(add_fac(m1, "LON-1", 0.01));
+
+  Ixp ixp;
+  ixp.name = "FRA-IX";
+  ixp.metro = m0;
+  ixp.peering_lan = Prefix(*Ipv4::parse("185.0.0.0"), 22);
+  ixp.switches = {
+      {IxpSwitch::Kind::Core, fac[0], 0},
+      {IxpSwitch::Kind::Backhaul, fac[1], 0},
+      {IxpSwitch::Kind::Access, fac[1], 1},
+      {IxpSwitch::Kind::Access, fac[2], 1},
+      {IxpSwitch::Kind::Access, fac[3], 0},
+  };
+  ix = topo.add_ixp(std::move(ixp));
+}
+
+Asn MiniNet::add_as(std::uint32_t asn_value, AsType type,
+                    const std::vector<int>& at) {
+  const Asn asn(asn_value);
+  const Prefix block(Ipv4(as_base + (next_block_++ << 16)), 16);
+  block_.emplace(asn_value, block);
+  cursor_.emplace(asn_value, 1);
+
+  AutonomousSystem as;
+  as.asn = asn;
+  as.name = "AS" + std::to_string(asn_value);
+  as.type = type;
+  as.prefixes = {block};
+  for (const int i : at) as.facilities.push_back(fac.at(static_cast<std::size_t>(i)));
+  std::sort(as.facilities.begin(), as.facilities.end());
+  as.facilities.erase(
+      std::unique(as.facilities.begin(), as.facilities.end()),
+      as.facilities.end());
+  as.dns_zone = "as" + std::to_string(asn_value) + ".example.net";
+  topo.add_as(as);
+  topo.announce(block, asn);
+
+  RouterId prev = RouterId::invalid();
+  for (const FacilityId f : topo.as_of(asn).facilities) {
+    Router r;
+    r.owner = asn;
+    r.facility = f;
+    r.local_address = take_address(asn);
+    const RouterId id = topo.add_router(r);
+    topo.add_interface(
+        Interface{r.local_address, id, LinkId::invalid(), InterfaceRole::Local});
+    router_at_.emplace(rkey(asn, f), id);
+
+    if (prev.valid()) {
+      const Prefix ptp = take_ptp(asn);
+      Link link;
+      link.type = LinkType::Backbone;
+      link.rel = BusinessRel::Intra;
+      link.a = LinkEnd{prev, ptp.at(1)};
+      link.b = LinkEnd{id, ptp.at(2)};
+      const auto& fa = topo.facility(topo.router(prev).facility);
+      const auto& fb = topo.facility(f);
+      link.latency_ms = propagation_delay_ms(fa.location, fb.location) + 0.05;
+      const LinkId lid = topo.add_link(link);
+      topo.add_interface(
+          Interface{ptp.at(1), prev, lid, InterfaceRole::Backbone});
+      topo.add_interface(Interface{ptp.at(2), id, lid, InterfaceRole::Backbone});
+    }
+    prev = id;
+  }
+  return asn;
+}
+
+RouterId MiniNet::router(Asn asn, int fac_index) const {
+  const auto it = router_at_.find(rkey(asn, fac.at(static_cast<std::size_t>(fac_index))));
+  if (it == router_at_.end())
+    throw std::out_of_range("MiniNet::router: AS has no router there");
+  return it->second;
+}
+
+Prefix MiniNet::take_ptp(Asn asn) {
+  auto& cur = cursor_.at(asn.value);
+  cur = (cur + 3) & ~std::uint64_t{3};
+  const Prefix ptp(block_.at(asn.value).at(cur), 30);
+  cur += 4;
+  return ptp;
+}
+
+Ipv4 MiniNet::take_address(Asn asn) {
+  auto& cur = cursor_.at(asn.value);
+  return block_.at(asn.value).at(cur++);
+}
+
+void MiniNet::register_rel(Asn a, Asn b, BusinessRel rel) {
+  if (rel == BusinessRel::CustomerProvider)
+    topo.add_relationship(a, b);
+  else if (rel == BusinessRel::PeerPeer && !topo.is_peer_of(a, b))
+    topo.add_peering(a, b);
+}
+
+LinkId MiniNet::xconnect(Asn a, Asn b, int fac_index, BusinessRel rel,
+                         bool number_from_b) {
+  const RouterId ra = router(a, fac_index);
+  const RouterId rb = router(b, fac_index);
+  const Prefix ptp = take_ptp(number_from_b ? b : a);
+
+  Link link;
+  link.type = LinkType::PrivateCrossConnect;
+  link.rel = rel;
+  link.a = LinkEnd{ra, ptp.at(1)};
+  link.b = LinkEnd{rb, ptp.at(2)};
+  link.facility = fac.at(static_cast<std::size_t>(fac_index));
+  link.latency_ms = 0.05;
+  const LinkId id = topo.add_link(link);
+  topo.add_interface(Interface{ptp.at(1), ra, id, InterfaceRole::PrivatePtp});
+  topo.add_interface(Interface{ptp.at(2), rb, id, InterfaceRole::PrivatePtp});
+  register_rel(a, b, rel);
+  return id;
+}
+
+void MiniNet::join_ixp(Asn asn, int fac_index) {
+  Ixp& ixp = topo.mutable_ixp(ix);
+  const auto sw = ixp.access_switch_at(fac.at(static_cast<std::size_t>(fac_index)));
+  if (!sw) throw std::invalid_argument("no access switch at that facility");
+  IxpPort port;
+  port.member = asn;
+  port.router = router(asn, fac_index);
+  port.lan_address = ixp.peering_lan.at(1 + ixp.ports.size());
+  port.access_switch = *sw;
+  ixp.ports.push_back(port);
+  topo.add_interface(Interface{port.lan_address, port.router,
+                               LinkId::invalid(), InterfaceRole::IxpLan});
+  auto& as = topo.mutable_as(asn);
+  if (std::find(as.ixps.begin(), as.ixps.end(), ix) == as.ixps.end())
+    as.ixps.push_back(ix);
+}
+
+void MiniNet::join_ixp_remote(Asn asn, int home_fac_index, Asn reseller) {
+  Ixp& ixp = topo.mutable_ixp(ix);
+  const auto reseller_ports = ixp.ports_of(reseller);
+  if (reseller_ports.empty())
+    throw std::invalid_argument("reseller has no port");
+  IxpPort port;
+  port.member = asn;
+  port.router = router(asn, home_fac_index);
+  port.lan_address = ixp.peering_lan.at(1 + ixp.ports.size());
+  port.access_switch = reseller_ports.front()->access_switch;
+  port.remote = true;
+  port.reseller = reseller;
+  ixp.ports.push_back(port);
+  topo.add_interface(Interface{port.lan_address, port.router,
+                               LinkId::invalid(), InterfaceRole::IxpLan});
+  auto& as = topo.mutable_as(asn);
+  if (std::find(as.ixps.begin(), as.ixps.end(), ix) == as.ixps.end())
+    as.ixps.push_back(ix);
+}
+
+LinkId MiniNet::public_peer(Asn a, Asn b, BusinessRel rel) {
+  const Ixp& ixp = topo.ixp(ix);
+  const auto ports_a = ixp.ports_of(a);
+  if (ports_a.empty()) throw std::invalid_argument("a has no port");
+  const IxpPort* pa = ports_a.front();
+  const auto nearest = ixp.nearest_port(b, pa->access_switch);
+  if (!nearest) throw std::invalid_argument("b has no port");
+  const IxpPort& pb = ixp.ports[*nearest];
+
+  Link link;
+  link.type = LinkType::PublicPeering;
+  link.rel = rel;
+  link.a = LinkEnd{pa->router, pa->lan_address};
+  link.b = LinkEnd{pb.router, pb.lan_address};
+  link.ixp = ix;
+  const auto& fa = topo.facility(topo.router(pa->router).facility);
+  const auto& fb = topo.facility(topo.router(pb.router).facility);
+  link.latency_ms = propagation_delay_ms(fa.location, fb.location) + 0.1;
+  const LinkId id = topo.add_link(link);
+  register_rel(a, b, rel);
+  return id;
+}
+
+LinkId MiniNet::tether(Asn a, Asn b, BusinessRel rel, bool number_from_b) {
+  const Ixp& ixp = topo.ixp(ix);
+  const auto ports_a = ixp.ports_of(a);
+  const auto ports_b = ixp.ports_of(b);
+  if (ports_a.empty() || ports_b.empty())
+    throw std::invalid_argument("both sides need IXP ports for tethering");
+  const Prefix ptp = take_ptp(number_from_b ? b : a);
+
+  Link link;
+  link.type = LinkType::Tethering;
+  link.rel = rel;
+  link.a = LinkEnd{ports_a.front()->router, ptp.at(1)};
+  link.b = LinkEnd{ports_b.front()->router, ptp.at(2)};
+  link.ixp = ix;
+  link.latency_ms = 0.15;
+  const LinkId id = topo.add_link(link);
+  topo.add_interface(Interface{ptp.at(1), ports_a.front()->router, id,
+                               InterfaceRole::PrivatePtp});
+  topo.add_interface(Interface{ptp.at(2), ports_b.front()->router, id,
+                               InterfaceRole::PrivatePtp});
+  register_rel(a, b, rel);
+  return id;
+}
+
+}  // namespace cfs::testing

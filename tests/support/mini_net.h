@@ -1,0 +1,74 @@
+// Hand-built micro-topology shared across test suites.
+//
+// Two metros (Frankfurt-like m0 with four facilities and one IXP whose
+// fabric is: core at fac[0], backhaul over access switches at fac[1] and
+// fac[2], plus a core-attached access switch at fac[3]; London-like m1
+// with two facilities and no IXP). Tests compose ASes, routers, backbone
+// and the four interconnection types with one-liners and get a validated
+// ground-truth topology with known answers.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace cfs::testing {
+
+class MiniNet {
+ public:
+  MiniNet();
+
+  Topology topo;
+  MetroId m0, m1;
+  std::vector<FacilityId> fac;  // 0..3 in m0, 4..5 in m1
+  IxpId ix;
+
+  // Switch indexes inside the IXP (for assertions).
+  static constexpr std::uint32_t core_switch = 0;
+  static constexpr std::uint32_t backhaul_switch = 1;
+  static constexpr std::uint32_t access_f1 = 2;  // under backhaul
+  static constexpr std::uint32_t access_f2 = 3;  // under backhaul
+  static constexpr std::uint32_t access_f3 = 4;  // directly on core
+
+  // Adds an AS present at the given facility indexes (into fac), with one
+  // router per facility, a chained backbone, and a /16 of address space.
+  Asn add_as(std::uint32_t asn, AsType type, const std::vector<int>& at);
+
+  [[nodiscard]] RouterId router(Asn asn, int fac_index) const;
+
+  // Private cross-connect at fac[fac_index]; addresses from a's space
+  // unless number_from_b. Registers the relationship too.
+  LinkId xconnect(Asn a, Asn b, int fac_index, BusinessRel rel,
+                  bool number_from_b = false);
+
+  // Local IXP port for the AS's router at fac[fac_index] (must host an
+  // access switch: indexes 1, 2 or 3).
+  void join_ixp(Asn asn, int fac_index);
+
+  // Remote port: the AS connects through `reseller` (which must hold a
+  // local port); its router stays at fac[home_fac_index].
+  void join_ixp_remote(Asn asn, int home_fac_index, Asn reseller);
+
+  // Public peering session over the IXP between existing ports; far side
+  // chosen per nearest-port. Registers the relationship.
+  LinkId public_peer(Asn a, Asn b, BusinessRel rel);
+
+  // Tethered private VLAN over the IXP between existing ports.
+  LinkId tether(Asn a, Asn b, BusinessRel rel, bool number_from_b = false);
+
+  // Fresh /30 from the AS's block (for custom link construction).
+  Prefix take_ptp(Asn asn);
+  // Fresh single address from the AS's block.
+  Ipv4 take_address(Asn asn);
+
+ private:
+  void register_rel(Asn a, Asn b, BusinessRel rel);
+
+  std::unordered_map<std::uint32_t, std::uint64_t> cursor_;  // per ASN
+  std::unordered_map<std::uint32_t, Prefix> block_;
+  std::unordered_map<std::uint64_t, RouterId> router_at_;
+  std::uint32_t next_block_ = 0;
+};
+
+}  // namespace cfs::testing

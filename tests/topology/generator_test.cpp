@@ -1,0 +1,211 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace cfs {
+namespace {
+
+// The generator self-validates (generate_topology calls validate()); these
+// tests check the *statistical* and structural properties the experiments
+// rely on, across the preset scales.
+
+class GeneratorTest : public ::testing::TestWithParam<GeneratorConfig> {};
+
+TEST_P(GeneratorTest, ProducesValidatedTopology) {
+  const Topology topo = generate_topology(GetParam());
+  EXPECT_GT(topo.metros().size(), 0u);
+  EXPECT_GT(topo.facilities().size(), 0u);
+  EXPECT_GT(topo.ixps().size(), 0u);
+  EXPECT_GT(topo.ases().size(), 0u);
+  EXPECT_GT(topo.routers().size(), 0u);
+  EXPECT_GT(topo.links().size(), 0u);
+}
+
+TEST_P(GeneratorTest, EveryAsHasAddressSpaceAndPresence) {
+  const Topology topo = generate_topology(GetParam());
+  for (const auto& as : topo.ases()) {
+    EXPECT_FALSE(as.prefixes.empty()) << as.name;
+    EXPECT_FALSE(as.facilities.empty()) << as.name;
+    // Announced space resolves back to the AS.
+    for (const auto& p : as.prefixes)
+      EXPECT_EQ(topo.origin_of(p.at(1)), as.asn) << as.name;
+  }
+}
+
+TEST_P(GeneratorTest, FacilityListsAreSortedForSetIntersection) {
+  const Topology topo = generate_topology(GetParam());
+  for (const auto& as : topo.ases())
+    EXPECT_TRUE(std::is_sorted(as.facilities.begin(), as.facilities.end()));
+}
+
+TEST_P(GeneratorTest, IxpPortsConsistentWithMembershipLists) {
+  const Topology topo = generate_topology(GetParam());
+  for (const auto& ixp : topo.ixps()) {
+    for (const auto& port : ixp.ports) {
+      const auto& as = topo.as_of(port.member);
+      EXPECT_NE(std::find(as.ixps.begin(), as.ixps.end(), ixp.id),
+                as.ixps.end())
+          << as.name << " port without membership record at " << ixp.name;
+    }
+  }
+  for (const auto& as : topo.ases())
+    for (const IxpId ix : as.ixps)
+      EXPECT_TRUE(topo.ixp(ix).is_member(as.asn))
+          << as.name << " membership without port";
+}
+
+TEST_P(GeneratorTest, RemotePortsPointAwayFromAccessSwitchFacility) {
+  const Topology topo = generate_topology(GetParam());
+  for (const auto& ixp : topo.ixps()) {
+    for (const auto& port : ixp.ports) {
+      const auto& router = topo.router(port.router);
+      if (port.remote) {
+        EXPECT_TRUE(port.reseller.valid());
+        EXPECT_TRUE(topo.ixp(ixp.id).is_member(port.reseller));
+      } else {
+        EXPECT_EQ(router.facility,
+                  ixp.switches[port.access_switch].facility);
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorTest, EveryRelationshipHasPhysicalFootprint) {
+  const Topology topo = generate_topology(GetParam());
+  // Build adjacency from physical links.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> physical;
+  for (const auto& link : topo.links()) {
+    if (link.type == LinkType::Backbone) continue;
+    const Asn a = topo.router(link.a.router).owner;
+    const Asn b = topo.router(link.b.router).owner;
+    physical.emplace(std::min(a.value, b.value), std::max(a.value, b.value));
+  }
+  // Count how many declared relationships have at least one physical link.
+  std::size_t declared = 0;
+  std::size_t instantiated = 0;
+  for (const auto& as : topo.ases()) {
+    for (const Asn p : topo.relations(as.asn).providers) {
+      ++declared;
+      instantiated += physical.count({std::min(as.asn.value, p.value),
+                                      std::max(as.asn.value, p.value)});
+    }
+  }
+  ASSERT_GT(declared, 0u);
+  // Provider links must essentially always be physically instantiated.
+  EXPECT_GT(static_cast<double>(instantiated) / declared, 0.95);
+}
+
+TEST_P(GeneratorTest, BackboneKeepsEachAsConnected) {
+  const Topology topo = generate_topology(GetParam());
+  for (const auto& as : topo.ases()) {
+    const auto routers = topo.routers_of(as.asn);
+    if (routers.size() < 2) continue;
+    // BFS over backbone links only.
+    std::unordered_set<std::uint32_t> seen = {routers[0].value};
+    std::vector<RouterId> queue = {routers[0]};
+    while (!queue.empty()) {
+      const RouterId cur = queue.back();
+      queue.pop_back();
+      for (const LinkId lid : topo.links_of(cur)) {
+        const Link& link = topo.link(lid);
+        if (link.type != LinkType::Backbone) continue;
+        const RouterId other =
+            link.a.router == cur ? link.b.router : link.a.router;
+        if (seen.insert(other.value).second) queue.push_back(other);
+      }
+    }
+    EXPECT_EQ(seen.size(), routers.size()) << as.name << " backbone split";
+  }
+}
+
+TEST_P(GeneratorTest, AllFourInterconnectionTypesPresent) {
+  const Topology topo = generate_topology(GetParam());
+  bool xconnect = false;
+  bool public_peering = false;
+  bool tether = false;
+  bool remote_public = false;
+  for (const auto& link : topo.links()) {
+    switch (link.type) {
+      case LinkType::PrivateCrossConnect: xconnect = true; break;
+      case LinkType::Tethering: tether = true; break;
+      case LinkType::PublicPeering: {
+        public_peering = true;
+        const auto& ixp = topo.ixp(link.ixp);
+        const auto* pa = ixp.port_of(topo.router(link.a.router).owner,
+                                     link.a.router);
+        const auto* pb = ixp.port_of(topo.router(link.b.router).owner,
+                                     link.b.router);
+        if ((pa && pa->remote) || (pb && pb->remote)) remote_public = true;
+        break;
+      }
+      case LinkType::Backbone: break;
+    }
+  }
+  EXPECT_TRUE(xconnect);
+  EXPECT_TRUE(public_peering);
+  EXPECT_TRUE(tether);
+  EXPECT_TRUE(remote_public);
+}
+
+TEST_P(GeneratorTest, DeterministicForSameSeed) {
+  const Topology t1 = generate_topology(GetParam());
+  const Topology t2 = generate_topology(GetParam());
+  ASSERT_EQ(t1.links().size(), t2.links().size());
+  ASSERT_EQ(t1.routers().size(), t2.routers().size());
+  for (std::size_t i = 0; i < t1.links().size(); ++i) {
+    EXPECT_EQ(t1.links()[i].a.address, t2.links()[i].a.address);
+    EXPECT_EQ(t1.links()[i].type, t2.links()[i].type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GeneratorTest,
+                         ::testing::Values(GeneratorConfig::tiny(),
+                                           GeneratorConfig::small_scale()),
+                         [](const auto& info) {
+                           return info.index == 0 ? "tiny" : "small";
+                         });
+
+TEST(Generator, SeedChangesTopology) {
+  GeneratorConfig a = GeneratorConfig::tiny();
+  GeneratorConfig b = GeneratorConfig::tiny();
+  b.seed = a.seed + 1;
+  const Topology ta = generate_topology(a);
+  const Topology tb = generate_topology(b);
+  // Extremely unlikely to coincide.
+  EXPECT_NE(ta.links().size(), tb.links().size());
+}
+
+TEST(Generator, MultiPortMembersExistAtSomeIxp) {
+  // The proximity-heuristic experiment requires members with two ports at
+  // one exchange; the small scale must produce at least a few.
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  int multi_port_members = 0;
+  for (const auto& ixp : topo.ixps()) {
+    std::unordered_map<std::uint32_t, int> per_member;
+    for (const auto& port : ixp.ports) ++per_member[port.member.value];
+    for (const auto& [asn, n] : per_member) multi_port_members += (n >= 2);
+  }
+  EXPECT_GT(multi_port_members, 0);
+}
+
+TEST(Generator, RemoteMemberFractionRoughlyHonoured) {
+  const Topology topo = generate_topology(GeneratorConfig::small_scale());
+  std::size_t remote = 0;
+  std::size_t total = 0;
+  for (const auto& ixp : topo.ixps()) {
+    for (const auto& port : ixp.ports) {
+      ++total;
+      remote += port.remote;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  const double fraction = static_cast<double>(remote) / total;
+  EXPECT_GT(fraction, 0.03);
+  EXPECT_LT(fraction, 0.35);
+}
+
+}  // namespace
+}  // namespace cfs

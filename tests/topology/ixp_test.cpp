@@ -1,0 +1,117 @@
+#include "topology/ixp.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+// Fabric used throughout: core(0) <- backhaul(1) <- access(2,3),
+//                         core(0) <- access(4)
+Ixp make_fabric() {
+  Ixp ixp;
+  ixp.name = "TEST-IX";
+  ixp.metro = MetroId(0);
+  ixp.peering_lan = Prefix(*Ipv4::parse("185.0.0.0"), 22);
+  ixp.switches = {
+      {IxpSwitch::Kind::Core, FacilityId(0), 0},
+      {IxpSwitch::Kind::Backhaul, FacilityId(1), 0},
+      {IxpSwitch::Kind::Access, FacilityId(1), 1},
+      {IxpSwitch::Kind::Access, FacilityId(2), 1},
+      {IxpSwitch::Kind::Access, FacilityId(3), 0},
+  };
+  return ixp;
+}
+
+IxpPort make_port(Asn member, RouterId router, Ipv4 addr,
+                  std::uint32_t access_switch) {
+  IxpPort p;
+  p.member = member;
+  p.router = router;
+  p.lan_address = addr;
+  p.access_switch = access_switch;
+  return p;
+}
+
+TEST(Ixp, FacilitiesAreUniqueAccessLocations) {
+  const Ixp ixp = make_fabric();
+  const auto facs = ixp.facilities();
+  ASSERT_EQ(facs.size(), 3u);
+  EXPECT_EQ(facs[0], FacilityId(1));
+  EXPECT_EQ(facs[1], FacilityId(2));
+  EXPECT_EQ(facs[2], FacilityId(3));
+}
+
+TEST(Ixp, AccessSwitchAt) {
+  const Ixp ixp = make_fabric();
+  ASSERT_TRUE(ixp.access_switch_at(FacilityId(2)).has_value());
+  EXPECT_EQ(*ixp.access_switch_at(FacilityId(2)), 3u);
+  // Facility 0 hosts only the core switch, not an access switch.
+  EXPECT_FALSE(ixp.access_switch_at(FacilityId(0)).has_value());
+  EXPECT_FALSE(ixp.access_switch_at(FacilityId(9)).has_value());
+}
+
+TEST(Ixp, SwitchDistanceSameSwitch) {
+  const Ixp ixp = make_fabric();
+  EXPECT_EQ(ixp.switch_distance(2, 2), 0);
+}
+
+TEST(Ixp, SwitchDistanceSameBackhaul) {
+  const Ixp ixp = make_fabric();
+  EXPECT_EQ(ixp.switch_distance(2, 3), 1);
+  EXPECT_EQ(ixp.switch_distance(3, 2), 1);
+}
+
+TEST(Ixp, SwitchDistanceViaCore) {
+  const Ixp ixp = make_fabric();
+  EXPECT_EQ(ixp.switch_distance(2, 4), 2);
+  EXPECT_EQ(ixp.switch_distance(4, 3), 2);
+}
+
+TEST(Ixp, NearestPortPrefersSameBackhaul) {
+  Ixp ixp = make_fabric();
+  const Asn b(20);
+  // Member B has ports at access switch 3 (same backhaul as 2) and 4 (core).
+  ixp.ports.push_back(
+      make_port(b, RouterId(1), ixp.peering_lan.at(1), 4));
+  ixp.ports.push_back(
+      make_port(b, RouterId(2), ixp.peering_lan.at(2), 3));
+  const auto nearest = ixp.nearest_port(b, 2);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(ixp.ports[*nearest].router, RouterId(2));
+}
+
+TEST(Ixp, NearestPortExactSwitchBeatsBackhaul) {
+  Ixp ixp = make_fabric();
+  const Asn b(20);
+  ixp.ports.push_back(make_port(b, RouterId(1), ixp.peering_lan.at(1), 3));
+  ixp.ports.push_back(make_port(b, RouterId(2), ixp.peering_lan.at(2), 2));
+  const auto nearest = ixp.nearest_port(b, 2);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(ixp.ports[*nearest].router, RouterId(2));
+}
+
+TEST(Ixp, NearestPortMissingMember) {
+  const Ixp ixp = make_fabric();
+  EXPECT_FALSE(ixp.nearest_port(Asn(42), 2).has_value());
+}
+
+TEST(Ixp, PortLookupHelpers) {
+  Ixp ixp = make_fabric();
+  const Asn a(10);
+  const Asn b(20);
+  ixp.ports.push_back(make_port(a, RouterId(1), ixp.peering_lan.at(1), 2));
+  ixp.ports.push_back(make_port(b, RouterId(2), ixp.peering_lan.at(2), 3));
+  ixp.ports.push_back(make_port(b, RouterId(3), ixp.peering_lan.at(3), 4));
+
+  EXPECT_TRUE(ixp.is_member(a));
+  EXPECT_TRUE(ixp.is_member(b));
+  EXPECT_FALSE(ixp.is_member(Asn(99)));
+
+  EXPECT_EQ(ixp.ports_of(b).size(), 2u);
+  EXPECT_EQ(ixp.ports_of(a).size(), 1u);
+  EXPECT_NE(ixp.port_of(b, RouterId(3)), nullptr);
+  EXPECT_EQ(ixp.port_of(b, RouterId(9)), nullptr);
+}
+
+}  // namespace
+}  // namespace cfs

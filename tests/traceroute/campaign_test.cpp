@@ -1,0 +1,116 @@
+#include "traceroute/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct CampaignFixture {
+  MiniNet net;
+  Asn a, c, v;
+  std::unique_ptr<LookingGlassDirectory> lgs;
+  std::unique_ptr<VantagePointSet> vps;
+  std::unique_ptr<RoutingOracle> routing;
+  std::unique_ptr<ForwardingEngine> forwarding;
+  std::unique_ptr<TracerouteEngine> engine;
+  std::unique_ptr<MeasurementCampaign> campaign;
+
+  CampaignFixture() {
+    a = net.add_as(1000, AsType::Transit, {0, 1});
+    c = net.add_as(5000, AsType::Content, {1});
+    v = net.add_as(30000, AsType::Enterprise, {0});
+    net.xconnect(c, a, 1, BusinessRel::CustomerProvider);
+    net.xconnect(v, a, 0, BusinessRel::CustomerProvider);
+
+    lgs = std::make_unique<LookingGlassDirectory>(
+        net.topo, LookingGlassDirectory::Config{.host_probability = 1.0,
+                                                .bgp_support_probability = 0,
+                                                .cooldown_s = 60,
+                                                .seed = 1});
+    PlatformConfig pcfg;
+    pcfg.atlas_target = 4;
+    pcfg.iplane_target = 2;
+    pcfg.ark_target = 0;
+    vps = std::make_unique<VantagePointSet>(net.topo, *lgs, pcfg);
+    routing = std::make_unique<RoutingOracle>(net.topo);
+    forwarding = std::make_unique<ForwardingEngine>(net.topo, *routing);
+    engine = std::make_unique<TracerouteEngine>(net.topo, *forwarding,
+                                                EngineConfig{}, 9);
+    campaign = std::make_unique<MeasurementCampaign>(net.topo, *engine, *lgs);
+  }
+};
+
+TEST(MeasurementCampaignTest, RunCoversVpTargetCross) {
+  CampaignFixture fx;
+  const auto atlas = fx.vps->of(Platform::RipeAtlas);
+  ASSERT_FALSE(atlas.empty());
+  const auto targets = MeasurementCampaign::targets_for(fx.net.topo, fx.c);
+  ASSERT_FALSE(targets.empty());
+
+  const auto traces = fx.campaign->run(atlas, targets);
+  EXPECT_EQ(fx.campaign->traces_attempted(), atlas.size() * targets.size());
+  EXPECT_EQ(fx.campaign->traces_kept(), traces.size());
+  for (const auto& trace : traces) EXPECT_FALSE(trace.hops.empty());
+}
+
+TEST(MeasurementCampaignTest, ParallelBatchAdvancesClockPerTarget) {
+  CampaignFixture fx;
+  const auto atlas = fx.vps->of(Platform::RipeAtlas);
+  const auto targets = MeasurementCampaign::targets_for(fx.net.topo, fx.c);
+  const double before = fx.campaign->virtual_elapsed_s();
+  fx.campaign->run(atlas, targets);
+  // One 300s Atlas batch per target.
+  EXPECT_NEAR(fx.campaign->virtual_elapsed_s() - before,
+              300.0 * static_cast<double>(targets.size()), 1.0);
+}
+
+TEST(MeasurementCampaignTest, LookingGlassSerialisation) {
+  CampaignFixture fx;
+  const auto lg_vps = fx.vps->of(Platform::LookingGlass);
+  ASSERT_GE(lg_vps.size(), 1u);
+  const auto targets = MeasurementCampaign::targets_for(fx.net.topo, fx.c);
+
+  const double before = fx.campaign->virtual_elapsed_s();
+  // Query the same LG twice: the second must wait for the cool-down.
+  fx.campaign->probe(*lg_vps[0], targets[0]);
+  const double mid = fx.campaign->virtual_elapsed_s();
+  fx.campaign->probe(*lg_vps[0], targets[0]);
+  EXPECT_GE(fx.campaign->virtual_elapsed_s() - before, 60.0);
+  EXPECT_GE(fx.campaign->virtual_elapsed_s(), mid + 30.0);
+}
+
+TEST(MeasurementCampaignTest, UnreachableTargetsDropped) {
+  CampaignFixture fx;
+  // An isolated AS with no links: traces toward it are empty and dropped.
+  fx.net.add_as(65010, AsType::Enterprise, {3});
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  TracerouteEngine engine(fx.net.topo, fwd, EngineConfig{}, 10);
+  MeasurementCampaign campaign(fx.net.topo, engine, *fx.lgs);
+
+  const auto atlas = fx.vps->of(Platform::RipeAtlas);
+  const auto targets =
+      MeasurementCampaign::targets_for(fx.net.topo, Asn(65010));
+  const auto traces = campaign.run(atlas, targets);
+  EXPECT_TRUE(traces.empty());
+  EXPECT_GT(campaign.traces_attempted(), 0u);
+  EXPECT_EQ(campaign.traces_kept(), 0u);
+}
+
+TEST(MeasurementCampaignTest, TargetsAvoidInfrastructureAddresses) {
+  CampaignFixture fx;
+  for (const Asn asn : {fx.a, fx.c, fx.v}) {
+    for (const Ipv4 target :
+         MeasurementCampaign::targets_for(fx.net.topo, asn)) {
+      EXPECT_EQ(fx.net.topo.find_interface(target), nullptr);
+      EXPECT_EQ(fx.net.topo.origin_of(target), asn);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfs

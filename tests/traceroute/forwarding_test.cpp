@@ -1,0 +1,195 @@
+#include "traceroute/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include "support/mini_net.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+struct ForwardingFixture {
+  MiniNet net;
+  Asn t1a, t1b, a, b, c, e;
+  LinkId c_a_link, c_e_link;
+
+  ForwardingFixture() {
+    t1a = net.add_as(100, AsType::Tier1, {0, 1, 4});
+    t1b = net.add_as(101, AsType::Tier1, {0, 2, 5});
+    a = net.add_as(1000, AsType::Transit, {1, 4});
+    b = net.add_as(1001, AsType::Transit, {2, 5});
+    c = net.add_as(5000, AsType::Content, {1, 3});
+    e = net.add_as(10000, AsType::Eyeball, {2, 3});
+
+    net.xconnect(t1a, t1b, 0, BusinessRel::PeerPeer);
+    net.xconnect(a, t1a, 1, BusinessRel::CustomerProvider);
+    net.xconnect(b, t1b, 2, BusinessRel::CustomerProvider);
+    c_a_link = net.xconnect(c, a, 1, BusinessRel::CustomerProvider);
+    net.xconnect(e, b, 2, BusinessRel::CustomerProvider);
+    net.join_ixp(c, 3);
+    net.join_ixp(e, 3);
+    c_e_link = net.public_peer(c, e, BusinessRel::PeerPeer);
+    net.topo.validate();
+  }
+};
+
+TEST(Forwarding, ResponsibleRouterForInterface) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  const Link& link = fx.net.topo.link(fx.c_a_link);
+  EXPECT_EQ(fwd.responsible_router(link.a.address), link.a.router);
+  EXPECT_EQ(fwd.responsible_router(link.b.address), link.b.router);
+}
+
+TEST(Forwarding, ResponsibleRouterForBareAddressIsInOriginAs) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  const Prefix& block = fx.net.topo.as_of(fx.e).prefixes.front();
+  const auto router = fwd.responsible_router(block.at(block.size() / 2));
+  ASSERT_TRUE(router.has_value());
+  EXPECT_EQ(fx.net.topo.router(*router).owner, fx.e);
+}
+
+TEST(Forwarding, ResponsibleRouterUnknownAddress) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  EXPECT_FALSE(fwd.responsible_router(*Ipv4::parse("9.9.9.9")).has_value());
+}
+
+TEST(Forwarding, IntraAsPathCoversBackboneChain) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  // Tier1a routers: fac 0, 1 (Frankfurt) and 4 (London), chained in
+  // facility order 0-1-4 by MiniNet.
+  const RouterId from = fx.net.router(fx.t1a, 0);
+  const RouterId to = fx.net.router(fx.t1a, 4);
+  const auto path = fwd.intra_as_path(from, to);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0].router, from);
+  EXPECT_EQ(path[2].router, to);
+  // Cumulative latency grows along the path.
+  EXPECT_LT(path[0].cumulative_ms, path[1].cumulative_ms);
+  EXPECT_LT(path[1].cumulative_ms, path[2].cumulative_ms);
+  // Ingress of intermediate hops is a backbone address of the owner.
+  const auto* iface = fx.net.topo.find_interface(path[1].ingress);
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->role, InterfaceRole::Backbone);
+}
+
+TEST(Forwarding, PrivatePeeringShowsPtpIngress) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  // From C's router toward A's address space: the hop into A must carry
+  // A's side of the cross-connect /30.
+  const Prefix& a_block = fx.net.topo.as_of(fx.a).prefixes.front();
+  const Ipv4 target = a_block.at(a_block.size() / 2);
+  const auto path = fwd.route(fx.net.router(fx.c, 3), target);
+  ASSERT_FALSE(path.empty());
+  const Link& link = fx.net.topo.link(fx.c_a_link);
+  bool crossed = false;
+  for (const auto& hop : path)
+    if (hop.via_link == fx.c_a_link) {
+      crossed = true;
+      EXPECT_EQ(hop.ingress, link.b.address);  // A is endpoint b
+      EXPECT_EQ(fx.net.topo.router(hop.router).owner, fx.a);
+    }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(Forwarding, PublicPeeringShowsIxpLanIngress) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  // C -> E goes over the IXP; the hop entering E replies from E's IXP LAN
+  // address: the (IP_A, IP_e, ...) signature of public peering.
+  const Prefix& e_block = fx.net.topo.as_of(fx.e).prefixes.front();
+  const Ipv4 target = e_block.at(e_block.size() / 2);
+  const auto path = fwd.route(fx.net.router(fx.c, 3), target);
+  ASSERT_FALSE(path.empty());
+  bool crossed = false;
+  for (const auto& hop : path)
+    if (hop.via_link == fx.c_e_link) {
+      crossed = true;
+      EXPECT_EQ(fx.net.topo.ixp_of_address(hop.ingress), fx.net.ix);
+      EXPECT_EQ(fx.net.topo.router(hop.router).owner, fx.e);
+    }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(Forwarding, FirstHopIsSourceRouter) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  const RouterId src = fx.net.router(fx.c, 1);
+  const Prefix& e_block = fx.net.topo.as_of(fx.e).prefixes.front();
+  const auto path = fwd.route(src, e_block.at(100));
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path[0].router, src);
+  EXPECT_EQ(path[0].cumulative_ms, 0.0);
+}
+
+TEST(Forwarding, UnreachableTargetYieldsEmptyPath) {
+  ForwardingFixture fx;
+  fx.net.add_as(65001, AsType::Enterprise, {5});
+  fx.net.topo.validate();
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  const Prefix& z_block = fx.net.topo.as_of(Asn(65001)).prefixes.front();
+  EXPECT_TRUE(fwd.route(fx.net.router(fx.c, 1), z_block.at(10)).empty());
+}
+
+TEST(Forwarding, LinksBetweenSymmetric) {
+  ForwardingFixture fx;
+  RoutingOracle oracle(fx.net.topo);
+  ForwardingEngine fwd(fx.net.topo, oracle);
+  EXPECT_EQ(fwd.links_between(fx.c, fx.a).size(), 1u);
+  EXPECT_EQ(fwd.links_between(fx.a, fx.c).size(), 1u);
+  EXPECT_TRUE(fwd.links_between(fx.c, fx.b).empty());
+}
+
+// Property: on a generated topology, every hop in every route is entered
+// via a link that is actually incident to that hop's router, cumulative
+// latency is non-decreasing, and consecutive routers share a link.
+TEST(ForwardingProperty, GeneratedRoutesAreWellFormed) {
+  const Topology topo = generate_topology(GeneratorConfig::tiny());
+  RoutingOracle oracle(topo);
+  ForwardingEngine fwd(topo, oracle);
+  Rng rng(31);
+
+  const auto ases = topo.ases();
+  int nonempty = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto& src_as = ases[rng.index(ases.size())];
+    const auto& dst_as = ases[rng.index(ases.size())];
+    const auto src_routers = topo.routers_of(src_as.asn);
+    const Prefix& block = dst_as.prefixes.front();
+    const Ipv4 target = block.at(1 + rng.uniform(block.size() - 2));
+    const auto path =
+        fwd.route(src_routers[rng.index(src_routers.size())], target);
+    if (path.empty()) continue;
+    ++nonempty;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) {
+        ASSERT_TRUE(path[i].via_link.valid());
+        const Link& link = topo.link(path[i].via_link);
+        EXPECT_TRUE(link.a.router == path[i].router ||
+                    link.b.router == path[i].router);
+        EXPECT_TRUE(link.a.router == path[i - 1].router ||
+                    link.b.router == path[i - 1].router);
+        EXPECT_GE(path[i].cumulative_ms, path[i - 1].cumulative_ms);
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 100);
+}
+
+}  // namespace
+}  // namespace cfs

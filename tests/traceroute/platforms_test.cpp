@@ -1,0 +1,101 @@
+#include "traceroute/platforms.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace cfs {
+namespace {
+
+struct Built {
+  Topology topo;
+  LookingGlassDirectory lgs;
+  VantagePointSet vps;
+
+  explicit Built(const GeneratorConfig& cfg, PlatformConfig pcfg = {})
+      : topo(generate_topology(cfg)),
+        lgs(topo, {.host_probability = 0.5,
+                   .bgp_support_probability = 0.2,
+                   .cooldown_s = 60.0,
+                   .seed = 2}),
+        vps(topo, lgs, pcfg) {}
+};
+
+TEST(Platforms, AllFourPlatformsPopulated) {
+  Built b(GeneratorConfig::small_scale());
+  EXPECT_FALSE(b.vps.of(Platform::RipeAtlas).empty());
+  EXPECT_FALSE(b.vps.of(Platform::LookingGlass).empty());
+  EXPECT_FALSE(b.vps.of(Platform::IPlane).empty());
+  EXPECT_FALSE(b.vps.of(Platform::Ark).empty());
+}
+
+TEST(Platforms, HostAddressesAreRegisteredInterfaces) {
+  Built b(GeneratorConfig::tiny());
+  for (const auto& vp : b.vps.all()) {
+    const Interface* iface = b.topo.find_interface(vp.address);
+    ASSERT_NE(iface, nullptr);
+    EXPECT_EQ(iface->role, InterfaceRole::Host);
+    EXPECT_EQ(iface->router, vp.attach);
+    // Host address comes from the hosting AS's space.
+    EXPECT_EQ(b.topo.origin_of(vp.address), vp.asn);
+  }
+}
+
+TEST(Platforms, AtlasHostsSitInEyeballOrEnterpriseNetworks) {
+  Built b(GeneratorConfig::small_scale());
+  for (const auto* vp : b.vps.of(Platform::RipeAtlas)) {
+    const auto type = b.topo.as_of(vp->asn).type;
+    EXPECT_TRUE(type == AsType::Eyeball || type == AsType::Enterprise);
+    EXPECT_GT(vp->access_ms, 1.0);  // home connection last-mile delay
+  }
+}
+
+TEST(Platforms, LookingGlassVpsAreTheLgRouters) {
+  Built b(GeneratorConfig::small_scale());
+  const auto lg_vps = b.vps.of(Platform::LookingGlass);
+  EXPECT_EQ(lg_vps.size(), b.lgs.entries().size());
+  for (const auto* vp : lg_vps) {
+    EXPECT_NE(b.lgs.find(vp->attach), nullptr);
+    EXPECT_LT(vp->access_ms, 1.0);  // on-router vantage point
+  }
+}
+
+TEST(Platforms, EuropeBiasShowsInAtlasDistribution) {
+  PlatformConfig pcfg;
+  pcfg.atlas_target = 400;
+  pcfg.atlas_europe_bias = 8.0;
+  Built b(GeneratorConfig::small_scale(), pcfg);
+  std::size_t europe = 0;
+  std::size_t total = 0;
+  for (const auto* vp : b.vps.of(Platform::RipeAtlas)) {
+    const auto& fac = b.topo.facility(b.topo.router(vp->attach).facility);
+    europe += b.topo.metro(fac.metro).region == Region::Europe;
+    ++total;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(europe) / total, 0.5);
+}
+
+TEST(Platforms, StatsCountDistinctAsnsAndCountries) {
+  Built b(GeneratorConfig::small_scale());
+  const auto stats = b.vps.stats(Platform::RipeAtlas, b.topo);
+  EXPECT_GT(stats.vantage_points, 0u);
+  EXPECT_GT(stats.distinct_asns, 1u);
+  EXPECT_GT(stats.distinct_countries, 1u);
+  EXPECT_LE(stats.distinct_asns, stats.vantage_points);
+
+  const auto totals = b.vps.totals(b.topo);
+  EXPECT_EQ(totals.vantage_points, b.vps.all().size());
+  EXPECT_GE(totals.distinct_asns, stats.distinct_asns);
+}
+
+TEST(Platforms, VpAccessorBounds) {
+  Built b(GeneratorConfig::tiny());
+  EXPECT_NO_THROW(b.vps.vp(VantagePointId(0)));
+  EXPECT_THROW(
+      b.vps.vp(VantagePointId(static_cast<std::uint32_t>(b.vps.all().size()))),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cfs

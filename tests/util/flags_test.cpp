@@ -1,0 +1,69 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  const Flags flags = make({"--scale", "paper", "--seed", "42"});
+  EXPECT_EQ(flags.get("scale", "x"), "paper");
+  EXPECT_EQ(flags.get_int("seed", 0), 42);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  const Flags flags = make({"--scale=tiny", "--vp-fraction=0.25"});
+  EXPECT_EQ(flags.get("scale", "x"), "tiny");
+  EXPECT_DOUBLE_EQ(flags.get_double("vp-fraction", 0), 0.25);
+}
+
+TEST(Flags, BareBooleans) {
+  const Flags flags = make({"--verbose", "--dry-run=false"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("dry-run", true));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags flags = make({});
+  EXPECT_EQ(flags.get("scale", "small"), "small");
+  EXPECT_EQ(flags.get_int("seed", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("f", 1.5), 1.5);
+  EXPECT_FALSE(flags.has("anything"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = make({"infer", "--seed", "1", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "infer");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  const Flags flags = make({"--seed", "abc", "--f", "1.2.3", "--b", "maybe"});
+  EXPECT_THROW(flags.get_int("seed", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("f", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, UnknownFlagTracking) {
+  const Flags flags = make({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(flags.get_int("known", 0), 1);
+  const auto unknown = flags.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const Flags flags = make({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(flags.get_int("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,51 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+constexpr GeoPoint london{51.51, -0.13};
+constexpr GeoPoint new_york{40.71, -74.01};
+constexpr GeoPoint frankfurt{50.11, 8.68};
+
+TEST(Geo, ZeroDistanceForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_km(london, london), 0.0);
+}
+
+TEST(Geo, Symmetry) {
+  EXPECT_DOUBLE_EQ(haversine_km(london, new_york),
+                   haversine_km(new_york, london));
+}
+
+TEST(Geo, KnownDistances) {
+  // London - New York great circle is ~5570 km.
+  EXPECT_NEAR(haversine_km(london, new_york), 5570.0, 60.0);
+  // London - Frankfurt is ~640 km.
+  EXPECT_NEAR(haversine_km(london, frankfurt), 640.0, 25.0);
+}
+
+TEST(Geo, TriangleInequality) {
+  EXPECT_LE(haversine_km(london, new_york),
+            haversine_km(london, frankfurt) +
+                haversine_km(frankfurt, new_york) + 1e-9);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const double lon_ny = propagation_delay_ms(london, new_york);
+  const double lon_fra = propagation_delay_ms(london, frankfurt);
+  EXPECT_GT(lon_ny, lon_fra);
+  // Transatlantic one-way fibre latency lands in the ~30-45 ms band.
+  EXPECT_GT(lon_ny, 25.0);
+  EXPECT_LT(lon_ny, 50.0);
+}
+
+TEST(Geo, AntipodalDistanceBounded) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  // Half the Earth's circumference, ~20015 km.
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 30.0);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,63 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace cfs {
+namespace {
+
+// Captures std::cerr for the duration of a scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, MessagesBelowLevelAreSuppressed) {
+  set_log_level(LogLevel::Warn);
+  CerrCapture capture;
+  log_debug() << "hidden";
+  log_info() << "hidden too";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, MessagesAtOrAboveLevelAppear) {
+  set_log_level(LogLevel::Info);
+  CerrCapture capture;
+  log_info() << "visible " << 42;
+  log_error() << "also visible";
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("[INFO] visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] also visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  CerrCapture capture;
+  log_error() << "nothing";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace cfs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformInIsInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_in(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(4);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(5.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexHonoursWeights) {
+  Rng rng(10);
+  const std::array<double, 3> weights = {0.0, 1.0, 3.0};
+  std::array<int, 3> counts = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i)
+    ++counts[rng.weighted_index(std::span<const double>(weights))];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(10);
+  const std::array<double, 2> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(std::span<const double>(zero)),
+               std::invalid_argument);
+  const std::array<double, 2> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(std::span<const double>(negative)),
+               std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(11);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(12);
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(12);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ZipfFavoursLowRanks) {
+  Rng rng(13);
+  ZipfSampler sampler(100, 1.2);
+  std::array<int, 101> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = sampler.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,72 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cfs {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"rtr1", "thn", "lon"};
+  EXPECT_EQ(join(parts, "."), "rtr1.thn.lon");
+  EXPECT_EQ(split(join(parts, "."), '.'), parts);
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, "."), ""); }
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("DE-CIX Frankfurt"), "de-cix frankfurt");
+  EXPECT_EQ(to_upper("ams-ix"), "AMS-IX");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(starts_with("rtr1.thn.lon", "rtr1"));
+  EXPECT_FALSE(starts_with("rtr1", "rtr1.thn"));
+  EXPECT_TRUE(ends_with("rtr1.thn.lon", ".lon"));
+  EXPECT_FALSE(ends_with("lon", "xlon"));
+  EXPECT_TRUE(contains("rtr1.thn.lon", "thn"));
+  EXPECT_FALSE(contains("rtr1", "thn"));
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cfs {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "count"});
+  t.add_row({"London", "45"});
+  t.add_row({"x", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("London"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // Every data line has the same width as the header line.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"metro", "n"});
+  t.add_row({"New York", "42"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "metro,n\nNew York,42\n");
+}
+
+TEST(Table, CsvSanitisesCommas) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\nx;y\n");
+}
+
+TEST(Table, CellHelpers) {
+  EXPECT_EQ(Table::cell(std::uint64_t{1234}), "1,234");
+  EXPECT_EQ(Table::cell(-5), "-5");
+  EXPECT_EQ(Table::cell(0.5, 1), "0.5");
+  EXPECT_EQ(Table::percent(0.905, 1), "90.5%");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,192 @@
+// cfs — command-line front end to the library.
+//
+//   cfs generate  [--scale tiny|small|paper] [--seed N] [--out FILE]
+//       Generate a ground-truth ecosystem and export it as JSON.
+//
+//   cfs census    [--scale ...] [--seed N]
+//       Print the Figure-3-style census of a generated world.
+//
+//   cfs infer     [--scale ...] [--seed N] [--content N] [--transit N]
+//                 [--vp-fraction F] [--report FILE]
+//       Run the measurement campaign and Constrained Facility Search;
+//       print a summary, optionally export the full report as JSON.
+//
+//   cfs validate  [--scale ...] [--seed N] [--content N] [--transit N]
+//       Run CFS and score it against every validation source + the oracle.
+#include <fstream>
+#include <iostream>
+
+#include "core/multilateral.h"
+#include "core/pipeline.h"
+#include "io/export.h"
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace cfs;
+
+namespace {
+
+PipelineConfig config_from(const Flags& flags) {
+  const std::string scale = flags.get("scale", "small");
+  PipelineConfig config;
+  if (scale == "tiny")
+    config = PipelineConfig::tiny();
+  else if (scale == "small")
+    config = PipelineConfig::small_scale();
+  else if (scale == "paper")
+    config = PipelineConfig::paper_scale();
+  else
+    throw std::invalid_argument("unknown --scale '" + scale +
+                                "' (tiny|small|paper)");
+  if (flags.has("seed")) {
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    config.seed = seed;
+    config.generator.seed = seed * 977 + 3;
+  }
+  return config;
+}
+
+void reject_unknown(const Flags& flags) {
+  const auto unknown = flags.unknown_flags();
+  if (unknown.empty()) return;
+  std::string message = "unknown flag(s):";
+  for (const auto& name : unknown) message += " --" + name;
+  throw std::invalid_argument(message);
+}
+
+int cmd_generate(const Flags& flags) {
+  const PipelineConfig config = config_from(flags);
+  const std::string out = flags.get("out", "");
+  reject_unknown(flags);
+
+  const Topology topo = generate_topology(config.generator);
+  std::cout << "generated: " << topo.facilities().size() << " facilities, "
+            << topo.ixps().size() << " IXPs, " << topo.ases().size()
+            << " ASes, " << topo.routers().size() << " routers, "
+            << topo.links().size() << " links\n";
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot write " + out);
+    write_topology(file, topo);
+    std::cout << "topology written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_census(const Flags& flags) {
+  const PipelineConfig config = config_from(flags);
+  reject_unknown(flags);
+  const Topology topo = generate_topology(config.generator);
+
+  std::vector<std::pair<std::size_t, MetroId>> by_metro;
+  for (const auto& metro : topo.metros()) {
+    std::size_t count = 0;
+    for (const auto& fac : topo.facilities()) count += fac.metro == metro.id;
+    by_metro.emplace_back(count, metro.id);
+  }
+  std::sort(by_metro.rbegin(), by_metro.rend());
+  Table table({"Metro", "Facilities"});
+  for (const auto& [count, metro] : by_metro) {
+    if (count < 5) break;
+    table.add_row({topo.metro(metro).name, Table::cell(std::uint64_t{count})});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_infer(const Flags& flags) {
+  const PipelineConfig config = config_from(flags);
+  const int content = static_cast<int>(flags.get_int("content", 2));
+  const int transit = static_cast<int>(flags.get_int("transit", 2));
+  const double vp_fraction = flags.get_double("vp-fraction", 0.6);
+  const std::string report_path = flags.get("report", "");
+  reject_unknown(flags);
+
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(
+      pipeline.default_targets(content, transit), vp_fraction);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  Table table({"Metric", "Value"});
+  table.add_row({"Traces used", Table::cell(std::uint64_t{report.traces_used})});
+  table.add_row({"Observed peering interfaces",
+                 Table::cell(std::uint64_t{report.observed_interfaces()})});
+  table.add_row({"Resolved to a facility",
+                 Table::percent(report.resolved_fraction())});
+  table.add_row({"City-constrained (unresolved)",
+                 Table::cell(std::uint64_t{
+                     report.city_constrained(pipeline.topology())})});
+  table.add_row({"Iterations", Table::cell(std::uint64_t{report.iterations_run})});
+  const auto stats = report.router_stats();
+  table.add_row({"Observed routers", Table::cell(std::uint64_t{stats.routers})});
+  table.add_row({"Multi-role routers",
+                 Table::cell(std::uint64_t{stats.multi_role})});
+  table.print(std::cout);
+
+  if (!report_path.empty()) {
+    std::ofstream file(report_path);
+    if (!file) throw std::runtime_error("cannot write " + report_path);
+    write_report(file, report);
+    std::cout << "report written to " << report_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const Flags& flags) {
+  const PipelineConfig config = config_from(flags);
+  const int content = static_cast<int>(flags.get_int("content", 2));
+  const int transit = static_cast<int>(flags.get_int("transit", 2));
+  reject_unknown(flags);
+
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(
+      pipeline.default_targets(content, transit), 0.6);
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+
+  const auto oracle = pipeline.validation().oracle_interface_accuracy(report);
+  Table table({"Oracle metric", "Value"});
+  table.add_row({"Scored interfaces", Table::cell(std::uint64_t{oracle.total})});
+  table.add_row({"Facility accuracy", Table::percent(oracle.accuracy())});
+  table.add_row({"City accuracy", Table::percent(oracle.city_accuracy())});
+  table.print(std::cout);
+
+  const auto breakdown = pipeline.validation().validate(report);
+  Table sources({"Source", "Link type", "Accuracy", "N"});
+  for (const auto& [key, acc] : breakdown) {
+    if (acc.total == 0) continue;
+    sources.add_row({std::string(validation_source_name(key.first)),
+                     std::string(validation_link_type_name(key.second)),
+                     Table::percent(acc.accuracy()),
+                     Table::cell(std::uint64_t{acc.total})});
+  }
+  sources.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: cfs <generate|census|infer|validate> [--scale "
+               "tiny|small|paper] [--seed N] ...\n"
+               "run 'cfs' with a command; see tools/cfs_cli.cpp header for "
+               "per-command flags\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  set_log_level(LogLevel::Warn);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "census") return cmd_census(flags);
+    if (command == "infer") return cmd_infer(flags);
+    if (command == "validate") return cmd_validate(flags);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
