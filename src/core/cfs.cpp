@@ -15,17 +15,23 @@ namespace cfs {
 struct ConstrainedFacilitySearch::State {
   State(const IpToAsnService& ip2asn, const Topology& topo,
         std::uint64_t seed)
-      : asn_map(ip2asn), resolver(topo, seed), rng(seed ^ 0x5eedULL) {}
+      : asn_map(ip2asn), resolver(topo, seed), border(ip2asn),
+        rng(seed ^ 0x5eedULL) {}
 
   std::vector<TraceResult> traces;
   std::size_t classified_upto = 0;
-  std::map<std::pair<Ipv4, Ipv4>, PeeringObservation> observations;
+  std::map<ObsKey, PeeringObservation> observations;
   std::unordered_map<Ipv4, InterfaceInference> interfaces;
   std::unordered_set<Ipv4> known_addrs;  // all peering addresses ever seen
   std::size_t aliased_addr_count = 0;    // addresses covered by last run
   InterfaceAsnMap asn_map;
   AliasSets aliases;
   AliasResolver resolver;
+  // Border-mapping evidence accumulates per trace, so the incremental
+  // engine keeps one mapper fed with each trace exactly once; the full
+  // engine rebuilds a fresh one per refresh (identical corrections).
+  BorderMapper border;
+  std::size_t border_upto = 0;
   Rng rng;
   std::vector<std::size_t> history;
   // Facility -> ASes present (per the public database), for follow-ups.
@@ -39,30 +45,74 @@ struct ConstrainedFacilitySearch::State {
   std::unordered_map<std::uint32_t, std::set<std::uint32_t>> neighbors;
   // Vantage points usable for follow-ups (after any platform filter).
   std::vector<const VantagePoint*> usable_vps;
-};
 
-namespace {
+  // ---- incremental engine ----
+  // Per-trace classification results, tagged with the asn-map generation
+  // they were derived under. A refresh re-derives only traces whose cached
+  // generation predates a correction touching one of their hop addresses.
+  struct TraceCache {
+    std::uint64_t generation = 0;
+    std::vector<PeeringObservation> obs;
+  };
+  std::vector<TraceCache> trace_cache;  // parallel to `traces`
+  // Responding hop address -> traces traversing it (classification reads
+  // nothing else, so this is the exact invalidation footprint).
+  std::unordered_map<Ipv4, std::vector<std::uint32_t>> traces_by_addr;
+  // Change clock: bumped whenever a candidate set changes; alias sets
+  // remember the tick they were last intersected at.
+  std::uint64_t tick = 0;
+  std::unordered_map<Ipv4, std::uint64_t> iface_changed;
+  std::vector<std::uint64_t> alias_set_ticks;
+  // Interface -> observations it appears in (either endpoint).
+  std::unordered_map<Ipv4, std::vector<ObsKey>> obs_by_iface;
+  // Observations to (re-)constrain this iteration / discovered mid-pass
+  // at-or-before the cursor (promoted into `worklist` at iteration end).
+  std::set<ObsKey> worklist;
+  std::set<ObsKey> pending;
 
-void merge_observation(
-    std::map<std::pair<Ipv4, Ipv4>, PeeringObservation>& store,
-    const PeeringObservation& obs) {
-  const auto key = std::make_pair(obs.near_addr, obs.far_addr);
-  const auto it = store.find(key);
-  if (it == store.end()) {
-    store.emplace(key, obs);
-  } else {
-    it->second.near_rtt_ms = std::min(it->second.near_rtt_ms, obs.near_rtt_ms);
-    it->second.far_rtt_ms = std::min(it->second.far_rtt_ms, obs.far_rtt_ms);
+  CfsMetrics metrics;
+
+  struct Absorbed {
+    bool created = false;
+    bool changed = false;
+  };
+  // Folds one classified observation into the store and the per-interface
+  // side state (asn, vantage points, adjacency). Both engines and the
+  // refresh replay funnel through here so the merged state is identical
+  // whichever path produced it.
+  Absorbed absorb(const PeeringObservation& obs) {
+    Absorbed result;
+    const auto key = std::make_pair(obs.near_addr, obs.far_addr);
+    const auto it = observations.find(key);
+    if (it == observations.end()) {
+      observations.emplace(key, obs);
+      result.created = true;
+    } else {
+      const PeeringObservation before = it->second;
+      it->second.near_rtt_ms =
+          std::min(it->second.near_rtt_ms, obs.near_rtt_ms);
+      it->second.far_rtt_ms = std::min(it->second.far_rtt_ms, obs.far_rtt_ms);
+      result.changed = !(before == it->second);
+    }
+    known_addrs.insert(obs.near_addr);
+    known_addrs.insert(obs.far_addr);
+
+    auto& near = interfaces[obs.near_addr];
+    near.addr = obs.near_addr;
+    near.asn = obs.near_as;
+    if (std::find(near.seen_from.begin(), near.seen_from.end(), obs.vp) ==
+        near.seen_from.end())
+      near.seen_from.push_back(obs.vp);
+
+    auto& far = interfaces[obs.far_addr];
+    far.addr = obs.far_addr;
+    far.asn = obs.far_as;
+
+    neighbors[obs.near_as.value].insert(obs.far_as.value);
+    neighbors[obs.far_as.value].insert(obs.near_as.value);
+    return result;
   }
-}
-
-void note_vp(InterfaceInference& inf, VantagePointId vp) {
-  if (std::find(inf.seen_from.begin(), inf.seen_from.end(), vp) ==
-      inf.seen_from.end())
-    inf.seen_from.push_back(vp);
-}
-
-}  // namespace
+};
 
 ConstrainedFacilitySearch::ConstrainedFacilitySearch(
     const Topology& topo, const FacilityDatabase& db,
@@ -75,36 +125,107 @@ ConstrainedFacilitySearch::ConstrainedFacilitySearch(
       vps_(vps),
       config_(config) {}
 
-void ConstrainedFacilitySearch::ingest_traces(
-    State& state, std::vector<TraceResult> fresh) const {
+std::size_t ConstrainedFacilitySearch::ingest_traces(
+    State& state, std::vector<TraceResult> fresh, IterationMetrics* im) const {
   for (auto& trace : fresh) state.traces.push_back(std::move(trace));
 
+  std::size_t classified = 0;
   const HopClassifier classifier(ip2asn_, state.asn_map);
+  if (config_.incremental) state.trace_cache.resize(state.traces.size());
   for (std::size_t i = state.classified_upto; i < state.traces.size(); ++i) {
-    for (const PeeringObservation& obs :
-         classifier.classify(state.traces[i])) {
-      merge_observation(state.observations, obs);
-      state.known_addrs.insert(obs.near_addr);
-      state.known_addrs.insert(obs.far_addr);
+    std::vector<PeeringObservation> obs_list =
+        classifier.classify(state.traces[i]);
+    classified += obs_list.size();
 
-      auto& near = state.interfaces[obs.near_addr];
-      near.addr = obs.near_addr;
-      near.asn = obs.near_as;
-      note_vp(near, obs.vp);
+    if (config_.incremental) {
+      for (const Hop& hop : state.traces[i].hops) {
+        if (!hop.responded) continue;
+        auto& slot = state.traces_by_addr[hop.address];
+        if (slot.empty() || slot.back() != i)
+          slot.push_back(static_cast<std::uint32_t>(i));
+      }
+      state.trace_cache[i].generation = state.asn_map.generation();
+      state.trace_cache[i].obs = obs_list;
+    }
 
-      auto& far = state.interfaces[obs.far_addr];
-      far.addr = obs.far_addr;
-      far.asn = obs.far_as;
-
-      state.neighbors[obs.near_as.value].insert(obs.far_as.value);
-      state.neighbors[obs.far_as.value].insert(obs.near_as.value);
+    for (const PeeringObservation& obs : obs_list) {
+      const State::Absorbed r = state.absorb(obs);
+      if (!config_.incremental) continue;
+      const ObsKey key{obs.near_addr, obs.far_addr};
+      if (r.created) {
+        state.obs_by_iface[obs.near_addr].push_back(key);
+        state.obs_by_iface[obs.far_addr].push_back(key);
+      }
+      if (r.created || r.changed) state.worklist.insert(key);
     }
   }
   state.classified_upto = state.traces.size();
+  if (im != nullptr) im->classified_observations += classified;
+  return classified;
 }
 
-void ConstrainedFacilitySearch::refresh_aliases(State& state) const {
+void ConstrainedFacilitySearch::reclassify_changed(
+    State& state, IterationMetrics& im) const {
+  // Corrections only ever *add* corrected entries, so the set of changed
+  // addresses is exactly what apply_* recorded since the last refresh.
+  const std::vector<Ipv4> changed = state.asn_map.take_changed();
+  std::vector<char> stale(state.traces.size(), 0);
+  for (const Ipv4 addr : changed) {
+    const auto it = state.traces_by_addr.find(addr);
+    if (it == state.traces_by_addr.end()) continue;
+    for (const std::uint32_t t : it->second) stale[t] = 1;
+  }
+
+  const HopClassifier classifier(ip2asn_, state.asn_map);
+  std::size_t stale_traces = 0;
+  std::size_t fresh_obs = 0;
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < state.traces.size(); ++i) {
+    if (!stale[i]) {
+      replayed += state.trace_cache[i].obs.size();
+      continue;
+    }
+    ++stale_traces;
+    state.trace_cache[i].obs = classifier.classify(state.traces[i]);
+    state.trace_cache[i].generation = state.asn_map.generation();
+    fresh_obs += state.trace_cache[i].obs.size();
+  }
+
+  // Rebuild the merged store by replaying the caches in trace order — the
+  // exact sequence a full re-ingest would feed absorb_observation — and
+  // diff against the previous store to seed the dirty worklist.
+  auto old = std::move(state.observations);
+  state.observations.clear();
+  for (const State::TraceCache& cache : state.trace_cache)
+    for (const PeeringObservation& obs : cache.obs)
+      state.absorb(obs);
+
+  for (const auto& [key, obs] : state.observations) {
+    const auto it = old.find(key);
+    if (it == old.end()) {
+      state.obs_by_iface[obs.near_addr].push_back(key);
+      state.obs_by_iface[obs.far_addr].push_back(key);
+      state.worklist.insert(key);
+    } else if (!(it->second == obs)) {
+      state.worklist.insert(key);
+    }
+  }
+
+  im.reclassified_traces += stale_traces;
+  im.classified_observations += fresh_obs;
+  im.replayed_observations += replayed;
+  state.metrics.reclassified_traces += stale_traces;
+  state.metrics.reclassified_observations += fresh_obs;
+  state.metrics.replayed_observations += replayed;
+}
+
+void ConstrainedFacilitySearch::refresh_aliases(State& state,
+                                                IterationMetrics& im) const {
   if (state.known_addrs.size() == state.aliased_addr_count) return;
+  im.alias_refreshed = true;
+  ++state.metrics.alias_refreshes;
+
+  Stopwatch alias_timer;
   std::vector<Ipv4> targets(state.known_addrs.begin(),
                             state.known_addrs.end());
   std::sort(targets.begin(), targets.end());  // determinism
@@ -115,87 +236,188 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state) const {
   if (config_.use_border_mapping) {
     // Repair foreign-numbered /30 ownership from the corpus itself
     // (MAP-IT-style); catches the routers alias resolution cannot probe.
-    BorderMapper mapper(ip2asn_);
-    mapper.ingest_all(state.traces);
-    state.asn_map.apply_border_corrections(mapper.corrections());
+    if (config_.incremental) {
+      for (std::size_t i = state.border_upto; i < state.traces.size(); ++i)
+        state.border.ingest(state.traces[i]);
+      state.border_upto = state.traces.size();
+      state.asn_map.apply_border_corrections(state.border.corrections());
+    } else {
+      BorderMapper mapper(ip2asn_);
+      mapper.ingest_all(state.traces);
+      state.asn_map.apply_border_corrections(mapper.corrections());
+    }
   }
+  // New alias sets: every set must be re-intersected from scratch.
+  state.alias_set_ticks.assign(state.aliases.sets.size(), 0);
+  im.alias_ms += alias_timer.elapsed_ms();
 
   // Corrected mappings can turn previously discarded crossings into
-  // classifiable ones: re-classify the whole corpus against the new map.
-  state.observations.clear();
-  state.classified_upto = 0;
-  ingest_traces(state, {});
+  // classifiable ones: re-derive observations against the new map.
+  Stopwatch reclass_timer;
+  if (config_.incremental) {
+    reclassify_changed(state, im);
+  } else {
+    state.observations.clear();
+    state.classified_upto = 0;
+    const std::size_t reclassified = ingest_traces(state, {}, nullptr);
+    im.reclassified_traces += state.traces.size();
+    im.classified_observations += reclassified;
+    state.metrics.reclassified_traces += state.traces.size();
+    state.metrics.reclassified_observations += reclassified;
+  }
+  im.reclassify_ms += reclass_timer.elapsed_ms();
+}
+
+void ConstrainedFacilitySearch::note_candidates_changed(
+    State& state, Ipv4 addr, const ObsKey* current) const {
+  state.iface_changed[addr] = ++state.tick;
+  if (!config_.incremental) return;
+  const auto it = state.obs_by_iface.find(addr);
+  if (it == state.obs_by_iface.end()) return;
+  for (const ObsKey& key : it->second) {
+    if (current != nullptr && key > *current)
+      state.worklist.insert(key);  // still ahead of the in-flight pass
+    else
+      state.pending.insert(key);  // next iteration, like the full engine
+  }
+}
+
+void ConstrainedFacilitySearch::constrain_from_observation(
+    State& state, const RemotePeeringDetector& detector,
+    const PeeringObservation& obs, int iteration, const ObsKey* current) const {
+  auto& near = state.interfaces.at(obs.near_addr);
+  auto& far = state.interfaces.at(obs.far_addr);
+  const auto& fa = db_.facilities_of(obs.near_as);
+  const auto& fb = db_.facilities_of(obs.far_as);
+
+  const auto constrain = [&](InterfaceInference& inf,
+                             const std::vector<FacilityId>& allowed) {
+    if (inf.constrain(allowed, iteration))
+      note_candidates_changed(state, inf.addr, current);
+  };
+
+  if (obs.kind == PeeringKind::Public) {
+    const auto& fe = db_.ixp_facilities(obs.ixp);
+    if (!fa.empty()) {
+      const auto common = facility_intersection(fa, fe);
+      if (!common.empty()) {
+        // Resolved or unresolved-local interface (Step 2 cases 1-2).
+        constrain(near, common);
+        if (std::find(near.queried_ixps.begin(), near.queried_ixps.end(),
+                      obs.ixp) == near.queried_ixps.end())
+          near.queried_ixps.push_back(obs.ixp);
+      } else {
+        // Step 2 case 3: no common facility. Distinguish a genuinely
+        // remote peer (3a) from missing data (3b): if the AS still has a
+        // facility in one of the exchange's metros, the shared building
+        // is most likely just absent from the database.
+        bool metro_overlap = false;
+        for (const FacilityId af : fa) {
+          for (const FacilityId ef : fe) {
+            if (topo_.metro_of(af) == topo_.metro_of(ef)) {
+              metro_overlap = true;
+              break;
+            }
+          }
+          if (metro_overlap) break;
+        }
+        // Sticky: one no-overlap exchange marks the interface remote for
+        // good; a later local-looking observation must not clear it.
+        near.remote_suspect = near.remote_suspect || !metro_overlap;
+        constrain(near, fa);
+      }
+    }
+    if (!fb.empty()) {
+      if (detector.far_side_remote(obs)) {
+        far.remote_suspect = true;
+        constrain(far, fb);
+      } else {
+        const auto common = facility_intersection(fb, fe);
+        if (!common.empty())
+          constrain(far, common);
+        else
+          constrain(far, fb);
+      }
+    }
+    return;
+  }
+
+  // Private interconnection.
+  const bool long_haul = detector.far_side_remote(obs);
+  if (!long_haul) {
+    const auto common = facility_intersection(fa, fb);
+    if (!common.empty()) {
+      constrain(near, common);
+      constrain(far, common);
+      return;
+    }
+  }
+  if (!fa.empty()) constrain(near, fa);
+  if (!fb.empty()) constrain(far, fb);
+  if (long_haul) far.remote_suspect = true;
 }
 
 void ConstrainedFacilitySearch::apply_facility_constraints(
-    State& state, int iteration) const {
+    State& state, int iteration, IterationMetrics& im) const {
   const RemotePeeringDetector detector(config_.remote);
 
-  for (const auto& [key, obs] : state.observations) {
-    auto& near = state.interfaces.at(obs.near_addr);
-    auto& far = state.interfaces.at(obs.far_addr);
-    const auto& fa = db_.facilities_of(obs.near_as);
-    const auto& fb = db_.facilities_of(obs.far_as);
-
-    if (obs.kind == PeeringKind::Public) {
-      const auto& fe = db_.ixp_facilities(obs.ixp);
-      if (!fa.empty()) {
-        const auto common = facility_intersection(fa, fe);
-        if (!common.empty()) {
-          // Resolved or unresolved-local interface (Step 2 cases 1-2).
-          near.constrain(common, iteration);
-          if (std::find(near.queried_ixps.begin(), near.queried_ixps.end(),
-                        obs.ixp) == near.queried_ixps.end())
-            near.queried_ixps.push_back(obs.ixp);
-        } else {
-          // Step 2 case 3: no common facility. Distinguish a genuinely
-          // remote peer (3a) from missing data (3b): if the AS still has a
-          // facility in one of the exchange's metros, the shared building
-          // is most likely just absent from the database.
-          bool metro_overlap = false;
-          for (const FacilityId af : fa)
-            for (const FacilityId ef : fe)
-              if (topo_.metro_of(af) == topo_.metro_of(ef))
-                metro_overlap = true;
-          near.remote_suspect = !metro_overlap;
-          near.constrain(fa, iteration);
-        }
-      }
-      if (!fb.empty()) {
-        if (detector.far_side_remote(obs)) {
-          far.remote_suspect = true;
-          far.constrain(fb, iteration);
-        } else {
-          const auto common = facility_intersection(fb, fe);
-          if (!common.empty())
-            far.constrain(common, iteration);
-          else
-            far.constrain(fb, iteration);
-        }
-      }
-      continue;
+  if (!config_.incremental) {
+    im.dirty_observations += state.observations.size();
+    for (const auto& [key, obs] : state.observations) {
+      constrain_from_observation(state, detector, obs, iteration, nullptr);
+      ++im.constrained_observations;
     }
-
-    // Private interconnection.
-    const bool long_haul = detector.far_side_remote(obs);
-    if (!long_haul) {
-      const auto common = facility_intersection(fa, fb);
-      if (!common.empty()) {
-        near.constrain(common, iteration);
-        far.constrain(common, iteration);
-        continue;
-      }
-    }
-    if (!fa.empty()) near.constrain(fa, iteration);
-    if (!fb.empty()) far.constrain(fb, iteration);
-    if (long_haul) far.remote_suspect = true;
+    return;
   }
+
+  // Walk the dirty set in ascending key order, the same order the full
+  // engine scans the store. Changes made mid-pass re-queue observations:
+  // keys past the cursor join this pass (note_candidates_changed), keys at
+  // or before it land in `pending` for the next iteration — exactly the
+  // full engine's behavior, which sees an earlier change only on its next
+  // sweep. upper_bound re-finds the position because inserts may land
+  // between the cursor and its old successor.
+  im.dirty_observations += state.worklist.size();
+  auto it = state.worklist.begin();
+  while (it != state.worklist.end()) {
+    const ObsKey key = *it;
+    const auto oit = state.observations.find(key);
+    if (oit != state.observations.end()) {  // key may have vanished at refresh
+      constrain_from_observation(state, detector, oit->second, iteration, &key);
+      ++im.constrained_observations;
+    }
+    it = state.worklist.upper_bound(key);
+  }
+  state.worklist.clear();
 }
 
 void ConstrainedFacilitySearch::apply_alias_constraints(
-    State& state, int iteration) const {
-  for (const auto& set : state.aliases.sets) {
+    State& state, int iteration, IterationMetrics& im) const {
+  if (config_.incremental &&
+      state.alias_set_ticks.size() != state.aliases.sets.size())
+    state.alias_set_ticks.assign(state.aliases.sets.size(), 0);
+
+  for (std::size_t si = 0; si < state.aliases.sets.size(); ++si) {
+    const auto& set = state.aliases.sets[si];
     if (set.size() < 2) continue;
+
+    if (config_.incremental) {
+      // Intersecting unchanged candidate sets reproduces the members'
+      // current candidates — a no-op. Skip unless some member's candidates
+      // moved since this set was last processed.
+      bool dirty = false;
+      for (const Ipv4 addr : set) {
+        const auto t = state.iface_changed.find(addr);
+        if (t != state.iface_changed.end() &&
+            t->second > state.alias_set_ticks[si]) {
+          dirty = true;
+          break;
+        }
+      }
+      if (!dirty) continue;
+    }
+    ++im.alias_sets_processed;
+
     // Intersect the candidate sets of all constrained members.
     std::vector<FacilityId> common;
     bool first = true;
@@ -212,17 +434,20 @@ void ConstrainedFacilitySearch::apply_alias_constraints(
         common = facility_intersection(common, it->second.candidates);
       }
     }
-    if (!any || common.empty()) continue;
-    for (const Ipv4 addr : set) {
-      const auto it = state.interfaces.find(addr);
-      if (it == state.interfaces.end()) continue;
-      it->second.constrain(common, iteration);
+    if (any && !common.empty()) {
+      for (const Ipv4 addr : set) {
+        const auto it = state.interfaces.find(addr);
+        if (it == state.interfaces.end()) continue;
+        if (it->second.constrain(common, iteration))
+          note_candidates_changed(state, addr, nullptr);
+      }
     }
+    if (config_.incremental) state.alias_set_ticks[si] = state.tick;
   }
 }
 
-void ConstrainedFacilitySearch::launch_followups(State& state,
-                                                 int iteration) const {
+std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
+    State& state, int iteration, IterationMetrics& im) const {
   // Gather unresolved-but-constrained interfaces, tightest first (they are
   // one good constraint away from resolution).
   std::vector<InterfaceInference*> unresolved;
@@ -234,6 +459,9 @@ void ConstrainedFacilitySearch::launch_followups(State& state,
                 return a->candidates.size() < b->candidates.size();
               return a->addr < b->addr;
             });
+  im.followup_pool = unresolved.size();
+  im.followup_budget =
+      static_cast<std::size_t>(std::max(0, config_.followup_interfaces));
 
   std::vector<TraceResult> fresh;
   const auto& all_vps = state.usable_vps;
@@ -249,7 +477,6 @@ void ConstrainedFacilitySearch::launch_followups(State& state,
   for (std::size_t slot = 0; slot < unresolved.size(); ++slot) {
     InterfaceInference* inf = unresolved[(offset + slot) % unresolved.size()];
     if (chased >= config_.followup_interfaces) break;
-    ++chased;
 
     // Candidate target ASes: present at one of the interface's candidate
     // facilities, preferring the smallest overlap (most constraining) and
@@ -293,7 +520,13 @@ void ConstrainedFacilitySearch::launch_followups(State& state,
                 });
     }
 
-    if (scored.empty()) continue;
+    if (scored.empty()) {
+      // No viable target: the slot launched nothing, so it must not burn
+      // budget — charging here starved later interfaces whenever the pool
+      // held data-less entries.
+      ++im.followups_skipped;
+      continue;
+    }
     scored.resize(std::min<std::size_t>(
         scored.size(), static_cast<std::size_t>(config_.followup_targets)));
 
@@ -319,15 +552,23 @@ void ConstrainedFacilitySearch::launch_followups(State& state,
       if (!all_vps.empty())
         probes.push_back(all_vps[state.rng.index(all_vps.size())]);
 
+    std::size_t launched = 0;
     for (const auto& [score, target_as] : scored) {
       if (!topo_.has_as(target_as)) continue;
       const auto targets = MeasurementCampaign::targets_for(topo_, target_as);
       if (targets.empty()) continue;
       for (const VantagePoint* vp : probes) {
         TraceResult trace = campaign_.probe(*vp, targets.front());
+        ++launched;
         if (!trace.hops.empty()) fresh.push_back(std::move(trace));
       }
     }
+    if (launched == 0) {
+      ++im.followups_skipped;  // every scored AS was unprobeable
+      continue;
+    }
+    ++chased;
+    ++im.followups_launched;
   }
 
   // Reverse-direction probes for unresolved far ends (Section 4.3).
@@ -345,11 +586,14 @@ void ConstrainedFacilitySearch::launch_followups(State& state,
 
   log_debug() << "iteration " << iteration << ": " << fresh.size()
               << " follow-up traces";
-  ingest_traces(state, std::move(fresh));
+  im.followup_traces = fresh.size();
+  return fresh;
 }
 
 CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
+  Stopwatch run_timer;
   State state(ip2asn_, topo_, config_.seed);
+  state.metrics.incremental = config_.incremental;
 
   // Public-database index: facility -> ASes present (for follow-ups).
   for (const auto& as : topo_.ases())
@@ -362,27 +606,57 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
     state.usable_vps.push_back(&vp);
   }
 
-  ingest_traces(state, std::move(traces));
+  {
+    Stopwatch initial_timer;
+    state.metrics.initial_traces = traces.size();
+    state.metrics.initial_observations =
+        ingest_traces(state, std::move(traces), nullptr);
+    state.metrics.initial_classify_ms = initial_timer.elapsed_ms();
+  }
 
   int iteration = 0;
   for (iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+    IterationMetrics im;
+    im.iteration = static_cast<std::size_t>(iteration);
+    im.followup_budget =
+        static_cast<std::size_t>(std::max(0, config_.followup_interfaces));
+
     if (config_.use_alias_constraints &&
         (iteration == 1 ||
          (iteration % std::max(1, config_.alias_refresh_interval)) == 0))
-      refresh_aliases(state);
+      refresh_aliases(state, im);
 
-    apply_facility_constraints(state, iteration);
-    if (config_.use_alias_constraints) apply_alias_constraints(state, iteration);
+    Stopwatch constrain_timer;
+    apply_facility_constraints(state, iteration, im);
+    if (config_.use_alias_constraints)
+      apply_alias_constraints(state, iteration, im);
+    if (config_.incremental) {
+      // Promote mid-pass discoveries into the next iteration's worklist.
+      state.worklist.insert(state.pending.begin(), state.pending.end());
+      state.pending.clear();
+    }
+    im.constrain_ms = constrain_timer.elapsed_ms();
 
     std::size_t resolved = 0;
     for (const auto& [addr, inf] : state.interfaces)
       resolved += inf.resolved();
     state.history.push_back(resolved);
+    im.resolved = resolved;
+    im.observations = state.observations.size();
+    im.interfaces = state.interfaces.size();
 
-    if (resolved == state.interfaces.size() && !state.interfaces.empty())
-      break;
-    if (iteration < config_.max_iterations)
-      launch_followups(state, iteration);
+    const bool done =
+        resolved == state.interfaces.size() && !state.interfaces.empty();
+    if (!done && iteration < config_.max_iterations) {
+      Stopwatch followup_timer;
+      std::vector<TraceResult> fresh = launch_followups(state, iteration, im);
+      im.followup_ms = followup_timer.elapsed_ms();
+      Stopwatch classify_timer;
+      ingest_traces(state, std::move(fresh), &im);
+      im.classify_ms = classify_timer.elapsed_ms();
+    }
+    state.metrics.iterations.push_back(im);
+    if (done) break;
   }
 
   // ---- final classification of each crossing ----
@@ -428,14 +702,22 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
       } else {
         // No shared building, local RTT: tethering over an exchange both
         // sides can reach, otherwise missing data pointing at a plain
-        // cross-connect.
+        // cross-connect. The presence index turns "is there an exchange
+        // reachable from both sides?" into hash lookups instead of an
+        // intersection per IXP per link.
         bool shared_ixp = false;
-        for (const auto& ixp : topo_.ixps()) {
-          const auto& fe = db_.ixp_facilities(ixp.id);
-          if (!facility_intersection(fa, fe).empty() &&
-              !facility_intersection(fb, fe).empty()) {
-            shared_ixp = true;
-            break;
+        std::unordered_set<std::uint32_t> near_ixps;
+        for (const FacilityId fac : fa)
+          for (const IxpId ixp : db_.ixps_at(fac)) near_ixps.insert(ixp.value);
+        if (!near_ixps.empty()) {
+          for (const FacilityId fac : fb) {
+            for (const IxpId ixp : db_.ixps_at(fac)) {
+              if (near_ixps.contains(ixp.value)) {
+                shared_ixp = true;
+                break;
+              }
+            }
+            if (shared_ixp) break;
           }
         }
         link.type = shared_ixp ? InterconnectionType::PrivateTethering
@@ -458,6 +740,9 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
       link.far_by_proximity = true;
     }
   }
+
+  state.metrics.total_ms = run_timer.elapsed_ms();
+  report.metrics = std::move(state.metrics);
 
   log_info() << "CFS: " << report.resolved_interfaces() << "/"
              << report.observed_interfaces() << " interfaces resolved in "

@@ -16,13 +16,26 @@
 // remote private) and applies the switch-proximity heuristic to far ends
 // that the reverse search could not pin down.
 //
+// The default engine is incremental: per-trace classification results are
+// cached against the InterfaceAsnMap generation so an alias refresh only
+// re-derives traces that traverse a corrected address, and constraint
+// passes walk a dirty set of observations whose endpoint candidate sets
+// changed instead of the whole store. Because InterfaceInference::constrain
+// only ever intersects, re-applying an observation whose inputs did not
+// change is a no-op — both engines produce identical reports
+// (tests/core/incremental_test.cpp asserts it). Per-stage accounting lands
+// in CfsReport::metrics.
+//
 // CFS deliberately sees only the public-information layers: the merged
 // facility database, the IP-to-ASN service, DNS-free traceroute output and
 // its own alias resolution. The ground-truth Topology is used solely for
 // public facts (facility -> metro, prefix origins for target selection).
 #pragma once
 
+#include <utility>
+
 #include "core/classify.h"
+#include "core/metrics.h"
 #include "core/proximity.h"
 #include "core/remote.h"
 #include "core/report.h"
@@ -47,6 +60,11 @@ struct CfsConfig {
   bool use_alias_constraints = true;
   bool use_border_mapping = true;  // MAP-IT-style /30 ownership repair
   bool random_followups = false;
+  // Incremental engine (default): alias refreshes re-classify only traces
+  // touching a corrected address, constraint passes only observations whose
+  // endpoints changed. `false` re-runs every pass from scratch; both paths
+  // produce identical reports.
+  bool incremental = true;
   // Restrict follow-up probing to one platform (Figure 7's per-platform
   // convergence curves); initial traces are restricted by the caller.
   std::optional<Platform> platform_filter;
@@ -66,12 +84,39 @@ class ConstrainedFacilitySearch {
 
  private:
   struct State;
+  // Observation store key: (near_addr, far_addr). The store is a std::map
+  // so both engines visit observations in the same ascending-key order.
+  using ObsKey = std::pair<Ipv4, Ipv4>;
 
-  void ingest_traces(State& state, std::vector<TraceResult> fresh) const;
-  void refresh_aliases(State& state) const;
-  void apply_facility_constraints(State& state, int iteration) const;
-  void apply_alias_constraints(State& state, int iteration) const;
-  void launch_followups(State& state, int iteration) const;
+  // Classifies traces appended past classified_upto into the observation
+  // store (and, incrementally, the per-trace cache + address index).
+  // Returns how many observations the classifier produced.
+  std::size_t ingest_traces(State& state, std::vector<TraceResult> fresh,
+                            IterationMetrics* im) const;
+  void refresh_aliases(State& state, IterationMetrics& im) const;
+  // Incremental refresh tail: re-classify traces hit by asn-map corrections,
+  // replay everything else from cache, diff the rebuilt store into the
+  // dirty worklist.
+  void reclassify_changed(State& state, IterationMetrics& im) const;
+  // Records that `addr`'s candidate set changed and queues its observations
+  // for re-processing. `current` is the facility-pass cursor: keys after it
+  // re-enter the in-flight pass (matching the full engine's in-pass
+  // cascades), keys at or before it wait for the next iteration.
+  void note_candidates_changed(State& state, Ipv4 addr,
+                               const ObsKey* current) const;
+  // Step 2 for a single observation; shared verbatim by both engines.
+  void constrain_from_observation(State& state,
+                                  const RemotePeeringDetector& detector,
+                                  const PeeringObservation& obs, int iteration,
+                                  const ObsKey* current) const;
+  void apply_facility_constraints(State& state, int iteration,
+                                  IterationMetrics& im) const;
+  void apply_alias_constraints(State& state, int iteration,
+                               IterationMetrics& im) const;
+  // Step 4: returns the fresh traces (caller ingests them under the
+  // classify timer).
+  [[nodiscard]] std::vector<TraceResult> launch_followups(
+      State& state, int iteration, IterationMetrics& im) const;
 
   const Topology& topo_;
   const FacilityDatabase& db_;

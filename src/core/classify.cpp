@@ -36,14 +36,27 @@ void InterfaceAsnMap::apply_alias_correction(const AliasSets& aliases) {
     const Asn winner(majority->first);
     for (const Ipv4 addr : set) {
       const auto raw = ip2asn_.lookup(addr);
-      if (!raw || *raw != winner) corrected_.emplace(addr, winner);
+      if ((!raw || *raw != winner) && corrected_.emplace(addr, winner).second)
+        record_change(addr);
     }
   }
 }
 
 void InterfaceAsnMap::apply_border_corrections(
     const std::unordered_map<Ipv4, Asn>& corrections) {
-  for (const auto& [addr, asn] : corrections) corrected_.try_emplace(addr, asn);
+  for (const auto& [addr, asn] : corrections)
+    if (corrected_.try_emplace(addr, asn).second) record_change(addr);
+}
+
+void InterfaceAsnMap::record_change(Ipv4 addr) {
+  ++generation_;
+  changed_.push_back(addr);
+}
+
+std::vector<Ipv4> InterfaceAsnMap::take_changed() {
+  std::vector<Ipv4> out;
+  out.swap(changed_);
+  return out;
 }
 
 std::optional<Asn> InterfaceAsnMap::asn_of(Ipv4 addr) const {

@@ -41,9 +41,21 @@ class InterfaceAsnMap {
 
   [[nodiscard]] std::size_t corrections() const { return corrected_.size(); }
 
+  // Bumped every time a correction changes an address's effective mapping.
+  // A trace classification cached at generation g is still valid when none
+  // of the trace's hop addresses appear in the changes since g.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  // Addresses whose mapping changed since the last call; clears the log.
+  [[nodiscard]] std::vector<Ipv4> take_changed();
+
  private:
+  void record_change(Ipv4 addr);
+
   const IpToAsnService& ip2asn_;
   std::unordered_map<Ipv4, Asn> corrected_;
+  std::uint64_t generation_ = 0;
+  std::vector<Ipv4> changed_;
 };
 
 class HopClassifier {

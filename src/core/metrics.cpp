@@ -1,0 +1,52 @@
+#include "core/metrics.h"
+
+namespace cfs {
+namespace {
+
+template <class Get>
+double sum_ms(const std::vector<IterationMetrics>& rows, Get get) {
+  double total = 0.0;
+  for (const IterationMetrics& row : rows) total += get(row);
+  return total;
+}
+
+template <class Get>
+std::size_t sum_count(const std::vector<IterationMetrics>& rows, Get get) {
+  std::size_t total = 0;
+  for (const IterationMetrics& row : rows) total += get(row);
+  return total;
+}
+
+}  // namespace
+
+double CfsMetrics::classify_ms() const {
+  return sum_ms(iterations, [](const auto& r) { return r.classify_ms; });
+}
+
+double CfsMetrics::alias_ms() const {
+  return sum_ms(iterations, [](const auto& r) { return r.alias_ms; });
+}
+
+double CfsMetrics::reclassify_ms() const {
+  return sum_ms(iterations, [](const auto& r) { return r.reclassify_ms; });
+}
+
+double CfsMetrics::constrain_ms() const {
+  return sum_ms(iterations, [](const auto& r) { return r.constrain_ms; });
+}
+
+double CfsMetrics::followup_ms() const {
+  return sum_ms(iterations, [](const auto& r) { return r.followup_ms; });
+}
+
+std::size_t CfsMetrics::followups_launched() const {
+  return sum_count(iterations,
+                   [](const auto& r) { return r.followups_launched; });
+}
+
+std::size_t CfsMetrics::followups_skipped() const {
+  return sum_count(iterations,
+                   [](const auto& r) { return r.followups_skipped; });
+}
+
+}  // namespace cfs

@@ -1,0 +1,101 @@
+// Per-run observability for the CFS iteration loop.
+//
+// The paper's Algorithm 1 is an anytime loop: every iteration classifies,
+// constrains, propagates and probes. CfsMetrics records what each stage
+// did and how long it took, so the incremental re-classification path
+// (core/cfs.cpp) can be audited — dirty-set sizes, cache hit/miss counts
+// at alias refreshes, follow-up budget utilisation — and regressions show
+// up as numbers instead of wall-clock folklore. Carried on CfsReport,
+// printed by tools/cfs_cli.cpp and exported as JSON by src/io/export.cpp.
+//
+// Metrics never feed back into the inference: two runs that differ only
+// in timing produce identical reports.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace cfs {
+
+// One row per CFS iteration (Steps 1-4 of the paper's loop).
+struct IterationMetrics {
+  std::size_t iteration = 0;
+
+  // Stage timings, milliseconds of wall clock.
+  double classify_ms = 0.0;   // classification of follow-up traces
+  double alias_ms = 0.0;      // alias resolution + map corrections
+  double reclassify_ms = 0.0; // corpus re-derivation after a refresh
+  double constrain_ms = 0.0;  // facility + alias constraint passes
+  double followup_ms = 0.0;   // targeted and reverse probing
+
+  bool alias_refreshed = false;  // did this iteration re-run resolution?
+
+  // Corpus state after the iteration's constraint passes.
+  std::size_t observations = 0;  // merged peering observations in the store
+  std::size_t interfaces = 0;    // peering interfaces tracked
+  std::size_t resolved = 0;      // cumulative resolved interfaces (Fig. 7)
+
+  // Incremental-core accounting.
+  std::size_t classified_observations = 0;   // obs run through the classifier
+  std::size_t reclassified_traces = 0;       // stale traces re-classified
+  std::size_t replayed_observations = 0;     // cached obs replayed (hits)
+  std::size_t dirty_observations = 0;        // facility worklist at pass start
+  std::size_t constrained_observations = 0;  // obs actually processed
+  std::size_t alias_sets_processed = 0;      // alias sets re-intersected
+
+  // Follow-up budget utilisation (Step 4).
+  std::size_t followup_pool = 0;      // unresolved-but-constrained interfaces
+  std::size_t followup_budget = 0;    // config_.followup_interfaces
+  std::size_t followups_launched = 0; // slots that actually sent probes
+  std::size_t followups_skipped = 0;  // slots with no viable target (uncharged)
+  std::size_t followup_traces = 0;    // traces the probes brought back
+};
+
+struct CfsMetrics {
+  std::vector<IterationMetrics> iterations;
+
+  bool incremental = false;  // which engine path produced this run
+
+  // Initial ingest (before iteration 1).
+  double initial_classify_ms = 0.0;
+  std::size_t initial_traces = 0;
+  std::size_t initial_observations = 0;
+
+  // Refresh totals across the run. In full mode every refresh re-classifies
+  // the whole corpus; incrementally only traces touching a corrected
+  // address are re-derived, the rest replay from the per-trace cache.
+  std::size_t alias_refreshes = 0;
+  std::size_t reclassified_traces = 0;
+  std::size_t reclassified_observations = 0;
+  std::size_t replayed_observations = 0;
+
+  double total_ms = 0.0;
+
+  // Column sums over `iterations`.
+  [[nodiscard]] double classify_ms() const;
+  [[nodiscard]] double alias_ms() const;
+  [[nodiscard]] double reclassify_ms() const;
+  [[nodiscard]] double constrain_ms() const;
+  [[nodiscard]] double followup_ms() const;
+  [[nodiscard]] std::size_t followups_launched() const;
+  [[nodiscard]] std::size_t followups_skipped() const;
+};
+
+// Small steady-clock stopwatch for stage timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  // Milliseconds since construction or the last restart().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cfs

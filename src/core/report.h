@@ -7,6 +7,7 @@
 
 #include "alias/midar.h"
 #include "core/candidates.h"
+#include "core/metrics.h"
 #include "core/types.h"
 
 namespace cfs {
@@ -27,6 +28,8 @@ struct CfsReport {
   AliasSets aliases;
   std::size_t traces_used = 0;
   std::size_t iterations_run = 0;
+  // Per-iteration stage accounting (timings never affect the inference).
+  CfsMetrics metrics;
 
   [[nodiscard]] const InterfaceInference* find(Ipv4 addr) const;
 

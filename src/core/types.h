@@ -38,6 +38,9 @@ struct PeeringObservation {
   // Minimum observed RTTs at the two hops (remote-peering detection).
   double near_rtt_ms = 0.0;
   double far_rtt_ms = 0.0;
+
+  friend bool operator==(const PeeringObservation&,
+                         const PeeringObservation&) = default;
 };
 
 }  // namespace cfs

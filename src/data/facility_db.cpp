@@ -4,6 +4,8 @@
 
 namespace cfs {
 
+const std::vector<IxpId> FacilityDatabase::no_ixps_;
+
 FacilityDatabase::FacilityDatabase(const Topology& topo, PeeringDb base,
                                    const NocWebsiteSource& noc,
                                    const IxpWebsiteSource& ixps)
@@ -37,6 +39,17 @@ FacilityDatabase::FacilityDatabase(const Topology& topo, PeeringDb base,
     db_.augment_ixp(ixp.id, *website);
     if (db_.ixp_facilities(ixp.id).size() > before) ++ixp_patched_;
   }
+
+  // Presence index over the merged records (IXP ids ascend, so each
+  // facility's list comes out sorted).
+  for (const auto& ixp : topo.ixps())
+    for (const FacilityId fac : db_.ixp_facilities(ixp.id))
+      ixps_at_[fac.value].push_back(ixp.id);
+}
+
+const std::vector<IxpId>& FacilityDatabase::ixps_at(FacilityId facility) const {
+  const auto it = ixps_at_.find(facility.value);
+  return it == ixps_at_.end() ? no_ixps_ : it->second;
 }
 
 FacilityDatabase::CoverageTotals FacilityDatabase::coverage_totals() const {

@@ -30,6 +30,12 @@ class FacilityDatabase {
     return db_.has_as_record(asn);
   }
 
+  // Reverse presence index: IXPs whose merged facility list contains the
+  // facility (sorted). Lets link typing ask "which exchanges are reachable
+  // from this building?" as one hash lookup instead of scanning every IXP
+  // record and intersecting.
+  [[nodiscard]] const std::vector<IxpId>& ixps_at(FacilityId facility) const;
+
   // --- Figure 2: PeeringDB coverage vs NOC-website ground truth ---
   struct Coverage {
     Asn asn;
@@ -52,6 +58,9 @@ class FacilityDatabase {
 
   // --- Figure 8: degrade the database by dropping facilities ---
   std::size_t remove_facility(FacilityId facility) {
+    // The facility vanishes from every AS and IXP record, so its presence
+    // index entry empties out with it; other entries are untouched.
+    ixps_at_.erase(facility.value);
     return db_.remove_facility(facility);
   }
 
@@ -63,6 +72,8 @@ class FacilityDatabase {
   PeeringDb db_;
   std::vector<Coverage> coverage_;
   std::size_t ixp_patched_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<IxpId>> ixps_at_;
+  static const std::vector<IxpId> no_ixps_;
 };
 
 }  // namespace cfs

@@ -57,6 +57,111 @@ Enum enum_from(const JsonValue& v) {
   return static_cast<Enum>(v.as_int());
 }
 
+JsonValue metrics_json(const CfsMetrics& m) {
+  JsonValue::Object o;
+  o.emplace("incremental", m.incremental);
+  o.emplace("initial_classify_ms", m.initial_classify_ms);
+  o.emplace("initial_traces", static_cast<std::uint64_t>(m.initial_traces));
+  o.emplace("initial_observations",
+            static_cast<std::uint64_t>(m.initial_observations));
+  o.emplace("alias_refreshes", static_cast<std::uint64_t>(m.alias_refreshes));
+  o.emplace("reclassified_traces",
+            static_cast<std::uint64_t>(m.reclassified_traces));
+  o.emplace("reclassified_observations",
+            static_cast<std::uint64_t>(m.reclassified_observations));
+  o.emplace("replayed_observations",
+            static_cast<std::uint64_t>(m.replayed_observations));
+  o.emplace("total_ms", m.total_ms);
+
+  JsonValue::Array rows;
+  for (const IterationMetrics& r : m.iterations) {
+    JsonValue::Object row;
+    row.emplace("iteration", static_cast<std::uint64_t>(r.iteration));
+    row.emplace("classify_ms", r.classify_ms);
+    row.emplace("alias_ms", r.alias_ms);
+    row.emplace("reclassify_ms", r.reclassify_ms);
+    row.emplace("constrain_ms", r.constrain_ms);
+    row.emplace("followup_ms", r.followup_ms);
+    row.emplace("alias_refreshed", r.alias_refreshed);
+    row.emplace("observations", static_cast<std::uint64_t>(r.observations));
+    row.emplace("interfaces", static_cast<std::uint64_t>(r.interfaces));
+    row.emplace("resolved", static_cast<std::uint64_t>(r.resolved));
+    row.emplace("classified_observations",
+                static_cast<std::uint64_t>(r.classified_observations));
+    row.emplace("reclassified_traces",
+                static_cast<std::uint64_t>(r.reclassified_traces));
+    row.emplace("replayed_observations",
+                static_cast<std::uint64_t>(r.replayed_observations));
+    row.emplace("dirty_observations",
+                static_cast<std::uint64_t>(r.dirty_observations));
+    row.emplace("constrained_observations",
+                static_cast<std::uint64_t>(r.constrained_observations));
+    row.emplace("alias_sets_processed",
+                static_cast<std::uint64_t>(r.alias_sets_processed));
+    row.emplace("followup_pool", static_cast<std::uint64_t>(r.followup_pool));
+    row.emplace("followup_budget",
+                static_cast<std::uint64_t>(r.followup_budget));
+    row.emplace("followups_launched",
+                static_cast<std::uint64_t>(r.followups_launched));
+    row.emplace("followups_skipped",
+                static_cast<std::uint64_t>(r.followups_skipped));
+    row.emplace("followup_traces",
+                static_cast<std::uint64_t>(r.followup_traces));
+    rows.emplace_back(std::move(row));
+  }
+  o.emplace("iterations", std::move(rows));
+  return JsonValue(std::move(o));
+}
+
+CfsMetrics metrics_from(const JsonValue& v) {
+  CfsMetrics m;
+  m.incremental = v.at("incremental").as_bool();
+  m.initial_classify_ms = v.at("initial_classify_ms").as_number();
+  m.initial_traces =
+      static_cast<std::size_t>(v.at("initial_traces").as_int());
+  m.initial_observations =
+      static_cast<std::size_t>(v.at("initial_observations").as_int());
+  m.alias_refreshes =
+      static_cast<std::size_t>(v.at("alias_refreshes").as_int());
+  m.reclassified_traces =
+      static_cast<std::size_t>(v.at("reclassified_traces").as_int());
+  m.reclassified_observations =
+      static_cast<std::size_t>(v.at("reclassified_observations").as_int());
+  m.replayed_observations =
+      static_cast<std::size_t>(v.at("replayed_observations").as_int());
+  m.total_ms = v.at("total_ms").as_number();
+
+  const auto count = [](const JsonValue& row, const char* key) {
+    return static_cast<std::size_t>(row.at(key).as_int());
+  };
+  for (const auto& row : v.at("iterations").as_array()) {
+    IterationMetrics r;
+    r.iteration = count(row, "iteration");
+    r.classify_ms = row.at("classify_ms").as_number();
+    r.alias_ms = row.at("alias_ms").as_number();
+    r.reclassify_ms = row.at("reclassify_ms").as_number();
+    r.constrain_ms = row.at("constrain_ms").as_number();
+    r.followup_ms = row.at("followup_ms").as_number();
+    r.alias_refreshed = row.at("alias_refreshed").as_bool();
+    r.observations = count(row, "observations");
+    r.interfaces = count(row, "interfaces");
+    r.resolved = count(row, "resolved");
+    r.classified_observations = count(row, "classified_observations");
+    r.reclassified_traces = count(row, "reclassified_traces");
+    r.replayed_observations = count(row, "replayed_observations");
+    r.dirty_observations = count(row, "dirty_observations");
+    r.constrained_observations = count(row, "constrained_observations");
+    r.alias_sets_processed = count(row, "alias_sets_processed");
+    r.followup_pool = count(row, "followup_pool");
+    r.followup_budget = count(row, "followup_budget");
+    r.followups_launched = count(row, "followups_launched");
+    r.followups_skipped = count(row, "followups_skipped");
+    r.followup_traces = count(row, "followup_traces");
+    m.iterations.push_back(r);
+  }
+  return m;
+}
+
 }  // namespace
 
 JsonValue topology_to_json(const Topology& topo) {
@@ -451,6 +556,8 @@ JsonValue report_to_json(const CfsReport& report) {
     unresolved.push_back(addr_json(a));
   root.emplace("alias_unresolved", std::move(unresolved));
 
+  root.emplace("metrics", metrics_json(report.metrics));
+
   return JsonValue(std::move(root));
 }
 
@@ -510,6 +617,10 @@ CfsReport report_from_json(const JsonValue& doc) {
   }
   for (const auto& a : doc.at("alias_unresolved").as_array())
     report.aliases.unresolved.push_back(addr_from(a));
+
+  // Reports written before metrics existed simply lack the key.
+  if (const JsonValue* metrics = doc.find("metrics"))
+    report.metrics = metrics_from(*metrics);
 
   return report;
 }

@@ -50,6 +50,13 @@ void Topology::add_as(AutonomousSystem as) {
   if (asn_index_.contains(as.asn.value))
     throw std::invalid_argument("add_as: duplicate ASN " +
                                 std::to_string(as.asn.value));
+  // Facility lists feed std::set_intersection downstream (NOC websites,
+  // common_facilities, CFS constraints): enforce the sorted-set invariant
+  // at the door instead of trusting every caller.
+  std::sort(as.facilities.begin(), as.facilities.end());
+  as.facilities.erase(
+      std::unique(as.facilities.begin(), as.facilities.end()),
+      as.facilities.end());
   asn_index_.emplace(as.asn.value, ases_.size());
   ases_.push_back(std::move(as));
 }

@@ -111,6 +111,102 @@ TEST(ReportExport, RoundTripsRealReport) {
   EXPECT_EQ(s1.routers, s2.routers);
   EXPECT_EQ(s1.multi_role, s2.multi_role);
   EXPECT_EQ(s1.multi_ixp, s2.multi_ixp);
+
+  // Metrics ride along (spot-check; MetricsRoundTrip covers every field).
+  EXPECT_EQ(rebuilt.metrics.incremental, original.metrics.incremental);
+  ASSERT_EQ(rebuilt.metrics.iterations.size(),
+            original.metrics.iterations.size());
+  for (std::size_t i = 0; i < original.metrics.iterations.size(); ++i) {
+    EXPECT_EQ(rebuilt.metrics.iterations[i].dirty_observations,
+              original.metrics.iterations[i].dirty_observations);
+    EXPECT_DOUBLE_EQ(rebuilt.metrics.iterations[i].constrain_ms,
+                     original.metrics.iterations[i].constrain_ms);
+  }
+}
+
+TEST(ReportExport, MetricsRoundTrip) {
+  CfsReport report;
+  CfsMetrics& m = report.metrics;
+  m.incremental = true;
+  m.initial_classify_ms = 0.1234567890123456789;  // exercises %.17g
+  m.initial_traces = 321;
+  m.initial_observations = 654;
+  m.alias_refreshes = 3;
+  m.reclassified_traces = 17;
+  m.reclassified_observations = 29;
+  m.replayed_observations = 1000;
+  m.total_ms = 98.765;
+
+  IterationMetrics row;
+  row.iteration = 1;
+  row.classify_ms = 1.5;
+  row.alias_ms = 2.25;
+  row.reclassify_ms = 0.0625;
+  row.constrain_ms = 1.0 / 3.0;
+  row.followup_ms = 7.0;
+  row.alias_refreshed = true;
+  row.observations = 11;
+  row.interfaces = 12;
+  row.resolved = 13;
+  row.classified_observations = 14;
+  row.reclassified_traces = 15;
+  row.replayed_observations = 16;
+  row.dirty_observations = 17;
+  row.constrained_observations = 18;
+  row.alias_sets_processed = 19;
+  row.followup_pool = 20;
+  row.followup_budget = 21;
+  row.followups_launched = 22;
+  row.followups_skipped = 23;
+  row.followup_traces = 24;
+  m.iterations.push_back(row);
+
+  // Through text, not just the JsonValue tree.
+  const CfsReport rebuilt =
+      report_from_json(parse_json(report_to_json(report).pretty()));
+  const CfsMetrics& r = rebuilt.metrics;
+  EXPECT_EQ(r.incremental, m.incremental);
+  EXPECT_EQ(r.initial_classify_ms, m.initial_classify_ms);
+  EXPECT_EQ(r.initial_traces, m.initial_traces);
+  EXPECT_EQ(r.initial_observations, m.initial_observations);
+  EXPECT_EQ(r.alias_refreshes, m.alias_refreshes);
+  EXPECT_EQ(r.reclassified_traces, m.reclassified_traces);
+  EXPECT_EQ(r.reclassified_observations, m.reclassified_observations);
+  EXPECT_EQ(r.replayed_observations, m.replayed_observations);
+  EXPECT_EQ(r.total_ms, m.total_ms);
+  ASSERT_EQ(r.iterations.size(), 1u);
+  const IterationMetrics& got = r.iterations.front();
+  EXPECT_EQ(got.iteration, row.iteration);
+  EXPECT_EQ(got.classify_ms, row.classify_ms);
+  EXPECT_EQ(got.alias_ms, row.alias_ms);
+  EXPECT_EQ(got.reclassify_ms, row.reclassify_ms);
+  EXPECT_EQ(got.constrain_ms, row.constrain_ms);
+  EXPECT_EQ(got.followup_ms, row.followup_ms);
+  EXPECT_EQ(got.alias_refreshed, row.alias_refreshed);
+  EXPECT_EQ(got.observations, row.observations);
+  EXPECT_EQ(got.interfaces, row.interfaces);
+  EXPECT_EQ(got.resolved, row.resolved);
+  EXPECT_EQ(got.classified_observations, row.classified_observations);
+  EXPECT_EQ(got.reclassified_traces, row.reclassified_traces);
+  EXPECT_EQ(got.replayed_observations, row.replayed_observations);
+  EXPECT_EQ(got.dirty_observations, row.dirty_observations);
+  EXPECT_EQ(got.constrained_observations, row.constrained_observations);
+  EXPECT_EQ(got.alias_sets_processed, row.alias_sets_processed);
+  EXPECT_EQ(got.followup_pool, row.followup_pool);
+  EXPECT_EQ(got.followup_budget, row.followup_budget);
+  EXPECT_EQ(got.followups_launched, row.followups_launched);
+  EXPECT_EQ(got.followups_skipped, row.followups_skipped);
+  EXPECT_EQ(got.followup_traces, row.followup_traces);
+}
+
+TEST(ReportExport, MetricsKeyOptionalForOldReports) {
+  CfsReport report;
+  report.traces_used = 1;
+  JsonValue doc = report_to_json(report);
+  doc.as_object().erase("metrics");  // a report written before metrics
+  const CfsReport rebuilt = report_from_json(doc);
+  EXPECT_EQ(rebuilt.traces_used, 1u);
+  EXPECT_TRUE(rebuilt.metrics.iterations.empty());
 }
 
 TEST(ReportExport, LinkFieldsSurvive) {

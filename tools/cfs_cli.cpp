@@ -124,6 +124,33 @@ int cmd_infer(const Flags& flags) {
                  Table::cell(std::uint64_t{stats.multi_role})});
   table.print(std::cout);
 
+  const CfsMetrics& metrics = report.metrics;
+  std::cout << "\nengine: " << (metrics.incremental ? "incremental" : "full")
+            << "  |  initial ingest: " << metrics.initial_traces
+            << " traces -> " << metrics.initial_observations
+            << " observations in " << Table::cell(metrics.initial_classify_ms)
+            << " ms  |  refreshes: " << metrics.alias_refreshes
+            << " (re-classified " << metrics.reclassified_observations
+            << " obs, replayed " << metrics.replayed_observations
+            << ")  |  total: " << Table::cell(metrics.total_ms) << " ms\n";
+  Table stages({"Iter", "Dirty", "Constrained", "Sets", "Launched", "Skipped",
+                "Resolved", "Constrain ms", "Follow-up ms", "Classify ms",
+                "Refresh ms"});
+  for (const IterationMetrics& row : metrics.iterations) {
+    stages.add_row(
+        {Table::cell(std::uint64_t{row.iteration}),
+         Table::cell(std::uint64_t{row.dirty_observations}),
+         Table::cell(std::uint64_t{row.constrained_observations}),
+         Table::cell(std::uint64_t{row.alias_sets_processed}),
+         Table::cell(std::uint64_t{row.followups_launched}),
+         Table::cell(std::uint64_t{row.followups_skipped}),
+         Table::cell(std::uint64_t{row.resolved}),
+         Table::cell(row.constrain_ms), Table::cell(row.followup_ms),
+         Table::cell(row.classify_ms),
+         Table::cell(row.alias_ms + row.reclassify_ms)});
+  }
+  stages.print(std::cout);
+
   if (!report_path.empty()) {
     std::ofstream file(report_path);
     if (!file) throw std::runtime_error("cannot write " + report_path);
