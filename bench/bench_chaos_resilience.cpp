@@ -1,0 +1,144 @@
+// Chaos sweep: Figure 8 extended from *static* data removal to *dynamic*
+// measurement-plane faults. A single intensity knob t drives the whole
+// fault plane (LG outages, VP churn, PeeringDB withholding, probe
+// timeouts); we measure how coverage and agreement with the fault-free
+// reference decay as t grows, and assert the fault-accounting invariant
+// at every point. Exits nonzero if the invariant breaks or the pipeline
+// fails to produce a report under heavy faults.
+//
+// Flags: --scale tiny|small|paper (default small), --reps N (default 2).
+#include <unordered_map>
+
+#include "common.h"
+#include "util/flags.h"
+
+using namespace cfs;
+
+namespace {
+
+struct SweepPoint {
+  double intensity = 0.0;
+  double coverage = 0.0;   // resolved now / resolved in reference
+  double agreement = 0.0;  // same facility as reference, among still-resolved
+  FaultMetrics faults;
+};
+
+FaultPlan plan_at(double t) {
+  FaultPlan plan;
+  plan.lg_outage_fraction = t;
+  plan.lg_outage_start_horizon_s = 600.0;
+  plan.lg_outage_duration_s = 1200.0;
+  plan.vp_churn_fraction = 0.4 * t;
+  plan.vp_churn_horizon_s = 3600.0;
+  plan.peeringdb_withheld = 0.4 * t;
+  plan.probe_timeout_rate = 0.2 * t;
+  plan.lg_ban_burst = t > 0.0 ? 8 : 0;
+  return plan;
+}
+
+bool invariant_holds(const FaultMetrics& fm) {
+  return fm.traces_attempted == fm.traces_kept + fm.traces_unreachable +
+                                    fm.probes_abandoned +
+                                    fm.probes_skipped_open_circuit;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "small");
+  const int repetitions = flags.get_int("reps", 2);
+
+  bench::header("Chaos sweep — accuracy under measurement-plane faults",
+                "(extends Fig 8) static data removal degrades inference "
+                "gracefully; here the *measurement plane* degrades instead: "
+                "coverage should fall smoothly with fault intensity while "
+                "agreement among still-resolved interfaces stays high, and "
+                "the pipeline must never crash or miscount a probe");
+
+  PipelineConfig base_config = scale == "tiny"    ? PipelineConfig::tiny()
+                               : scale == "paper" ? PipelineConfig::paper_scale()
+                                                  : PipelineConfig::small_scale();
+
+  const std::vector<double> intensities = {0.0, 0.1, 0.25, 0.5};
+  std::unordered_map<double, SweepPoint> accumulated;
+  bool violated = false;
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    PipelineConfig config = base_config;
+    config.seed = base_config.seed + static_cast<std::uint64_t>(rep) * 977;
+
+    // Fault-free reference for this seed.
+    config.faults = FaultPlan{};
+    Pipeline reference_pipeline(config);
+    auto reference_traces = reference_pipeline.initial_campaign(
+        reference_pipeline.default_targets(3, 3), 0.6);
+    const CfsReport reference =
+        reference_pipeline.run_cfs(std::move(reference_traces));
+    std::unordered_map<Ipv4, FacilityId> reference_facilities;
+    for (const auto& [addr, inf] : reference.interfaces)
+      if (inf.resolved()) reference_facilities.emplace(addr, inf.facility());
+    if (reference_facilities.empty()) continue;
+
+    for (const double t : intensities) {
+      config.faults = plan_at(t);
+      Pipeline degraded(config);
+      auto traces =
+          degraded.initial_campaign(degraded.default_targets(3, 3), 0.6);
+      const CfsReport report = degraded.run_cfs(std::move(traces));
+
+      std::size_t resolved = 0, agree = 0;
+      for (const auto& [addr, fac] : reference_facilities) {
+        const auto* inf = report.find(addr);
+        if (inf == nullptr || !inf->resolved()) continue;
+        ++resolved;
+        agree += inf->facility() == fac;
+      }
+      SweepPoint& point = accumulated[t];
+      point.intensity = t;
+      point.coverage +=
+          static_cast<double>(resolved) / reference_facilities.size();
+      point.agreement +=
+          resolved > 0 ? static_cast<double>(agree) / resolved : 0.0;
+      point.faults = report.metrics.faults;  // last rep's counters, for shape
+
+      if (!invariant_holds(report.metrics.faults)) {
+        std::cerr << "ACCOUNTING VIOLATION at t=" << t
+                  << ": attempted=" << report.metrics.faults.traces_attempted
+                  << " != kept+unreachable+abandoned+skipped\n";
+        violated = true;
+      }
+      if (t == 0.0 && report.metrics.faults.records_withheld != 0) {
+        std::cerr << "ZERO-INTENSITY VIOLATION: withheld records at t=0\n";
+        violated = true;
+      }
+    }
+  }
+
+  Table table({"Intensity", "Coverage", "Agreement", "Attempted", "Kept",
+               "Retries", "Failovers", "Skipped", "Withheld"});
+  std::vector<double> keys;
+  for (const auto& [key, point] : accumulated) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const double key : keys) {
+    const SweepPoint& point = accumulated[key];
+    table.add_row(
+        {Table::percent(point.intensity),
+         Table::percent(point.coverage / repetitions),
+         Table::percent(point.agreement / repetitions),
+         Table::cell(std::uint64_t{point.faults.traces_attempted}),
+         Table::cell(std::uint64_t{point.faults.traces_kept}),
+         Table::cell(std::uint64_t{point.faults.retries}),
+         Table::cell(std::uint64_t{point.faults.failovers}),
+         Table::cell(std::uint64_t{point.faults.probes_skipped_open_circuit}),
+         Table::cell(std::uint64_t{point.faults.records_withheld})});
+  }
+  table.print(std::cout);
+
+  bench::note("\nshape check: coverage decays smoothly (no cliff) as the "
+              "fault intensity grows; agreement among the interfaces that "
+              "*do* stay resolved degrades far more slowly — retries and "
+              "same-metro failover keep the surviving constraint set "
+              "consistent with the fault-free run.");
+  return violated ? 1 : 0;
+}

@@ -741,6 +741,11 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
     }
   }
 
+  // Snapshot the measurement plane's attrition accounting (the campaign
+  // outlives individual runs, so these are campaign-lifetime totals) and
+  // what the degraded data sources withheld.
+  state.metrics.faults = campaign_.fault_stats();
+  state.metrics.faults.records_withheld = db_.records_withheld();
   state.metrics.total_ms = run_timer.elapsed_ms();
   report.metrics = std::move(state.metrics);
 

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "net/faults.h"
+
 namespace cfs {
 
 // One row per CFS iteration (Steps 1-4 of the paper's loop).
@@ -71,6 +73,10 @@ struct CfsMetrics {
   std::size_t replayed_observations = 0;
 
   double total_ms = 0.0;
+
+  // Measurement-plane attrition and fault mitigation (net/faults.h). All
+  // zeros when no fault plane is configured.
+  FaultMetrics faults;
 
   // Column sums over `iterations`.
   [[nodiscard]] double classify_ms() const;

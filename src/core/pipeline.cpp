@@ -42,6 +42,11 @@ Pipeline::Pipeline(const PipelineConfig& config)
     : config_(config),
       topo_(generate_topology(config.generator)),
       rng_(config.seed) {
+  // The plane only exists when some fault intensity is non-zero, so the
+  // zero-plan configuration runs the exact pre-fault-plane code paths.
+  if (config.faults.any())
+    faults_ = std::make_unique<FaultPlane>(config.faults, config.seed);
+
   auto lg_config = config.looking_glasses;
   lg_config.seed ^= config.seed;
   lgs_ = std::make_unique<LookingGlassDirectory>(topo_, lg_config);
@@ -52,9 +57,10 @@ Pipeline::Pipeline(const PipelineConfig& config)
 
   routing_ = std::make_unique<RoutingOracle>(topo_);
   forwarding_ = std::make_unique<ForwardingEngine>(topo_, *routing_);
-  engine_ = std::make_unique<TracerouteEngine>(topo_, *forwarding_,
-                                               config.engine, config.seed);
-  campaign_ = std::make_unique<MeasurementCampaign>(topo_, *engine_, *lgs_);
+  engine_ = std::make_unique<TracerouteEngine>(
+      topo_, *forwarding_, config.engine, config.seed, faults_.get());
+  campaign_ = std::make_unique<MeasurementCampaign>(topo_, *engine_, *lgs_,
+                                                    faults_.get());
 
   ip2asn_ = std::make_unique<IpToAsnService>(topo_);
   auto pdb_config = config.peeringdb;
@@ -66,15 +72,24 @@ Pipeline::Pipeline(const PipelineConfig& config)
   ixp_sites_ = std::make_unique<IxpWebsiteSource>(topo_, web_config);
   facility_db_ = std::make_unique<FacilityDatabase>(topo_, std::move(raw_pdb),
                                                     *noc_, *ixp_sites_);
+  if (faults_ != nullptr && config.faults.peeringdb_withheld > 0.0)
+    facility_db_->withhold(topo_, *faults_, config.faults.peeringdb_withheld);
 
   communities_ = std::make_unique<CommunityRegistry>(
       topo_, config.community_adoption, config.seed ^ 0xc0117);
   auto dns_config = config.dns;
   dns_config.seed ^= config.seed;
+  // DNS rot is already hash-per-address; degrading the snapshot just raises
+  // the missing-record rate (no draw-order coupling to disturb).
+  if (faults_ != nullptr)
+    dns_config.record_missing = std::min(
+        1.0, dns_config.record_missing + config.faults.dns_withheld);
   dns_ = std::make_unique<DnsNames>(topo_, dns_config);
   drop_ = std::make_unique<DropParser>(*dns_);
   auto geo_config = config.geoip;
   geo_config.seed ^= config.seed;
+  if (faults_ != nullptr)
+    geo_config.record_missing = config.faults.geoip_withheld;
   geoip_ = std::make_unique<GeoIpDb>(topo_, geo_config);
 
   ValidationHarness::Config vconfig;
@@ -138,7 +153,11 @@ std::vector<TraceResult> Pipeline::initial_campaign(
 CfsReport Pipeline::run_cfs(std::vector<TraceResult> traces) {
   ConstrainedFacilitySearch cfs(topo_, *facility_db_, *ip2asn_, *campaign_,
                                 *vps_, config_.cfs);
-  return cfs.run(std::move(traces));
+  CfsReport report = cfs.run(std::move(traces));
+  // CFS only sees the facility database; fold in what the other degraded
+  // sources withheld so the report accounts for the full fault plan.
+  report.metrics.faults.records_withheld += geoip_->records_withheld();
+  return report;
 }
 
 }  // namespace cfs

@@ -27,6 +27,10 @@ struct PipelineConfig {
   DnsConfig dns;
   GeoIpConfig geoip;
   CfsConfig cfs;
+  // Fault-injection schedule (net/faults.h). Defaults to all-zero
+  // intensities, in which case no FaultPlane is even constructed and the
+  // pipeline is byte-identical to one without a fault plane.
+  FaultPlan faults;
   double community_adoption = 0.6;
   std::uint64_t seed = 4242;
 
@@ -72,10 +76,13 @@ class Pipeline {
   const NocWebsiteSource& noc_websites() const { return *noc_; }
   ValidationHarness& validation() { return *validation_; }
   const PipelineConfig& config() const { return config_; }
+  // Null when the configured FaultPlan has all-zero intensities.
+  FaultPlane* faults() { return faults_.get(); }
 
  private:
   PipelineConfig config_;
   Topology topo_;
+  std::unique_ptr<FaultPlane> faults_;  // before its consumers
   std::unique_ptr<LookingGlassDirectory> lgs_;
   std::unique_ptr<VantagePointSet> vps_;
   std::unique_ptr<RoutingOracle> routing_;

@@ -47,6 +47,19 @@ FacilityDatabase::FacilityDatabase(const Topology& topo, PeeringDb base,
       ixps_at_[fac.value].push_back(ixp.id);
 }
 
+std::size_t FacilityDatabase::withhold(const Topology& topo,
+                                       const FaultPlane& plane,
+                                       double fraction) {
+  const std::size_t dropped = db_.withhold_links(plane, fraction);
+  withheld_ += dropped;
+  if (dropped == 0) return 0;
+  ixps_at_.clear();
+  for (const auto& ixp : topo.ixps())
+    for (const FacilityId fac : db_.ixp_facilities(ixp.id))
+      ixps_at_[fac.value].push_back(ixp.id);
+  return dropped;
+}
+
 const std::vector<IxpId>& FacilityDatabase::ixps_at(FacilityId facility) const {
   const auto it = ixps_at_.find(facility.value);
   return it == ixps_at_.end() ? no_ixps_ : it->second;

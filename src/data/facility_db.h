@@ -68,10 +68,21 @@ class FacilityDatabase {
     return ixp_patched_;
   }
 
+  // --- fault plane: snapshot-time data-source degradation ---
+  // Withholds links from the *merged* records (this is what CFS reads, so
+  // degrading after augmentation models a stale snapshot of the assembled
+  // database, not just of PeeringDB) and rebuilds the presence index.
+  // Returns the number of links withheld; cumulative count via
+  // records_withheld().
+  std::size_t withhold(const Topology& topo, const FaultPlane& plane,
+                       double fraction);
+  [[nodiscard]] std::size_t records_withheld() const { return withheld_; }
+
  private:
   PeeringDb db_;
   std::vector<Coverage> coverage_;
   std::size_t ixp_patched_ = 0;
+  std::size_t withheld_ = 0;
   std::unordered_map<std::uint32_t, std::vector<IxpId>> ixps_at_;
   static const std::vector<IxpId> no_ixps_;
 };

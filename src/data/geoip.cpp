@@ -12,6 +12,12 @@ GeoIpDb::GeoIpDb(const Topology& topo, const GeoIpConfig& config)
     // Registration address: the operator's headquarters metro.
     const MetroId hq = topo.metro_of(as.facilities.front());
     for (const Prefix& prefix : as.prefixes) {
+      // Guarded so a zero rate draws nothing and the garbage-entry draw
+      // sequence (and thus the whole database) is unchanged.
+      if (config.record_missing > 0.0 && rng.chance(config.record_missing)) {
+        ++withheld_;
+        continue;
+      }
       MetroId metro = hq;
       if (rng.chance(config.garbage_entry))
         metro = MetroId(

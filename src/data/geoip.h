@@ -20,6 +20,9 @@ namespace cfs {
 
 struct GeoIpConfig {
   double garbage_entry = 0.05;  // entry pointing at a random metro
+  // Fault-plane degradation: prefix entries simply absent from the
+  // snapshot. 0 consumes no randomness (byte-identical database).
+  double record_missing = 0.0;
   std::uint64_t seed = 37;
 };
 
@@ -34,9 +37,13 @@ class GeoIpDb {
 
   [[nodiscard]] std::optional<GeoIpEntry> lookup(Ipv4 addr) const;
 
+  // Entries withheld by record_missing at snapshot time.
+  [[nodiscard]] std::size_t records_withheld() const { return withheld_; }
+
  private:
   const Topology& topo_;
   std::unordered_map<Prefix, GeoIpEntry> entries_;
+  std::size_t withheld_ = 0;
 };
 
 }  // namespace cfs

@@ -93,6 +93,27 @@ std::size_t PeeringDb::remove_facility(FacilityId facility) {
   return touched;
 }
 
+std::size_t PeeringDb::withhold_links(const FaultPlane& plane,
+                                      double fraction) {
+  if (fraction <= 0.0) return 0;
+  std::size_t dropped = 0;
+  const auto strip = [&](std::uint32_t owner, std::vector<FacilityId>& v,
+                         std::uint64_t tag) {
+    const auto it = std::remove_if(v.begin(), v.end(), [&](FacilityId fac) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(owner) << 32) | fac.value;
+      return plane.withhold_record(fraction, key ^ tag);
+    });
+    dropped += static_cast<std::size_t>(v.end() - it);
+    v.erase(it, v.end());
+  };
+  // Distinct tags keep AS and IXP link decisions independent even when the
+  // 32-bit ids collide.
+  for (auto& [asn, v] : as_facilities_) strip(asn, v, 0);
+  for (auto& [ixp, v] : ixp_facilities_) strip(ixp, v, 0xa5a5a5a5ULL << 32);
+  return dropped;
+}
+
 std::size_t PeeringDb::total_as_facility_links() const {
   std::size_t total = 0;
   for (const auto& [asn, v] : as_facilities_) total += v.size();

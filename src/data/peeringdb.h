@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/faults.h"
 #include "topology/topology.h"
 #include "util/rng.h"
 
@@ -46,6 +47,13 @@ class PeeringDb {
   // Removes a facility from every AS and IXP record; returns how many
   // records were touched.
   std::size_t remove_facility(FacilityId facility);
+
+  // --- snapshot-time degradation for the fault plane ---
+  // Withholds each AS-facility and IXP-facility link independently with the
+  // given probability, decided by the plane's per-record hash (so the same
+  // seed withholds the same links regardless of iteration order). Returns
+  // how many links were dropped.
+  std::size_t withhold_links(const FaultPlane& plane, double fraction);
 
   // --- census helpers ---
   [[nodiscard]] std::size_t as_records() const { return as_facilities_.size(); }

@@ -57,6 +57,45 @@ Enum enum_from(const JsonValue& v) {
   return static_cast<Enum>(v.as_int());
 }
 
+JsonValue fault_metrics_json(const FaultMetrics& f) {
+  JsonValue::Object o;
+  o.emplace("traces_attempted", static_cast<std::uint64_t>(f.traces_attempted));
+  o.emplace("traces_kept", static_cast<std::uint64_t>(f.traces_kept));
+  o.emplace("traces_unreachable",
+            static_cast<std::uint64_t>(f.traces_unreachable));
+  o.emplace("retries", static_cast<std::uint64_t>(f.retries));
+  o.emplace("failovers", static_cast<std::uint64_t>(f.failovers));
+  o.emplace("circuits_opened", static_cast<std::uint64_t>(f.circuits_opened));
+  o.emplace("probes_abandoned",
+            static_cast<std::uint64_t>(f.probes_abandoned));
+  o.emplace("probes_skipped_open_circuit",
+            static_cast<std::uint64_t>(f.probes_skipped_open_circuit));
+  o.emplace("probe_timeouts", static_cast<std::uint64_t>(f.probe_timeouts));
+  o.emplace("lg_bans", static_cast<std::uint64_t>(f.lg_bans));
+  o.emplace("records_withheld",
+            static_cast<std::uint64_t>(f.records_withheld));
+  return JsonValue(std::move(o));
+}
+
+FaultMetrics fault_metrics_from(const JsonValue& v) {
+  FaultMetrics f;
+  const auto count = [&](const char* key) {
+    return static_cast<std::size_t>(v.at(key).as_int());
+  };
+  f.traces_attempted = count("traces_attempted");
+  f.traces_kept = count("traces_kept");
+  f.traces_unreachable = count("traces_unreachable");
+  f.retries = count("retries");
+  f.failovers = count("failovers");
+  f.circuits_opened = count("circuits_opened");
+  f.probes_abandoned = count("probes_abandoned");
+  f.probes_skipped_open_circuit = count("probes_skipped_open_circuit");
+  f.probe_timeouts = count("probe_timeouts");
+  f.lg_bans = count("lg_bans");
+  f.records_withheld = count("records_withheld");
+  return f;
+}
+
 JsonValue metrics_json(const CfsMetrics& m) {
   JsonValue::Object o;
   o.emplace("incremental", m.incremental);
@@ -72,6 +111,7 @@ JsonValue metrics_json(const CfsMetrics& m) {
   o.emplace("replayed_observations",
             static_cast<std::uint64_t>(m.replayed_observations));
   o.emplace("total_ms", m.total_ms);
+  o.emplace("faults", fault_metrics_json(m.faults));
 
   JsonValue::Array rows;
   for (const IterationMetrics& r : m.iterations) {
@@ -130,6 +170,9 @@ CfsMetrics metrics_from(const JsonValue& v) {
   m.replayed_observations =
       static_cast<std::size_t>(v.at("replayed_observations").as_int());
   m.total_ms = v.at("total_ms").as_number();
+  // Reports written before the fault plane existed lack the key.
+  if (const JsonValue* faults = v.find("faults"))
+    m.faults = fault_metrics_from(*faults);
 
   const auto count = [](const JsonValue& row, const char* key) {
     return static_cast<std::size_t>(row.at(key).as_int());

@@ -1,0 +1,94 @@
+#include "net/faults.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+namespace {
+
+// splitmix64 finalizer: the per-entity hash behind every scheduled fault.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  return lg_outage_fraction > 0.0 || lg_ban_burst > 0 ||
+         vp_churn_fraction > 0.0 || probe_timeout_rate > 0.0 ||
+         peeringdb_withheld > 0.0 || dns_withheld > 0.0 ||
+         geoip_withheld > 0.0;
+}
+
+FaultPlane::FaultPlane(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), seed_(mix64(seed ^ plan.seed)), timeout_rng_(seed_ ^ 0x7107) {}
+
+std::uint64_t FaultPlane::mix(std::uint64_t id, std::uint64_t salt) const {
+  return mix64(seed_ ^ mix64(id ^ (salt << 32)));
+}
+
+double FaultPlane::frac(std::uint64_t id, std::uint64_t salt) const {
+  return to_unit(mix(id, salt));
+}
+
+bool FaultPlane::lg_offline(RouterId lg, double now_s) const {
+  if (plan_.lg_outage_fraction <= 0.0) return false;
+  if (frac(lg.value, 1) >= plan_.lg_outage_fraction) return false;
+  const double start = frac(lg.value, 2) * plan_.lg_outage_start_horizon_s;
+  return now_s >= start && now_s < start + plan_.lg_outage_duration_s;
+}
+
+bool FaultPlane::lg_banned(RouterId lg, double now_s) const {
+  if (plan_.lg_ban_burst <= 0) return false;
+  const auto it = bans_.find(lg.value);
+  return it != bans_.end() && now_s < it->second.banned_until;
+}
+
+void FaultPlane::record_lg_query(RouterId lg, double now_s) {
+  if (plan_.lg_ban_burst <= 0) return;
+  BanState& state = bans_[lg.value];
+  if (now_s < state.banned_until) return;  // queries during a ban are refused
+  auto& recent = state.recent;
+  recent.erase(std::remove_if(recent.begin(), recent.end(),
+                              [&](double t) {
+                                return t <= now_s - plan_.lg_ban_window_s;
+                              }),
+               recent.end());
+  recent.push_back(now_s);
+  if (recent.size() > static_cast<std::size_t>(plan_.lg_ban_burst)) {
+    state.banned_until = now_s + plan_.lg_ban_duration_s;
+    state.recent.clear();
+    ++bans_tripped_;
+  }
+}
+
+bool FaultPlane::vp_dead(VantagePointId vp, double now_s) const {
+  const double death = vp_death_s(vp);
+  return death >= 0.0 && now_s >= death;
+}
+
+double FaultPlane::vp_death_s(VantagePointId vp) const {
+  if (plan_.vp_churn_fraction <= 0.0) return -1.0;
+  if (frac(vp.value, 3) >= plan_.vp_churn_fraction) return -1.0;
+  return frac(vp.value, 4) * plan_.vp_churn_horizon_s;
+}
+
+bool FaultPlane::probe_times_out() {
+  if (plan_.probe_timeout_rate <= 0.0) return false;
+  return timeout_rng_.chance(plan_.probe_timeout_rate);
+}
+
+bool FaultPlane::withhold_record(double fraction,
+                                 std::uint64_t record_key) const {
+  if (fraction <= 0.0) return false;
+  return to_unit(mix(record_key, 5)) < fraction;
+}
+
+}  // namespace cfs

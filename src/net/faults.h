@@ -1,0 +1,150 @@
+// Centralized fault-injection plane for the measurement substrate.
+//
+// The paper's campaign ran against infrastructure that fails in ways the
+// simulator's benign noise model (per-hop loss, jitter) never exercises:
+// looking glasses go offline or ban bursty clients (the Section 3.2
+// etiquette exists because they do), Atlas-style vantage points churn
+// mid-campaign, probes time out rather than vanish, and the public data
+// sources are stale or partially missing at snapshot time. FaultPlan
+// describes such a failure schedule; FaultPlane executes it
+// deterministically from a single seed so a faulted experiment replays
+// byte-for-byte.
+//
+// Per-entity decisions (which LG has an outage, when a VP dies) are pure
+// hashes of (seed, entity id), independent of query order; only rate-limit
+// ban bookkeeping and probe-timeout draws carry state, and both advance in
+// the deterministic order the campaign executes. A zero-intensity plan is
+// the identity: every query path is guarded so no RNG draw is consumed and
+// no behaviour changes (Pipeline does not even construct a FaultPlane).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+// Mitigation parameters: how the campaign responds to injected faults.
+// Only consulted on fault paths, so values are inert without a plan.
+struct RetryPolicy {
+  int max_retries = 2;                  // extra attempts per failed probe
+  double backoff_base_s = 5.0;          // first retry delay (virtual time)
+  double backoff_multiplier = 2.0;      // exponential growth per retry
+  double backoff_jitter_fraction = 0.25;  // uniform extra delay, de-syncs retries
+  int circuit_threshold = 3;            // consecutive LG failures to open
+  double circuit_reset_s = 1800.0;      // open -> half-open after this long
+};
+
+struct FaultPlan {
+  // Looking-glass outages: each LG independently suffers one offline
+  // window, starting uniformly within the horizon.
+  double lg_outage_fraction = 0.0;
+  double lg_outage_start_horizon_s = 3600.0;
+  double lg_outage_duration_s = 1800.0;
+
+  // Hard rate-limit bans: more than lg_ban_burst queries to one LG within
+  // the window trips a ban for lg_ban_duration_s. 0 disables.
+  int lg_ban_burst = 0;
+  double lg_ban_window_s = 300.0;
+  double lg_ban_duration_s = 3600.0;
+
+  // Vantage-point churn: each non-LG VP independently dies at a uniform
+  // instant within the horizon; its remaining probes fail for good.
+  double vp_churn_fraction = 0.0;
+  double vp_churn_horizon_s = 7200.0;
+
+  // Probe timeouts, distinct from loss: the hop existed and the probe was
+  // sent, but no reply arrived within the timer.
+  double probe_timeout_rate = 0.0;
+
+  // Data-source degradation at snapshot time: fraction of records withheld
+  // from the assembled facility database / reverse DNS / geolocation.
+  double peeringdb_withheld = 0.0;
+  double dns_withheld = 0.0;
+  double geoip_withheld = 0.0;
+
+  RetryPolicy retry;
+  std::uint64_t seed = 0;  // mixed with the pipeline seed
+
+  // True when any fault intensity is non-zero; a plan that fails this is
+  // the identity and costs nothing.
+  [[nodiscard]] bool any() const;
+};
+
+// Measurement-plane attrition and mitigation accounting. Filled by
+// MeasurementCampaign (and the data-source degradation pass), snapshotted
+// onto CfsMetrics so reports show what the fault plane did. Invariant:
+//   traces_attempted == traces_kept + traces_unreachable
+//                       + probes_abandoned + probes_skipped_open_circuit.
+struct FaultMetrics {
+  std::size_t traces_attempted = 0;
+  std::size_t traces_kept = 0;
+  std::size_t traces_unreachable = 0;  // completed but empty (dropped)
+  std::size_t retries = 0;             // backoff re-attempts performed
+  std::size_t failovers = 0;           // work moved to a same-metro VP
+  std::size_t circuits_opened = 0;     // LG breakers tripped (incl. re-opens)
+  std::size_t probes_abandoned = 0;    // retried out / VP dead, no failover
+  std::size_t probes_skipped_open_circuit = 0;
+  std::size_t probe_timeouts = 0;      // hops that timed out (engine-side)
+  std::size_t lg_bans = 0;             // rate-limit bans tripped
+  std::size_t records_withheld = 0;    // data-source records withheld
+
+  friend bool operator==(const FaultMetrics&, const FaultMetrics&) = default;
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const FaultPlan& plan, std::uint64_t seed);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  // Mixed seed, for consumers needing their own derived stream (backoff
+  // jitter) without touching the plane's RNG state.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // Scheduled outage window check for a looking glass (by hosting router).
+  [[nodiscard]] bool lg_offline(RouterId lg, double now_s) const;
+
+  // Currently serving a rate-limit ban?
+  [[nodiscard]] bool lg_banned(RouterId lg, double now_s) const;
+
+  // Burst bookkeeping for an executed query; trips a ban when the window
+  // budget is exceeded. Call once per actual LG query, in virtual-time
+  // order (the campaign clock is monotonic).
+  void record_lg_query(RouterId lg, double now_s);
+
+  // Has this (non-LG) vantage point died by now?
+  [[nodiscard]] bool vp_dead(VantagePointId vp, double now_s) const;
+  // Scheduled death instant, or a negative value when the VP never churns.
+  [[nodiscard]] double vp_death_s(VantagePointId vp) const;
+
+  // Per-probe timeout draw. Consumes a random draw only when the rate is
+  // positive, so a zero-rate plane never perturbs anything.
+  [[nodiscard]] bool probe_times_out();
+
+  // Snapshot-time degradation decision for a data-source record, keyed by
+  // an arbitrary stable id; pure hash, order-independent.
+  [[nodiscard]] bool withhold_record(double fraction, std::uint64_t record_key) const;
+
+  [[nodiscard]] std::size_t bans_tripped() const { return bans_tripped_; }
+
+ private:
+  struct BanState {
+    std::vector<double> recent;  // query times inside the burst window
+    double banned_until = -1.0;
+  };
+
+  [[nodiscard]] std::uint64_t mix(std::uint64_t id, std::uint64_t salt) const;
+  [[nodiscard]] double frac(std::uint64_t id, std::uint64_t salt) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng timeout_rng_;
+  std::unordered_map<std::uint32_t, BanState> bans_;
+  std::size_t bans_tripped_ = 0;
+};
+
+}  // namespace cfs

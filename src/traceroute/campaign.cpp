@@ -1,36 +1,38 @@
 #include "traceroute/campaign.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cfs {
 
 MeasurementCampaign::MeasurementCampaign(const Topology& topo,
                                          TracerouteEngine& engine,
-                                         LookingGlassDirectory& lgs)
-    : topo_(topo), engine_(engine), lgs_(lgs) {}
+                                         LookingGlassDirectory& lgs,
+                                         FaultPlane* faults)
+    : topo_(topo),
+      engine_(engine),
+      lgs_(lgs),
+      faults_(faults),
+      jitter_rng_(faults != nullptr ? (faults->seed() ^ 0xbac0ffULL) : 0) {}
+
+MetroId MeasurementCampaign::metro_of(const VantagePoint& vp) const {
+  return topo_.metro_of(topo_.router(vp.attach).facility);
+}
 
 std::vector<TraceResult> MeasurementCampaign::run(
     std::span<const VantagePoint* const> vps,
     const std::vector<Ipv4>& targets) {
   std::vector<TraceResult> out;
+  if (faults_ != nullptr) {
+    by_metro_.clear();
+    for (const VantagePoint* vp : vps)
+      by_metro_[metro_of(*vp).value].push_back(vp);
+  }
   for (const Ipv4 target : targets) {
     bool used_parallel_batch = false;
     for (const VantagePoint* vp : vps) {
-      ++attempted_;
-      if (vp->platform == Platform::LookingGlass) {
-        // Respect the per-LG cool-down: fast-forward the virtual clock to
-        // the earliest allowed instant, as the paper's pipeline waits.
-        const double ready = lgs_.next_allowed_s(vp->attach);
-        clock_s_ = std::max(clock_s_, ready);
-        lgs_.try_query(vp->attach, clock_s_);
-        clock_s_ += single_trace_s;
-      } else {
-        used_parallel_batch = true;
-      }
-      TraceResult trace = engine_.trace(*vp, target);
-      if (trace.hops.empty()) continue;
-      ++kept_;
-      out.push_back(std::move(trace));
+      ++stats_.traces_attempted;
+      run_unit(*vp, target, &used_parallel_batch, out);
     }
     if (used_parallel_batch) clock_s_ += parallel_batch_s;
   }
@@ -38,18 +40,162 @@ std::vector<TraceResult> MeasurementCampaign::run(
 }
 
 TraceResult MeasurementCampaign::probe(const VantagePoint& vp, Ipv4 target) {
-  ++attempted_;
+  ++stats_.traces_attempted;
+  std::vector<TraceResult> out;
+  run_unit(vp, target, nullptr, out);
+  if (!out.empty()) return std::move(out.front());
+  TraceResult empty;
+  empty.vp = vp.id;
+  empty.target = target;
+  return empty;
+}
+
+MeasurementCampaign::UnitOutcome MeasurementCampaign::run_unit(
+    const VantagePoint& vp, Ipv4 target, bool* batched,
+    std::vector<TraceResult>& out) {
+  const RetryPolicy& policy =
+      faults_ != nullptr ? faults_->plan().retry : RetryPolicy{};
+  const VantagePoint* active = &vp;
+  bool failed_over = false;
+  int attempt = 0;
+  while (true) {
+    switch (preflight(*active)) {
+      case ProbeFault::None: {
+        TraceResult trace = execute(*active, target, batched);
+        if (faults_ != nullptr &&
+            active->platform == Platform::LookingGlass)
+          lg_success(*active);
+        if (trace.hops.empty()) {
+          ++stats_.traces_unreachable;
+          return UnitOutcome::Unreachable;
+        }
+        stats_.probe_timeouts += trace.hops_timed_out;
+        ++stats_.traces_kept;
+        out.push_back(std::move(trace));
+        return UnitOutcome::Kept;
+      }
+      case ProbeFault::CircuitOpen:
+        ++stats_.probes_skipped_open_circuit;
+        return UnitOutcome::SkippedOpenCircuit;
+      case ProbeFault::VpDead: {
+        // Retrying a dead probe host is pointless; go straight to failover.
+        const VantagePoint* alt =
+            failed_over ? nullptr : pick_failover(*active);
+        if (alt == nullptr) {
+          ++stats_.probes_abandoned;
+          return UnitOutcome::Abandoned;
+        }
+        active = alt;
+        failed_over = true;
+        attempt = 0;
+        ++stats_.failovers;
+        break;
+      }
+      case ProbeFault::LgUnavailable: {
+        lg_failure(*active);
+        if (attempt < policy.max_retries) {
+          ++attempt;
+          ++stats_.retries;
+          clock_s_ += backoff_s(attempt);
+          break;
+        }
+        const VantagePoint* alt =
+            failed_over ? nullptr : pick_failover(*active);
+        if (alt == nullptr) {
+          ++stats_.probes_abandoned;
+          return UnitOutcome::Abandoned;
+        }
+        active = alt;
+        failed_over = true;
+        attempt = 0;
+        ++stats_.failovers;
+        break;
+      }
+    }
+  }
+}
+
+MeasurementCampaign::ProbeFault MeasurementCampaign::preflight(
+    const VantagePoint& vp) {
+  if (faults_ == nullptr) return ProbeFault::None;
   if (vp.platform == Platform::LookingGlass) {
+    const auto it = lg_health_.find(vp.attach.value);
+    if (it != lg_health_.end() && it->second.open) {
+      const double open_for = clock_s_ - it->second.opened_at;
+      if (open_for < faults_->plan().retry.circuit_reset_s)
+        return ProbeFault::CircuitOpen;
+      // Half-open: admit one trial query; a single failure re-opens.
+      it->second.open = false;
+      it->second.consecutive_failures =
+          faults_->plan().retry.circuit_threshold - 1;
+    }
+    if (faults_->lg_offline(vp.attach, clock_s_) ||
+        faults_->lg_banned(vp.attach, clock_s_))
+      return ProbeFault::LgUnavailable;
+  } else if (faults_->vp_dead(vp.id, clock_s_)) {
+    return ProbeFault::VpDead;
+  }
+  return ProbeFault::None;
+}
+
+void MeasurementCampaign::lg_failure(const VantagePoint& vp) {
+  LgHealth& health = lg_health_[vp.attach.value];
+  ++health.consecutive_failures;
+  if (!health.open &&
+      health.consecutive_failures >= faults_->plan().retry.circuit_threshold) {
+    health.open = true;
+    health.opened_at = clock_s_;
+    ++stats_.circuits_opened;
+  }
+}
+
+void MeasurementCampaign::lg_success(const VantagePoint& vp) {
+  const auto it = lg_health_.find(vp.attach.value);
+  if (it == lg_health_.end()) return;
+  it->second.consecutive_failures = 0;
+  it->second.open = false;
+}
+
+double MeasurementCampaign::backoff_s(int attempt) {
+  const RetryPolicy& policy = faults_->plan().retry;
+  const double base =
+      policy.backoff_base_s *
+      std::pow(policy.backoff_multiplier, static_cast<double>(attempt - 1));
+  return base * (1.0 + policy.backoff_jitter_fraction *
+                           jitter_rng_.uniform01());
+}
+
+TraceResult MeasurementCampaign::execute(const VantagePoint& vp, Ipv4 target,
+                                         bool* batched) {
+  if (vp.platform == Platform::LookingGlass) {
+    // Respect the per-LG cool-down: fast-forward the virtual clock to
+    // the earliest allowed instant, as the paper's pipeline waits.
     const double ready = lgs_.next_allowed_s(vp.attach);
     clock_s_ = std::max(clock_s_, ready);
     lgs_.try_query(vp.attach, clock_s_);
+    if (faults_ != nullptr) {
+      faults_->record_lg_query(vp.attach, clock_s_);
+      stats_.lg_bans = faults_->bans_tripped();
+    }
     clock_s_ += single_trace_s;
+  } else if (batched != nullptr) {
+    *batched = true;
   } else {
     clock_s_ += single_trace_s;
   }
-  TraceResult trace = engine_.trace(vp, target);
-  if (!trace.hops.empty()) ++kept_;
-  return trace;
+  return engine_.trace(vp, target);
+}
+
+const VantagePoint* MeasurementCampaign::pick_failover(
+    const VantagePoint& failed) {
+  const auto it = by_metro_.find(metro_of(failed).value);
+  if (it == by_metro_.end()) return nullptr;
+  for (const VantagePoint* cand : it->second) {
+    if (cand->id.value == failed.id.value) continue;
+    if (cand->attach.value == failed.attach.value) continue;
+    if (preflight(*cand) == ProbeFault::None) return cand;
+  }
+  return nullptr;
 }
 
 std::vector<Ipv4> MeasurementCampaign::targets_for(const Topology& topo,

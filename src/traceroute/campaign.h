@@ -6,12 +6,25 @@
 // campaign to a single target completes in ~5 minutes of wall time. The
 // campaign tracks virtual elapsed time so experiments can report the cost
 // of their probing the way the paper does.
+//
+// Under a FaultPlane the campaign also has to *survive* the measurement
+// substrate failing: a probe that hits an offline or rate-limit-banned
+// looking glass is retried with exponential backoff + jitter; consecutive
+// failures open a per-LG circuit breaker (half-open after a reset window);
+// work whose vantage point is unavailable fails over once to another VP in
+// the same metro; what cannot be salvaged is abandoned and *accounted*,
+// never silently dropped:
+//   attempted == kept + unreachable + abandoned + skipped-by-open-circuit.
+// Without a plane every fault path is dead code and behaviour is
+// byte-identical to the pre-fault-plane campaign.
 #pragma once
 
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/looking_glass.h"
+#include "net/faults.h"
 #include "traceroute/engine.h"
 
 namespace cfs {
@@ -19,32 +32,71 @@ namespace cfs {
 class MeasurementCampaign {
  public:
   MeasurementCampaign(const Topology& topo, TracerouteEngine& engine,
-                      LookingGlassDirectory& lgs);
+                      LookingGlassDirectory& lgs,
+                      FaultPlane* faults = nullptr);
 
   // Traceroutes from every given vantage point to every target. Looking
   // glass vantage points are serialised per cool-down; others run in
-  // parallel batches. Unreachable traces (empty hop list) are dropped.
+  // parallel batches. Unreachable traces (empty hop list) are dropped but
+  // counted. With a fault plane, the given span doubles as the failover
+  // pool (grouped by metro).
   std::vector<TraceResult> run(std::span<const VantagePoint* const> vps,
                                const std::vector<Ipv4>& targets);
 
-  // Single measurement convenience (advances the clock minimally).
+  // Single measurement convenience (advances the clock minimally). A probe
+  // the fault plane kills returns an empty trace; there is no failover
+  // pool on this path.
   TraceResult probe(const VantagePoint& vp, Ipv4 target);
 
   [[nodiscard]] double virtual_elapsed_s() const { return clock_s_; }
-  [[nodiscard]] std::size_t traces_attempted() const { return attempted_; }
-  [[nodiscard]] std::size_t traces_kept() const { return kept_; }
+  [[nodiscard]] std::size_t traces_attempted() const {
+    return stats_.traces_attempted;
+  }
+  [[nodiscard]] std::size_t traces_kept() const { return stats_.traces_kept; }
+  // Full measurement-plane attrition accounting (see net/faults.h).
+  [[nodiscard]] const FaultMetrics& fault_stats() const { return stats_; }
 
   // One probe-able destination address inside every announced prefix of the
   // AS — the paper's "one active IP per prefix" target list.
   static std::vector<Ipv4> targets_for(const Topology& topo, Asn asn);
 
  private:
+  // Per-LG circuit breaker, keyed by the hosting router.
+  struct LgHealth {
+    int consecutive_failures = 0;
+    bool open = false;
+    double opened_at = 0.0;
+  };
+  enum class ProbeFault { None, LgUnavailable, VpDead, CircuitOpen };
+  enum class UnitOutcome { Kept, Unreachable, Abandoned, SkippedOpenCircuit };
+
+  // One unit of work (vp, target) end to end: preflight, retries with
+  // backoff, at most one failover, trace execution, accounting. Exactly
+  // one outcome counter is bumped per call. `batched` is the run() batch
+  // flag; null on the probe() path (clock advances per trace instead).
+  UnitOutcome run_unit(const VantagePoint& vp, Ipv4 target, bool* batched,
+                       std::vector<TraceResult>& out);
+
+  [[nodiscard]] ProbeFault preflight(const VantagePoint& vp);
+  void lg_failure(const VantagePoint& vp);
+  void lg_success(const VantagePoint& vp);
+  [[nodiscard]] double backoff_s(int attempt);
+  // Clock bookkeeping + the actual traceroute (the pre-fault hot path).
+  TraceResult execute(const VantagePoint& vp, Ipv4 target, bool* batched);
+  [[nodiscard]] const VantagePoint* pick_failover(const VantagePoint& failed);
+  [[nodiscard]] MetroId metro_of(const VantagePoint& vp) const;
+
   const Topology& topo_;
   TracerouteEngine& engine_;
   LookingGlassDirectory& lgs_;
+  FaultPlane* faults_ = nullptr;
   double clock_s_ = 0.0;
-  std::size_t attempted_ = 0;
-  std::size_t kept_ = 0;
+  FaultMetrics stats_;
+  std::unordered_map<std::uint32_t, LgHealth> lg_health_;
+  // Failover pool for the current run(): metro -> usable vantage points.
+  std::unordered_map<std::uint32_t, std::vector<const VantagePoint*>>
+      by_metro_;
+  Rng jitter_rng_;  // drawn only on fault paths
 
   static constexpr double parallel_batch_s = 300.0;  // Atlas full campaign
   static constexpr double single_trace_s = 30.0;

@@ -7,8 +7,12 @@ namespace cfs {
 TracerouteEngine::TracerouteEngine(const Topology& topo,
                                    const ForwardingEngine& forwarding,
                                    const EngineConfig& config,
-                                   std::uint64_t seed)
-    : topo_(topo), forwarding_(forwarding), config_(config), rng_(seed) {}
+                                   std::uint64_t seed, FaultPlane* faults)
+    : topo_(topo),
+      forwarding_(forwarding),
+      config_(config),
+      rng_(seed),
+      faults_(faults) {}
 
 TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
   ++traces_;
@@ -26,11 +30,18 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
     Hop out;
     const bool lost = rng_.chance(config_.probe_loss);
     if (router.responds_to_traceroute && !lost) {
-      out.responded = true;
-      out.address = hop.ingress;
-      out.rtt_ms = 2.0 * (vp.access_ms + hop.cumulative_ms) +
-                   config_.processing_ms +
-                   std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+      // The reply would have arrived; an injected timeout silences it in a
+      // way the pipeline can tell apart from loss.
+      if (faults_ != nullptr && faults_->probe_times_out()) {
+        out.timed_out = true;
+        ++result.hops_timed_out;
+      } else {
+        out.responded = true;
+        out.address = hop.ingress;
+        out.rtt_ms = 2.0 * (vp.access_ms + hop.cumulative_ms) +
+                     config_.processing_ms +
+                     std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+      }
     }
     result.hops.push_back(out);
   }
@@ -41,26 +52,42 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
   const Interface* iface = topo_.find_interface(target);
   if (iface == nullptr || iface->role == InterfaceRole::Host) {
     if (++ttl <= config_.max_ttl && !rng_.chance(config_.probe_loss)) {
-      Hop out;
-      out.responded = true;
-      out.address = target;
-      out.rtt_ms = 2.0 * (vp.access_ms + path.back().cumulative_ms + 0.1) +
-                   config_.processing_ms +
-                   std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
-      result.hops.push_back(out);
-      result.reached_target = true;
+      if (faults_ != nullptr && faults_->probe_times_out()) {
+        Hop out;
+        out.timed_out = true;
+        result.hops.push_back(out);
+        ++result.hops_timed_out;
+      } else {
+        Hop out;
+        out.responded = true;
+        out.address = target;
+        out.rtt_ms = 2.0 * (vp.access_ms + path.back().cumulative_ms + 0.1) +
+                     config_.processing_ms +
+                     std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+        result.hops.push_back(out);
+        result.reached_target = true;
+      }
     }
   } else {
     // Rewrite the final hop to the probed interface address: the
     // destination answers an ICMP echo from the probed address itself.
+    // The echo is its own probe, so it gets its own timeout draw.
     if (!result.hops.empty()) {
-      result.hops.back().address = target;
-      result.hops.back().responded = true;
-      if (result.hops.back().rtt_ms == 0.0)
-        result.hops.back().rtt_ms =
-            2.0 * (vp.access_ms + path.back().cumulative_ms) +
-            config_.processing_ms;
-      result.reached_target = true;
+      Hop& back = result.hops.back();
+      if (faults_ != nullptr && faults_->probe_times_out()) {
+        if (!back.timed_out) ++result.hops_timed_out;
+        back.timed_out = true;
+        back.responded = false;
+      } else {
+        if (back.timed_out) --result.hops_timed_out;
+        back.timed_out = false;
+        back.address = target;
+        back.responded = true;
+        if (back.rtt_ms == 0.0)
+          back.rtt_ms = 2.0 * (vp.access_ms + path.back().cumulative_ms) +
+                        config_.processing_ms;
+        result.reached_target = true;
+      }
     }
   }
   return result;

@@ -4,12 +4,13 @@
 // per-hop RTT = 2x cumulative one-way latency + last-mile access delay +
 // processing jitter; routers that filter ICMP show up as missing hops; the
 // destination answers if probing reaches it. Paris flow pinning means the
-// path itself is deterministic — artifacts come from loss and filtering,
-// the ones the paper's pipeline must survive.
+// path itself is deterministic — artifacts come from loss, filtering and
+// (under a FaultPlane) timeouts, the ones the paper's pipeline must survive.
 #pragma once
 
 #include <vector>
 
+#include "net/faults.h"
 #include "traceroute/forwarding.h"
 #include "traceroute/platforms.h"
 #include "util/rng.h"
@@ -20,6 +21,9 @@ struct Hop {
   Ipv4 address;          // meaningful only when responded
   double rtt_ms = 0.0;
   bool responded = false;
+  // No reply within the timer, as opposed to a dropped probe: the fault
+  // plane's injected timeouts land here, never on `responded` loss.
+  bool timed_out = false;
 };
 
 struct TraceResult {
@@ -27,6 +31,7 @@ struct TraceResult {
   Ipv4 target;
   std::vector<Hop> hops;
   bool reached_target = false;
+  std::size_t hops_timed_out = 0;  // hops silenced by timeout, not loss
 };
 
 struct EngineConfig {
@@ -38,8 +43,11 @@ struct EngineConfig {
 
 class TracerouteEngine {
  public:
+  // `faults` (optional) injects per-probe timeouts; it draws from its own
+  // RNG stream, so a null or zero-intensity plane leaves traces identical.
   TracerouteEngine(const Topology& topo, const ForwardingEngine& forwarding,
-                   const EngineConfig& config, std::uint64_t seed);
+                   const EngineConfig& config, std::uint64_t seed,
+                   FaultPlane* faults = nullptr);
 
   // One traceroute from the vantage point to the target address.
   TraceResult trace(const VantagePoint& vp, Ipv4 target);
@@ -60,6 +68,7 @@ class TracerouteEngine {
   const ForwardingEngine& forwarding_;
   EngineConfig config_;
   Rng rng_;
+  FaultPlane* faults_ = nullptr;
   std::size_t traces_ = 0;
 };
 

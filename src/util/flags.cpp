@@ -6,6 +6,19 @@
 
 namespace cfs {
 
+namespace {
+
+// Every malformed value reports the flag name, the expected type and the
+// offending text, so a typo'd command line is diagnosable from the message
+// alone.
+[[noreturn]] void bad_value(const std::string& name, const char* expected,
+                            const std::string& value) {
+  throw std::invalid_argument("flag --" + name + " expects " + expected +
+                              ", got '" + value + "'");
+}
+
+}  // namespace
+
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -42,30 +55,34 @@ std::int64_t Flags::get_int(const std::string& name,
   used_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  bool parsed = true;
   try {
-    std::size_t used = 0;
-    const std::int64_t value = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
-    return value;
-  } catch (const std::logic_error&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                it->second + "'");
+    value = std::stoll(it->second, &used);
+  } catch (const std::logic_error&) {  // empty/garbage or out of range
+    parsed = false;
   }
+  if (!parsed || used != it->second.size())
+    bad_value(name, "an integer", it->second);
+  return value;
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
   used_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  std::size_t used = 0;
+  double value = 0.0;
+  bool parsed = true;
   try {
-    std::size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
-    return value;
+    value = std::stod(it->second, &used);
   } catch (const std::logic_error&) {
-    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                it->second + "'");
+    parsed = false;
   }
+  if (!parsed || used != it->second.size())
+    bad_value(name, "a number", it->second);
+  return value;
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
@@ -75,8 +92,7 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   if (it->second.empty() || it->second == "true" || it->second == "1")
     return true;
   if (it->second == "false" || it->second == "0") return false;
-  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
-                              it->second + "'");
+  bad_value(name, "a boolean", it->second);
 }
 
 std::vector<std::string> Flags::unknown_flags() const {

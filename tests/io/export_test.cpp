@@ -136,6 +136,17 @@ TEST(ReportExport, MetricsRoundTrip) {
   m.reclassified_observations = 29;
   m.replayed_observations = 1000;
   m.total_ms = 98.765;
+  m.faults.traces_attempted = 400;
+  m.faults.traces_kept = 350;
+  m.faults.traces_unreachable = 30;
+  m.faults.retries = 41;
+  m.faults.failovers = 7;
+  m.faults.circuits_opened = 2;
+  m.faults.probes_abandoned = 12;
+  m.faults.probes_skipped_open_circuit = 8;
+  m.faults.probe_timeouts = 55;
+  m.faults.lg_bans = 3;
+  m.faults.records_withheld = 91;
 
   IterationMetrics row;
   row.iteration = 1;
@@ -174,6 +185,7 @@ TEST(ReportExport, MetricsRoundTrip) {
   EXPECT_EQ(r.reclassified_observations, m.reclassified_observations);
   EXPECT_EQ(r.replayed_observations, m.replayed_observations);
   EXPECT_EQ(r.total_ms, m.total_ms);
+  EXPECT_EQ(r.faults, m.faults);  // FaultMetrics round-trips whole
   ASSERT_EQ(r.iterations.size(), 1u);
   const IterationMetrics& got = r.iterations.front();
   EXPECT_EQ(got.iteration, row.iteration);
@@ -207,6 +219,40 @@ TEST(ReportExport, MetricsKeyOptionalForOldReports) {
   const CfsReport rebuilt = report_from_json(doc);
   EXPECT_EQ(rebuilt.traces_used, 1u);
   EXPECT_TRUE(rebuilt.metrics.iterations.empty());
+}
+
+TEST(ReportExport, FaultsKeyOptionalForOldReports) {
+  CfsReport report;
+  report.metrics.faults.traces_attempted = 9;
+  JsonValue doc = report_to_json(report);
+  // A report written before the fault plane: metrics exist, faults don't.
+  doc.as_object().at("metrics").as_object().erase("faults");
+  const CfsReport rebuilt = report_from_json(doc);
+  EXPECT_EQ(rebuilt.metrics.faults, FaultMetrics{});
+}
+
+// A report produced by a faulted campaign carries the real attrition
+// accounting through JSON, and the accounting invariant holds end to end.
+TEST(ReportExport, FaultedRunMetricsSurviveRoundTrip) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 4;
+  config.faults.lg_outage_fraction = 0.5;
+  config.faults.vp_churn_fraction = 0.2;
+  config.faults.probe_timeout_rate = 0.05;
+  config.faults.peeringdb_withheld = 0.1;
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.5);
+  const CfsReport original = pipeline.run_cfs(std::move(traces));
+
+  const FaultMetrics& fm = original.metrics.faults;
+  EXPECT_GT(fm.traces_attempted, 0u);
+  EXPECT_EQ(fm.traces_attempted,
+            fm.traces_kept + fm.traces_unreachable + fm.probes_abandoned +
+                fm.probes_skipped_open_circuit);
+
+  const CfsReport rebuilt =
+      report_from_json(parse_json(report_to_json(original).pretty()));
+  EXPECT_EQ(rebuilt.metrics.faults, fm);
 }
 
 TEST(ReportExport, LinkFieldsSurvive) {

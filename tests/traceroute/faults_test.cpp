@@ -1,0 +1,473 @@
+// Fault plane: schedule determinism, campaign resilience (retry, circuit
+// breaker, failover), timeout-vs-loss, the attrition accounting invariant,
+// and the two reproducibility guarantees the plane must keep:
+//   1. a zero-intensity plan is the identity (no FaultPlane is built, and
+//      reports match a fault-free pipeline byte for byte), and
+//   2. the same seed + plan replays a faulted campaign byte for byte.
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "io/export.h"
+#include "support/mini_net.h"
+#include "traceroute/campaign.h"
+
+namespace cfs {
+namespace {
+
+using testing::MiniNet;
+
+// ---------------------------------------------------------------------------
+// FaultPlane unit behaviour
+
+TEST(FaultPlan, ZeroIntensityIsNotAny) {
+  EXPECT_FALSE(FaultPlan{}.any());
+  FaultPlan plan;
+  plan.lg_outage_fraction = 0.1;
+  EXPECT_TRUE(plan.any());
+  plan = FaultPlan{};
+  plan.lg_ban_burst = 5;
+  EXPECT_TRUE(plan.any());
+  plan = FaultPlan{};
+  plan.peeringdb_withheld = 0.01;
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlane, ZeroPlanInjectsNothing) {
+  FaultPlane plane(FaultPlan{}, 42);
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    EXPECT_FALSE(plane.lg_offline(RouterId(id), 1000.0));
+    EXPECT_FALSE(plane.lg_banned(RouterId(id), 1000.0));
+    EXPECT_FALSE(plane.vp_dead(VantagePointId(id), 1e9));
+    EXPECT_FALSE(plane.probe_times_out());
+    EXPECT_FALSE(plane.withhold_record(0.0, id));
+  }
+}
+
+TEST(FaultPlane, OutageScheduleIsDeterministicAndSeedDependent) {
+  FaultPlan plan;
+  plan.lg_outage_fraction = 0.5;
+  FaultPlane a(plan, 7);
+  FaultPlane b(plan, 7);
+  FaultPlane c(plan, 8);
+  int hit = 0, differs = 0;
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    bool any_window = false;
+    for (double t = 0.0; t < 3600.0; t += 300.0) {
+      EXPECT_EQ(a.lg_offline(RouterId(id), t), b.lg_offline(RouterId(id), t));
+      any_window |= a.lg_offline(RouterId(id), t);
+      differs += a.lg_offline(RouterId(id), t) != c.lg_offline(RouterId(id), t);
+    }
+    hit += any_window;
+  }
+  // Roughly half the LGs suffer an outage; a different seed picks a
+  // different set.
+  EXPECT_GT(hit, 40);
+  EXPECT_LT(hit, 160);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultPlane, OutageWindowIsBounded) {
+  FaultPlan plan;
+  plan.lg_outage_fraction = 1.0;  // every LG has a window
+  plan.lg_outage_start_horizon_s = 100.0;
+  plan.lg_outage_duration_s = 50.0;
+  FaultPlane plane(plan, 3);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    // Well past start horizon + duration every LG is back.
+    EXPECT_FALSE(plane.lg_offline(RouterId(id), 151.0));
+    // Somewhere in [0, 150) it must be down.
+    bool down = false;
+    for (double t = 0.0; t < 150.0; t += 1.0)
+      down |= plane.lg_offline(RouterId(id), t);
+    EXPECT_TRUE(down);
+  }
+}
+
+TEST(FaultPlane, BanTripsAfterBurstAndExpires) {
+  FaultPlan plan;
+  plan.lg_ban_burst = 3;
+  plan.lg_ban_window_s = 100.0;
+  plan.lg_ban_duration_s = 500.0;
+  FaultPlane plane(plan, 1);
+  const RouterId lg(9);
+
+  for (int i = 0; i < 3; ++i) plane.record_lg_query(lg, i * 10.0);
+  EXPECT_FALSE(plane.lg_banned(lg, 30.0));  // at the budget, not over it
+  plane.record_lg_query(lg, 30.0);          // 4th query within the window
+  EXPECT_TRUE(plane.lg_banned(lg, 31.0));
+  EXPECT_EQ(plane.bans_tripped(), 1u);
+  // Queries during the ban are refused and don't extend it.
+  plane.record_lg_query(lg, 100.0);
+  EXPECT_TRUE(plane.lg_banned(lg, 529.0));
+  EXPECT_FALSE(plane.lg_banned(lg, 531.0));
+  EXPECT_EQ(plane.bans_tripped(), 1u);
+}
+
+TEST(FaultPlane, SpacedQueriesNeverTripBan) {
+  FaultPlan plan;
+  plan.lg_ban_burst = 2;
+  plan.lg_ban_window_s = 50.0;
+  FaultPlane plane(plan, 1);
+  // One query per window: the paper's etiquette keeps the LG happy.
+  for (int i = 0; i < 20; ++i) plane.record_lg_query(RouterId(1), i * 60.0);
+  EXPECT_EQ(plane.bans_tripped(), 0u);
+}
+
+TEST(FaultPlane, VpChurnKillsForGood) {
+  FaultPlan plan;
+  plan.vp_churn_fraction = 1.0;
+  plan.vp_churn_horizon_s = 1000.0;
+  FaultPlane plane(plan, 11);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    const double death = plane.vp_death_s(VantagePointId(id));
+    ASSERT_GE(death, 0.0);
+    ASSERT_LT(death, 1000.0);
+    EXPECT_FALSE(plane.vp_dead(VantagePointId(id), death - 0.001));
+    EXPECT_TRUE(plane.vp_dead(VantagePointId(id), death));
+    EXPECT_TRUE(plane.vp_dead(VantagePointId(id), 1e9));  // never comes back
+  }
+}
+
+TEST(FaultPlane, WithholdIsPerRecordAndRoughlyCalibrated) {
+  FaultPlane plane(FaultPlan{}, 5);
+  int withheld = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const bool w = plane.withhold_record(0.3, key);
+    EXPECT_EQ(w, plane.withhold_record(0.3, key));  // pure function of key
+    withheld += w;
+  }
+  EXPECT_GT(withheld, 200);
+  EXPECT_LT(withheld, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: timeout is distinct from loss
+
+TEST(FaultedEngine, TimeoutsAreDistinctFromLoss) {
+  MiniNet net;
+  const Asn a = net.add_as(1000, AsType::Transit, {0, 1});
+  const Asn c = net.add_as(5000, AsType::Content, {1});
+  net.xconnect(c, a, 1, BusinessRel::CustomerProvider);
+
+  RoutingOracle oracle(net.topo);
+  ForwardingEngine fwd(net.topo, oracle);
+  FaultPlan plan;
+  plan.probe_timeout_rate = 0.5;
+  FaultPlane plane(plan, 2);
+  EngineConfig cfg;
+  cfg.probe_loss = 0.0;  // any silence below is a timeout, not loss
+  TracerouteEngine engine(net.topo, fwd, cfg, 9, &plane);
+
+  // Hand-built vantage point in the transit AS (the mini topology has no
+  // eyeball ASes for VantagePointSet to host Atlas probes on).
+  VantagePoint vp;
+  vp.id = VantagePointId(0);
+  vp.platform = Platform::RipeAtlas;
+  vp.attach = net.topo.routers_of(a).front();
+  vp.asn = a;
+  vp.access_ms = 10.0;
+  const auto targets = MeasurementCampaign::targets_for(net.topo, c);
+  ASSERT_FALSE(targets.empty());
+
+  std::size_t timed_out = 0, responded = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const TraceResult trace = engine.trace(vp, targets[0]);
+    std::size_t counted = 0;
+    for (const Hop& hop : trace.hops) {
+      EXPECT_FALSE(hop.responded && hop.timed_out);
+      counted += hop.timed_out;
+      responded += hop.responded;
+    }
+    EXPECT_EQ(counted, trace.hops_timed_out);
+    timed_out += trace.hops_timed_out;
+  }
+  EXPECT_GT(timed_out, 0u);   // rate 0.5 must silence some hops...
+  EXPECT_GT(responded, 0u);   // ...but not all of them
+}
+
+// ---------------------------------------------------------------------------
+// Campaign resilience
+
+struct FaultedCampaign {
+  MiniNet net;
+  Asn a, c;
+  std::unique_ptr<LookingGlassDirectory> lgs;
+  std::unique_ptr<RoutingOracle> routing;
+  std::unique_ptr<ForwardingEngine> forwarding;
+  std::unique_ptr<FaultPlane> plane;
+  std::unique_ptr<TracerouteEngine> engine;
+  std::unique_ptr<MeasurementCampaign> campaign;
+  std::vector<Ipv4> targets;
+
+  explicit FaultedCampaign(const FaultPlan& plan, std::uint64_t seed = 7) {
+    a = net.add_as(1000, AsType::Transit, {0, 1});
+    c = net.add_as(5000, AsType::Content, {1});
+    net.xconnect(c, a, 1, BusinessRel::CustomerProvider);
+    lgs = std::make_unique<LookingGlassDirectory>(
+        net.topo, LookingGlassDirectory::Config{.host_probability = 1.0,
+                                                .bgp_support_probability = 0,
+                                                .cooldown_s = 60,
+                                                .seed = 1});
+    routing = std::make_unique<RoutingOracle>(net.topo);
+    forwarding = std::make_unique<ForwardingEngine>(net.topo, *routing);
+    plane = std::make_unique<FaultPlane>(plan, seed);
+    EngineConfig cfg;
+    cfg.probe_loss = 0.0;
+    engine = std::make_unique<TracerouteEngine>(net.topo, *forwarding, cfg, 9,
+                                                plane.get());
+    campaign = std::make_unique<MeasurementCampaign>(net.topo, *engine, *lgs,
+                                                     plane.get());
+    targets = MeasurementCampaign::targets_for(net.topo, c);
+  }
+
+  // A hand-built Atlas vantage point behind the first router of the AS.
+  [[nodiscard]] VantagePoint atlas_vp(std::uint32_t id, Asn owner) const {
+    VantagePoint vp;
+    vp.id = VantagePointId(id);
+    vp.platform = Platform::RipeAtlas;
+    for (const auto& router : net.topo.routers())
+      if (router.owner == owner) {
+        vp.attach = router.id;
+        break;
+      }
+    vp.asn = owner;
+    vp.access_ms = 10.0;
+    return vp;
+  }
+};
+
+void expect_invariant(const FaultMetrics& fm) {
+  EXPECT_EQ(fm.traces_attempted,
+            fm.traces_kept + fm.traces_unreachable + fm.probes_abandoned +
+                fm.probes_skipped_open_circuit)
+      << "every attempted probe must be accounted for exactly once";
+}
+
+TEST(FaultedCampaignTest, PermanentOutageOpensCircuitAndSkips) {
+  FaultPlan plan;
+  plan.lg_outage_fraction = 1.0;          // every LG...
+  plan.lg_outage_start_horizon_s = 0.0;   // ...down from t=0...
+  plan.lg_outage_duration_s = 1e9;        // ...forever
+  plan.retry.max_retries = 2;
+  plan.retry.circuit_threshold = 3;
+  FaultedCampaign fx(plan);
+
+  // One LG vantage point, probed repeatedly via probe() (no failover pool).
+  VantagePoint lg_vp;
+  lg_vp.platform = Platform::LookingGlass;
+  lg_vp.id = VantagePointId(0);
+  lg_vp.attach = fx.net.topo.routers().front().id;
+  lg_vp.asn = fx.net.topo.routers().front().owner;
+
+  // First unit: 1 preflight + 2 retries, all unavailable -> abandoned, and
+  // the 3 consecutive failures open the circuit.
+  TraceResult t1 = fx.campaign->probe(lg_vp, fx.targets[0]);
+  EXPECT_TRUE(t1.hops.empty());
+  const FaultMetrics& fm = fx.campaign->fault_stats();
+  EXPECT_EQ(fm.retries, 2u);
+  EXPECT_EQ(fm.probes_abandoned, 1u);
+  EXPECT_EQ(fm.circuits_opened, 1u);
+
+  // Second unit: the breaker is open, work is skipped without retrying.
+  TraceResult t2 = fx.campaign->probe(lg_vp, fx.targets[0]);
+  EXPECT_TRUE(t2.hops.empty());
+  EXPECT_EQ(fm.retries, 2u);  // unchanged: open circuit short-circuits
+  EXPECT_EQ(fm.probes_skipped_open_circuit, 1u);
+  expect_invariant(fm);
+}
+
+TEST(FaultedCampaignTest, TransientOutageRecoversViaBackoff) {
+  FaultPlan plan;
+  plan.lg_outage_fraction = 1.0;
+  plan.lg_outage_start_horizon_s = 0.0;  // down at t=0
+  plan.lg_outage_duration_s = 4.0;       // but only briefly
+  plan.retry.max_retries = 2;
+  plan.retry.backoff_base_s = 5.0;  // first retry lands after the outage
+  FaultedCampaign fx(plan);
+
+  VantagePoint lg_vp;
+  lg_vp.platform = Platform::LookingGlass;
+  lg_vp.id = VantagePointId(0);
+  lg_vp.attach = fx.net.topo.routers().front().id;
+  lg_vp.asn = fx.net.topo.routers().front().owner;
+
+  const TraceResult trace = fx.campaign->probe(lg_vp, fx.targets[0]);
+  EXPECT_FALSE(trace.hops.empty());  // retry succeeded after the window
+  const FaultMetrics& fm = fx.campaign->fault_stats();
+  EXPECT_GE(fm.retries, 1u);
+  EXPECT_EQ(fm.traces_kept, 1u);
+  EXPECT_EQ(fm.probes_abandoned, 0u);
+  expect_invariant(fm);
+}
+
+TEST(FaultedCampaignTest, DeadVpFailsOverToSameMetro) {
+  FaultPlan plan;
+  plan.vp_churn_fraction = 0.5;     // half the VPs churn...
+  plan.vp_churn_horizon_s = 100.0;  // ...and are dead by t=100
+  FaultedCampaign fx(plan);
+
+  // Two Atlas VPs behind different routers of the same transit AS (same
+  // metro). Pick ids so one is scheduled to die and the failover candidate
+  // never churns — the schedule is a pure hash, so probe it directly.
+  std::uint32_t doomed_id = 0, safe_id = 0;
+  bool found_doomed = false, found_safe = false;
+  for (std::uint32_t id = 0; id < 64 && !(found_doomed && found_safe); ++id) {
+    const double death = fx.plane->vp_death_s(VantagePointId(id));
+    if (death >= 0.0 && !found_doomed) doomed_id = id, found_doomed = true;
+    if (death < 0.0 && !found_safe) safe_id = id, found_safe = true;
+  }
+  ASSERT_TRUE(found_doomed && found_safe);
+
+  VantagePoint dead = fx.atlas_vp(doomed_id, fx.a);
+  VantagePoint alive = fx.atlas_vp(safe_id, fx.a);
+  // Attach the failover candidate to a *different* router in the same
+  // metro, otherwise pick_failover skips it.
+  for (const auto& router : fx.net.topo.routers())
+    if (router.owner == fx.a && router.id.value != dead.attach.value &&
+        fx.net.topo.metro_of(router.facility) ==
+            fx.net.topo.metro_of(fx.net.topo.router(dead.attach).facility)) {
+      alive.attach = router.id;
+      break;
+    }
+  ASSERT_NE(alive.attach.value, dead.attach.value);
+
+  const VantagePoint* pool[] = {&dead, &alive};
+  // First run advances virtual time by a 300s batch per target, past the
+  // churn horizon; the second run then hits the dead VP's schedule.
+  (void)fx.campaign->run(pool, fx.targets);
+  ASSERT_GE(fx.campaign->virtual_elapsed_s(), 100.0);
+  const auto more = fx.campaign->run(pool, fx.targets);
+
+  const FaultMetrics& fm = fx.campaign->fault_stats();
+  EXPECT_GE(fm.failovers, fx.targets.size());  // one per dead-VP unit
+  EXPECT_GT(fm.traces_kept, 0u);
+  EXPECT_EQ(fm.probes_abandoned, 0u);  // everything was salvaged
+  expect_invariant(fm);
+  // All of the second run's work executed from the substitute VP.
+  ASSERT_FALSE(more.empty());
+  for (const auto& tr : more) EXPECT_TRUE(tr.vp == alive.id);
+}
+
+TEST(FaultedCampaignTest, RateLimitBanTriggersBackoffAccounting) {
+  FaultPlan plan;
+  plan.lg_ban_burst = 1;          // second query within the window bans
+  plan.lg_ban_window_s = 1000.0;  // wider than the 60s LG cooldown
+  plan.lg_ban_duration_s = 1e9;
+  plan.retry.max_retries = 1;
+  plan.retry.circuit_threshold = 2;
+  FaultedCampaign fx(plan);
+
+  VantagePoint lg_vp;
+  lg_vp.platform = Platform::LookingGlass;
+  lg_vp.id = VantagePointId(0);
+  lg_vp.attach = fx.net.topo.routers().front().id;
+  lg_vp.asn = fx.net.topo.routers().front().owner;
+
+  // Query 1 executes; query 2 trips the ban; query 3 finds it banned.
+  (void)fx.campaign->probe(lg_vp, fx.targets[0]);
+  (void)fx.campaign->probe(lg_vp, fx.targets[0]);
+  (void)fx.campaign->probe(lg_vp, fx.targets[0]);
+  const FaultMetrics& fm = fx.campaign->fault_stats();
+  EXPECT_GE(fm.lg_bans, 1u);
+  EXPECT_GT(fm.retries, 0u);
+  expect_invariant(fm);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level determinism and identity (the PR's acceptance criteria)
+
+// Timing metrics are wall-clock and legitimately differ between runs; the
+// determinism guarantee covers everything else. Compare reports with the
+// metrics subtree removed, then the fault counters exactly.
+void expect_reports_identical(const CfsReport& r1, const CfsReport& r2) {
+  EXPECT_EQ(r1.metrics.faults, r2.metrics.faults);
+  JsonValue j1 = report_to_json(r1);
+  JsonValue j2 = report_to_json(r2);
+  j1.as_object().erase("metrics");
+  j2.as_object().erase("metrics");
+  EXPECT_EQ(j1.pretty(), j2.pretty());
+}
+
+CfsReport run_tiny(const PipelineConfig& config) {
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.5);
+  return pipeline.run_cfs(std::move(traces));
+}
+
+TEST(FaultDeterminism, ZeroPlanIsTheIdentity) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 4;
+  // Zero intensities: no plane is even constructed...
+  Pipeline pipeline(config);
+  EXPECT_EQ(pipeline.faults(), nullptr);
+
+  // ...and a config that sets only inert FaultPlan fields (retry policy,
+  // seed) produces a byte-identical report: the plane is strictly additive.
+  PipelineConfig inert = config;
+  inert.faults.seed = 999;
+  inert.faults.retry.max_retries = 9;
+  expect_reports_identical(run_tiny(config), run_tiny(inert));
+}
+
+TEST(FaultDeterminism, SameSeedAndPlanReplayByteIdentical) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 4;
+  config.faults.lg_outage_fraction = 0.4;
+  config.faults.lg_ban_burst = 4;
+  config.faults.vp_churn_fraction = 0.2;
+  config.faults.probe_timeout_rate = 0.1;
+  config.faults.peeringdb_withheld = 0.15;
+  config.faults.dns_withheld = 0.1;
+  config.faults.geoip_withheld = 0.1;
+  config.faults.seed = 13;
+
+  const CfsReport r1 = run_tiny(config);
+  const CfsReport r2 = run_tiny(config);
+  expect_reports_identical(r1, r2);
+  // The faulted run really did inject something.
+  EXPECT_TRUE(r1.metrics.faults.probes_abandoned > 0 ||
+              r1.metrics.faults.probes_skipped_open_circuit > 0 ||
+              r1.metrics.faults.retries > 0 ||
+              r1.metrics.faults.probe_timeouts > 0);
+  EXPECT_GT(r1.metrics.faults.records_withheld, 0u);
+  expect_invariant(r1.metrics.faults);
+}
+
+TEST(FaultDeterminism, FaultSeedChangesTheSchedule) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 4;
+  config.faults.lg_outage_fraction = 0.5;
+  config.faults.vp_churn_fraction = 0.3;
+  config.faults.probe_timeout_rate = 0.2;
+  config.faults.seed = 1;
+  const CfsReport r1 = run_tiny(config);
+  config.faults.seed = 2;
+  const CfsReport r2 = run_tiny(config);
+  JsonValue j1 = report_to_json(r1);
+  JsonValue j2 = report_to_json(r2);
+  j1.as_object().erase("metrics");
+  j2.as_object().erase("metrics");
+  EXPECT_NE(j1.pretty(), j2.pretty());
+}
+
+TEST(FaultDeterminism, HeavyFaultsDegradeWithoutCrashing) {
+  // The acceptance bar: 50% LG outage + 20% VP churn completes cleanly and
+  // accounts for every probe.
+  PipelineConfig config = PipelineConfig::tiny();
+  config.cfs.max_iterations = 4;
+  config.faults.lg_outage_fraction = 0.5;
+  config.faults.vp_churn_fraction = 0.2;
+  config.faults.probe_timeout_rate = 0.1;
+  config.faults.peeringdb_withheld = 0.2;
+  config.faults.lg_ban_burst = 3;
+  config.faults.seed = 5;
+
+  const CfsReport report = run_tiny(config);
+  expect_invariant(report.metrics.faults);
+  EXPECT_GT(report.metrics.faults.traces_kept, 0u);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -52,6 +52,58 @@ TEST(Flags, MalformedNumbersThrow) {
   EXPECT_THROW(flags.get_bool("b", false), std::invalid_argument);
 }
 
+// The what() of a malformed value must name the flag, the expected type and
+// the offending text — never just the raw value.
+TEST(Flags, ErrorMessagesNameFlagAndType) {
+  const auto message = [](auto&& call) -> std::string {
+    try {
+      call();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  const Flags flags = make({"--seed", "abc", "--f", "1.2.3", "--b", "maybe"});
+  EXPECT_EQ(message([&] { (void)flags.get_int("seed", 0); }),
+            "flag --seed expects an integer, got 'abc'");
+  EXPECT_EQ(message([&] { (void)flags.get_double("f", 0); }),
+            "flag --f expects a number, got '1.2.3'");
+  EXPECT_EQ(message([&] { (void)flags.get_bool("b", false); }),
+            "flag --b expects a boolean, got 'maybe'");
+}
+
+// Trailing garbage after a valid numeric prefix is rejected with the same
+// diagnosable message, not a bare value.
+TEST(Flags, TrailingGarbageMessages) {
+  const Flags flags = make({"--seed=12x", "--f=3.5ms"});
+  const auto message = [](auto&& call) -> std::string {
+    try {
+      call();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_EQ(message([&] { (void)flags.get_int("seed", 0); }),
+            "flag --seed expects an integer, got '12x'");
+  EXPECT_EQ(message([&] { (void)flags.get_double("f", 0); }),
+            "flag --f expects a number, got '3.5ms'");
+}
+
+// Out-of-range values are malformed too, and keep the flag name.
+TEST(Flags, OutOfRangeMessages) {
+  const Flags flags = make({"--seed", "99999999999999999999999999"});
+  try {
+    (void)flags.get_int("seed", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "flag --seed expects an integer, got "
+              "'99999999999999999999999999'");
+  }
+}
+
 TEST(Flags, UnknownFlagTracking) {
   const Flags flags = make({"--known", "1", "--typo", "2"});
   EXPECT_EQ(flags.get_int("known", 0), 1);

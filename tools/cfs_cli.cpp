@@ -8,11 +8,19 @@
 //
 //   cfs infer     [--scale ...] [--seed N] [--content N] [--transit N]
 //                 [--vp-fraction F] [--report FILE]
+//                 [--lg-outage F] [--lg-ban-burst N] [--vp-churn F]
+//                 [--probe-timeout F] [--pdb-withheld F] [--dns-withheld F]
+//                 [--geoip-withheld F] [--fault-seed N]
 //       Run the measurement campaign and Constrained Facility Search;
-//       print a summary, optionally export the full report as JSON.
+//       print a summary, optionally export the full report as JSON. The
+//       fault flags inject degraded-mode conditions (docs/ROBUSTNESS.md).
 //
 //   cfs validate  [--scale ...] [--seed N] [--content N] [--transit N]
+//                 [fault flags as for infer]
 //       Run CFS and score it against every validation source + the oracle.
+//
+// Exit codes: 0 success, 2 usage error (no/unknown command), 3 bad flag
+// (malformed value or unknown flag), 4 runtime failure.
 #include <fstream>
 #include <iostream>
 
@@ -95,12 +103,26 @@ int cmd_census(const Flags& flags) {
   return 0;
 }
 
+// Fault-injection knobs shared by fault-aware commands; zero everything
+// means no FaultPlane is constructed at all.
+void faults_from(const Flags& flags, FaultPlan& plan) {
+  plan.lg_outage_fraction = flags.get_double("lg-outage", 0.0);
+  plan.lg_ban_burst = static_cast<int>(flags.get_int("lg-ban-burst", 0));
+  plan.vp_churn_fraction = flags.get_double("vp-churn", 0.0);
+  plan.probe_timeout_rate = flags.get_double("probe-timeout", 0.0);
+  plan.peeringdb_withheld = flags.get_double("pdb-withheld", 0.0);
+  plan.dns_withheld = flags.get_double("dns-withheld", 0.0);
+  plan.geoip_withheld = flags.get_double("geoip-withheld", 0.0);
+  plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+}
+
 int cmd_infer(const Flags& flags) {
-  const PipelineConfig config = config_from(flags);
+  PipelineConfig config = config_from(flags);
   const int content = static_cast<int>(flags.get_int("content", 2));
   const int transit = static_cast<int>(flags.get_int("transit", 2));
   const double vp_fraction = flags.get_double("vp-fraction", 0.6);
   const std::string report_path = flags.get("report", "");
+  faults_from(flags, config.faults);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -133,6 +155,21 @@ int cmd_infer(const Flags& flags) {
             << " (re-classified " << metrics.reclassified_observations
             << " obs, replayed " << metrics.replayed_observations
             << ")  |  total: " << Table::cell(metrics.total_ms) << " ms\n";
+
+  // Measurement-plane attrition: what the campaign tried vs what survived,
+  // plus everything the fault plane made it do about the difference.
+  const FaultMetrics& fm = metrics.faults;
+  std::cout << "measurement plane: " << fm.traces_attempted << " attempted, "
+            << fm.traces_kept << " kept, " << fm.traces_unreachable
+            << " unreachable, " << fm.probes_abandoned << " abandoned, "
+            << fm.probes_skipped_open_circuit << " skipped (open circuit)"
+            << "  |  retries: " << fm.retries
+            << "  failovers: " << fm.failovers
+            << "  circuits opened: " << fm.circuits_opened
+            << "  LG bans: " << fm.lg_bans
+            << "  hop timeouts: " << fm.probe_timeouts
+            << "  records withheld: " << fm.records_withheld << "\n";
+
   Table stages({"Iter", "Dirty", "Constrained", "Sets", "Launched", "Skipped",
                 "Resolved", "Constrain ms", "Follow-up ms", "Classify ms",
                 "Refresh ms"});
@@ -161,9 +198,10 @@ int cmd_infer(const Flags& flags) {
 }
 
 int cmd_validate(const Flags& flags) {
-  const PipelineConfig config = config_from(flags);
+  PipelineConfig config = config_from(flags);
   const int content = static_cast<int>(flags.get_int("content", 2));
   const int transit = static_cast<int>(flags.get_int("transit", 2));
+  faults_from(flags, config.faults);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -212,8 +250,13 @@ int main(int argc, char** argv) {
     if (command == "infer") return cmd_infer(flags);
     if (command == "validate") return cmd_validate(flags);
     return usage();
+  } catch (const std::invalid_argument& error) {
+    // Bad flag value or unknown flag: user error, distinct from crashes so
+    // scripts can tell a typo from a broken run.
+    std::cerr << "error: " << error.what() << "\n";
+    return 3;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return 4;
   }
 }
