@@ -1,0 +1,138 @@
+// Parallel execution engine: wall time and speedup vs thread count.
+//
+// Not a paper artefact — implementation check for the deterministic
+// parallel engine (docs/PARALLELISM.md). Runs the campaign and CFS phases
+// at 1/2/4/8 threads over three corpus sizes, prints per-phase wall time
+// and speedup relative to the single-thread reference, sanity-checks that
+// the inference result itself is thread-count-invariant, and emits every
+// sample as BENCH_parallel_scaling.json. The acceptance bar is a >= 2.5x
+// campaign-phase speedup at 4 threads on the default (small) corpus,
+// demanded only when the host actually has >= 4 hardware threads.
+#include <fstream>
+
+#include "common.h"
+#include "io/json.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace cfs;
+
+struct Sample {
+  std::string corpus;
+  int threads = 1;
+  double campaign_ms = 0.0;
+  double cfs_ms = 0.0;
+  std::size_t traces = 0;
+  std::size_t resolved = 0;
+};
+
+Sample run_case(const std::string& corpus, PipelineConfig config,
+                int threads) {
+  config.threads = threads;
+  Pipeline pipeline(config);
+  Sample s;
+  s.corpus = corpus;
+  s.threads = threads;
+  Stopwatch campaign_timer;
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(2, 2), 0.6);
+  s.campaign_ms = campaign_timer.elapsed_ms();
+  s.traces = traces.size();
+  const CfsReport report = pipeline.run_cfs(std::move(traces));
+  s.cfs_ms = report.metrics.total_ms;
+  s.resolved = report.resolved_interfaces();
+  return s;
+}
+
+JsonValue to_json(const std::vector<Sample>& samples) {
+  JsonValue::Array rows;
+  for (const Sample& s : samples) {
+    JsonValue::Object row;
+    row.emplace("corpus", s.corpus);
+    row.emplace("threads", static_cast<std::uint64_t>(s.threads));
+    row.emplace("campaign_ms", s.campaign_ms);
+    row.emplace("cfs_ms", s.cfs_ms);
+    row.emplace("traces", static_cast<std::uint64_t>(s.traces));
+    row.emplace("resolved_interfaces", static_cast<std::uint64_t>(s.resolved));
+    rows.emplace_back(std::move(row));
+  }
+  JsonValue::Object root;
+  root.emplace("hardware_threads",
+               static_cast<std::uint64_t>(ThreadPool::hardware_threads()));
+  root.emplace("samples", std::move(rows));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Parallel scaling (campaign + CFS)",
+                "not a paper artefact — engine check: speedup vs thread "
+                "count with byte-identical inference at every count");
+
+  const std::vector<std::pair<std::string, PipelineConfig>> corpora = {
+      {"tiny", PipelineConfig::tiny()},
+      {"small", PipelineConfig::small_scale()},
+      {"paper", PipelineConfig::paper_scale()},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::vector<Sample> samples;
+  bool ok = true;
+  double small_speedup_at_4 = 0.0;
+
+  for (const auto& [corpus, config] : corpora) {
+    Table table({"Threads", "Campaign ms", "Campaign speedup", "CFS ms",
+                 "CFS speedup", "Resolved"});
+    double campaign_ref = 0.0;
+    double cfs_ref = 0.0;
+    std::size_t resolved_ref = 0;
+    for (const int threads : thread_counts) {
+      const Sample s = run_case(corpus, config, threads);
+      samples.push_back(s);
+      if (threads == 1) {
+        campaign_ref = s.campaign_ms;
+        cfs_ref = s.cfs_ms;
+        resolved_ref = s.resolved;
+      }
+      const double campaign_speedup =
+          s.campaign_ms > 0.0 ? campaign_ref / s.campaign_ms : 0.0;
+      const double cfs_speedup = s.cfs_ms > 0.0 ? cfs_ref / s.cfs_ms : 0.0;
+      if (corpus == "small" && threads == 4)
+        small_speedup_at_4 = campaign_speedup;
+      if (s.resolved != resolved_ref) {
+        std::cout << "FAIL: " << corpus << " at " << threads
+                  << " threads resolved " << s.resolved
+                  << " interfaces, reference resolved " << resolved_ref
+                  << "\n";
+        ok = false;
+      }
+      table.add_row({Table::cell(std::uint64_t{
+                         static_cast<std::uint64_t>(threads)}),
+                     Table::cell(s.campaign_ms), Table::cell(campaign_speedup),
+                     Table::cell(s.cfs_ms), Table::cell(cfs_speedup),
+                     Table::cell(std::uint64_t{s.resolved})});
+    }
+    std::cout << "\n-- " << corpus << " corpus --\n";
+    table.print(std::cout);
+  }
+
+  if (ThreadPool::hardware_threads() >= 4) {
+    std::cout << "\ncampaign speedup at 4 threads (small corpus): "
+              << Table::cell(small_speedup_at_4) << "x (bar: 2.5x)\n";
+    if (small_speedup_at_4 < 2.5) {
+      std::cout << "FAIL: below the 2.5x campaign speedup bar\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "\nhost has fewer than 4 hardware threads; speedup bar "
+                 "not demanded\n";
+  }
+
+  std::ofstream out("BENCH_parallel_scaling.json");
+  out << to_json(samples).pretty() << "\n";
+  std::cout << "samples written to BENCH_parallel_scaling.json\n";
+
+  std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

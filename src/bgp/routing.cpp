@@ -1,5 +1,7 @@
 #include "bgp/routing.h"
 
+#include <mutex>
+
 #include <algorithm>
 #include <queue>
 #include <set>
@@ -59,11 +61,18 @@ RoutingOracle::RoutingOracle(const Topology& topo) : topo_(topo) {
 
 const RoutingOracle::DestTable& RoutingOracle::table_for(
     std::uint32_t dst_index) const {
-  const auto it = cache_.find(dst_index);
-  if (it != cache_.end()) return it->second;
-  DestTable& table = cache_[dst_index];
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = cache_.find(dst_index);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: tables are pure functions of the immutable
+  // topology, so concurrent misses on the same destination produce the
+  // same table and the first insert wins.
+  DestTable table;
   compute(dst_index, table);
-  return table;
+  std::unique_lock lock(cache_mutex_);
+  return cache_.try_emplace(dst_index, std::move(table)).first->second;
 }
 
 void RoutingOracle::compute(std::uint32_t dst, DestTable& t) const {

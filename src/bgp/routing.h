@@ -8,6 +8,7 @@
 // thousands of sources, which this layout makes cheap.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,7 +34,10 @@ class RoutingOracle {
   }
 
   // Number of destination tables currently cached (introspection/tests).
-  [[nodiscard]] std::size_t cached_tables() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cached_tables() const {
+    std::shared_lock lock(cache_mutex_);
+    return cache_.size();
+  }
 
  private:
   struct DestTable {
@@ -52,6 +56,12 @@ class RoutingOracle {
   std::vector<std::vector<std::uint32_t>> providers_;  // index -> providers
   std::vector<std::vector<std::uint32_t>> customers_;
   std::vector<std::vector<std::uint32_t>> peers_;
+  // Lazily-filled per-destination tables. Parallel trace speculation hits
+  // this from many threads; readers take the shared lock, a miss computes
+  // outside any lock (tables are pure functions of the topology) and the
+  // first writer to insert wins. unordered_map node stability keeps
+  // returned references valid across later insertions.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::uint32_t, DestTable> cache_;
 };
 

@@ -117,13 +117,32 @@ struct ConstrainedFacilitySearch::State {
 ConstrainedFacilitySearch::ConstrainedFacilitySearch(
     const Topology& topo, const FacilityDatabase& db,
     const IpToAsnService& ip2asn, MeasurementCampaign& campaign,
-    const VantagePointSet& vps, const CfsConfig& config)
+    const VantagePointSet& vps, const CfsConfig& config, ThreadPool* pool)
     : topo_(topo),
       db_(db),
       ip2asn_(ip2asn),
       campaign_(campaign),
       vps_(vps),
-      config_(config) {}
+      config_(config),
+      pool_(pool) {}
+
+std::vector<std::vector<PeeringObservation>>
+ConstrainedFacilitySearch::classify_range(
+    const HopClassifier& classifier, const std::vector<TraceResult>& traces,
+    const std::vector<std::uint32_t>& indices) const {
+  // Below this the fan-out overhead beats the classification work itself.
+  constexpr std::size_t kParallelThreshold = 32;
+  std::vector<std::vector<PeeringObservation>> out(indices.size());
+  if (pool_ != nullptr && indices.size() >= kParallelThreshold) {
+    pool_->parallel_for(indices.size(), [&](std::size_t i) {
+      out[i] = classifier.classify(traces[indices[i]]);
+    });
+  } else {
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      out[i] = classifier.classify(traces[indices[i]]);
+  }
+  return out;
+}
 
 std::size_t ConstrainedFacilitySearch::ingest_traces(
     State& state, std::vector<TraceResult> fresh, IterationMetrics* im) const {
@@ -132,9 +151,17 @@ std::size_t ConstrainedFacilitySearch::ingest_traces(
   std::size_t classified = 0;
   const HopClassifier classifier(ip2asn_, state.asn_map);
   if (config_.incremental) state.trace_cache.resize(state.traces.size());
+  // Classification is pure per trace; fan it across the pool into
+  // index-ordered slots, then fold serially in trace order below.
+  std::vector<std::uint32_t> fresh_idx;
+  fresh_idx.reserve(state.traces.size() - state.classified_upto);
+  for (std::size_t i = state.classified_upto; i < state.traces.size(); ++i)
+    fresh_idx.push_back(static_cast<std::uint32_t>(i));
+  std::vector<std::vector<PeeringObservation>> classified_obs =
+      classify_range(classifier, state.traces, fresh_idx);
   for (std::size_t i = state.classified_upto; i < state.traces.size(); ++i) {
     std::vector<PeeringObservation> obs_list =
-        classifier.classify(state.traces[i]);
+        std::move(classified_obs[i - state.classified_upto]);
     classified += obs_list.size();
 
     if (config_.incremental) {
@@ -180,13 +207,19 @@ void ConstrainedFacilitySearch::reclassify_changed(
   std::size_t stale_traces = 0;
   std::size_t fresh_obs = 0;
   std::size_t replayed = 0;
+  std::vector<std::uint32_t> stale_idx;
   for (std::size_t i = 0; i < state.traces.size(); ++i) {
-    if (!stale[i]) {
+    if (!stale[i])
       replayed += state.trace_cache[i].obs.size();
-      continue;
-    }
+    else
+      stale_idx.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::vector<PeeringObservation>> reclassified_obs =
+      classify_range(classifier, state.traces, stale_idx);
+  for (std::size_t j = 0; j < stale_idx.size(); ++j) {
+    const std::uint32_t i = stale_idx[j];
     ++stale_traces;
-    state.trace_cache[i].obs = classifier.classify(state.traces[i]);
+    state.trace_cache[i].obs = std::move(reclassified_obs[j]);
     state.trace_cache[i].generation = state.asn_map.generation();
     fresh_obs += state.trace_cache[i].obs.size();
   }
@@ -594,6 +627,8 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
   Stopwatch run_timer;
   State state(ip2asn_, topo_, config_.seed);
   state.metrics.incremental = config_.incremental;
+  state.metrics.threads =
+      config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 1;
 
   // Public-database index: facility -> ASes present (for follow-ups).
   for (const auto& as : topo_.ases())

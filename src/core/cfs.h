@@ -42,6 +42,7 @@
 #include "data/facility_db.h"
 #include "traceroute/campaign.h"
 #include "traceroute/platforms.h"
+#include "util/thread_pool.h"
 
 namespace cfs {
 
@@ -68,16 +69,23 @@ struct CfsConfig {
   // Restrict follow-up probing to one platform (Figure 7's per-platform
   // convergence curves); initial traces are restricted by the caller.
   std::optional<Platform> platform_filter;
+  // Worker threads the run is configured with, recorded on CfsMetrics.
+  // Classification only actually fans out when a pool is supplied; results
+  // are byte-identical either way.
+  int threads = 1;
   std::uint64_t seed = 99;
 };
 
 class ConstrainedFacilitySearch {
  public:
+  // `pool` (optional) fans per-trace classification across workers; the
+  // constraint loop itself stays serial so convergence order is unchanged.
   ConstrainedFacilitySearch(const Topology& topo, const FacilityDatabase& db,
                             const IpToAsnService& ip2asn,
                             MeasurementCampaign& campaign,
                             const VantagePointSet& vps,
-                            const CfsConfig& config = {});
+                            const CfsConfig& config = {},
+                            ThreadPool* pool = nullptr);
 
   // Runs the full algorithm over (and beyond) the given traces.
   [[nodiscard]] CfsReport run(std::vector<TraceResult> traces);
@@ -118,12 +126,22 @@ class ConstrainedFacilitySearch {
   [[nodiscard]] std::vector<TraceResult> launch_followups(
       State& state, int iteration, IterationMetrics& im) const;
 
+  // Runs `classify` over the index range [begin, end) of state.traces,
+  // fanning across the pool when one is attached and the range is large
+  // enough to pay for it. Results land in per-index slots (returned in
+  // trace order), so the caller's serial fold is order-identical to a
+  // serial classify loop.
+  [[nodiscard]] std::vector<std::vector<PeeringObservation>> classify_range(
+      const HopClassifier& classifier, const std::vector<TraceResult>& traces,
+      const std::vector<std::uint32_t>& indices) const;
+
   const Topology& topo_;
   const FacilityDatabase& db_;
   const IpToAsnService& ip2asn_;
   MeasurementCampaign& campaign_;
   const VantagePointSet& vps_;
   CfsConfig config_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cfs

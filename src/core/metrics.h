@@ -74,6 +74,10 @@ struct CfsMetrics {
 
   double total_ms = 0.0;
 
+  // Worker threads the run was configured with (1 = serial reference).
+  // Purely informational: the report is byte-identical at any value.
+  std::size_t threads = 1;
+
   // Measurement-plane attrition and fault mitigation (net/faults.h). All
   // zeros when no fault plane is configured.
   FaultMetrics faults;

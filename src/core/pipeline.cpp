@@ -42,6 +42,15 @@ Pipeline::Pipeline(const PipelineConfig& config)
     : config_(config),
       topo_(generate_topology(config.generator)),
       rng_(config.seed) {
+  // Resolve the thread count, then only build a pool when genuinely
+  // parallel: --threads 1 is the reference implementation and must run the
+  // historical serial code with no pool in existence.
+  threads_ = config.threads == 0
+                 ? static_cast<int>(ThreadPool::hardware_threads())
+                 : std::max(1, config.threads);
+  if (threads_ > 1)
+    pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_));
+
   // The plane only exists when some fault intensity is non-zero, so the
   // zero-plan configuration runs the exact pre-fault-plane code paths.
   if (config.faults.any())
@@ -61,6 +70,7 @@ Pipeline::Pipeline(const PipelineConfig& config)
       topo_, *forwarding_, config.engine, config.seed, faults_.get());
   campaign_ = std::make_unique<MeasurementCampaign>(topo_, *engine_, *lgs_,
                                                     faults_.get());
+  campaign_->set_pool(pool_.get());
 
   ip2asn_ = std::make_unique<IpToAsnService>(topo_);
   auto pdb_config = config.peeringdb;
@@ -151,8 +161,10 @@ std::vector<TraceResult> Pipeline::initial_campaign(
 }
 
 CfsReport Pipeline::run_cfs(std::vector<TraceResult> traces) {
+  CfsConfig cfs_config = config_.cfs;
+  cfs_config.threads = threads_;
   ConstrainedFacilitySearch cfs(topo_, *facility_db_, *ip2asn_, *campaign_,
-                                *vps_, config_.cfs);
+                                *vps_, cfs_config, pool_.get());
   CfsReport report = cfs.run(std::move(traces));
   // CFS only sees the facility database; fold in what the other degraded
   // sources withheld so the report accounts for the full fault plan.

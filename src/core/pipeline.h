@@ -31,6 +31,11 @@ struct PipelineConfig {
   // intensities, in which case no FaultPlane is even constructed and the
   // pipeline is byte-identical to one without a fault plane.
   FaultPlan faults;
+  // Worker threads for campaign speculation and CFS classification.
+  // 0 = hardware concurrency; 1 (the reference) constructs no pool at all
+  // and runs the historical serial code paths. Reports are byte-identical
+  // at every value (docs/PARALLELISM.md).
+  int threads = 1;
   double community_adoption = 0.6;
   std::uint64_t seed = 4242;
 
@@ -78,10 +83,17 @@ class Pipeline {
   const PipelineConfig& config() const { return config_; }
   // Null when the configured FaultPlan has all-zero intensities.
   FaultPlane* faults() { return faults_.get(); }
+  // Null when the resolved thread count is 1 (`--threads 1` bypasses the
+  // pool entirely; tests assert this).
+  ThreadPool* thread_pool() { return pool_.get(); }
+  // Thread count after resolving 0 -> hardware concurrency.
+  [[nodiscard]] int threads() const { return threads_; }
 
  private:
   PipelineConfig config_;
   Topology topo_;
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;    // before its consumers
   std::unique_ptr<FaultPlane> faults_;  // before its consumers
   std::unique_ptr<LookingGlassDirectory> lgs_;
   std::unique_ptr<VantagePointSet> vps_;

@@ -74,6 +74,7 @@ JsonValue fault_metrics_json(const FaultMetrics& f) {
   o.emplace("lg_bans", static_cast<std::uint64_t>(f.lg_bans));
   o.emplace("records_withheld",
             static_cast<std::uint64_t>(f.records_withheld));
+  o.emplace("wall_ms", f.wall_ms);
   return JsonValue(std::move(o));
 }
 
@@ -93,6 +94,8 @@ FaultMetrics fault_metrics_from(const JsonValue& v) {
   f.probe_timeouts = count("probe_timeouts");
   f.lg_bans = count("lg_bans");
   f.records_withheld = count("records_withheld");
+  // Reports written before wall-time accounting lack the key.
+  if (const JsonValue* wall = v.find("wall_ms")) f.wall_ms = wall->as_number();
   return f;
 }
 
@@ -111,6 +114,7 @@ JsonValue metrics_json(const CfsMetrics& m) {
   o.emplace("replayed_observations",
             static_cast<std::uint64_t>(m.replayed_observations));
   o.emplace("total_ms", m.total_ms);
+  o.emplace("threads", static_cast<std::uint64_t>(m.threads));
   o.emplace("faults", fault_metrics_json(m.faults));
 
   JsonValue::Array rows;
@@ -170,6 +174,9 @@ CfsMetrics metrics_from(const JsonValue& v) {
   m.replayed_observations =
       static_cast<std::size_t>(v.at("replayed_observations").as_int());
   m.total_ms = v.at("total_ms").as_number();
+  // Reports written before parallel execution lack the key.
+  if (const JsonValue* threads = v.find("threads"))
+    m.threads = static_cast<std::size_t>(threads->as_int());
   // Reports written before the fault plane existed lack the key.
   if (const JsonValue* faults = v.find("faults"))
     m.faults = fault_metrics_from(*faults);

@@ -85,6 +85,15 @@ bool FaultPlane::probe_times_out() {
   return timeout_rng_.chance(plan_.probe_timeout_rate);
 }
 
+bool FaultPlane::probe_times_out(Rng& rng) const {
+  if (plan_.probe_timeout_rate <= 0.0) return false;
+  return rng.chance(plan_.probe_timeout_rate);
+}
+
+Rng FaultPlane::timeout_stream(std::uint64_t stream) const {
+  return Rng(mix64(seed_ ^ 0x7107) ^ mix64(stream ^ 0x70a5));
+}
+
 bool FaultPlane::withhold_record(double fraction,
                                  std::uint64_t record_key) const {
   if (fraction <= 0.0) return false;

@@ -93,7 +93,22 @@ struct FaultMetrics {
   std::size_t lg_bans = 0;             // rate-limit bans tripped
   std::size_t records_withheld = 0;    // data-source records withheld
 
-  friend bool operator==(const FaultMetrics&, const FaultMetrics&) = default;
+  // Wall-clock time the campaign spent executing (real time, not virtual
+  // campaign seconds). Excluded from equality: two runs that did identical
+  // work at different speeds are the same experiment.
+  double wall_ms = 0.0;
+
+  friend bool operator==(const FaultMetrics& a, const FaultMetrics& b) {
+    return a.traces_attempted == b.traces_attempted &&
+           a.traces_kept == b.traces_kept &&
+           a.traces_unreachable == b.traces_unreachable &&
+           a.retries == b.retries && a.failovers == b.failovers &&
+           a.circuits_opened == b.circuits_opened &&
+           a.probes_abandoned == b.probes_abandoned &&
+           a.probes_skipped_open_circuit == b.probes_skipped_open_circuit &&
+           a.probe_timeouts == b.probe_timeouts && a.lg_bans == b.lg_bans &&
+           a.records_withheld == b.records_withheld;
+  }
 };
 
 class FaultPlane {
@@ -124,6 +139,16 @@ class FaultPlane {
   // Per-probe timeout draw. Consumes a random draw only when the rate is
   // positive, so a zero-rate plane never perturbs anything.
   [[nodiscard]] bool probe_times_out();
+
+  // Stateless variant for seeded traces: draws from a caller-held stream
+  // instead of the plane's sequential RNG, so parallel workers can evaluate
+  // timeouts for disjoint traces without sharing state.
+  [[nodiscard]] bool probe_times_out(Rng& rng) const;
+
+  // Mint the per-trace timeout stream for a seeded trace. Pure: equal
+  // (plane seed, stream) always yields the same Rng, and the plane's own
+  // sequential timeout_rng_ is untouched.
+  [[nodiscard]] Rng timeout_stream(std::uint64_t stream) const;
 
   // Snapshot-time degradation decision for a data-source record, keyed by
   // an arbitrary stable id; pure hash, order-independent.

@@ -1,9 +1,34 @@
 #include "traceroute/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace cfs {
+
+namespace {
+
+// splitmix64 finalizer, the same mixer the fault plane uses for schedules.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Stable key for one unit of work.
+std::uint64_t unit_key(VantagePointId vp, Ipv4 target) {
+  return (static_cast<std::uint64_t>(vp.value) << 32) ^ target.value();
+}
+
+// Noise-stream id for the repeat-th execution of a unit. Everything a
+// trace draws (loss, jitter, injected timeouts) derives from this value,
+// which is why a speculated result equals a serially-computed one.
+std::uint64_t unit_stream(std::uint64_t key, std::uint32_t repeat) {
+  return mix64(mix64(key) ^ (static_cast<std::uint64_t>(repeat) + 0x51ab));
+}
+
+}  // namespace
 
 MeasurementCampaign::MeasurementCampaign(const Topology& topo,
                                          TracerouteEngine& engine,
@@ -22,12 +47,14 @@ MetroId MeasurementCampaign::metro_of(const VantagePoint& vp) const {
 std::vector<TraceResult> MeasurementCampaign::run(
     std::span<const VantagePoint* const> vps,
     const std::vector<Ipv4>& targets) {
+  const auto started = std::chrono::steady_clock::now();
   std::vector<TraceResult> out;
   if (faults_ != nullptr) {
     by_metro_.clear();
     for (const VantagePoint* vp : vps)
       by_metro_[metro_of(*vp).value].push_back(vp);
   }
+  if (pool_ != nullptr) speculate(vps, targets);
   for (const Ipv4 target : targets) {
     bool used_parallel_batch = false;
     for (const VantagePoint* vp : vps) {
@@ -36,7 +63,46 @@ std::vector<TraceResult> MeasurementCampaign::run(
     }
     if (used_parallel_batch) clock_s_ += parallel_batch_s;
   }
+  speculative_.clear();
+  stats_.wall_ms += std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
   return out;
+}
+
+void MeasurementCampaign::speculate(std::span<const VantagePoint* const> vps,
+                                    const std::vector<Ipv4>& targets) {
+  // Predict the stream id of every unit the serial pass will execute on
+  // its happy path, walking units in the same target-major order. The
+  // prediction can be wrong — failovers and abandoned units shift repeat
+  // counters — but never incorrect: the cache is keyed by stream id and
+  // trace execution is a pure function of it, so a mispredicted unit just
+  // misses and is computed serially.
+  struct Unit {
+    const VantagePoint* vp;
+    Ipv4 target;
+    std::uint64_t stream;
+  };
+  std::vector<Unit> units;
+  units.reserve(vps.size() * targets.size());
+  auto predicted = repeats_;  // local copy; real counters bump at execute()
+  for (const Ipv4 target : targets) {
+    for (const VantagePoint* vp : vps) {
+      const std::uint64_t key = unit_key(vp->id, target);
+      units.push_back({vp, target, unit_stream(key, predicted[key]++)});
+    }
+  }
+
+  std::vector<TraceResult> results(units.size());
+  pool_->parallel_for(units.size(), [&](std::size_t i) {
+    results[i] =
+        engine_.trace_seeded(*units[i].vp, units[i].target, units[i].stream);
+  });
+
+  speculative_.clear();
+  speculative_.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i)
+    speculative_.emplace(units[i].stream, std::move(results[i]));
 }
 
 TraceResult MeasurementCampaign::probe(const VantagePoint& vp, Ipv4 target) {
@@ -183,7 +249,15 @@ TraceResult MeasurementCampaign::execute(const VantagePoint& vp, Ipv4 target,
   } else {
     clock_s_ += single_trace_s;
   }
-  return engine_.trace(vp, target);
+  const std::uint64_t key = unit_key(vp.id, target);
+  const std::uint64_t stream = unit_stream(key, repeats_[key]++);
+  const auto it = speculative_.find(stream);
+  if (it != speculative_.end()) {
+    TraceResult result = std::move(it->second);
+    speculative_.erase(it);
+    return result;
+  }
+  return engine_.trace_seeded(vp, target, stream);
 }
 
 const VantagePoint* MeasurementCampaign::pick_failover(

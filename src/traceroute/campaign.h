@@ -17,6 +17,16 @@
 //   attempted == kept + unreachable + abandoned + skipped-by-open-circuit.
 // Without a plane every fault path is dead code and behaviour is
 // byte-identical to the pre-fault-plane campaign.
+//
+// Parallelism (docs/PARALLELISM.md): every executed trace draws all of its
+// noise from a stream id hash(vp, target, repeat#), so its result is a pure
+// function of that id. With a thread pool attached, run() first *speculates*
+// — computes the traces the serial pass will want, in parallel, into a
+// stream-keyed cache — then performs the exact same serial pass as ever
+// (clock, cool-downs, circuit breakers, accounting), which consumes cache
+// hits instead of recomputing. Because the cache is keyed by stream id and
+// trace execution is pure, output is byte-identical at every thread count;
+// with no pool the serial pass simply computes each trace on demand.
 #pragma once
 
 #include <span>
@@ -26,6 +36,7 @@
 #include "bgp/looking_glass.h"
 #include "net/faults.h"
 #include "traceroute/engine.h"
+#include "util/thread_pool.h"
 
 namespace cfs {
 
@@ -34,6 +45,12 @@ class MeasurementCampaign {
   MeasurementCampaign(const Topology& topo, TracerouteEngine& engine,
                       LookingGlassDirectory& lgs,
                       FaultPlane* faults = nullptr);
+
+  // Attach a worker pool: run() speculatively executes traces in parallel
+  // before its serial pass. Null (the default) disables speculation; the
+  // serial pass then computes every trace itself — same results either way.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
 
   // Traceroutes from every given vantage point to every target. Looking
   // glass vantage points are serialised per cool-down; others run in
@@ -85,6 +102,9 @@ class MeasurementCampaign {
   TraceResult execute(const VantagePoint& vp, Ipv4 target, bool* batched);
   [[nodiscard]] const VantagePoint* pick_failover(const VantagePoint& failed);
   [[nodiscard]] MetroId metro_of(const VantagePoint& vp) const;
+  // Parallel pre-computation of the traces the serial pass will consume.
+  void speculate(std::span<const VantagePoint* const> vps,
+                 const std::vector<Ipv4>& targets);
 
   const Topology& topo_;
   TracerouteEngine& engine_;
@@ -97,6 +117,15 @@ class MeasurementCampaign {
   std::unordered_map<std::uint32_t, std::vector<const VantagePoint*>>
       by_metro_;
   Rng jitter_rng_;  // drawn only on fault paths
+
+  ThreadPool* pool_ = nullptr;
+  // Per-(vp, target) execution counter; the repeat number makes each
+  // execution of the same unit a distinct noise stream, replayed in the
+  // same order by serial and speculative passes alike.
+  std::unordered_map<std::uint64_t, std::uint32_t> repeats_;
+  // Speculated results, keyed by stream id. Entries are consumed (erased)
+  // on hit; a prediction the serial pass never asks for is simply dropped.
+  std::unordered_map<std::uint64_t, TraceResult> speculative_;
 
   static constexpr double parallel_batch_s = 300.0;  // Atlas full campaign
   static constexpr double single_trace_s = 30.0;

@@ -11,11 +11,35 @@ TracerouteEngine::TracerouteEngine(const Topology& topo,
     : topo_(topo),
       forwarding_(forwarding),
       config_(config),
+      seed_(seed),
       rng_(seed),
       faults_(faults) {}
 
 TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
-  ++traces_;
+  return trace_impl(vp, target, rng_, nullptr);
+}
+
+TraceResult TracerouteEngine::trace_seeded(const VantagePoint& vp, Ipv4 target,
+                                           std::uint64_t stream) const {
+  Rng noise = Rng(seed_).fork(stream);
+  if (faults_ != nullptr && faults_->plan().probe_timeout_rate > 0.0) {
+    Rng timeouts = faults_->timeout_stream(stream);
+    return trace_impl(vp, target, noise, &timeouts);
+  }
+  return trace_impl(vp, target, noise, nullptr);
+}
+
+TraceResult TracerouteEngine::trace_impl(const VantagePoint& vp, Ipv4 target,
+                                         Rng& noise, Rng* timeout_rng) const {
+  traces_.fetch_add(1, std::memory_order_relaxed);
+  // Injected-timeout draw; guarded on faults_ so a plane-less engine never
+  // consumes from either stream.
+  const auto times_out = [&]() {
+    if (faults_ == nullptr) return false;
+    return timeout_rng != nullptr ? faults_->probe_times_out(*timeout_rng)
+                                  : faults_->probe_times_out();
+  };
+
   TraceResult result;
   result.vp = vp.id;
   result.target = target;
@@ -28,11 +52,11 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
     if (++ttl > config_.max_ttl) return result;
     const Router& router = topo_.router(hop.router);
     Hop out;
-    const bool lost = rng_.chance(config_.probe_loss);
+    const bool lost = noise.chance(config_.probe_loss);
     if (router.responds_to_traceroute && !lost) {
       // The reply would have arrived; an injected timeout silences it in a
       // way the pipeline can tell apart from loss.
-      if (faults_ != nullptr && faults_->probe_times_out()) {
+      if (times_out()) {
         out.timed_out = true;
         ++result.hops_timed_out;
       } else {
@@ -40,7 +64,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
         out.address = hop.ingress;
         out.rtt_ms = 2.0 * (vp.access_ms + hop.cumulative_ms) +
                      config_.processing_ms +
-                     std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+                     std::max(0.0, noise.normal(0.0, config_.jitter_ms));
       }
     }
     result.hops.push_back(out);
@@ -51,8 +75,8 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
   // host itself responds one hop further.
   const Interface* iface = topo_.find_interface(target);
   if (iface == nullptr || iface->role == InterfaceRole::Host) {
-    if (++ttl <= config_.max_ttl && !rng_.chance(config_.probe_loss)) {
-      if (faults_ != nullptr && faults_->probe_times_out()) {
+    if (++ttl <= config_.max_ttl && !noise.chance(config_.probe_loss)) {
+      if (times_out()) {
         Hop out;
         out.timed_out = true;
         result.hops.push_back(out);
@@ -63,7 +87,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
         out.address = target;
         out.rtt_ms = 2.0 * (vp.access_ms + path.back().cumulative_ms + 0.1) +
                      config_.processing_ms +
-                     std::max(0.0, rng_.normal(0.0, config_.jitter_ms));
+                     std::max(0.0, noise.normal(0.0, config_.jitter_ms));
         result.hops.push_back(out);
         result.reached_target = true;
       }
@@ -74,7 +98,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp, Ipv4 target) {
     // The echo is its own probe, so it gets its own timeout draw.
     if (!result.hops.empty()) {
       Hop& back = result.hops.back();
-      if (faults_ != nullptr && faults_->probe_times_out()) {
+      if (times_out()) {
         if (!back.timed_out) ++result.hops_timed_out;
         back.timed_out = true;
         back.responded = false;

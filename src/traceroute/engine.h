@@ -8,6 +8,7 @@
 // (under a FaultPlane) timeouts, the ones the paper's pipeline must survive.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "net/faults.h"
@@ -49,8 +50,17 @@ class TracerouteEngine {
                    const EngineConfig& config, std::uint64_t seed,
                    FaultPlane* faults = nullptr);
 
-  // One traceroute from the vantage point to the target address.
+  // One traceroute from the vantage point to the target address, drawing
+  // noise from the engine's sequential RNG (the historical draw order).
   TraceResult trace(const VantagePoint& vp, Ipv4 target);
+
+  // Pure seeded variant: all noise (loss, jitter, injected timeouts) comes
+  // from streams split off `stream`, never from shared state, so equal
+  // (engine seed, stream) yields an identical TraceResult on any thread at
+  // any time. This is what makes campaign parallelism deterministic: the
+  // result is a function of the stream id, not of execution order.
+  TraceResult trace_seeded(const VantagePoint& vp, Ipv4 target,
+                           std::uint64_t stream) const;
 
   // Batch helper.
   std::vector<TraceResult> trace_all(const VantagePoint& vp,
@@ -61,15 +71,24 @@ class TracerouteEngine {
   // pings at different times of day).
   double min_rtt_ms(const VantagePoint& vp, Ipv4 target, int probes);
 
-  [[nodiscard]] std::size_t traces_executed() const { return traces_; }
+  [[nodiscard]] std::size_t traces_executed() const {
+    return traces_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Shared body: `noise` supplies loss/jitter draws; `timeout_rng` (when
+  // non-null) supplies injected-timeout draws, otherwise the fault plane's
+  // sequential stream is used.
+  TraceResult trace_impl(const VantagePoint& vp, Ipv4 target, Rng& noise,
+                         Rng* timeout_rng) const;
+
   const Topology& topo_;
   const ForwardingEngine& forwarding_;
   EngineConfig config_;
+  std::uint64_t seed_;
   Rng rng_;
   FaultPlane* faults_ = nullptr;
-  std::size_t traces_ = 0;
+  mutable std::atomic<std::size_t> traces_{0};
 };
 
 }  // namespace cfs

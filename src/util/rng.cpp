@@ -124,6 +124,20 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
 
 Rng Rng::fork() { return Rng(next()); }
 
+Rng Rng::fork(std::uint64_t salt) const {
+  // Mix every parent state word with the salt through fresh splitmix64
+  // chains. The parent is untouched; distinct salts land in distinct
+  // splitmix64 streams, and the child re-seeds through the usual
+  // constructor so its state is well distributed even for small salts.
+  std::uint64_t x = salt ^ 0x2545f4914f6cdd1dULL;
+  std::uint64_t mixed = 0;
+  for (const std::uint64_t word : state_) {
+    std::uint64_t chain = word ^ splitmix64(x);
+    mixed ^= splitmix64(chain);
+  }
+  return Rng(mixed);
+}
+
 ZipfSampler::ZipfSampler(std::uint64_t n, double s) {
   if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
   cdf_.reserve(static_cast<std::size_t>(n));

@@ -15,6 +15,14 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  // Copying an Rng silently duplicates its stream — two owners then replay
+  // the same draws, which is never what deterministic code wants. Streams
+  // are split explicitly via fork(); moves transfer ownership.
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
   // Core generator: uniform 64-bit value.
   std::uint64_t next();
 
@@ -63,8 +71,15 @@ class Rng {
   // Sample k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
-  // Derive an independent child generator (for parallel subsystems).
+  // Derive an independent child generator, advancing this stream by one
+  // draw (for sequentially-created subsystems).
   Rng fork();
+
+  // Pure stream split: derive the child keyed by `salt` without touching
+  // this generator's state. Equal (parent state, salt) always yields the
+  // same child, so parallel workers can mint per-shard / per-trace streams
+  // in any order and still replay exactly.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
 
  private:
   std::uint64_t state_[4];

@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace cfs {
+namespace {
+
+// Set while a pool worker (or a thread already inside parallel_for's
+// drain) is on the stack: a nested parallel_for must not block on the
+// queue it is itself supposed to be draining.
+thread_local bool tls_inside_pool = false;
+
+// One parallel_for invocation. Chunks are a pure function of (n, chunks);
+// workers grab them through an atomic cursor so scheduling is dynamic but
+// the work done per index is not.
+struct ForState {
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+  std::size_t grain = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors;  // per chunk
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t finished = 0;
+
+  void drain() {
+    const bool was_inside = tls_inside_pool;
+    tls_inside_pool = true;
+    for (;;) {
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) break;
+      const std::size_t begin = chunk * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        errors[chunk] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++finished == chunks) done.notify_all();
+    }
+    tls_inside_pool = was_inside;
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0)
+    throw std::invalid_argument("ThreadPool: zero workers");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  enqueue([packaged] { (*packaged)(); });
+  return result;
+}
+
+void ThreadPool::worker_loop() {
+  tls_inside_pool = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  // Inline on a worker thread (nested submit would deadlock against the
+  // very queue this thread drains) and for degenerate sizes.
+  if (tls_inside_pool || n == 1) {
+    body(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  // A few chunks per worker so one slow chunk cannot serialise the tail,
+  // derived only from (n, workers) — never from timing.
+  state->chunks = std::min(n, workers() * 4);
+  state->grain = (n + state->chunks - 1) / state->chunks;
+  // grain*chunks may overshoot n; recompute the chunk count that actually
+  // covers [0, n) so every chunk is non-empty.
+  state->chunks = (n + state->grain - 1) / state->grain;
+  state->body = &body;
+  state->errors.resize(state->chunks);
+
+  const std::size_t helpers = std::min(state->chunks - 1, workers());
+  for (std::size_t i = 0; i < helpers; ++i)
+    enqueue([state] { state->drain(); });
+  state->drain();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock,
+                     [&] { return state->finished == state->chunks; });
+  }
+  for (const std::exception_ptr& error : state->errors)
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace cfs

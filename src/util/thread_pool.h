@@ -1,0 +1,71 @@
+// Fixed-size worker pool with a deterministic parallel_for.
+//
+// The pool exists to run *pure* per-index work — traceroute speculation,
+// per-trace classification — whose results are folded back into serial
+// state in index order. parallel_for therefore guarantees only that the
+// body runs exactly once per index; callers write results into per-index
+// slots so the merged outcome is byte-identical to a serial loop no matter
+// how chunks land on workers. Chunk boundaries depend solely on (n,
+// workers), never on timing, and the first (lowest-chunk) exception is the
+// one rethrown, so even failures are deterministic.
+//
+// Workers draw fixed-size chunks from an atomic cursor (cheap work
+// stealing): a slow chunk does not serialise the rest. A parallel_for
+// issued from inside a worker runs inline on that worker — nested fan-out
+// cannot deadlock the pool. `--threads 1` paths must not construct a pool
+// at all; a pool is only for genuinely concurrent execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfs {
+
+class ThreadPool {
+ public:
+  // Spawns exactly `workers` threads (at least one). The calling thread
+  // additionally helps drain chunks while blocked in parallel_for.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  // Fire-and-forget task; the future surfaces any exception it threw.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs body(i) exactly once for every i in [0, n), blocking until all
+  // complete. Safe to call from a worker thread (runs inline there). If
+  // any invocation throws, the exception from the lowest-numbered chunk is
+  // rethrown after every chunk has finished; the pool remains usable.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  // Chunked variant: body(begin, end) over deterministic subranges.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  // std::thread::hardware_concurrency with a sane floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stop_ = false;
+};
+
+}  // namespace cfs

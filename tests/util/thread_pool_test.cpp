@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+TEST(ThreadPoolTest, SpawnsRequestedWorkersAndJoinsCleanly) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  // Destructor joins; nothing submitted. Looping exercises repeated
+  // construction/teardown for lifecycle leaks under sanitizers.
+  for (int i = 0; i < 8; ++i) {
+    ThreadPool scratch(2);
+    EXPECT_EQ(scratch.workers(), 2u);
+  }
+}
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f1 = pool.submit([&] { ran.fetch_add(1); });
+  auto f2 = pool.submit([&] { ran.fetch_add(10); });
+  f1.get();
+  f2.get();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  ok.get();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForResultsLandInIndexOrder) {
+  // The determinism contract: per-index slots filled in parallel read back
+  // exactly like a serial loop, regardless of how chunks were scheduled.
+  ThreadPool pool(8);
+  constexpr std::size_t n = 4'097;
+  std::vector<std::uint64_t> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = i * i + 1; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i + 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneElement) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestChunkException) {
+  ThreadPool pool(4);
+  // Several chunks throw; the lowest-index one must win so failures are
+  // deterministic. Chunk 0 always contains index 0.
+  try {
+    pool.parallel_for(1'000, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first");
+      if (i == 999) throw std::runtime_error("last");
+    });
+    FAIL() << "expected parallel_for to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  // Pool remains usable after an exceptional loop.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  // Outer loop occupies workers; inner loops issued from inside the pool
+  // must run inline instead of enqueueing (which could deadlock a pool
+  // whose every worker is blocked waiting for inner tasks).
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  auto outer = pool.submit([&] {
+    // A worker enqueueing more work must never wait on a full pool; the
+    // inner future is drained by the other worker (or after this task).
+    auto inner = pool.submit([&] { inner_ran.fetch_add(1); });
+    inner.wait();
+  });
+  outer.get();
+  EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SeededStressTenThousandTasksFiftyIterations) {
+  // Satellite-mandated stress: 10k tiny tasks x 50 iterations. Each
+  // iteration derives expected values from a seeded Rng so the assertion
+  // set differs run to run of the loop but is fully reproducible.
+  ThreadPool pool(ThreadPool::hardware_threads());
+  Rng rng(0xf00dULL);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::uint64_t> input(n);
+  std::vector<std::uint64_t> output(n);
+  for (int iter = 0; iter < 50; ++iter) {
+    for (auto& v : input) v = rng.next() >> 32;
+    pool.parallel_for(n, [&](std::size_t i) { output[i] = input[i] * 3 + 1; });
+    // Spot-check the fold the way a consumer would: serial reduction over
+    // the slot vector equals the reduction over the inputs.
+    std::uint64_t expect = 0;
+    for (const auto v : input) expect += v * 3 + 1;
+    const std::uint64_t got =
+        std::accumulate(output.begin(), output.end(), std::uint64_t{0});
+    ASSERT_EQ(got, expect) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace cfs

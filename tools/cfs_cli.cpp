@@ -7,16 +7,18 @@
 //       Print the Figure-3-style census of a generated world.
 //
 //   cfs infer     [--scale ...] [--seed N] [--content N] [--transit N]
-//                 [--vp-fraction F] [--report FILE]
+//                 [--vp-fraction F] [--report FILE] [--threads N]
 //                 [--lg-outage F] [--lg-ban-burst N] [--vp-churn F]
 //                 [--probe-timeout F] [--pdb-withheld F] [--dns-withheld F]
 //                 [--geoip-withheld F] [--fault-seed N]
 //       Run the measurement campaign and Constrained Facility Search;
 //       print a summary, optionally export the full report as JSON. The
 //       fault flags inject degraded-mode conditions (docs/ROBUSTNESS.md).
+//       --threads 0 (the default) uses hardware concurrency; reports are
+//       byte-identical at every thread count (docs/PARALLELISM.md).
 //
 //   cfs validate  [--scale ...] [--seed N] [--content N] [--transit N]
-//                 [fault flags as for infer]
+//                 [--threads N] [fault flags as for infer]
 //       Run CFS and score it against every validation source + the oracle.
 //
 // Exit codes: 0 success, 2 usage error (no/unknown command), 3 bad flag
@@ -122,6 +124,7 @@ int cmd_infer(const Flags& flags) {
   const int transit = static_cast<int>(flags.get_int("transit", 2));
   const double vp_fraction = flags.get_double("vp-fraction", 0.6);
   const std::string report_path = flags.get("report", "");
+  config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
   reject_unknown(flags);
 
@@ -148,7 +151,9 @@ int cmd_infer(const Flags& flags) {
 
   const CfsMetrics& metrics = report.metrics;
   std::cout << "\nengine: " << (metrics.incremental ? "incremental" : "full")
-            << "  |  initial ingest: " << metrics.initial_traces
+            << "  |  threads: " << metrics.threads
+            << "  |  campaign wall: " << Table::cell(metrics.faults.wall_ms)
+            << " ms  |  initial ingest: " << metrics.initial_traces
             << " traces -> " << metrics.initial_observations
             << " observations in " << Table::cell(metrics.initial_classify_ms)
             << " ms  |  refreshes: " << metrics.alias_refreshes
@@ -201,6 +206,7 @@ int cmd_validate(const Flags& flags) {
   PipelineConfig config = config_from(flags);
   const int content = static_cast<int>(flags.get_int("content", 2));
   const int transit = static_cast<int>(flags.get_int("transit", 2));
+  config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
   reject_unknown(flags);
 
