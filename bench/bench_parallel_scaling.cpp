@@ -2,17 +2,25 @@
 //
 // Not a paper artefact — implementation check for the deterministic
 // parallel engine (docs/PARALLELISM.md). Runs the campaign and CFS phases
-// at 1/2/4/8 threads over three corpus sizes, prints per-phase wall time
-// and speedup relative to the single-thread reference, sanity-checks that
-// the inference result itself is thread-count-invariant, and emits every
-// sample as BENCH_parallel_scaling.json. The acceptance bar is a >= 2.5x
-// campaign-phase speedup at 4 threads on the default (small) corpus,
-// demanded only when the host actually has >= 4 hardware threads.
+// at 1/2/4/8 threads over the selected corpora (--scale tiny|small|paper|
+// all, default all), prints per-phase wall time and speedup relative to
+// the single-thread reference, sanity-checks that the inference result
+// itself is thread-count-invariant, and emits every sample as
+// BENCH_parallel_scaling.json. Two acceptance bars, both demanded only
+// when the relevant corpus is selected:
+//   * >= 2.5x campaign-phase speedup at 4 threads on the small corpus
+//     (only when the host has >= 4 hardware threads);
+//   * <= 5% wall-time overhead with the span timeline enabled
+//     (docs/OBSERVABILITY.md), measured on the small corpus at 4 threads.
+#include <algorithm>
 #include <fstream>
+#include <stdexcept>
 
 #include "common.h"
 #include "io/json.h"
+#include "util/flags.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -44,7 +52,24 @@ Sample run_case(const std::string& corpus, PipelineConfig config,
   return s;
 }
 
-JsonValue to_json(const std::vector<Sample>& samples) {
+// Wall time of a full traced/untraced run, for the overhead bar. The span
+// timeline buffers events in memory exactly as `--trace-out` would.
+double timed_run_ms(const PipelineConfig& config, int threads, bool traced) {
+  if (traced)
+    Trace::enable();
+  else
+    Trace::disable();
+  Stopwatch timer;
+  Sample s = run_case("overhead", config, threads);
+  const double ms = timer.elapsed_ms();
+  (void)s;
+  Trace::disable();
+  Trace::clear_events();
+  return ms;
+}
+
+JsonValue to_json(const std::vector<Sample>& samples,
+                  double tracing_overhead_pct, bool overhead_measured) {
   JsonValue::Array rows;
   for (const Sample& s : samples) {
     JsonValue::Object row;
@@ -59,22 +84,41 @@ JsonValue to_json(const std::vector<Sample>& samples) {
   JsonValue::Object root;
   root.emplace("hardware_threads",
                static_cast<std::uint64_t>(ThreadPool::hardware_threads()));
+  if (overhead_measured)
+    root.emplace("tracing_overhead_pct", tracing_overhead_pct);
   root.emplace("samples", std::move(rows));
   return JsonValue(std::move(root));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string scale = "all";
+  try {
+    const Flags flags(argc, argv);
+    scale = flags.get("scale", "all");
+    const std::string unknown = flags.unknown_flags_message();
+    if (!unknown.empty()) throw std::invalid_argument(unknown);
+    if (scale != "tiny" && scale != "small" && scale != "paper" &&
+        scale != "all")
+      throw std::invalid_argument("unknown --scale '" + scale +
+                                  "' (tiny|small|paper|all)");
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+
   bench::header("Parallel scaling (campaign + CFS)",
                 "not a paper artefact — engine check: speedup vs thread "
                 "count with byte-identical inference at every count");
 
-  const std::vector<std::pair<std::string, PipelineConfig>> corpora = {
-      {"tiny", PipelineConfig::tiny()},
-      {"small", PipelineConfig::small_scale()},
-      {"paper", PipelineConfig::paper_scale()},
-  };
+  std::vector<std::pair<std::string, PipelineConfig>> corpora;
+  if (scale == "tiny" || scale == "all")
+    corpora.emplace_back("tiny", PipelineConfig::tiny());
+  if (scale == "small" || scale == "all")
+    corpora.emplace_back("small", PipelineConfig::small_scale());
+  if (scale == "paper" || scale == "all")
+    corpora.emplace_back("paper", PipelineConfig::paper_scale());
   const std::vector<int> thread_counts = {1, 2, 4, 8};
 
   std::vector<Sample> samples;
@@ -117,20 +161,51 @@ int main() {
     table.print(std::cout);
   }
 
-  if (ThreadPool::hardware_threads() >= 4) {
+  if ((scale == "small" || scale == "all") &&
+      ThreadPool::hardware_threads() >= 4) {
     std::cout << "\ncampaign speedup at 4 threads (small corpus): "
               << Table::cell(small_speedup_at_4) << "x (bar: 2.5x)\n";
     if (small_speedup_at_4 < 2.5) {
       std::cout << "FAIL: below the 2.5x campaign speedup bar\n";
       ok = false;
     }
-  } else {
+  } else if (scale == "small" || scale == "all") {
     std::cout << "\nhost has fewer than 4 hardware threads; speedup bar "
                  "not demanded\n";
   }
 
+  // Tracing overhead: a full traced run vs an untraced one, best of two
+  // rounds each to damp scheduler noise. Measured on the smallest selected
+  // corpus that still does real work.
+  double tracing_overhead_pct = 0.0;
+  bool overhead_measured = false;
+  {
+    const PipelineConfig config = scale == "tiny"
+                                      ? PipelineConfig::tiny()
+                                      : PipelineConfig::small_scale();
+    const int threads = 4;
+    double untraced = 1e300;
+    double traced = 1e300;
+    for (int round = 0; round < 2; ++round) {
+      untraced = std::min(untraced, timed_run_ms(config, threads, false));
+      traced = std::min(traced, timed_run_ms(config, threads, true));
+    }
+    tracing_overhead_pct =
+        untraced > 0.0 ? (traced - untraced) / untraced * 100.0 : 0.0;
+    overhead_measured = true;
+    std::cout << "\ntracing overhead (" << (scale == "tiny" ? "tiny" : "small")
+              << " corpus, 4 threads): untraced "
+              << Table::cell(untraced) << " ms, traced "
+              << Table::cell(traced) << " ms, overhead "
+              << Table::cell(tracing_overhead_pct)
+              << "% (bar: 5%; advisory on noisy hosts)\n";
+    if (tracing_overhead_pct > 5.0)
+      std::cout << "WARN: above the 5% tracing overhead bar\n";
+  }
+
   std::ofstream out("BENCH_parallel_scaling.json");
-  out << to_json(samples).pretty() << "\n";
+  out << to_json(samples, tracing_overhead_pct, overhead_measured).pretty()
+      << "\n";
   std::cout << "samples written to BENCH_parallel_scaling.json\n";
 
   std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";

@@ -133,10 +133,20 @@ ConstrainedFacilitySearch::classify_range(
   // Below this the fan-out overhead beats the classification work itself.
   constexpr std::size_t kParallelThreshold = 32;
   std::vector<std::vector<PeeringObservation>> out(indices.size());
+  TraceSpan span("cfs.classify");
+  span.arg("traces", indices.size());
   if (pool_ != nullptr && indices.size() >= kParallelThreshold) {
-    pool_->parallel_for(indices.size(), [&](std::size_t i) {
-      out[i] = classifier.classify(traces[indices[i]]);
-    });
+    // Chunked so each worker's slice shows up as one timeline span; the
+    // chunk boundaries are a pure function of (n, workers), so the spans
+    // describe the same work at any thread count.
+    pool_->parallel_for_chunks(
+        indices.size(), [&](std::size_t begin, std::size_t end) {
+          TraceSpan chunk("cfs.classify_chunk");
+          chunk.arg("begin", begin);
+          chunk.arg("count", end - begin);
+          for (std::size_t i = begin; i < end; ++i)
+            out[i] = classifier.classify(traces[indices[i]]);
+        });
   } else {
     for (std::size_t i = 0; i < indices.size(); ++i)
       out[i] = classifier.classify(traces[indices[i]]);
@@ -258,7 +268,8 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state,
   im.alias_refreshed = true;
   ++state.metrics.alias_refreshes;
 
-  Stopwatch alias_timer;
+  TraceSpan alias_timer("cfs.alias_refresh");
+  alias_timer.arg("addresses", state.known_addrs.size());
   std::vector<Ipv4> targets(state.known_addrs.begin(),
                             state.known_addrs.end());
   std::sort(targets.begin(), targets.end());  // determinism
@@ -282,11 +293,12 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state,
   }
   // New alias sets: every set must be re-intersected from scratch.
   state.alias_set_ticks.assign(state.aliases.sets.size(), 0);
-  im.alias_ms += alias_timer.elapsed_ms();
+  alias_timer.arg("alias_sets", state.aliases.sets.size());
+  im.alias_ms += alias_timer.stop();
 
   // Corrected mappings can turn previously discarded crossings into
   // classifiable ones: re-derive observations against the new map.
-  Stopwatch reclass_timer;
+  TraceSpan reclass_timer("cfs.reclassify");
   if (config_.incremental) {
     reclassify_changed(state, im);
   } else {
@@ -298,7 +310,7 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state,
     state.metrics.reclassified_traces += state.traces.size();
     state.metrics.reclassified_observations += reclassified;
   }
-  im.reclassify_ms += reclass_timer.elapsed_ms();
+  im.reclassify_ms += reclass_timer.stop();
 }
 
 void ConstrainedFacilitySearch::note_candidates_changed(
@@ -624,7 +636,8 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
 }
 
 CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
-  Stopwatch run_timer;
+  TraceSpan run_timer("cfs.run");
+  run_timer.arg("initial_traces", traces.size());
   State state(ip2asn_, topo_, config_.seed);
   state.metrics.incremental = config_.incremental;
   state.metrics.threads =
@@ -642,11 +655,13 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
   }
 
   {
-    Stopwatch initial_timer;
+    TraceSpan initial_timer("cfs.initial_ingest");
     state.metrics.initial_traces = traces.size();
+    initial_timer.arg("traces", traces.size());
     state.metrics.initial_observations =
         ingest_traces(state, std::move(traces), nullptr);
-    state.metrics.initial_classify_ms = initial_timer.elapsed_ms();
+    initial_timer.arg("observations", state.metrics.initial_observations);
+    state.metrics.initial_classify_ms = initial_timer.stop();
   }
 
   int iteration = 0;
@@ -655,13 +670,15 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
     im.iteration = static_cast<std::size_t>(iteration);
     im.followup_budget =
         static_cast<std::size_t>(std::max(0, config_.followup_interfaces));
+    TraceSpan iteration_span("cfs.iteration");
+    iteration_span.arg("iteration", static_cast<std::uint64_t>(iteration));
 
     if (config_.use_alias_constraints &&
         (iteration == 1 ||
          (iteration % std::max(1, config_.alias_refresh_interval)) == 0))
       refresh_aliases(state, im);
 
-    Stopwatch constrain_timer;
+    TraceSpan constrain_timer("cfs.constrain");
     apply_facility_constraints(state, iteration, im);
     if (config_.use_alias_constraints)
       apply_alias_constraints(state, iteration, im);
@@ -670,7 +687,11 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
       state.worklist.insert(state.pending.begin(), state.pending.end());
       state.pending.clear();
     }
-    im.constrain_ms = constrain_timer.elapsed_ms();
+    constrain_timer.arg("dirty_observations", im.dirty_observations);
+    constrain_timer.arg("constrained_observations",
+                        im.constrained_observations);
+    constrain_timer.arg("alias_sets", im.alias_sets_processed);
+    im.constrain_ms = constrain_timer.stop();
 
     std::size_t resolved = 0;
     for (const auto& [addr, inf] : state.interfaces)
@@ -683,13 +704,16 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
     const bool done =
         resolved == state.interfaces.size() && !state.interfaces.empty();
     if (!done && iteration < config_.max_iterations) {
-      Stopwatch followup_timer;
+      TraceSpan followup_timer("cfs.followups");
       std::vector<TraceResult> fresh = launch_followups(state, iteration, im);
-      im.followup_ms = followup_timer.elapsed_ms();
-      Stopwatch classify_timer;
+      followup_timer.arg("launched", im.followups_launched);
+      followup_timer.arg("traces", fresh.size());
+      im.followup_ms = followup_timer.stop();
+      TraceSpan classify_timer("cfs.ingest");
       ingest_traces(state, std::move(fresh), &im);
-      im.classify_ms = classify_timer.elapsed_ms();
+      im.classify_ms = classify_timer.stop();
     }
+    iteration_span.arg("resolved", im.resolved);
     state.metrics.iterations.push_back(im);
     if (done) break;
   }
@@ -704,6 +728,9 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
 
   const RemotePeeringDetector detector(config_.remote);
   ProximityHeuristic proximity;
+
+  TraceSpan link_span("cfs.link_classify");
+  link_span.arg("observations", state.observations.size());
 
   for (const auto& [key, obs] : state.observations) {
     LinkInference link;
@@ -775,13 +802,16 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
       link.far_by_proximity = true;
     }
   }
+  link_span.arg("links", report.links.size());
+  link_span.stop();
 
   // Snapshot the measurement plane's attrition accounting (the campaign
   // outlives individual runs, so these are campaign-lifetime totals) and
   // what the degraded data sources withheld.
   state.metrics.faults = campaign_.fault_stats();
   state.metrics.faults.records_withheld = db_.records_withheld();
-  state.metrics.total_ms = run_timer.elapsed_ms();
+  run_timer.arg("resolved", report.resolved_interfaces());
+  state.metrics.total_ms = run_timer.stop();
   report.metrics = std::move(state.metrics);
 
   log_info() << "CFS: " << report.resolved_interfaces() << "/"

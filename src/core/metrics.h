@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/faults.h"
+#include "util/trace.h"
 
 namespace cfs {
 
@@ -81,6 +82,12 @@ struct CfsMetrics {
   // Measurement-plane attrition and fault mitigation (net/faults.h). All
   // zeros when no fault plane is configured.
   FaultMetrics faults;
+
+  // Snapshot of the process-wide trace registry covering this run: every
+  // TraceSpan/Trace::counter bump between pipeline start and report
+  // assembly (util/trace.h). Exported under the report's `metrics`
+  // subtree only, which byte-equality comparisons already exclude.
+  MetricsSnapshot registry;
 
   // Column sums over `iterations`.
   [[nodiscard]] double classify_ms() const;

@@ -157,7 +157,12 @@ std::vector<TraceResult> Pipeline::initial_campaign(
 
   log_info() << "initial campaign: " << probes.size() << " VPs x "
              << targets.size() << " targets";
-  return campaign_->run(probes, targets);
+  TraceSpan span("pipeline.initial_campaign");
+  span.arg("vps", probes.size());
+  span.arg("targets", targets.size());
+  auto traces = campaign_->run(probes, targets);
+  span.arg("traces", traces.size());
+  return traces;
 }
 
 CfsReport Pipeline::run_cfs(std::vector<TraceResult> traces) {
@@ -169,6 +174,9 @@ CfsReport Pipeline::run_cfs(std::vector<TraceResult> traces) {
   // CFS only sees the facility database; fold in what the other degraded
   // sources withheld so the report accounts for the full fault plan.
   report.metrics.faults.records_withheld += geoip_->records_withheld();
+  // Everything this pipeline did — topology generation, campaign, CFS —
+  // as a per-run view of the process-wide registry.
+  report.metrics.registry = Trace::metrics_since(trace_baseline_);
   return report;
 }
 

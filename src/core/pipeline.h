@@ -91,6 +91,10 @@ class Pipeline {
 
  private:
   PipelineConfig config_;
+  // Registry baseline taken before any pipeline work (declared ahead of
+  // topo_ so topology generation is already covered): run_cfs reports the
+  // per-pipeline delta even though the trace registry is process-wide.
+  MetricsSnapshot trace_baseline_ = Trace::metrics();
   Topology topo_;
   int threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;    // before its consumers

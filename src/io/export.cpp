@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/trace.h"
+
 namespace cfs {
 namespace {
 
@@ -99,6 +101,47 @@ FaultMetrics fault_metrics_from(const JsonValue& v) {
   return f;
 }
 
+// Trace-registry snapshot covering the run (util/trace.h). Lives inside
+// the `metrics` subtree so byte-equality comparisons, which already cut
+// that subtree for its wall-clock content, are unaffected.
+JsonValue registry_json(const MetricsSnapshot& snap) {
+  JsonValue::Object counters;
+  for (const auto& [name, value] : snap.counters) counters.emplace(name, value);
+  JsonValue::Object gauges;
+  for (const auto& [name, value] : snap.gauges) gauges.emplace(name, value);
+  JsonValue::Object timers;
+  for (const auto& [name, timer] : snap.timers) {
+    JsonValue::Object t;
+    t.emplace("count", timer.count);
+    t.emplace("total_ms", timer.total_ms);
+    timers.emplace(name, std::move(t));
+  }
+  JsonValue::Object o;
+  o.emplace("counters", std::move(counters));
+  o.emplace("gauges", std::move(gauges));
+  o.emplace("timers", std::move(timers));
+  return JsonValue(std::move(o));
+}
+
+MetricsSnapshot registry_from(const JsonValue& v) {
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = v.find("counters"))
+    for (const auto& [name, value] : counters->as_object())
+      snap.counters.emplace(name,
+                            static_cast<std::uint64_t>(value.as_int()));
+  if (const JsonValue* gauges = v.find("gauges"))
+    for (const auto& [name, value] : gauges->as_object())
+      snap.gauges.emplace(name, value.as_number());
+  if (const JsonValue* timers = v.find("timers"))
+    for (const auto& [name, value] : timers->as_object()) {
+      MetricsSnapshot::Timer t;
+      t.count = static_cast<std::uint64_t>(value.at("count").as_int());
+      t.total_ms = value.at("total_ms").as_number();
+      snap.timers.emplace(name, t);
+    }
+  return snap;
+}
+
 JsonValue metrics_json(const CfsMetrics& m) {
   JsonValue::Object o;
   o.emplace("incremental", m.incremental);
@@ -116,6 +159,7 @@ JsonValue metrics_json(const CfsMetrics& m) {
   o.emplace("total_ms", m.total_ms);
   o.emplace("threads", static_cast<std::uint64_t>(m.threads));
   o.emplace("faults", fault_metrics_json(m.faults));
+  o.emplace("registry", registry_json(m.registry));
 
   JsonValue::Array rows;
   for (const IterationMetrics& r : m.iterations) {
@@ -180,6 +224,9 @@ CfsMetrics metrics_from(const JsonValue& v) {
   // Reports written before the fault plane existed lack the key.
   if (const JsonValue* faults = v.find("faults"))
     m.faults = fault_metrics_from(*faults);
+  // Reports written before the trace registry existed lack the key.
+  if (const JsonValue* registry = v.find("registry"))
+    m.registry = registry_from(*registry);
 
   const auto count = [](const JsonValue& row, const char* key) {
     return static_cast<std::size_t>(row.at(key).as_int());
@@ -543,6 +590,9 @@ Topology topology_from_json(const JsonValue& doc) {
 }
 
 JsonValue report_to_json(const CfsReport& report) {
+  TraceSpan span("export.report");
+  span.arg("interfaces", report.interfaces.size());
+  span.arg("links", report.links.size());
   JsonValue::Object root;
   root.emplace("format_version", format_version);
   root.emplace("traces_used", static_cast<std::uint64_t>(report.traces_used));
@@ -676,6 +726,9 @@ CfsReport report_from_json(const JsonValue& doc) {
 }
 
 void write_topology(std::ostream& os, const Topology& topo) {
+  TraceSpan span("export.topology");
+  span.arg("routers", topo.routers().size());
+  span.arg("links", topo.links().size());
   os << topology_to_json(topo).pretty() << '\n';
 }
 

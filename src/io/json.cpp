@@ -34,26 +34,80 @@ std::size_t JsonValue::size() const {
   throw std::logic_error("JsonValue::size on scalar");
 }
 
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at raw[i], or 0 when
+// the byte opens no valid sequence. Continuation-byte ranges follow RFC
+// 3629 table 3-7: overlong encodings (E0 80.., F0 8x..), surrogates
+// (ED A0..), and code points above U+10FFFF (F4 90.., F5+) all fail here.
+std::size_t utf8_sequence_length(std::string_view raw, std::size_t i) {
+  const auto byte = [&](std::size_t offset) -> unsigned {
+    return i + offset < raw.size()
+               ? static_cast<unsigned char>(raw[i + offset])
+               : 0u;
+  };
+  const unsigned b0 = byte(0);
+  const auto cont = [](unsigned b) { return b >= 0x80 && b <= 0xBF; };
+  if (b0 <= 0x7F) return 1;
+  if (b0 >= 0xC2 && b0 <= 0xDF) return cont(byte(1)) ? 2 : 0;
+  if (b0 == 0xE0)
+    return byte(1) >= 0xA0 && byte(1) <= 0xBF && cont(byte(2)) ? 3 : 0;
+  if ((b0 >= 0xE1 && b0 <= 0xEC) || b0 == 0xEE || b0 == 0xEF)
+    return cont(byte(1)) && cont(byte(2)) ? 3 : 0;
+  if (b0 == 0xED)
+    return byte(1) >= 0x80 && byte(1) <= 0x9F && cont(byte(2)) ? 3 : 0;
+  if (b0 == 0xF0)
+    return byte(1) >= 0x90 && byte(1) <= 0xBF && cont(byte(2)) &&
+                   cont(byte(3))
+               ? 4
+               : 0;
+  if (b0 >= 0xF1 && b0 <= 0xF3)
+    return cont(byte(1)) && cont(byte(2)) && cont(byte(3)) ? 4 : 0;
+  if (b0 == 0xF4)
+    return byte(1) >= 0x80 && byte(1) <= 0x8F && cont(byte(2)) &&
+                   cont(byte(3))
+               ? 4
+               : 0;
+  return 0;
+}
+
+}  // namespace
+
 std::string json_escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
-  for (const char c : raw) {
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const char c = raw[i];
+    const unsigned char u = static_cast<unsigned char>(c);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (u < 0x20 || u == 0x7F) {
+      // DEL joins the C0 range: raw 0x7F in exported text trips strict
+      // consumers even though RFC 8259 technically allows it.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    const std::size_t len = utf8_sequence_length(raw, i);
+    if (len == 0) {
+      // Invalid byte: substitute U+FFFD so the output is always valid
+      // UTF-8 instead of leaking mojibake into every downstream reader.
+      out += "\xEF\xBF\xBD";
+      ++i;
+    } else {
+      out.append(raw.substr(i, len));
+      i += len;
     }
   }
   return out;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace cfs {
 
 namespace {
@@ -66,6 +68,7 @@ void FaultPlane::record_lg_query(RouterId lg, double now_s) {
     state.banned_until = now_s + plan_.lg_ban_duration_s;
     state.recent.clear();
     ++bans_tripped_;
+    Trace::counter("faults.lg_bans_tripped");
   }
 }
 
@@ -97,7 +100,9 @@ Rng FaultPlane::timeout_stream(std::uint64_t stream) const {
 bool FaultPlane::withhold_record(double fraction,
                                  std::uint64_t record_key) const {
   if (fraction <= 0.0) return false;
-  return to_unit(mix(record_key, 5)) < fraction;
+  const bool withheld = to_unit(mix(record_key, 5)) < fraction;
+  if (withheld) Trace::counter("faults.records_withheld");
+  return withheld;
 }
 
 }  // namespace cfs

@@ -9,6 +9,7 @@
 #include "topology/metro.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace cfs {
 namespace {
@@ -1162,6 +1163,7 @@ GeneratorConfig GeneratorConfig::paper_scale() {
 }
 
 Topology generate_topology(const GeneratorConfig& config) {
+  TraceSpan span("topology.generate");
   BuildState st(config);
 
   build_metros_and_facilities(st);
@@ -1174,6 +1176,11 @@ Topology generate_topology(const GeneratorConfig& config) {
   build_multilateral(st);
 
   st.topo.validate();
+  span.arg("facilities", st.topo.facilities().size());
+  span.arg("ixps", st.topo.ixps().size());
+  span.arg("ases", st.topo.ases().size());
+  span.arg("routers", st.topo.routers().size());
+  span.arg("links", st.topo.links().size());
   log_info() << "generated topology: " << st.topo.facilities().size()
              << " facilities, " << st.topo.ixps().size() << " IXPs, "
              << st.topo.ases().size() << " ASes, "

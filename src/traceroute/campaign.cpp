@@ -1,8 +1,9 @@
 #include "traceroute/campaign.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+
+#include "util/trace.h"
 
 namespace cfs {
 
@@ -47,7 +48,9 @@ MetroId MeasurementCampaign::metro_of(const VantagePoint& vp) const {
 std::vector<TraceResult> MeasurementCampaign::run(
     std::span<const VantagePoint* const> vps,
     const std::vector<Ipv4>& targets) {
-  const auto started = std::chrono::steady_clock::now();
+  TraceSpan span("campaign.run");
+  span.arg("vps", vps.size());
+  span.arg("targets", targets.size());
   std::vector<TraceResult> out;
   if (faults_ != nullptr) {
     by_metro_.clear();
@@ -59,14 +62,14 @@ std::vector<TraceResult> MeasurementCampaign::run(
     bool used_parallel_batch = false;
     for (const VantagePoint* vp : vps) {
       ++stats_.traces_attempted;
+      Trace::counter("campaign.traces_attempted");
       run_unit(*vp, target, &used_parallel_batch, out);
     }
     if (used_parallel_batch) clock_s_ += parallel_batch_s;
   }
   speculative_.clear();
-  stats_.wall_ms += std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - started)
-                        .count();
+  span.arg("traces", out.size());
+  stats_.wall_ms += span.stop();
   return out;
 }
 
@@ -93,11 +96,18 @@ void MeasurementCampaign::speculate(std::span<const VantagePoint* const> vps,
     }
   }
 
+  TraceSpan span("campaign.speculate");
+  span.arg("units", units.size());
   std::vector<TraceResult> results(units.size());
-  pool_->parallel_for(units.size(), [&](std::size_t i) {
-    results[i] =
-        engine_.trace_seeded(*units[i].vp, units[i].target, units[i].stream);
-  });
+  pool_->parallel_for_chunks(
+      units.size(), [&](std::size_t begin, std::size_t end) {
+        TraceSpan chunk("campaign.speculate_chunk");
+        chunk.arg("begin", begin);
+        chunk.arg("count", end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+          results[i] = engine_.trace_seeded(*units[i].vp, units[i].target,
+                                            units[i].stream);
+      });
 
   speculative_.clear();
   speculative_.reserve(units.size());
@@ -107,6 +117,7 @@ void MeasurementCampaign::speculate(std::span<const VantagePoint* const> vps,
 
 TraceResult MeasurementCampaign::probe(const VantagePoint& vp, Ipv4 target) {
   ++stats_.traces_attempted;
+  Trace::counter("campaign.traces_attempted");
   std::vector<TraceResult> out;
   run_unit(vp, target, nullptr, out);
   if (!out.empty()) return std::move(out.front());
@@ -133,15 +144,20 @@ MeasurementCampaign::UnitOutcome MeasurementCampaign::run_unit(
           lg_success(*active);
         if (trace.hops.empty()) {
           ++stats_.traces_unreachable;
+          Trace::counter("campaign.traces_unreachable");
           return UnitOutcome::Unreachable;
         }
         stats_.probe_timeouts += trace.hops_timed_out;
+        if (trace.hops_timed_out > 0)
+          Trace::counter("campaign.probe_timeouts", trace.hops_timed_out);
         ++stats_.traces_kept;
+        Trace::counter("campaign.traces_kept");
         out.push_back(std::move(trace));
         return UnitOutcome::Kept;
       }
       case ProbeFault::CircuitOpen:
         ++stats_.probes_skipped_open_circuit;
+        Trace::counter("campaign.probes_skipped_open_circuit");
         return UnitOutcome::SkippedOpenCircuit;
       case ProbeFault::VpDead: {
         // Retrying a dead probe host is pointless; go straight to failover.
@@ -149,12 +165,14 @@ MeasurementCampaign::UnitOutcome MeasurementCampaign::run_unit(
             failed_over ? nullptr : pick_failover(*active);
         if (alt == nullptr) {
           ++stats_.probes_abandoned;
+          Trace::counter("campaign.probes_abandoned");
           return UnitOutcome::Abandoned;
         }
         active = alt;
         failed_over = true;
         attempt = 0;
         ++stats_.failovers;
+        Trace::counter("campaign.failovers");
         break;
       }
       case ProbeFault::LgUnavailable: {
@@ -162,6 +180,7 @@ MeasurementCampaign::UnitOutcome MeasurementCampaign::run_unit(
         if (attempt < policy.max_retries) {
           ++attempt;
           ++stats_.retries;
+          Trace::counter("campaign.retries");
           clock_s_ += backoff_s(attempt);
           break;
         }
@@ -169,12 +188,14 @@ MeasurementCampaign::UnitOutcome MeasurementCampaign::run_unit(
             failed_over ? nullptr : pick_failover(*active);
         if (alt == nullptr) {
           ++stats_.probes_abandoned;
+          Trace::counter("campaign.probes_abandoned");
           return UnitOutcome::Abandoned;
         }
         active = alt;
         failed_over = true;
         attempt = 0;
         ++stats_.failovers;
+        Trace::counter("campaign.failovers");
         break;
       }
     }
@@ -212,6 +233,7 @@ void MeasurementCampaign::lg_failure(const VantagePoint& vp) {
     health.open = true;
     health.opened_at = clock_s_;
     ++stats_.circuits_opened;
+    Trace::counter("campaign.circuits_opened");
   }
 }
 
@@ -239,6 +261,7 @@ TraceResult MeasurementCampaign::execute(const VantagePoint& vp, Ipv4 target,
     const double ready = lgs_.next_allowed_s(vp.attach);
     clock_s_ = std::max(clock_s_, ready);
     lgs_.try_query(vp.attach, clock_s_);
+    Trace::counter("campaign.lg_queries");
     if (faults_ != nullptr) {
       faults_->record_lg_query(vp.attach, clock_s_);
       stats_.lg_bans = faults_->bans_tripped();

@@ -17,6 +17,16 @@ namespace {
                               ", got '" + value + "'");
 }
 
+// stoll/stod skip leading whitespace and count it as consumed, so the
+// used == size() check alone accepts " 4" while rejecting "4 ". Reject the
+// leading side explicitly to make both directions consistent.
+bool has_leading_space(const std::string& value) {
+  return !value.empty() &&
+         (value.front() == ' ' || value.front() == '\t' ||
+          value.front() == '\n' || value.front() == '\r' ||
+          value.front() == '\f' || value.front() == '\v');
+}
+
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
@@ -28,13 +38,24 @@ Flags::Flags(int argc, const char* const* argv) {
     }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
     } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-      values_[body] = argv[++i];
+      name = body;
+      value = argv[++i];
     } else {
-      values_[body] = "";
+      name = body;
     }
+    // Silent last-wins would make "--seed 1 ... --seed 2" depend on
+    // argument order in a way no error message ever surfaces.
+    if (values_.contains(name))
+      throw std::invalid_argument("flag --" + name +
+                                  " given more than once; pass it a single "
+                                  "time");
+    values_[name] = std::move(value);
   }
 }
 
@@ -63,7 +84,7 @@ std::int64_t Flags::get_int(const std::string& name,
   } catch (const std::logic_error&) {  // empty/garbage or out of range
     parsed = false;
   }
-  if (!parsed || used != it->second.size())
+  if (!parsed || used != it->second.size() || has_leading_space(it->second))
     bad_value(name, "an integer", it->second);
   return value;
 }
@@ -80,7 +101,7 @@ double Flags::get_double(const std::string& name, double fallback) const {
   } catch (const std::logic_error&) {
     parsed = false;
   }
-  if (!parsed || used != it->second.size())
+  if (!parsed || used != it->second.size() || has_leading_space(it->second))
     bad_value(name, "a number", it->second);
   return value;
 }
@@ -100,6 +121,17 @@ std::vector<std::string> Flags::unknown_flags() const {
   for (const auto& [name, value] : values_)
     if (!used_.contains(name)) out.push_back(name);
   return out;
+}
+
+std::string Flags::unknown_flags_message() const {
+  const std::vector<std::string> unknown = unknown_flags();
+  if (unknown.empty()) return "";
+  std::string message = "unknown flag(s):";
+  for (const std::string& name : unknown) message += " --" + name;
+  message +=
+      " (a value starting with '--' must be attached with '=', e.g. "
+      "--name=value)";
+  return message;
 }
 
 }  // namespace cfs

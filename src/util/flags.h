@@ -2,7 +2,9 @@
 //
 // Supports "--name value", "--name=value" and boolean "--name" forms plus
 // positional arguments. No registration step: callers query typed getters
-// with defaults and then call `unknown_flags()` to reject typos.
+// with defaults and then call `unknown_flags()` to reject typos. Repeating
+// a flag is a hard error from the constructor — with two occurrences there
+// is no way to tell which one the caller meant.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +36,11 @@ class Flags {
   // Flags present on the command line but never queried; call after all
   // gets to report typos. (Query order matters: getters mark flags used.)
   [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+  // Ready-made diagnostic for unknown_flags(), or "" when there are none.
+  // Mentions the --name=value form, because a space-separated value that
+  // itself starts with "--" always parses as a second flag and lands here.
+  [[nodiscard]] std::string unknown_flags_message() const;
 
  private:
   std::map<std::string, std::string> values_;  // "" for bare booleans

@@ -1,0 +1,290 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace cfs {
+namespace {
+
+// Process-wide state. The registry and the event buffer have separate
+// locks: counters are always on while events only flow when tracing is
+// enabled, and neither path ever holds both locks.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, MetricsSnapshot::Timer> timers;
+};
+
+struct Timeline {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+Timeline& timeline() {
+  static Timeline t;
+  return t;
+}
+
+std::atomic<bool> g_enabled{false};
+
+// Stable 1-based thread ordinal: the main thread observes 1, pool workers
+// get the next free slot in creation order. Deliberately not the OS tid —
+// ordinals keep trace files small and diffable across runs.
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+std::int64_t us_since(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : us;
+}
+
+// Minimal JSON string escaper. cfs_util sits below cfs_io in the layer
+// stack, so the full JsonValue writer is not available here; trace names
+// and arg keys are plain identifiers, this covers the general case anyway.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20 || u == 0x7F) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+void Trace::counter(std::string_view name, std::uint64_t delta) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters[std::string(name)] += delta;
+}
+
+void Trace::gauge(std::string_view name, double value) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.gauges[std::string(name)] = value;
+}
+
+void Trace::observe_ms(std::string_view name, double ms) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot::Timer& timer = r.timers[std::string(name)];
+  ++timer.count;
+  timer.total_ms += ms;
+}
+
+MetricsSnapshot Trace::metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters = r.counters;
+  snap.gauges = r.gauges;
+  snap.timers = r.timers;
+  return snap;
+}
+
+MetricsSnapshot Trace::metrics_since(const MetricsSnapshot& baseline) {
+  MetricsSnapshot now = metrics();
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : now.counters) {
+    const auto it = baseline.counters.find(name);
+    const std::uint64_t before = it == baseline.counters.end() ? 0 : it->second;
+    if (value > before) delta.counters[name] = value - before;
+  }
+  // Gauges are levels, not accumulations: report the current value.
+  delta.gauges = std::move(now.gauges);
+  for (const auto& [name, timer] : now.timers) {
+    const auto it = baseline.timers.find(name);
+    MetricsSnapshot::Timer d = timer;
+    if (it != baseline.timers.end()) {
+      const MetricsSnapshot::Timer& before = it->second;
+      d.count = before.count <= d.count ? d.count - before.count : 0;
+      d.total_ms =
+          before.total_ms <= d.total_ms ? d.total_ms - before.total_ms : 0.0;
+    }
+    if (d.count > 0) delta.timers[name] = d;
+  }
+  return delta;
+}
+
+void Trace::reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters.clear();
+  r.gauges.clear();
+  r.timers.clear();
+}
+
+bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Trace::enable() {
+  Timeline& t = timeline();
+  {
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.epoch = std::chrono::steady_clock::now();
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Trace::clear_events() {
+  Timeline& t = timeline();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  t.events.clear();
+}
+
+std::vector<TraceEvent> Trace::events() {
+  Timeline& t = timeline();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return t.events;
+}
+
+void Trace::write_chrome_trace(std::ostream& os) {
+  write_chrome_trace(os, events());
+}
+
+void Trace::write_chrome_trace(std::ostream& os,
+                               const std::vector<TraceEvent>& events) {
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out +=
+      "    {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"cfs\"}}";
+  for (const TraceEvent& e : events) {
+    out += ",\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"cat\": ";
+    append_json_string(out, e.category);
+    out += ", \"ts\": ";
+    out += std::to_string(e.ts_us);
+    out += ", \"dur\": ";
+    out += std::to_string(e.dur_us);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      bool first = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first) out += ", ";
+        first = false;
+        append_json_string(out, key);
+        out += ": ";
+        out += std::to_string(value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  os << out;
+}
+
+void Trace::write_summary(std::ostream& os) { write_summary(os, metrics()); }
+
+void Trace::write_summary(std::ostream& os, const MetricsSnapshot& snap) {
+  if (snap.empty()) {
+    os << "metrics registry: empty\n";
+    return;
+  }
+  if (!snap.timers.empty()) {
+    os << "-- timers --\n";
+    Table table({"Timer", "Count", "Total ms", "Mean ms"});
+    for (const auto& [name, timer] : snap.timers) {
+      const double mean =
+          timer.count > 0 ? timer.total_ms / static_cast<double>(timer.count)
+                          : 0.0;
+      table.add_row({name, Table::cell(timer.count), format_ms(timer.total_ms),
+                     format_ms(mean)});
+    }
+    table.print(os);
+  }
+  if (!snap.counters.empty()) {
+    os << "-- counters --\n";
+    Table table({"Counter", "Value"});
+    for (const auto& [name, value] : snap.counters)
+      table.add_row({name, Table::cell(value)});
+    table.print(os);
+  }
+  if (!snap.gauges.empty()) {
+    os << "-- gauges --\n";
+    Table table({"Gauge", "Value"});
+    for (const auto& [name, value] : snap.gauges)
+      table.add_row({name, Table::cell(value)});
+    table.print(os);
+  }
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name),
+      category_(category),
+      start_(std::chrono::steady_clock::now()) {}
+
+TraceSpan::~TraceSpan() {
+  if (!stopped_) stop();
+}
+
+void TraceSpan::arg(const char* key, std::uint64_t value) {
+  args_.emplace_back(key, value);
+}
+
+double TraceSpan::stop() {
+  if (stopped_) return elapsed_ms_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  elapsed_ms_ =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  Trace::observe_ms(name_, elapsed_ms_);
+  if (Trace::enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.tid = thread_ordinal();
+    event.args = std::move(args_);
+    Timeline& t = timeline();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    event.ts_us = us_since(t.epoch, start_);
+    event.dur_us = us_since(start_, end);
+    t.events.push_back(std::move(event));
+  }
+  return elapsed_ms_;
+}
+
+}  // namespace cfs

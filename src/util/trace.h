@@ -1,0 +1,140 @@
+// Structured tracing and process-wide metrics registry.
+//
+// Two cooperating facilities behind one facade:
+//
+//   * A metrics registry — named counters, gauges and timers — that is
+//     always on. Every instrumented stage folds its accounting through
+//     here (the single metrics path: what used to be ad-hoc Stopwatch
+//     fields now flows through TraceSpan into both the per-run structs
+//     and this registry), and the registry snapshot is surfaced uniformly
+//     in the cfs_cli summary and the exported report JSON.
+//
+//   * A span timeline — RAII TraceSpan timers — that is off by default
+//     and enabled by `--trace-out`. Completed spans are buffered and
+//     exported in Chrome `trace_event` JSON, loadable in chrome://tracing
+//     or https://ui.perfetto.dev.
+//
+// Determinism contract (docs/OBSERVABILITY.md): span *payloads* carry
+// counts and ordinals only — the arg API accepts nothing but unsigned
+// integers — so enabling tracing cannot perturb any inference output, and
+// `--threads N` report byte-equivalence holds with tracing on. Wall-clock
+// values exist solely in the separate trace file (timestamps/durations)
+// and in registry timers, which live inside the report's `metrics`
+// subtree alongside the other wall-clock fields already excluded from
+// byte comparisons.
+//
+// Thread safety: all entry points may be called concurrently from pool
+// workers. Counters and events go through a mutex; the granularity of the
+// instrumentation (phases and chunks, never per-hop) keeps contention and
+// overhead negligible (<= 5% on bench_parallel_scaling, measured there).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cfs {
+
+// Point-in-time view of the registry. Map-keyed so rendering and JSON
+// export are deterministically ordered by name.
+struct MetricsSnapshot {
+  struct Timer {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+
+    friend bool operator==(const Timer&, const Timer&) = default;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Timer> timers;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+// One completed span, in Chrome trace_event terms a "complete" (ph:"X")
+// event. Timestamps are microseconds of steady clock since enable().
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;  // stable per-thread ordinal, 1-based
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+class Trace {
+ public:
+  // ---- metrics registry (always on) ----
+  static void counter(std::string_view name, std::uint64_t delta = 1);
+  static void gauge(std::string_view name, double value);
+  // Fold a duration into the named timer (TraceSpan calls this on stop).
+  static void observe_ms(std::string_view name, double ms);
+
+  [[nodiscard]] static MetricsSnapshot metrics();
+  // Per-run view over a process-wide registry: counters and timer totals
+  // are subtracted key-wise from `baseline`; gauges report their current
+  // value. Entries that end up zero are dropped.
+  [[nodiscard]] static MetricsSnapshot metrics_since(
+      const MetricsSnapshot& baseline);
+  static void reset_metrics();
+
+  // ---- span timeline (off by default) ----
+  [[nodiscard]] static bool enabled();
+  static void enable();   // (re)starts the clock; keeps buffered events
+  static void disable();  // stops collection; keeps buffered events
+  static void clear_events();
+  [[nodiscard]] static std::vector<TraceEvent> events();
+
+  // Chrome trace_event JSON ({"traceEvents":[...]}). The two-argument
+  // overload is pure — used for golden-file tests — the one-argument form
+  // writes the collected buffer.
+  static void write_chrome_trace(std::ostream& os);
+  static void write_chrome_trace(std::ostream& os,
+                                 const std::vector<TraceEvent>& events);
+
+  // Human summary of the registry as aligned tables (counters, gauges,
+  // timers). Pure overload for goldens; the other renders live state.
+  static void write_summary(std::ostream& os);
+  static void write_summary(std::ostream& os, const MetricsSnapshot& snap);
+};
+
+// RAII span: times a scope, folds the elapsed time into the registry
+// timer of the same name, and — only when tracing is enabled — records a
+// timeline event. Args are deliberately restricted to unsigned integers
+// (counts, ordinals); see the determinism contract above.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "cfs");
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  // Attach a deterministic payload entry (shown under "args" in viewers).
+  void arg(const char* key, std::uint64_t value);
+
+  // Ends the span now and returns the elapsed milliseconds, so call sites
+  // can land the same measurement in a metrics struct ("one metrics
+  // path"). Idempotent; the destructor stops implicitly if needed.
+  double stop();
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
+  bool stopped_ = false;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace cfs

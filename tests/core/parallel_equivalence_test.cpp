@@ -11,11 +11,13 @@
 // are exactly where speculative execution could drift from serial.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "io/export.h"
+#include "util/trace.h"
 
 namespace cfs {
 namespace {
@@ -147,6 +149,52 @@ TEST(ParallelEquivalence, ThreadsZeroResolvesToHardwareConcurrency) {
     EXPECT_EQ(pipeline.thread_pool()->workers(),
               ThreadPool::hardware_threads());
     EXPECT_EQ(pipeline.campaign().pool(), pipeline.thread_pool());
+  }
+}
+
+TEST(ParallelEquivalence, TracingDoesNotPerturbReports) {
+  // The observability contract (docs/OBSERVABILITY.md): enabling the span
+  // timeline must not move a single byte of the report, at any thread
+  // count — spans carry counts and ordinals only, wall clock lives solely
+  // in the trace file and the excluded metrics subtree.
+  const PipelineConfig config = heavy_fault_config(11);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Trace::disable();
+    Trace::clear_events();
+    const RunResult untraced = run_at(config, threads);
+    Trace::enable();
+    const RunResult traced = run_at(config, threads);
+    Trace::disable();
+    EXPECT_EQ(traced.json_sans_metrics, untraced.json_sans_metrics);
+    expect_counters_identical(traced.report.metrics,
+                              untraced.report.metrics);
+
+    // The traced run actually produced a timeline covering the pipeline
+    // end to end: campaign, classification, constraint fold, export.
+    const auto events = Trace::events();
+    const auto has = [&](const char* name) {
+      return std::any_of(events.begin(), events.end(),
+                         [&](const TraceEvent& e) { return e.name == name; });
+    };
+    EXPECT_TRUE(has("topology.generate"));
+    EXPECT_TRUE(has("campaign.run"));
+    EXPECT_TRUE(has("cfs.classify"));
+    EXPECT_TRUE(has("cfs.constrain"));
+    EXPECT_TRUE(has("cfs.run"));
+    // json_sans_metrics serialises the report inside run_at, so the export
+    // span is on the timeline too.
+    EXPECT_TRUE(has("export.report"));
+    if (threads > 1) {
+      // Speculation fans out across workers in chunks; the initial
+      // campaign is far above the parallel threshold at this corpus size.
+      EXPECT_TRUE(has("campaign.speculate_chunk"));
+      // Classification parallelises above its 32-trace threshold.
+      if (traced.report.traces_used >= 32) {
+        EXPECT_TRUE(has("cfs.classify_chunk"));
+      }
+    }
+    Trace::clear_events();
   }
 }
 

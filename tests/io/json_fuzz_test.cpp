@@ -70,5 +70,129 @@ TEST_P(JsonFuzz, PrettyParseRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1, 2, 3, 4));
 
+// ---- json_escape byte-level properties ----
+//
+// The escaper must emit valid, parseable JSON for ANY byte sequence:
+// control characters and DEL escaped, invalid UTF-8 replaced with U+FFFD.
+// Exported reports embed externally-influenced strings (DNS names), so
+// "always valid UTF-8 out" is a correctness property, not cosmetics.
+
+constexpr const char* kReplacement = "\xEF\xBF\xBD";  // U+FFFD
+
+std::string escape_parse(const std::string& raw) {
+  const JsonValue parsed = parse_json("\"" + json_escape(raw) + "\"");
+  return parsed.as_string();
+}
+
+// Minimal independent UTF-8 validator (RFC 3629 table): the test's own
+// referee, deliberately not sharing code with the escaper under test.
+bool valid_utf8(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char b0 = static_cast<unsigned char>(s[i]);
+    std::size_t need = 0;
+    unsigned lo = 0x80, hi = 0xBF;
+    if (b0 <= 0x7F) { ++i; continue; }
+    else if (b0 >= 0xC2 && b0 <= 0xDF) need = 1;
+    else if (b0 == 0xE0) { need = 2; lo = 0xA0; }
+    else if (b0 >= 0xE1 && b0 <= 0xEC) need = 2;
+    else if (b0 == 0xED) { need = 2; hi = 0x9F; }
+    else if (b0 >= 0xEE && b0 <= 0xEF) need = 2;
+    else if (b0 == 0xF0) { need = 3; lo = 0x90; }
+    else if (b0 >= 0xF1 && b0 <= 0xF3) need = 3;
+    else if (b0 == 0xF4) { need = 3; hi = 0x8F; }
+    else return false;
+    if (i + need >= s.size()) return false;
+    for (std::size_t k = 1; k <= need; ++k) {
+      const unsigned char b = static_cast<unsigned char>(s[i + k]);
+      const unsigned low = k == 1 ? lo : 0x80;
+      const unsigned high = k == 1 ? hi : 0xBF;
+      if (b < low || b > high) return false;
+    }
+    i += need + 1;
+  }
+  return true;
+}
+
+TEST(JsonEscapeBytes, EveryByteValueParsesToValidUtf8) {
+  for (int b = 0; b < 256; ++b) {
+    const std::string raw = "a" + std::string(1, static_cast<char>(b)) + "z";
+    SCOPED_TRACE("byte=" + std::to_string(b));
+    std::string out;
+    ASSERT_NO_THROW(out = escape_parse(raw));
+    EXPECT_TRUE(valid_utf8(out));
+    EXPECT_EQ(out.front(), 'a');
+    EXPECT_EQ(out.back(), 'z');
+    if (b <= 0x7F) {
+      // ASCII round-trips exactly (escaped or not).
+      EXPECT_EQ(out, raw);
+    } else {
+      // A lone non-ASCII byte is never a complete sequence: replaced.
+      EXPECT_EQ(out, "a" + std::string(kReplacement) + "z");
+    }
+  }
+}
+
+TEST(JsonEscapeBytes, DelIsEscaped) {
+  EXPECT_EQ(json_escape("\x7f"), "\\u007f");
+  EXPECT_EQ(escape_parse("x\x7fy"), "x\x7fy");
+}
+
+TEST(JsonEscapeBytes, ValidUtf8PassesThroughUntouched) {
+  const std::string samples[] = {
+      "caf\xC3\xA9",              // U+00E9, 2-byte
+      "\xE2\x82\xAC""42",         // U+20AC euro, 3-byte
+      "\xEF\xBF\xBD",             // U+FFFD itself
+      "\xED\x9F\xBF",             // U+D7FF, last before surrogates
+      "\xEE\x80\x80",             // U+E000, first after surrogates
+      "\xF0\x90\x8D\x88",         // U+10348, 4-byte
+      "\xF4\x8F\xBF\xBF",         // U+10FFFF, maximum
+  };
+  for (const std::string& s : samples) {
+    SCOPED_TRACE(s);
+    EXPECT_EQ(json_escape(s), s);
+    EXPECT_EQ(escape_parse(s), s);
+  }
+}
+
+TEST(JsonEscapeBytes, MalformedSequencesReplaced) {
+  // (input, number of replacement chars expected for the invalid part)
+  const std::pair<std::string, std::string> cases[] = {
+      // Overlong encoding of '/' — C0 AF.
+      {"\xC0\xAF", std::string(kReplacement) + kReplacement},
+      // Overlong 3-byte (E0 80 80).
+      {"\xE0\x80\x80", std::string(kReplacement) + kReplacement + kReplacement},
+      // CESU-8 surrogate half (ED A0 80).
+      {"\xED\xA0\x80", std::string(kReplacement) + kReplacement + kReplacement},
+      // Beyond U+10FFFF (F4 90 80 80).
+      {"\xF4\x90\x80\x80", std::string(kReplacement) + kReplacement +
+                               kReplacement + kReplacement},
+      // Truncated 2-byte sequence at end of string.
+      {"ok\xC3", "ok" + std::string(kReplacement)},
+      // Continuation byte with no lead.
+      {"\x80ok", std::string(kReplacement) + "ok"},
+  };
+  for (const auto& [raw, expected] : cases) {
+    SCOPED_TRACE(json_escape(raw));
+    EXPECT_EQ(escape_parse(raw), expected);
+  }
+}
+
+TEST(JsonEscapeBytes, RandomByteStringsAlwaysParseAndAreIdempotent) {
+  Rng rng(0xb17e5);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string raw;
+    const std::uint64_t len = rng.uniform(24);
+    for (std::uint64_t i = 0; i < len; ++i)
+      raw.push_back(static_cast<char>(rng.uniform(256)));
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    std::string sanitized;
+    ASSERT_NO_THROW(sanitized = escape_parse(raw));
+    EXPECT_TRUE(valid_utf8(sanitized)) << json_escape(raw);
+    // Sanitising is a fixpoint: valid UTF-8 in, the same string out.
+    EXPECT_EQ(escape_parse(sanitized), sanitized);
+  }
+}
+
 }  // namespace
 }  // namespace cfs

@@ -112,9 +112,62 @@ TEST(Flags, UnknownFlagTracking) {
   EXPECT_EQ(unknown[0], "typo");
 }
 
-TEST(Flags, LastOccurrenceWins) {
-  const Flags flags = make({"--seed", "1", "--seed", "2"});
-  EXPECT_EQ(flags.get_int("seed", 0), 2);
+// A repeated flag used to be silent last-wins; with two occurrences there
+// is no way to know which one the user meant, so it is a hard error that
+// names the flag.
+TEST(Flags, RepeatedFlagIsAnError) {
+  try {
+    make({"--seed", "1", "--seed", "2"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "flag --seed given more than once; pass it a single time");
+  }
+}
+
+TEST(Flags, RepeatedFlagMixedFormsIsAnError) {
+  // "=value" and space-separated occurrences of the same name collide too.
+  EXPECT_THROW(make({"--scale=tiny", "--scale", "paper"}),
+               std::invalid_argument);
+  // Bare boolean repeated.
+  EXPECT_THROW(make({"--verbose", "--verbose"}), std::invalid_argument);
+}
+
+TEST(Flags, DistinctFlagsDoNotCollide) {
+  const Flags flags = make({"--seed", "1", "--fault-seed", "2"});
+  EXPECT_EQ(flags.get_int("seed", 0), 1);
+  EXPECT_EQ(flags.get_int("fault-seed", 0), 2);
+}
+
+// A space-separated value that itself starts with "--" is structurally
+// unreachable (it parses as a second flag); the canned unknown-flags
+// diagnostic must point at the --name=value escape hatch.
+TEST(Flags, ValueStartingWithDashesLandsInUnknownAndMessageSuggestsEquals) {
+  const Flags flags = make({"--out", "--odd-name.json"});
+  EXPECT_EQ(flags.get("out", ""), "");  // bare boolean, not the value
+  const auto unknown = flags.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "odd-name.json");
+  const std::string message = flags.unknown_flags_message();
+  EXPECT_NE(message.find("--odd-name.json"), std::string::npos);
+  EXPECT_NE(message.find("--name=value"), std::string::npos);
+  // And the = form actually delivers such a value.
+  const Flags fixed = make({"--out=--odd-name.json"});
+  EXPECT_EQ(fixed.get("out", ""), "--odd-name.json");
+  EXPECT_TRUE(fixed.unknown_flags_message().empty());
+}
+
+// stoll/stod count skipped leading whitespace as consumed, which used to
+// accept " 4" while rejecting "4 " — both directions must reject.
+TEST(Flags, WhitespacePaddedNumbersRejectedBothSides) {
+  const Flags leading = make({"--threads= 4", "--f= 1.5"});
+  EXPECT_THROW((void)leading.get_int("threads", 0), std::invalid_argument);
+  EXPECT_THROW((void)leading.get_double("f", 0), std::invalid_argument);
+  const Flags trailing = make({"--threads=4 ", "--f=1.5 "});
+  EXPECT_THROW((void)trailing.get_int("threads", 0), std::invalid_argument);
+  EXPECT_THROW((void)trailing.get_double("f", 0), std::invalid_argument);
+  const Flags tab = make({"--threads=\t4"});
+  EXPECT_THROW((void)tab.get_int("threads", 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+// Tracing + metrics registry (util/trace.h).
+//
+// The subsystem's contract has three legs: the registry merges counters
+// from any thread, the span timeline nests correctly across pool workers,
+// and the exporters render deterministically (golden files over hand-built
+// inputs — live timestamps are wall clock and never golden-comparable).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace cfs {
+namespace {
+
+// The registry is process-wide; isolate every test from the others (and
+// from any prior test binary activity).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::disable();
+    Trace::clear_events();
+    Trace::reset_metrics();
+  }
+  void TearDown() override {
+    Trace::disable();
+    Trace::clear_events();
+    Trace::reset_metrics();
+  }
+};
+
+TEST_F(TraceTest, CountersAccumulate) {
+  Trace::counter("test.hits");
+  Trace::counter("test.hits", 4);
+  Trace::counter("test.other", 2);
+  const MetricsSnapshot snap = Trace::metrics();
+  EXPECT_EQ(snap.counters.at("test.hits"), 5u);
+  EXPECT_EQ(snap.counters.at("test.other"), 2u);
+}
+
+TEST_F(TraceTest, GaugesKeepLastValue) {
+  Trace::gauge("test.level", 1.5);
+  Trace::gauge("test.level", 2.5);
+  EXPECT_DOUBLE_EQ(Trace::metrics().gauges.at("test.level"), 2.5);
+}
+
+TEST_F(TraceTest, TimersFoldCountAndTotal) {
+  Trace::observe_ms("test.stage", 2.0);
+  Trace::observe_ms("test.stage", 3.0);
+  const MetricsSnapshot snap = Trace::metrics();
+  EXPECT_EQ(snap.timers.at("test.stage").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.timers.at("test.stage").total_ms, 5.0);
+}
+
+TEST_F(TraceTest, CounterMergeAcrossPoolWorkers) {
+  // Many concurrent increments from pool workers must merge losslessly:
+  // this is exactly the campaign bumping campaign.* from run_unit while
+  // classification chunks time themselves on other workers.
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 1000;
+  pool.parallel_for(kTasks, [](std::size_t i) {
+    Trace::counter("test.merge");
+    Trace::observe_ms("test.merge_timer", 0.25);
+    if (i % 2 == 0) Trace::counter("test.even");
+  });
+  const MetricsSnapshot snap = Trace::metrics();
+  EXPECT_EQ(snap.counters.at("test.merge"), kTasks);
+  EXPECT_EQ(snap.counters.at("test.even"), kTasks / 2);
+  EXPECT_EQ(snap.timers.at("test.merge_timer").count, kTasks);
+  EXPECT_NEAR(snap.timers.at("test.merge_timer").total_ms,
+              0.25 * static_cast<double>(kTasks), 1e-6);
+}
+
+TEST_F(TraceTest, MetricsSinceReportsPerRunDelta) {
+  Trace::counter("test.before", 3);
+  Trace::observe_ms("test.timer", 1.0);
+  const MetricsSnapshot baseline = Trace::metrics();
+  Trace::counter("test.before", 2);
+  Trace::counter("test.after", 7);
+  Trace::observe_ms("test.timer", 4.0);
+  const MetricsSnapshot delta = Trace::metrics_since(baseline);
+  EXPECT_EQ(delta.counters.at("test.before"), 2u);
+  EXPECT_EQ(delta.counters.at("test.after"), 7u);
+  EXPECT_EQ(delta.timers.at("test.timer").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.timers.at("test.timer").total_ms, 4.0);
+  // Unchanged-since-baseline entries drop out entirely.
+  Trace::counter("test.idle", 1);
+  const MetricsSnapshot base2 = Trace::metrics();
+  EXPECT_FALSE(Trace::metrics_since(base2).counters.contains("test.idle"));
+}
+
+TEST_F(TraceTest, SpansFeedRegistryEvenWhenDisabled) {
+  ASSERT_FALSE(Trace::enabled());
+  {
+    TraceSpan span("test.span");
+  }
+  EXPECT_EQ(Trace::metrics().timers.at("test.span").count, 1u);
+  EXPECT_TRUE(Trace::events().empty());  // timeline stays off
+}
+
+TEST_F(TraceTest, StopIsIdempotentAndReturnsElapsed) {
+  TraceSpan span("test.stop");
+  const double first = span.stop();
+  const double second = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(Trace::metrics().timers.at("test.stop").count, 1u);
+}
+
+TEST_F(TraceTest, EnabledSpansRecordEventsWithArgs) {
+  Trace::enable();
+  {
+    TraceSpan span("test.outer", "unit");
+    span.arg("items", 42);
+    TraceSpan inner("test.inner", "unit");
+    inner.stop();
+  }
+  Trace::disable();
+  const auto events = Trace::events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner stops first, so it lands first; both carry the same thread.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[1].category, "unit");
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "items");
+  EXPECT_EQ(events[1].args[0].second, 42u);
+  // Perfetto nesting invariant: the outer complete event encloses the
+  // inner one on the same track.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST_F(TraceTest, SpanNestingAcrossPoolWorkers) {
+  Trace::enable();
+  {
+    TraceSpan outer("test.fanout");
+    ThreadPool pool(3);
+    pool.parallel_for_chunks(90, [](std::size_t begin, std::size_t end) {
+      TraceSpan chunk("test.chunk");
+      chunk.arg("begin", begin);
+      chunk.arg("count", end - begin);
+    });
+  }
+  Trace::disable();
+  const auto events = Trace::events();
+  std::size_t chunks = 0;
+  std::size_t covered = 0;
+  std::int64_t outer_ts = -1;
+  std::int64_t outer_end = -1;
+  for (const auto& e : events) {
+    if (e.name == "test.fanout") {
+      outer_ts = e.ts_us;
+      outer_end = e.ts_us + e.dur_us;
+    }
+    if (e.name == "test.chunk") {
+      ++chunks;
+      ASSERT_EQ(e.args.size(), 2u);
+      covered += e.args[1].second;  // "count"
+    }
+  }
+  EXPECT_GT(chunks, 0u);
+  EXPECT_EQ(covered, 90u);  // chunks partition the range exactly
+  ASSERT_GE(outer_ts, 0);
+  // Every chunk span falls inside the enclosing span's window even though
+  // chunks ran on different workers (each with its own tid track).
+  for (const auto& e : events) {
+    if (e.name != "test.chunk") continue;
+    EXPECT_GE(e.ts_us, outer_ts);
+    EXPECT_LE(e.ts_us + e.dur_us, outer_end);
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceGolden) {
+  std::vector<TraceEvent> events;
+  TraceEvent a;
+  a.name = "campaign.run";
+  a.category = "cfs";
+  a.ts_us = 0;
+  a.dur_us = 1500;
+  a.tid = 1;
+  a.args = {{"vps", 4}, {"targets", 9}};
+  TraceEvent b;
+  b.name = "cfs.classify_chunk";
+  b.category = "cfs";
+  b.ts_us = 200;
+  b.dur_us = 300;
+  b.tid = 2;
+  events.push_back(a);
+  events.push_back(b);
+
+  std::ostringstream os;
+  Trace::write_chrome_trace(os, events);
+  const std::string expected =
+      "{\n"
+      "  \"displayTimeUnit\": \"ms\",\n"
+      "  \"traceEvents\": [\n"
+      "    {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"cfs\"}},\n"
+      "    {\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": "
+      "\"campaign.run\", \"cat\": \"cfs\", \"ts\": 0, \"dur\": 1500, "
+      "\"args\": {\"vps\": 4, \"targets\": 9}},\n"
+      "    {\"ph\": \"X\", \"pid\": 1, \"tid\": 2, \"name\": "
+      "\"cfs.classify_chunk\", \"cat\": \"cfs\", \"ts\": 200, \"dur\": "
+      "300}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST_F(TraceTest, SummaryGolden) {
+  MetricsSnapshot snap;
+  snap.counters["campaign.traces_kept"] = 120;
+  snap.gauges["topo.routers"] = 64.0;
+  snap.timers["cfs.run"] = {1, 12.5};
+  snap.timers["cfs.classify"] = {4, 2.0};
+
+  std::ostringstream os;
+  Trace::write_summary(os, snap);
+  const std::string out = os.str();
+  // Structure, not byte-layout: three sections, map-ordered rows, count /
+  // total / mean derived correctly.
+  EXPECT_NE(out.find("-- timers --"), std::string::npos);
+  EXPECT_NE(out.find("-- counters --"), std::string::npos);
+  EXPECT_NE(out.find("-- gauges --"), std::string::npos);
+  EXPECT_NE(out.find("cfs.classify"), std::string::npos);
+  EXPECT_NE(out.find("12.500"), std::string::npos);  // cfs.run total
+  EXPECT_NE(out.find("0.500"), std::string::npos);   // cfs.classify mean
+  EXPECT_NE(out.find("campaign.traces_kept"), std::string::npos);
+  EXPECT_NE(out.find("120"), std::string::npos);
+  // Map order: cfs.classify precedes cfs.run.
+  EXPECT_LT(out.find("cfs.classify"), out.find("cfs.run"));
+}
+
+TEST_F(TraceTest, SummaryOfEmptyRegistry) {
+  std::ostringstream os;
+  Trace::write_summary(os, MetricsSnapshot{});
+  EXPECT_EQ(os.str(), "metrics registry: empty\n");
+}
+
+TEST_F(TraceTest, ChromeTraceEscapesHostileNames) {
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.name = "weird\"name\\with\ncontrol\x7f";
+  e.category = "cfs";
+  e.tid = 1;
+  events.push_back(e);
+  std::ostringstream os;
+  Trace::write_chrome_trace(os, events);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("weird\\\"name\\\\with\\ncontrol\\u007f"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfs

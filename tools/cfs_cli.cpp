@@ -8,6 +8,7 @@
 //
 //   cfs infer     [--scale ...] [--seed N] [--content N] [--transit N]
 //                 [--vp-fraction F] [--report FILE] [--threads N]
+//                 [--trace-out FILE]
 //                 [--lg-outage F] [--lg-ban-burst N] [--vp-churn F]
 //                 [--probe-timeout F] [--pdb-withheld F] [--dns-withheld F]
 //                 [--geoip-withheld F] [--fault-seed N]
@@ -16,13 +17,17 @@
 //       fault flags inject degraded-mode conditions (docs/ROBUSTNESS.md).
 //       --threads 0 (the default) uses hardware concurrency; reports are
 //       byte-identical at every thread count (docs/PARALLELISM.md).
+//       --trace-out writes a Chrome trace_event timeline of the run,
+//       loadable in chrome://tracing or Perfetto; enabling it never
+//       changes the report (docs/OBSERVABILITY.md).
 //
 //   cfs validate  [--scale ...] [--seed N] [--content N] [--transit N]
-//                 [--threads N] [fault flags as for infer]
+//                 [--threads N] [--trace-out FILE]
+//                 [fault flags as for infer]
 //       Run CFS and score it against every validation source + the oracle.
 //
 // Exit codes: 0 success, 2 usage error (no/unknown command), 3 bad flag
-// (malformed value or unknown flag), 4 runtime failure.
+// (malformed value, unknown or repeated flag), 4 runtime failure.
 #include <fstream>
 #include <iostream>
 
@@ -32,6 +37,7 @@
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 using namespace cfs;
 
@@ -58,12 +64,30 @@ PipelineConfig config_from(const Flags& flags) {
 }
 
 void reject_unknown(const Flags& flags) {
-  const auto unknown = flags.unknown_flags();
-  if (unknown.empty()) return;
-  std::string message = "unknown flag(s):";
-  for (const auto& name : unknown) message += " --" + name;
-  throw std::invalid_argument(message);
+  const std::string message = flags.unknown_flags_message();
+  if (!message.empty()) throw std::invalid_argument(message);
 }
+
+// --trace-out=FILE turns the span timeline on for the whole run; the
+// collected events are flushed here after the command succeeds. The
+// registry itself is always on, so tracing changes nothing but the
+// existence of this extra file (docs/OBSERVABILITY.md).
+struct TraceOutput {
+  explicit TraceOutput(const Flags& flags)
+      : path(flags.get("trace-out", "")) {
+    if (!path.empty()) Trace::enable();
+  }
+  void flush() const {
+    if (path.empty()) return;
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    Trace::write_chrome_trace(file);
+    std::cout << "trace written to " << path << " ("
+              << Trace::events().size()
+              << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  std::string path;
+};
 
 int cmd_generate(const Flags& flags) {
   const PipelineConfig config = config_from(flags);
@@ -126,6 +150,7 @@ int cmd_infer(const Flags& flags) {
   const std::string report_path = flags.get("report", "");
   config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
+  const TraceOutput trace_out(flags);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -193,12 +218,18 @@ int cmd_infer(const Flags& flags) {
   }
   stages.print(std::cout);
 
+  // The same numbers the JSON report carries under metrics.registry: the
+  // uniform view over every instrumented stage of this run.
+  std::cout << "\n";
+  Trace::write_summary(std::cout, report.metrics.registry);
+
   if (!report_path.empty()) {
     std::ofstream file(report_path);
     if (!file) throw std::runtime_error("cannot write " + report_path);
     write_report(file, report);
     std::cout << "report written to " << report_path << "\n";
   }
+  trace_out.flush();
   return 0;
 }
 
@@ -208,6 +239,7 @@ int cmd_validate(const Flags& flags) {
   const int transit = static_cast<int>(flags.get_int("transit", 2));
   config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
+  const TraceOutput trace_out(flags);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -232,6 +264,10 @@ int cmd_validate(const Flags& flags) {
                      Table::cell(std::uint64_t{acc.total})});
   }
   sources.print(std::cout);
+
+  std::cout << "\n";
+  Trace::write_summary(std::cout, report.metrics.registry);
+  trace_out.flush();
   return 0;
 }
 
@@ -248,9 +284,11 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1);
   set_log_level(LogLevel::Warn);
   try {
+    // Inside the try: the constructor throws on repeated flags, and that
+    // is a user error (exit 3), not a crash.
+    const Flags flags(argc - 1, argv + 1);
     if (command == "generate") return cmd_generate(flags);
     if (command == "census") return cmd_census(flags);
     if (command == "infer") return cmd_infer(flags);
