@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <ostream>
 
 namespace cfs {
 
@@ -50,6 +51,168 @@ ReportDiff diff_reports(const CfsReport& before, const CfsReport& after) {
             });
   // new_links / gone_links / retyped inherit std::map ordering.
   return out;
+}
+
+namespace {
+
+// Bounded compact rendering of a value for diff messages: a 4000-element
+// array difference should name the path, not paste both arrays.
+std::string render(const JsonValue& v) {
+  std::string text = v.dump();
+  constexpr std::size_t limit = 64;
+  if (text.size() > limit) {
+    text.resize(limit);
+    text += "...";
+  }
+  return text;
+}
+
+const char* type_name(const JsonValue& v) {
+  if (v.is_null()) return "null";
+  if (v.is_bool()) return "bool";
+  if (v.is_number()) return "number";
+  if (v.is_string()) return "string";
+  if (v.is_array()) return "array";
+  return "object";
+}
+
+struct DiffWalker {
+  const JsonDiffOptions& options;
+  JsonDiff out;
+
+  bool ignored(const std::string& path) const {
+    for (const std::string& prefix : options.ignore_prefixes) {
+      if (path == prefix) return true;
+      if (path.size() > prefix.size() && !prefix.empty() &&
+          path.compare(0, prefix.size(), prefix) == 0 &&
+          path[prefix.size()] == '/')
+        return true;
+    }
+    return false;
+  }
+
+  void record(const std::string& path, JsonDiffEntry::Kind kind,
+              std::string left, std::string right) {
+    ++out.total;
+    if (out.entries.size() >= options.max_entries) return;
+    out.entries.push_back(
+        JsonDiffEntry{path, kind, std::move(left), std::move(right)});
+  }
+
+  void walk(const std::string& path, const JsonValue& left,
+            const JsonValue& right) {
+    if (ignored(path)) return;
+    if (left == right) return;
+
+    const bool same_type =
+        (left.is_object() && right.is_object()) ||
+        (left.is_array() && right.is_array()) ||
+        (left.is_string() && right.is_string()) ||
+        (left.is_number() && right.is_number()) ||
+        (left.is_bool() && right.is_bool()) ||
+        (left.is_null() && right.is_null());
+    if (!same_type) {
+      record(path, JsonDiffEntry::Kind::TypeMismatch,
+             std::string(type_name(left)) + " " + render(left),
+             std::string(type_name(right)) + " " + render(right));
+      return;
+    }
+
+    if (left.is_object()) {
+      const auto& lo = left.as_object();
+      const auto& ro = right.as_object();
+      // std::map keeps keys sorted, so merging the two key sequences walks
+      // every key once, in deterministic order.
+      auto li = lo.begin();
+      auto ri = ro.begin();
+      while (li != lo.end() || ri != ro.end()) {
+        if (ri == ro.end() || (li != lo.end() && li->first < ri->first)) {
+          const std::string child = path + "/" + li->first;
+          if (!ignored(child))
+            record(child, JsonDiffEntry::Kind::Missing, render(li->second),
+                   "(absent)");
+          ++li;
+        } else if (li == lo.end() || ri->first < li->first) {
+          const std::string child = path + "/" + ri->first;
+          if (!ignored(child))
+            record(child, JsonDiffEntry::Kind::Extra, "(absent)",
+                   render(ri->second));
+          ++ri;
+        } else {
+          walk(path + "/" + li->first, li->second, ri->second);
+          ++li;
+          ++ri;
+        }
+      }
+      return;
+    }
+
+    if (left.is_array()) {
+      const auto& la = left.as_array();
+      const auto& ra = right.as_array();
+      const std::size_t common = std::min(la.size(), ra.size());
+      for (std::size_t i = 0; i < common; ++i)
+        walk(path + "/" + std::to_string(i), la[i], ra[i]);
+      for (std::size_t i = common; i < la.size(); ++i) {
+        const std::string child = path + "/" + std::to_string(i);
+        if (!ignored(child))
+          record(child, JsonDiffEntry::Kind::Missing, render(la[i]),
+                 "(absent)");
+      }
+      for (std::size_t i = common; i < ra.size(); ++i) {
+        const std::string child = path + "/" + std::to_string(i);
+        if (!ignored(child))
+          record(child, JsonDiffEntry::Kind::Extra, "(absent)",
+                 render(ra[i]));
+      }
+      return;
+    }
+
+    // Same scalar type, different value.
+    record(path, JsonDiffEntry::Kind::ValueMismatch, render(left),
+           render(right));
+  }
+};
+
+}  // namespace
+
+const char* json_diff_kind_name(JsonDiffEntry::Kind kind) {
+  switch (kind) {
+    case JsonDiffEntry::Kind::Missing:
+      return "missing on right";
+    case JsonDiffEntry::Kind::Extra:
+      return "extra on right";
+    case JsonDiffEntry::Kind::TypeMismatch:
+      return "type mismatch";
+    case JsonDiffEntry::Kind::ValueMismatch:
+      return "value mismatch";
+  }
+  return "unknown";
+}
+
+JsonDiff diff_json(const JsonValue& left, const JsonValue& right,
+                   const JsonDiffOptions& options) {
+  DiffWalker walker{options, {}};
+  walker.walk("", left, right);
+  return std::move(walker.out);
+}
+
+void print_json_diff(std::ostream& os, const JsonDiff& diff) {
+  if (diff.empty()) {
+    os << "identical\n";
+    return;
+  }
+  os << "first divergent path: "
+     << (diff.first_path().empty() ? "(root)" : diff.first_path()) << "\n";
+  for (const JsonDiffEntry& entry : diff.entries) {
+    os << "  " << (entry.path.empty() ? "(root)" : entry.path) << ": "
+       << json_diff_kind_name(entry.kind) << ": " << entry.left << " -> "
+       << entry.right << "\n";
+  }
+  if (diff.truncated())
+    os << "  ... " << (diff.total - diff.entries.size())
+       << " further difference(s) not shown\n";
+  os << diff.total << " difference(s)\n";
 }
 
 }  // namespace cfs

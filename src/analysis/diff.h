@@ -1,13 +1,22 @@
-// Longitudinal report comparison.
+// Longitudinal report comparison and structured JSON diffing.
 //
 // The paper's dataset is maintained over time ("we continue to maintain to
 // keep current"); comparing two inference runs answers the operational
 // questions that follow: which interfaces became resolvable, which moved
 // buildings (re-homed equipment or corrected data), which crossings
 // appeared or disappeared.
+//
+// The second half of this header is the differential-testing primitive:
+// a path-addressed diff over arbitrary exported JSON documents (topologies
+// and reports both serialise canonically, src/io/export.cpp), used by the
+// `cfs diff` subcommand and by every cfs_fuzz oracle to name the first
+// divergent path when two execution paths that must agree do not.
 #pragma once
 
+#include <iosfwd>
+
 #include "core/report.h"
+#include "io/json.h"
 
 namespace cfs {
 
@@ -44,5 +53,57 @@ struct ReportDiff {
 // Compares `after` against `before`; all vectors sorted deterministically.
 [[nodiscard]] ReportDiff diff_reports(const CfsReport& before,
                                       const CfsReport& after);
+
+// --- structured, path-addressed JSON diff ---
+
+struct JsonDiffOptions {
+  // Differences reported in full; everything past this is only counted.
+  std::size_t max_entries = 32;
+  // JSON-pointer-style path prefixes to skip entirely (subtree granularity),
+  // e.g. "/metrics" cuts the wall-clock subtree when comparing two runs of
+  // the same experiment.
+  std::vector<std::string> ignore_prefixes;
+};
+
+struct JsonDiffEntry {
+  enum class Kind {
+    Missing,        // present on the left only
+    Extra,          // present on the right only
+    TypeMismatch,   // both present, different JSON types
+    ValueMismatch,  // both present, same scalar type, different value
+  };
+  std::string path;  // "/links/2/type"; "" addresses the document root
+  Kind kind = Kind::ValueMismatch;
+  std::string left;   // bounded compact rendering; "(absent)" when missing
+  std::string right;
+};
+
+[[nodiscard]] const char* json_diff_kind_name(JsonDiffEntry::Kind kind);
+
+struct JsonDiff {
+  // Document-order differences, capped at JsonDiffOptions::max_entries.
+  std::vector<JsonDiffEntry> entries;
+  // Every difference found, including ones past the cap. Subtrees under a
+  // Missing/Extra/TypeMismatch node count once, not per leaf.
+  std::size_t total = 0;
+
+  [[nodiscard]] bool empty() const { return total == 0; }
+  [[nodiscard]] bool truncated() const { return total > entries.size(); }
+  // The first divergent path in document order; "" when identical.
+  [[nodiscard]] std::string first_path() const {
+    return entries.empty() ? std::string() : entries.front().path;
+  }
+};
+
+// Structural comparison of two documents. Object keys compare in sorted
+// (std::map) order, arrays index-wise, so the walk — and therefore
+// first_path() — is deterministic. Paths do not escape '/' or '~' in keys
+// (exported documents only use identifier-like keys).
+[[nodiscard]] JsonDiff diff_json(const JsonValue& left, const JsonValue& right,
+                                 const JsonDiffOptions& options = {});
+
+// Human-readable rendering used by `cfs diff` (one line per entry, then a
+// summary line); golden-tested in tools/CMakeLists.txt.
+void print_json_diff(std::ostream& os, const JsonDiff& diff);
 
 }  // namespace cfs

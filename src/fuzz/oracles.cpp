@@ -1,0 +1,431 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "analysis/diff.h"
+#include "io/export.h"
+#include "util/strings.h"
+
+namespace cfs {
+namespace {
+
+// One arm of a differential pair: full pipeline at the given thread count
+// and engine, traces from the scenario's campaign shape.
+CfsReport run_arm(const Scenario& s, int threads, bool incremental) {
+  PipelineConfig config = s.pipeline_config();
+  config.threads = threads;
+  config.cfs.incremental = incremental;
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(
+      pipeline.default_targets(s.content_targets, s.transit_targets),
+      s.vp_fraction);
+  return pipeline.run_cfs(std::move(traces));
+}
+
+std::optional<OracleFailure> fail(const std::string& oracle,
+                                  std::string message) {
+  return OracleFailure{oracle, std::move(message)};
+}
+
+// Summarises a non-empty diff as "first divergent path + totals".
+std::string diff_message(const char* what, const JsonDiff& diff) {
+  std::ostringstream os;
+  os << what << " diverge at " << diff.first_path() << " ("
+     << diff.entries.front().left << " -> " << diff.entries.front().right
+     << "; " << diff.total << " difference(s) total)";
+  return os.str();
+}
+
+// Engine-equivalence form: metrics cut (wall clock), and per-interface
+// `conflicts` cut — the full engine re-counts the same conflicting
+// observation every sweep while the incremental engine visits it once, so
+// the tally is engine-specific by design (tests/core/incremental_test.cpp).
+JsonValue engine_equivalence_json(const CfsReport& report) {
+  JsonValue json = equivalence_json(report);
+  for (JsonValue& iface : json.as_object().at("interfaces").as_array())
+    iface.as_object().erase("conflicts");
+  return json;
+}
+
+// --- oracle: serial vs parallel ---
+std::optional<OracleFailure> check_parallel(const Scenario& s) {
+  const CfsReport reference = run_arm(s, 1, true);
+  const CfsReport parallel = run_arm(s, s.threads, true);
+
+  const JsonDiff report_diff =
+      diff_json(equivalence_json(reference), equivalence_json(parallel));
+  if (!report_diff.empty())
+    return fail("parallel", diff_message("reports (threads 1 vs k)",
+                                         report_diff));
+
+  const JsonDiff counter_diff = diff_json(counters_json(reference.metrics),
+                                          counters_json(parallel.metrics));
+  if (!counter_diff.empty())
+    return fail("parallel",
+                diff_message("metrics counters (threads 1 vs k)",
+                             counter_diff));
+  return std::nullopt;
+}
+
+// --- oracle: incremental vs from-scratch ---
+std::optional<OracleFailure> check_incremental(const Scenario& s) {
+  const CfsReport incremental = run_arm(s, 1, true);
+  const CfsReport scratch = run_arm(s, 1, false);
+  const JsonDiff diff = diff_json(engine_equivalence_json(incremental),
+                                  engine_equivalence_json(scratch));
+  if (!diff.empty())
+    return fail("incremental",
+                diff_message("reports (incremental vs scratch)", diff));
+  return std::nullopt;
+}
+
+// --- oracle: export round-trip fixpoint ---
+std::optional<OracleFailure> check_roundtrip(const Scenario& s) {
+  // Topology: canonical from the first pass.
+  const Topology topo = generate_topology(s.pipeline_config().generator);
+  const std::string t1 = topology_to_json(topo).pretty();
+  const std::string t2 =
+      topology_to_json(topology_from_json(parse_json(t1))).pretty();
+  if (t1 != t2) {
+    const JsonDiff diff = diff_json(parse_json(t1), parse_json(t2));
+    return fail("roundtrip", diff_message("topology to_json . from_json",
+                                          diff));
+  }
+
+  // Report, produced by the parallel arm so round-trip also covers
+  // pool-built reports: to_json . from_json must be the identity on the
+  // serialised form from the very first pass (export is canonical).
+  const CfsReport report = run_arm(s, s.threads, true);
+  const std::string r1 = report_to_json(report).pretty();
+  const std::string r2 =
+      report_to_json(report_from_json(parse_json(r1))).pretty();
+  if (r1 != r2) {
+    const JsonDiff diff = diff_json(parse_json(r1), parse_json(r2));
+    return fail("roundtrip",
+                diff_message("report to_json . from_json", diff));
+  }
+  // Second pass: the fixpoint must hold for every further iteration.
+  const std::string r3 =
+      report_to_json(report_from_json(parse_json(r2))).pretty();
+  if (r2 != r3) {
+    const JsonDiff diff = diff_json(parse_json(r2), parse_json(r3));
+    return fail("roundtrip",
+                diff_message("report second-pass fixpoint", diff));
+  }
+  return std::nullopt;
+}
+
+// --- oracle: fault-plan replay determinism ---
+std::optional<OracleFailure> check_replay(const Scenario& s) {
+  const CfsReport first = run_arm(s, s.threads, true);
+  const CfsReport second = run_arm(s, s.threads, true);
+  const JsonDiff report_diff =
+      diff_json(equivalence_json(first), equivalence_json(second));
+  if (!report_diff.empty())
+    return fail("replay", diff_message("repeated runs", report_diff));
+  const JsonDiff counter_diff = diff_json(counters_json(first.metrics),
+                                          counters_json(second.metrics));
+  if (!counter_diff.empty())
+    return fail("replay",
+                diff_message("repeated-run metrics counters", counter_diff));
+  return std::nullopt;
+}
+
+// --- oracle: structural / paper-grounded invariants ---
+std::optional<OracleFailure> check_invariants(const Scenario& s) {
+  const CfsReport report = run_arm(s, s.threads, true);
+  const char* name = "invariants";
+
+  for (const auto& [addr, inf] : report.interfaces) {
+    if (inf.has_constraint && inf.candidates.empty())
+      return fail(name, "interface " + addr.to_string() +
+                            ": constrained to an empty candidate set");
+    if (!std::is_sorted(inf.candidates.begin(), inf.candidates.end()))
+      return fail(name, "interface " + addr.to_string() +
+                            ": candidate set not sorted");
+    if (std::adjacent_find(inf.candidates.begin(), inf.candidates.end()) !=
+        inf.candidates.end())
+      return fail(name, "interface " + addr.to_string() +
+                            ": duplicate facility in candidate set");
+    if (inf.resolved_iteration >= 0 && !inf.resolved())
+      return fail(name, "interface " + addr.to_string() +
+                            ": resolved_iteration set but |candidates| != 1");
+  }
+
+  // Every inferred facility must lie inside its interface's constraint
+  // set (Section 4: CFS only ever narrows; the final link pass must not
+  // invent a facility the constraints exclude).
+  for (std::size_t i = 0; i < report.links.size(); ++i) {
+    const LinkInference& link = report.links[i];
+    const auto in_candidates = [&](Ipv4 addr, FacilityId fac) {
+      const InterfaceInference* inf = report.find(addr);
+      if (inf == nullptr || !inf->has_constraint) return true;  // no claim
+      return std::binary_search(inf->candidates.begin(),
+                                inf->candidates.end(), fac);
+    };
+    if (link.near_facility &&
+        !in_candidates(link.obs.near_addr, *link.near_facility))
+      return fail(name, "links/" + std::to_string(i) +
+                            ": near facility outside the near interface's "
+                            "candidate set");
+    // A proximity-inferred far end is a heuristic guess (Section 4.4) and
+    // may legitimately sit outside the far interface's own constraints.
+    if (link.far_facility && !link.far_by_proximity &&
+        !in_candidates(link.obs.far_addr, *link.far_facility))
+      return fail(name, "links/" + std::to_string(i) +
+                            ": far facility outside the far interface's "
+                            "candidate set");
+  }
+
+  // Convergence history: constraints only narrow, so the cumulative
+  // resolved count never decreases (Fig. 7 curves are monotone).
+  for (std::size_t i = 1; i < report.resolved_per_iteration.size(); ++i)
+    if (report.resolved_per_iteration[i] < report.resolved_per_iteration[i - 1])
+      return fail(name, "resolved_per_iteration decreases at iteration " +
+                            std::to_string(i + 1));
+  if (!report.resolved_per_iteration.empty() &&
+      report.resolved_per_iteration.back() != report.resolved_interfaces())
+    return fail(name,
+                "final resolved_per_iteration entry disagrees with the "
+                "resolved-interface count");
+  if (report.iterations_run != report.metrics.iterations.size())
+    return fail(name, "iterations_run != metrics.iterations.size()");
+
+  // Alias sets partition addresses: one router per interface.
+  std::unordered_map<Ipv4, std::size_t> seen;
+  for (std::size_t i = 0; i < report.aliases.sets.size(); ++i)
+    for (const Ipv4 addr : report.aliases.sets[i]) {
+      const auto [it, inserted] = seen.emplace(addr, i);
+      if (!inserted)
+        return fail(name, "address " + addr.to_string() +
+                              " appears in alias sets " +
+                              std::to_string(it->second) + " and " +
+                              std::to_string(i));
+    }
+
+  // Measurement-plane accounting (net/faults.h invariant).
+  const FaultMetrics& fm = report.metrics.faults;
+  if (fm.traces_attempted != fm.traces_kept + fm.traces_unreachable +
+                                 fm.probes_abandoned +
+                                 fm.probes_skipped_open_circuit)
+    return fail(name, "fault-plane attrition accounting does not add up");
+  return std::nullopt;
+}
+
+// --- oracle: pinned interfaces stay pinned when traces are added ---
+std::optional<OracleFailure> check_pinning(const Scenario& s) {
+  // Both arms run the monotone core of CFS: no fault plane (withheld-data
+  // draws would differ between arms after the extra campaign consumed
+  // fault RNG), no alias propagation and no follow-up probing (alias
+  // partitions and follow-up choices are evidence-dependent, so arm B's
+  // constraint set would not be a superset of arm A's and the narrowing
+  // argument below would not hold). What remains is the paper's Step-2
+  // per-observation constraining, which is where the monotonicity claim
+  // actually lives.
+  PipelineConfig config = s.pipeline_config();
+  config.faults = FaultPlan{};
+  config.cfs.use_alias_constraints = false;
+  config.cfs.followup_interfaces = 0;
+
+  // Arm A: the scenario's own campaign.
+  Pipeline base(config);
+  auto base_traces = base.initial_campaign(
+      base.default_targets(s.content_targets, s.transit_targets),
+      s.vp_fraction);
+  const CfsReport before = base.run_cfs(std::move(base_traces));
+
+  // Arm B: the identical campaign (same pipeline seed, same first draws)
+  // plus a second campaign toward a wider target set appended on top.
+  Pipeline wider(config);
+  auto traces = wider.initial_campaign(
+      wider.default_targets(s.content_targets, s.transit_targets),
+      s.vp_fraction);
+  auto extra = wider.initial_campaign(
+      wider.default_targets(s.content_targets + 1, s.transit_targets + 1),
+      s.vp_fraction);
+  traces.insert(traces.end(), std::make_move_iterator(extra.begin()),
+                std::make_move_iterator(extra.end()));
+  const CfsReport after = wider.run_cfs(std::move(traces));
+
+  // InterfaceInference::constrain only ever intersects, and a constraint
+  // that would empty the set is recorded as a conflict and ignored. For an
+  // interface with zero conflicts in both runs the final candidate set is
+  // a plain intersection of its constraints; arm B applies a superset of
+  // arm A's, so B's set is contained in A's: an interface pinned to F in A
+  // must stay pinned to F in B. Conflicted interfaces are excluded —
+  // conflict-ignoring is order-sensitive by design (stale data must not
+  // erase good constraints), as is an interface whose ASN attribution or
+  // remote verdict moved with the extra evidence (different initial set).
+  for (const auto& [addr, inf] : before.interfaces) {
+    if (!inf.resolved() || inf.conflicts != 0) continue;
+    const InterfaceInference* now = after.find(addr);
+    if (now == nullptr || now->conflicts != 0 || now->asn != inf.asn ||
+        now->remote_suspect != inf.remote_suspect)
+      continue;
+    if (!now->resolved())
+      return fail("pinning",
+                  "interface " + addr.to_string() +
+                      " was pinned without conflicts but un-pinned after "
+                      "adding traces (|candidates| now " +
+                      std::to_string(now->candidates.size()) + ")");
+    if (now->facility() != inf.facility())
+      return fail("pinning", "interface " + addr.to_string() +
+                                 " moved facility after adding traces "
+                                 "despite zero conflicts");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+JsonValue equivalence_json(const CfsReport& report) {
+  JsonValue json = report_to_json(report);
+  json.as_object().erase("metrics");  // wall clock legitimately differs
+  return json;
+}
+
+JsonValue counters_json(const CfsMetrics& m) {
+  // Every deterministic counter the parallel-equivalence suite compares,
+  // and none of the timings. `threads` is deliberately absent: it is the
+  // one field that legitimately differs between equivalent arms.
+  JsonValue::Object o;
+  o.emplace("incremental", m.incremental);
+  o.emplace("initial_traces", static_cast<std::uint64_t>(m.initial_traces));
+  o.emplace("initial_observations",
+            static_cast<std::uint64_t>(m.initial_observations));
+  o.emplace("alias_refreshes", static_cast<std::uint64_t>(m.alias_refreshes));
+  o.emplace("reclassified_traces",
+            static_cast<std::uint64_t>(m.reclassified_traces));
+  o.emplace("reclassified_observations",
+            static_cast<std::uint64_t>(m.reclassified_observations));
+  o.emplace("replayed_observations",
+            static_cast<std::uint64_t>(m.replayed_observations));
+
+  JsonValue::Object faults;
+  faults.emplace("traces_attempted",
+                 static_cast<std::uint64_t>(m.faults.traces_attempted));
+  faults.emplace("traces_kept",
+                 static_cast<std::uint64_t>(m.faults.traces_kept));
+  faults.emplace("traces_unreachable",
+                 static_cast<std::uint64_t>(m.faults.traces_unreachable));
+  faults.emplace("retries", static_cast<std::uint64_t>(m.faults.retries));
+  faults.emplace("failovers", static_cast<std::uint64_t>(m.faults.failovers));
+  faults.emplace("circuits_opened",
+                 static_cast<std::uint64_t>(m.faults.circuits_opened));
+  faults.emplace("probes_abandoned",
+                 static_cast<std::uint64_t>(m.faults.probes_abandoned));
+  faults.emplace(
+      "probes_skipped_open_circuit",
+      static_cast<std::uint64_t>(m.faults.probes_skipped_open_circuit));
+  faults.emplace("probe_timeouts",
+                 static_cast<std::uint64_t>(m.faults.probe_timeouts));
+  faults.emplace("lg_bans", static_cast<std::uint64_t>(m.faults.lg_bans));
+  faults.emplace("records_withheld",
+                 static_cast<std::uint64_t>(m.faults.records_withheld));
+  o.emplace("faults", std::move(faults));
+
+  JsonValue::Array iterations;
+  for (const IterationMetrics& r : m.iterations) {
+    JsonValue::Object row;
+    row.emplace("iteration", static_cast<std::uint64_t>(r.iteration));
+    row.emplace("alias_refreshed", r.alias_refreshed);
+    row.emplace("observations", static_cast<std::uint64_t>(r.observations));
+    row.emplace("interfaces", static_cast<std::uint64_t>(r.interfaces));
+    row.emplace("resolved", static_cast<std::uint64_t>(r.resolved));
+    row.emplace("classified_observations",
+                static_cast<std::uint64_t>(r.classified_observations));
+    row.emplace("reclassified_traces",
+                static_cast<std::uint64_t>(r.reclassified_traces));
+    row.emplace("replayed_observations",
+                static_cast<std::uint64_t>(r.replayed_observations));
+    row.emplace("dirty_observations",
+                static_cast<std::uint64_t>(r.dirty_observations));
+    row.emplace("constrained_observations",
+                static_cast<std::uint64_t>(r.constrained_observations));
+    row.emplace("alias_sets_processed",
+                static_cast<std::uint64_t>(r.alias_sets_processed));
+    row.emplace("followup_pool",
+                static_cast<std::uint64_t>(r.followup_pool));
+    row.emplace("followup_budget",
+                static_cast<std::uint64_t>(r.followup_budget));
+    row.emplace("followups_launched",
+                static_cast<std::uint64_t>(r.followups_launched));
+    row.emplace("followups_skipped",
+                static_cast<std::uint64_t>(r.followups_skipped));
+    row.emplace("followup_traces",
+                static_cast<std::uint64_t>(r.followup_traces));
+    iterations.emplace_back(std::move(row));
+  }
+  o.emplace("iterations", std::move(iterations));
+  return JsonValue(std::move(o));
+}
+
+const std::vector<Oracle>& all_oracles() {
+  static const std::vector<Oracle> oracles = {
+      {"parallel",
+       "reports byte-identical at --threads 1 vs the scenario's thread "
+       "count",
+       check_parallel},
+      {"incremental",
+       "incremental engine matches the from-scratch engine",
+       check_incremental},
+      {"roundtrip",
+       "topology/report JSON export is a round-trip fixpoint",
+       check_roundtrip},
+      {"replay", "repeated faulted runs replay byte-identically",
+       check_replay},
+      {"invariants",
+       "paper-grounded report invariants (facility in candidate set, "
+       "monotone convergence, alias partition, fault accounting)",
+       check_invariants},
+      {"pinning",
+       "conflict-free pinned interfaces stay pinned when traces are added",
+       check_pinning},
+  };
+  return oracles;
+}
+
+std::vector<Oracle> oracles_by_name(const std::string& csv) {
+  if (csv.empty() || csv == "all") return all_oracles();
+  std::vector<Oracle> out;
+  for (const std::string& raw : split(csv, ',')) {
+    const std::string name{trim(raw)};
+    if (name.empty()) continue;
+    bool found = false;
+    for (const Oracle& oracle : all_oracles())
+      if (oracle.name == name) {
+        out.push_back(oracle);
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::string valid;
+      for (const Oracle& oracle : all_oracles())
+        valid += (valid.empty() ? "" : ", ") + oracle.name;
+      throw std::invalid_argument("unknown oracle '" + name +
+                                  "' (valid: " + valid + ")");
+    }
+  }
+  if (out.empty()) throw std::invalid_argument("empty oracle selection");
+  return out;
+}
+
+std::optional<OracleFailure> run_oracles(const Scenario& scenario,
+                                         const std::vector<Oracle>& oracles) {
+  for (const Oracle& oracle : oracles) {
+    std::optional<OracleFailure> failure;
+    try {
+      failure = oracle.run(scenario);
+    } catch (const std::exception& error) {
+      failure = OracleFailure{oracle.name,
+                              std::string("exception: ") + error.what()};
+    }
+    if (failure) return failure;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cfs

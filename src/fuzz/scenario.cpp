@@ -1,0 +1,170 @@
+#include "fuzz/scenario.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cfs {
+
+PipelineConfig Scenario::pipeline_config() const {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = seed;
+  // Same derivation the CLI uses for --seed, so a scenario seed and a CLI
+  // seed mean the same world.
+  config.generator.seed = seed * 977 + 3;
+
+  config.generator.metros = metros;
+  config.generator.facility_density = facility_density;
+  config.generator.tier1_count = tier1;
+  config.generator.transit_count = transit;
+  config.generator.content_count = content;
+  config.generator.eyeball_count = eyeball;
+  config.generator.enterprise_count = enterprise;
+  config.generator.max_ixp_span = max_ixp_span;
+
+  config.cfs.max_iterations = max_iterations;
+  config.cfs.followup_interfaces = followup_interfaces;
+
+  config.faults.lg_outage_fraction = lg_outage;
+  config.faults.vp_churn_fraction = vp_churn;
+  config.faults.probe_timeout_rate = probe_timeout;
+  config.faults.lg_ban_burst = lg_ban_burst;
+  config.faults.peeringdb_withheld = pdb_withheld;
+  config.faults.dns_withheld = dns_withheld;
+  config.faults.geoip_withheld = geoip_withheld;
+  config.faults.seed = fault_seed;
+
+  config.threads = 1;  // serial reference; oracles override per arm
+  return config;
+}
+
+std::string Scenario::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " metros=" << metros << " ases=" << tier1 << "/"
+     << transit << "/" << content << "/" << eyeball << "/" << enterprise
+     << " targets=" << content_targets << "c+" << transit_targets << "t"
+     << " vp=" << vp_fraction << " iters=" << max_iterations
+     << " followups=" << followup_interfaces << " threads=" << threads;
+  if (any_faults())
+    os << " faults[outage=" << lg_outage << " churn=" << vp_churn
+       << " timeout=" << probe_timeout << " ban=" << lg_ban_burst
+       << " withheld=" << pdb_withheld << "/" << dns_withheld << "/"
+       << geoip_withheld << " fseed=" << fault_seed << "]";
+  return os.str();
+}
+
+JsonValue Scenario::to_json() const {
+  JsonValue::Object o;
+  o.emplace("seed", seed);
+  o.emplace("metros", metros);
+  o.emplace("facility_density", facility_density);
+  o.emplace("tier1", tier1);
+  o.emplace("transit", transit);
+  o.emplace("content", content);
+  o.emplace("eyeball", eyeball);
+  o.emplace("enterprise", enterprise);
+  o.emplace("max_ixp_span", max_ixp_span);
+  o.emplace("content_targets", content_targets);
+  o.emplace("transit_targets", transit_targets);
+  o.emplace("vp_fraction", vp_fraction);
+  o.emplace("max_iterations", max_iterations);
+  o.emplace("followup_interfaces", followup_interfaces);
+  o.emplace("threads", threads);
+  o.emplace("lg_outage", lg_outage);
+  o.emplace("vp_churn", vp_churn);
+  o.emplace("probe_timeout", probe_timeout);
+  o.emplace("lg_ban_burst", lg_ban_burst);
+  o.emplace("pdb_withheld", pdb_withheld);
+  o.emplace("dns_withheld", dns_withheld);
+  o.emplace("geoip_withheld", geoip_withheld);
+  o.emplace("fault_seed", fault_seed);
+  return JsonValue(std::move(o));
+}
+
+Scenario Scenario::from_json(const JsonValue& doc) {
+  if (!doc.is_object())
+    throw std::runtime_error("scenario document must be a JSON object");
+  Scenario s;
+  const auto get_int = [&](const char* key, auto& field) {
+    if (const JsonValue* v = doc.find(key))
+      field = static_cast<std::remove_reference_t<decltype(field)>>(
+          v->as_int());
+  };
+  const auto get_double = [&](const char* key, double& field) {
+    if (const JsonValue* v = doc.find(key)) field = v->as_number();
+  };
+  get_int("seed", s.seed);
+  get_int("metros", s.metros);
+  get_double("facility_density", s.facility_density);
+  get_int("tier1", s.tier1);
+  get_int("transit", s.transit);
+  get_int("content", s.content);
+  get_int("eyeball", s.eyeball);
+  get_int("enterprise", s.enterprise);
+  get_int("max_ixp_span", s.max_ixp_span);
+  get_int("content_targets", s.content_targets);
+  get_int("transit_targets", s.transit_targets);
+  get_double("vp_fraction", s.vp_fraction);
+  get_int("max_iterations", s.max_iterations);
+  get_int("followup_interfaces", s.followup_interfaces);
+  get_int("threads", s.threads);
+  get_double("lg_outage", s.lg_outage);
+  get_double("vp_churn", s.vp_churn);
+  get_double("probe_timeout", s.probe_timeout);
+  get_int("lg_ban_burst", s.lg_ban_burst);
+  get_double("pdb_withheld", s.pdb_withheld);
+  get_double("dns_withheld", s.dns_withheld);
+  get_double("geoip_withheld", s.geoip_withheld);
+  get_int("fault_seed", s.fault_seed);
+  return s;
+}
+
+Scenario sample_scenario(Rng& rng) {
+  Scenario s;
+  // Seeds stay below 2^32: JSON numbers are doubles, and a full 64-bit
+  // seed would lose low bits through the corpus round-trip.
+  s.seed = rng.uniform(std::uint64_t{1} << 32);
+
+  s.metros = static_cast<int>(
+      rng.uniform_in(ScenarioFloors::metros, 8));
+  s.facility_density = rng.uniform_real(ScenarioFloors::facility_density, 1.0);
+  s.tier1 = static_cast<int>(rng.uniform_in(ScenarioFloors::tier1, 4));
+  s.transit = static_cast<int>(rng.uniform_in(ScenarioFloors::transit, 10));
+  s.content = static_cast<int>(rng.uniform_in(ScenarioFloors::content, 6));
+  s.eyeball = static_cast<int>(rng.uniform_in(ScenarioFloors::eyeball, 24));
+  s.enterprise =
+      static_cast<int>(rng.uniform_in(ScenarioFloors::enterprise, 14));
+  s.max_ixp_span =
+      static_cast<int>(rng.uniform_in(ScenarioFloors::max_ixp_span, 8));
+
+  s.content_targets =
+      static_cast<int>(rng.uniform_in(ScenarioFloors::content_targets, 3));
+  s.transit_targets =
+      static_cast<int>(rng.uniform_in(ScenarioFloors::transit_targets, 3));
+  s.vp_fraction = rng.uniform_real(ScenarioFloors::vp_fraction, 0.8);
+
+  s.max_iterations =
+      static_cast<int>(rng.uniform_in(ScenarioFloors::max_iterations, 6));
+  s.followup_interfaces = static_cast<int>(
+      rng.uniform_in(ScenarioFloors::followup_interfaces, 24));
+
+  static constexpr int thread_choices[] = {2, 3, 4, 8};
+  s.threads = thread_choices[rng.index(4)];
+
+  // Half the trials run against a degraded measurement plane; each fault
+  // dimension then switches on independently so single-fault and
+  // combined-fault interactions both get coverage.
+  if (rng.chance(0.5)) {
+    if (rng.chance(0.5)) s.lg_outage = rng.uniform_real(0.05, 0.6);
+    if (rng.chance(0.4)) s.vp_churn = rng.uniform_real(0.05, 0.3);
+    if (rng.chance(0.4)) s.probe_timeout = rng.uniform_real(0.02, 0.15);
+    if (rng.chance(0.3))
+      s.lg_ban_burst = static_cast<int>(rng.uniform_in(2, 5));
+    if (rng.chance(0.3)) s.pdb_withheld = rng.uniform_real(0.05, 0.3);
+    if (rng.chance(0.3)) s.dns_withheld = rng.uniform_real(0.05, 0.3);
+    if (rng.chance(0.3)) s.geoip_withheld = rng.uniform_real(0.05, 0.3);
+    s.fault_seed = rng.uniform(1 << 16);
+  }
+  return s;
+}
+
+}  // namespace cfs

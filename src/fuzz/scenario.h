@@ -1,0 +1,101 @@
+// Fuzzable scenario description for the differential oracle harness.
+//
+// A Scenario is the complete, serialisable input of one differential
+// trial: topology scale knobs, campaign shape, CFS budget, thread count
+// and a fault schedule. Every knob is drawn from a master Rng so a single
+// (seed, trial) pair reproduces the trial exactly, and the whole struct
+// round-trips through JSON so shrunk failures can be committed to
+// `corpus/` and replayed with `cfs_fuzz --replay` (docs/TESTING.md).
+//
+// The sampling ranges are anchored at the `tiny` presets: the harness
+// exists to cross-check execution paths over thousands of worlds, which
+// only pays off if a single trial stays in the tens of milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "io/json.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+struct Scenario {
+  std::uint64_t seed = 1;  // pipeline seed; generator seed derives from it
+
+  // --- topology scale (GeneratorConfig overrides) ---
+  int metros = 6;
+  double facility_density = 0.4;
+  int tier1 = 3;
+  int transit = 8;
+  int content = 4;
+  int eyeball = 18;
+  int enterprise = 10;
+  int max_ixp_span = 6;
+
+  // --- campaign shape ---
+  int content_targets = 1;
+  int transit_targets = 1;
+  double vp_fraction = 0.5;
+
+  // --- CFS budget ---
+  int max_iterations = 4;
+  int followup_interfaces = 16;
+
+  // Thread count of the parallel arm (the serial reference is always 1).
+  int threads = 4;
+
+  // --- fault schedule (FaultPlan intensities; all zero = no plane) ---
+  double lg_outage = 0.0;
+  double vp_churn = 0.0;
+  double probe_timeout = 0.0;
+  int lg_ban_burst = 0;
+  double pdb_withheld = 0.0;
+  double dns_withheld = 0.0;
+  double geoip_withheld = 0.0;
+  std::uint64_t fault_seed = 0;
+
+  // Pipeline configuration for the serial reference run (threads = 1,
+  // incremental engine); oracles override threads/engine per arm.
+  [[nodiscard]] PipelineConfig pipeline_config() const;
+
+  [[nodiscard]] bool any_faults() const {
+    return lg_outage > 0 || vp_churn > 0 || probe_timeout > 0 ||
+           lg_ban_burst > 0 || pdb_withheld > 0 || dns_withheld > 0 ||
+           geoip_withheld > 0;
+  }
+
+  // One-line knob dump for progress lines and failure messages.
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] JsonValue to_json() const;
+  // Throws std::runtime_error on malformed documents; absent keys keep
+  // their defaults so hand-written corpus entries can stay minimal.
+  static Scenario from_json(const JsonValue& doc);
+};
+
+// Floors every shrink step reduces toward; sampling never goes below them
+// and generator invariants hold for any scenario at or above them.
+struct ScenarioFloors {
+  static constexpr int metros = 2;
+  static constexpr double facility_density = 0.3;
+  static constexpr int tier1 = 1;
+  static constexpr int transit = 2;
+  static constexpr int content = 1;
+  static constexpr int eyeball = 4;
+  static constexpr int enterprise = 0;
+  static constexpr int max_ixp_span = 3;
+  static constexpr int content_targets = 1;
+  static constexpr int transit_targets = 1;
+  static constexpr double vp_fraction = 0.2;
+  static constexpr int max_iterations = 1;
+  static constexpr int followup_interfaces = 0;
+  static constexpr int threads = 2;
+};
+
+// Draws one trial's scenario from the master stream. Deterministic: equal
+// Rng state yields an equal scenario.
+[[nodiscard]] Scenario sample_scenario(Rng& rng);
+
+}  // namespace cfs

@@ -1,0 +1,158 @@
+#include "fuzz/shrink.h"
+
+#include "core/metrics.h"
+
+namespace cfs {
+namespace {
+
+// Integer halving toward a floor: strictly decreasing, so every dimension
+// reaches its floor in O(log range) accepted steps.
+bool halve_toward(int& value, int floor) {
+  if (value <= floor) return false;
+  value = floor + (value - floor) / 2;
+  return true;
+}
+
+// Double halving toward a floor, snapping once the remaining distance is
+// negligible (keeps the schedule finite).
+bool halve_toward(double& value, double floor) {
+  constexpr double epsilon = 0.01;
+  if (value <= floor + epsilon) {
+    if (value == floor) return false;
+    value = floor;
+    return true;
+  }
+  value = floor + (value - floor) / 2;
+  return true;
+}
+
+bool zero_out(double& value) {
+  if (value == 0.0) return false;
+  value = 0.0;
+  return true;
+}
+
+bool zero_out(int& value) {
+  if (value == 0) return false;
+  value = 0;
+  return true;
+}
+
+bool zero_out(std::uint64_t& value) {
+  if (value == 0) return false;
+  value = 0;
+  return true;
+}
+
+}  // namespace
+
+const std::vector<ShrinkStep>& shrink_steps() {
+  using F = ScenarioFloors;
+  static const std::vector<ShrinkStep> steps = {
+      // Topology scale first: fewer entities shrinks everything downstream
+      // (traces, observations, constraint passes) at once.
+      {"eyeball", [](Scenario& s) { return halve_toward(s.eyeball, F::eyeball); }},
+      {"enterprise",
+       [](Scenario& s) { return halve_toward(s.enterprise, F::enterprise); }},
+      {"transit", [](Scenario& s) { return halve_toward(s.transit, F::transit); }},
+      {"content", [](Scenario& s) { return halve_toward(s.content, F::content); }},
+      {"tier1", [](Scenario& s) { return halve_toward(s.tier1, F::tier1); }},
+      {"metros", [](Scenario& s) { return halve_toward(s.metros, F::metros); }},
+      {"facility_density",
+       [](Scenario& s) {
+         return halve_toward(s.facility_density, F::facility_density);
+       }},
+      {"max_ixp_span",
+       [](Scenario& s) { return halve_toward(s.max_ixp_span, F::max_ixp_span); }},
+      // Campaign shape.
+      {"content_targets",
+       [](Scenario& s) {
+         return halve_toward(s.content_targets, F::content_targets);
+       }},
+      {"transit_targets",
+       [](Scenario& s) {
+         return halve_toward(s.transit_targets, F::transit_targets);
+       }},
+      {"vp_fraction",
+       [](Scenario& s) { return halve_toward(s.vp_fraction, F::vp_fraction); }},
+      // CFS budget.
+      {"max_iterations",
+       [](Scenario& s) {
+         return halve_toward(s.max_iterations, F::max_iterations);
+       }},
+      {"followup_interfaces",
+       [](Scenario& s) {
+         return halve_toward(s.followup_interfaces, F::followup_interfaces);
+       }},
+      // Fault plan: each dimension zeroed independently — a one-fault repro
+      // names the interaction — then halved if zeroing un-reproduces.
+      {"lg_outage=0", [](Scenario& s) { return zero_out(s.lg_outage); }},
+      {"vp_churn=0", [](Scenario& s) { return zero_out(s.vp_churn); }},
+      {"probe_timeout=0",
+       [](Scenario& s) { return zero_out(s.probe_timeout); }},
+      {"lg_ban_burst=0",
+       [](Scenario& s) { return zero_out(s.lg_ban_burst); }},
+      {"pdb_withheld=0",
+       [](Scenario& s) { return zero_out(s.pdb_withheld); }},
+      {"dns_withheld=0",
+       [](Scenario& s) { return zero_out(s.dns_withheld); }},
+      {"geoip_withheld=0",
+       [](Scenario& s) { return zero_out(s.geoip_withheld); }},
+      {"lg_outage/2", [](Scenario& s) { return halve_toward(s.lg_outage, 0.0); }},
+      {"vp_churn/2", [](Scenario& s) { return halve_toward(s.vp_churn, 0.0); }},
+      {"probe_timeout/2",
+       [](Scenario& s) { return halve_toward(s.probe_timeout, 0.0); }},
+      {"fault_seed=0", [](Scenario& s) { return zero_out(s.fault_seed); }},
+      // Execution shape last.
+      {"threads", [](Scenario& s) { return halve_toward(s.threads, F::threads); }},
+  };
+  return steps;
+}
+
+ShrinkResult shrink_scenario(const Scenario& failing, const Oracle& oracle,
+                             const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimal = failing;
+  const Stopwatch clock;
+
+  const auto still_fails = [&](const Scenario& candidate) {
+    ++result.attempts;
+    std::optional<OracleFailure> failure;
+    try {
+      failure = oracle.run(candidate);
+    } catch (const std::exception& error) {
+      failure = OracleFailure{oracle.name, error.what()};
+    }
+    return failure.has_value();
+  };
+
+  const auto out_of_budget = [&] {
+    return options.budget_sec > 0 &&
+           clock.elapsed_ms() > options.budget_sec * 1000.0;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool accepted_any = false;
+    for (const auto& [name, step] : shrink_steps()) {
+      // Drive each dimension to its own fixpoint before moving on:
+      // halving is only cheap if the re-runs it buys are on the already
+      // smaller scenario.
+      for (;;) {
+        if (out_of_budget()) return result;
+        Scenario candidate = result.minimal;
+        if (!step(candidate)) break;  // dimension at its floor
+        if (!still_fails(candidate)) break;
+        result.minimal = candidate;
+        ++result.accepted;
+        accepted_any = true;
+      }
+    }
+    if (!accepted_any) {
+      result.at_fixpoint = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace cfs

@@ -1,0 +1,57 @@
+// Greedy scenario shrinker.
+//
+// When an oracle rejects a sampled scenario, the raw repro is noisy: a
+// seven-knob fault plan over a 40-AS world at 8 threads. The shrinker
+// walks a fixed reduction schedule (halve each scale knob toward its
+// floor, zero each fault dimension, drop the thread count) and keeps any
+// reduction under which the same oracle still fails, iterating to a local
+// minimum: a scenario where no single scheduled reduction reproduces the
+// failure. Minimal repros are what get committed to `corpus/` and what a
+// human actually debugs (docs/TESTING.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+
+namespace cfs {
+
+struct ShrinkOptions {
+  // Upper bound on full passes over the schedule (safety net; greedy
+  // halving converges in far fewer).
+  int max_passes = 64;
+  // Wall-clock budget for the whole shrink; 0 = unlimited. On expiry the
+  // current (still failing) scenario is returned with at_fixpoint false.
+  double budget_sec = 120.0;
+};
+
+struct ShrinkResult {
+  Scenario minimal;          // still fails the oracle
+  std::size_t attempts = 0;  // candidate scenarios evaluated
+  std::size_t accepted = 0;  // reductions that preserved the failure
+  // True when a full pass produced no accepted reduction: no single
+  // scheduled reduction still reproduces, i.e. a local minimum.
+  bool at_fixpoint = false;
+};
+
+// One reduction dimension: mutates the scenario one step toward its
+// floor, returning false when already there (a no-op).
+using ShrinkStep = std::pair<std::string, std::function<bool(Scenario&)>>;
+
+// The reduction schedule, in application order. Exposed so the shrinker
+// test can assert minimality: every step applied to a shrunk scenario is
+// either a no-op or un-reproduces the failure.
+[[nodiscard]] const std::vector<ShrinkStep>& shrink_steps();
+
+// Greedily minimises `failing` under "oracle still fails" (matched by
+// oracle name, not message — a shrunk repro may word the divergence
+// differently). Precondition: the oracle fails on `failing`.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& failing,
+                                           const Oracle& oracle,
+                                           const ShrinkOptions& options = {});
+
+}  // namespace cfs

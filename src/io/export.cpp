@@ -1,7 +1,9 @@
 #include "io/export.h"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/trace.h"
 
@@ -604,8 +606,24 @@ JsonValue report_to_json(const CfsReport& report) {
     history.emplace_back(static_cast<std::uint64_t>(v));
   root.emplace("resolved_per_iteration", std::move(history));
 
+  // Canonical interface order: the store is an unordered_map, whose
+  // iteration order depends on insertion history — a report rebuilt from
+  // its own JSON would re-serialise in a different order, so the exported
+  // form would never reach a byte-stable fixpoint (the round-trip property
+  // in tests/io/export_fixpoint_test.cpp). Sorting by address makes the
+  // export a pure function of report content.
+  std::vector<const InterfaceInference*> ordered;
+  ordered.reserve(report.interfaces.size());
+  for (const auto& [addr, inf] : report.interfaces) ordered.push_back(&inf);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const InterfaceInference* a, const InterfaceInference* b) {
+              return a->addr < b->addr;
+            });
+
   JsonValue::Array interfaces;
-  for (const auto& [addr, inf] : report.interfaces) {
+  for (const InterfaceInference* inf_ptr : ordered) {
+    const InterfaceInference& inf = *inf_ptr;
+    const Ipv4 addr = inf.addr;
     JsonValue::Object o;
     o.emplace("address", addr_json(addr));
     o.emplace("asn", inf.asn.value);

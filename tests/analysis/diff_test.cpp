@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/pipeline.h"
 
 namespace cfs {
@@ -91,6 +93,111 @@ TEST(Diff, LinkAppearanceAndRetyping) {
   EXPECT_EQ(diff.new_links[0], std::make_pair(ip(5), ip(6)));
   ASSERT_EQ(diff.gone_links.size(), 1u);
   EXPECT_EQ(diff.gone_links[0], std::make_pair(ip(3), ip(4)));
+}
+
+// --- structured JSON diff (the `cfs diff` / oracle-message machinery) ---
+
+TEST(JsonDiff, IdenticalDocumentsAreEmpty) {
+  const JsonValue doc = parse_json(R"({"a": 1, "b": [true, null, "x"]})");
+  const JsonDiff diff = diff_json(doc, doc);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.total, 0u);
+  EXPECT_EQ(diff.first_path(), "");
+}
+
+TEST(JsonDiff, ValueMismatchCarriesPathAndBothValues) {
+  const JsonValue left = parse_json(R"({"outer": {"inner": [1, 2, 3]}})");
+  const JsonValue right = parse_json(R"({"outer": {"inner": [1, 9, 3]}})");
+  const JsonDiff diff = diff_json(left, right);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.first_path(), "/outer/inner/1");
+  EXPECT_EQ(diff.entries[0].kind, JsonDiffEntry::Kind::ValueMismatch);
+  EXPECT_EQ(diff.entries[0].left, "2");
+  EXPECT_EQ(diff.entries[0].right, "9");
+}
+
+TEST(JsonDiff, MissingAndExtraKeys) {
+  const JsonValue left = parse_json(R"({"both": 1, "only_left": 2})");
+  const JsonValue right = parse_json(R"({"both": 1, "only_right": 3})");
+  const JsonDiff diff = diff_json(left, right);
+  ASSERT_EQ(diff.entries.size(), 2u);
+  // Object keys walk in sorted order.
+  EXPECT_EQ(diff.entries[0].path, "/only_left");
+  EXPECT_EQ(diff.entries[0].kind, JsonDiffEntry::Kind::Missing);
+  EXPECT_EQ(diff.entries[1].path, "/only_right");
+  EXPECT_EQ(diff.entries[1].kind, JsonDiffEntry::Kind::Extra);
+}
+
+TEST(JsonDiff, TypeMismatchStopsDescent) {
+  const JsonValue left = parse_json(R"({"x": {"deep": 1}})");
+  const JsonValue right = parse_json(R"({"x": [1]})");
+  const JsonDiff diff = diff_json(left, right);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.entries[0].path, "/x");
+  EXPECT_EQ(diff.entries[0].kind, JsonDiffEntry::Kind::TypeMismatch);
+}
+
+TEST(JsonDiff, ArrayLengthMismatch) {
+  const JsonValue left = parse_json(R"([1, 2, 3])");
+  const JsonValue right = parse_json(R"([1, 2])");
+  const JsonDiff diff = diff_json(left, right);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.entries[0].path, "/2");
+  EXPECT_EQ(diff.entries[0].kind, JsonDiffEntry::Kind::Missing);
+}
+
+TEST(JsonDiff, RootScalarMismatch) {
+  const JsonDiff diff = diff_json(parse_json("1"), parse_json("2"));
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.entries[0].path, "");
+}
+
+TEST(JsonDiff, EntryListIsBoundedButTotalIsNot) {
+  JsonValue::Object left, right;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    left.emplace(key, i);
+    right.emplace(key, i + 1000);
+  }
+  JsonDiffOptions options;
+  options.max_entries = 5;
+  const JsonDiff diff =
+      diff_json(JsonValue(std::move(left)), JsonValue(std::move(right)),
+                options);
+  EXPECT_EQ(diff.entries.size(), 5u);
+  EXPECT_EQ(diff.total, 50u);
+  EXPECT_TRUE(diff.truncated());
+}
+
+TEST(JsonDiff, IgnorePrefixesDropSubtrees) {
+  const JsonValue left =
+      parse_json(R"({"metrics": {"wall_ms": 10}, "payload": 1})");
+  const JsonValue right =
+      parse_json(R"({"metrics": {"wall_ms": 99}, "payload": 2})");
+  JsonDiffOptions options;
+  options.ignore_prefixes = {"/metrics"};
+  const JsonDiff diff = diff_json(left, right, options);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.first_path(), "/payload");
+  // Prefix matching is path-segment aware: "/metrics" must not swallow a
+  // sibling key that merely starts with the same characters.
+  const JsonValue l2 = parse_json(R"({"metricsX": 1})");
+  const JsonValue r2 = parse_json(R"({"metricsX": 2})");
+  EXPECT_FALSE(diff_json(l2, r2, options).empty());
+}
+
+TEST(JsonDiff, PrintedFormIsStable) {
+  const JsonValue left = parse_json(R"({"a": 1})");
+  const JsonValue right = parse_json(R"({"a": 2})");
+  std::ostringstream os;
+  print_json_diff(os, diff_json(left, right));
+  EXPECT_EQ(os.str(),
+            "first divergent path: /a\n"
+            "  /a: value mismatch: 1 -> 2\n"
+            "1 difference(s)\n");
+  std::ostringstream same;
+  print_json_diff(same, diff_json(left, left));
+  EXPECT_EQ(same.str(), "identical\n");
 }
 
 TEST(Diff, SelfDiffOfRealRunIsEmptyAndCrossSeedIsNot) {

@@ -1,0 +1,70 @@
+// Regression corpus replay: every scenario committed under corpus/ runs
+// the full oracle set and must pass. A corpus entry is a shrunk repro of
+// a bug that once existed (or a hand-picked stressor); replaying them on
+// every run keeps fixed bugs fixed (docs/TESTING.md documents how entries
+// get added).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+
+#ifndef CFS_CORPUS_DIR
+#error "CFS_CORPUS_DIR must point at the committed corpus/ directory"
+#endif
+
+namespace cfs {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CFS_CORPUS_DIR))
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Scenario load_scenario(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  // Entries may be bare scenarios or full repro documents.
+  const JsonValue* scenario = doc.find("scenario");
+  return Scenario::from_json(scenario != nullptr ? *scenario : doc);
+}
+
+TEST(FuzzCorpus, DirectoryIsNonEmpty) {
+  EXPECT_GE(corpus_files().size(), 1u)
+      << "corpus/ must hold at least one committed scenario";
+}
+
+TEST(FuzzCorpus, EveryScenarioPassesAllOracles) {
+  const std::vector<Oracle>& oracles = all_oracles();
+  for (const auto& path : corpus_files()) {
+    const Scenario scenario = load_scenario(path);
+    SCOPED_TRACE(path.filename().string() + ": " + scenario.summary());
+    const auto failure = run_oracles(scenario, oracles);
+    EXPECT_FALSE(failure.has_value())
+        << "[" << failure->oracle << "] " << failure->message;
+  }
+}
+
+TEST(FuzzCorpus, EveryScenarioRoundTripsThroughJson) {
+  // The committed files must stay loadable and loss-free: a corpus entry
+  // that changes meaning when re-serialised silently tests the wrong bug.
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Scenario scenario = load_scenario(path);
+    const Scenario back = Scenario::from_json(scenario.to_json());
+    EXPECT_EQ(scenario.to_json().pretty(), back.to_json().pretty());
+  }
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,87 @@
+// Scenario model: sampling determinism, floor adherence and JSON
+// round-trip — the properties the corpus workflow leans on.
+#include <gtest/gtest.h>
+
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+
+namespace cfs {
+namespace {
+
+TEST(Scenario, SamplingIsDeterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    const Scenario one = sample_scenario(a);
+    const Scenario two = sample_scenario(b);
+    EXPECT_EQ(one.to_json().pretty(), two.to_json().pretty());
+  }
+}
+
+TEST(Scenario, SamplesRespectFloors) {
+  Rng rng(7);
+  using F = ScenarioFloors;
+  for (int i = 0; i < 200; ++i) {
+    const Scenario s = sample_scenario(rng);
+    EXPECT_GE(s.metros, F::metros);
+    EXPECT_GE(s.facility_density, F::facility_density);
+    EXPECT_GE(s.tier1, F::tier1);
+    EXPECT_GE(s.transit, F::transit);
+    EXPECT_GE(s.content, F::content);
+    EXPECT_GE(s.eyeball, F::eyeball);
+    EXPECT_GE(s.enterprise, F::enterprise);
+    EXPECT_GE(s.max_ixp_span, F::max_ixp_span);
+    EXPECT_GE(s.content_targets, F::content_targets);
+    EXPECT_GE(s.transit_targets, F::transit_targets);
+    EXPECT_GE(s.vp_fraction, F::vp_fraction);
+    EXPECT_GE(s.max_iterations, F::max_iterations);
+    EXPECT_GE(s.followup_interfaces, F::followup_interfaces);
+    EXPECT_GE(s.threads, F::threads);
+    // Seeds must survive a trip through JSON doubles (53-bit mantissa).
+    EXPECT_LT(s.seed, std::uint64_t{1} << 53);
+    EXPECT_LT(s.fault_seed, std::uint64_t{1} << 53);
+  }
+}
+
+TEST(Scenario, JsonRoundTripIsLossless) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Scenario s = sample_scenario(rng);
+    const Scenario back = Scenario::from_json(s.to_json());
+    EXPECT_EQ(s.to_json().pretty(), back.to_json().pretty());
+  }
+}
+
+TEST(Scenario, FromJsonKeepsDefaultsForAbsentKeys) {
+  // Hand-written corpus entries may be sparse; absent knobs mean "default".
+  const Scenario s = Scenario::from_json(parse_json(R"({"seed": 5})"));
+  const Scenario defaults;
+  EXPECT_EQ(s.seed, 5u);
+  EXPECT_EQ(s.metros, defaults.metros);
+  EXPECT_EQ(s.threads, defaults.threads);
+  EXPECT_FALSE(s.any_faults());
+}
+
+TEST(Oracles, SelectionByName) {
+  EXPECT_EQ(oracles_by_name("all").size(), all_oracles().size());
+  EXPECT_EQ(oracles_by_name("").size(), all_oracles().size());
+  const auto subset = oracles_by_name("parallel,roundtrip");
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0].name, "parallel");
+  EXPECT_EQ(subset[1].name, "roundtrip");
+  EXPECT_THROW((void)oracles_by_name("nonsense"), std::invalid_argument);
+}
+
+TEST(Oracles, RunOraclesReportsSyntheticFailure) {
+  const std::vector<Oracle> oracles = {
+      {"ok", "", [](const Scenario&) { return std::nullopt; }},
+      {"bad", "",
+       [](const Scenario&) -> std::optional<OracleFailure> {
+         return OracleFailure{"bad", "nope"};
+       }}};
+  const auto failure = run_oracles(Scenario{}, oracles);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->oracle, "bad");
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,151 @@
+// Shrinker convergence: with a synthetic always-failing oracle the greedy
+// schedule must drive every dimension to its floor and stop at a genuine
+// local minimum (no scheduled reduction applies). With a threshold oracle
+// it must preserve exactly the knob the failure depends on and strip all
+// the incidental ones — that is the whole point of shrinking.
+#include <gtest/gtest.h>
+
+#include "fuzz/shrink.h"
+
+namespace cfs {
+namespace {
+
+Scenario maxed_scenario() {
+  Scenario s;
+  s.seed = 99;
+  s.metros = 8;
+  s.facility_density = 0.9;
+  s.tier1 = 3;
+  s.transit = 10;
+  s.content = 6;
+  s.eyeball = 24;
+  s.enterprise = 12;
+  s.max_ixp_span = 8;
+  s.content_targets = 4;
+  s.transit_targets = 4;
+  s.vp_fraction = 0.9;
+  s.max_iterations = 8;
+  s.followup_interfaces = 32;
+  s.threads = 8;
+  s.lg_outage = 0.5;
+  s.vp_churn = 0.3;
+  s.probe_timeout = 0.2;
+  s.lg_ban_burst = 4;
+  s.pdb_withheld = 0.3;
+  s.dns_withheld = 0.2;
+  s.geoip_withheld = 0.2;
+  s.fault_seed = 777;
+  return s;
+}
+
+Oracle always_failing() {
+  return Oracle{"synthetic", "fails on every scenario",
+                [](const Scenario&) -> std::optional<OracleFailure> {
+                  return OracleFailure{"synthetic", "always fails"};
+                }};
+}
+
+TEST(Shrink, AlwaysFailingOracleConvergesToFloors) {
+  const ShrinkResult result =
+      shrink_scenario(maxed_scenario(), always_failing());
+
+  EXPECT_TRUE(result.at_fixpoint);
+  EXPECT_GT(result.accepted, 0u);
+  EXPECT_GE(result.attempts, result.accepted);
+
+  const Scenario& m = result.minimal;
+  using F = ScenarioFloors;
+  EXPECT_EQ(m.metros, F::metros);
+  EXPECT_DOUBLE_EQ(m.facility_density, F::facility_density);
+  EXPECT_EQ(m.tier1, F::tier1);
+  EXPECT_EQ(m.transit, F::transit);
+  EXPECT_EQ(m.content, F::content);
+  EXPECT_EQ(m.eyeball, F::eyeball);
+  EXPECT_EQ(m.enterprise, F::enterprise);
+  EXPECT_EQ(m.max_ixp_span, F::max_ixp_span);
+  EXPECT_EQ(m.content_targets, F::content_targets);
+  EXPECT_EQ(m.transit_targets, F::transit_targets);
+  EXPECT_DOUBLE_EQ(m.vp_fraction, F::vp_fraction);
+  EXPECT_EQ(m.max_iterations, F::max_iterations);
+  EXPECT_EQ(m.followup_interfaces, F::followup_interfaces);
+  EXPECT_EQ(m.threads, F::threads);
+  EXPECT_DOUBLE_EQ(m.lg_outage, 0.0);
+  EXPECT_DOUBLE_EQ(m.vp_churn, 0.0);
+  EXPECT_DOUBLE_EQ(m.probe_timeout, 0.0);
+  EXPECT_EQ(m.lg_ban_burst, 0);
+  EXPECT_DOUBLE_EQ(m.pdb_withheld, 0.0);
+  EXPECT_DOUBLE_EQ(m.dns_withheld, 0.0);
+  EXPECT_DOUBLE_EQ(m.geoip_withheld, 0.0);
+  EXPECT_EQ(m.fault_seed, 0u);
+  // The seed itself is never shrunk: it names the repro.
+  EXPECT_EQ(m.seed, 99u);
+}
+
+// Minimality, stated via the schedule itself: at a fixpoint every
+// scheduled step is a no-op on the minimal scenario (all floors reached —
+// with an always-failing oracle any applicable step would be accepted).
+TEST(Shrink, FixpointMeansNoScheduledStepApplies) {
+  const ShrinkResult result =
+      shrink_scenario(maxed_scenario(), always_failing());
+  ASSERT_TRUE(result.at_fixpoint);
+  for (const auto& [name, step] : shrink_steps()) {
+    Scenario candidate = result.minimal;
+    EXPECT_FALSE(step(candidate)) << "step '" << name
+                                  << "' still applies at the fixpoint";
+  }
+}
+
+TEST(Shrink, ThresholdOraclePreservesTheLoadBearingKnob) {
+  // Fails iff lg_outage stays above 0.25: the shrinker must keep that knob
+  // above the threshold while zeroing every other fault and flooring every
+  // scale knob.
+  const Oracle threshold{
+      "synthetic", "fails while lg_outage > 0.25",
+      [](const Scenario& s) -> std::optional<OracleFailure> {
+        if (s.lg_outage > 0.25)
+          return OracleFailure{"synthetic", "outage too high"};
+        return std::nullopt;
+      }};
+
+  const ShrinkResult result = shrink_scenario(maxed_scenario(), threshold);
+  ASSERT_TRUE(result.at_fixpoint);
+
+  const Scenario& m = result.minimal;
+  EXPECT_GT(m.lg_outage, 0.25);
+  // Halving from 0.5 toward 0 lands just above the threshold.
+  EXPECT_LE(m.lg_outage, 0.5);
+  EXPECT_DOUBLE_EQ(m.vp_churn, 0.0);
+  EXPECT_DOUBLE_EQ(m.probe_timeout, 0.0);
+  EXPECT_EQ(m.lg_ban_burst, 0);
+  EXPECT_DOUBLE_EQ(m.pdb_withheld, 0.0);
+  EXPECT_EQ(m.metros, ScenarioFloors::metros);
+  EXPECT_EQ(m.eyeball, ScenarioFloors::eyeball);
+  EXPECT_EQ(m.threads, ScenarioFloors::threads);
+}
+
+TEST(Shrink, BudgetExpiryReturnsStillFailingScenario) {
+  // Zero-attempt budget: the shrinker must give up immediately but the
+  // returned scenario is the (unshrunk) failing input, never a passing one.
+  ShrinkOptions options;
+  options.budget_sec = 1e-9;
+  const ShrinkResult result =
+      shrink_scenario(maxed_scenario(), always_failing(), options);
+  EXPECT_FALSE(result.at_fixpoint);
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_EQ(result.minimal.eyeball, maxed_scenario().eyeball);
+}
+
+TEST(Shrink, OracleExceptionsCountAsFailures) {
+  // A crash is a failure worth shrinking, not an abort of the shrink.
+  const Oracle thrower{"synthetic", "throws on every scenario",
+                       [](const Scenario&) -> std::optional<OracleFailure> {
+                         throw std::runtime_error("boom");
+                       }};
+  const ShrinkResult result =
+      shrink_scenario(maxed_scenario(), thrower);
+  EXPECT_TRUE(result.at_fixpoint);
+  EXPECT_EQ(result.minimal.metros, ScenarioFloors::metros);
+}
+
+}  // namespace
+}  // namespace cfs

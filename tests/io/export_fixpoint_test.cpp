@@ -1,0 +1,85 @@
+// Round-trip fixpoint property: export must be a pure function of report
+// content. `to_json ∘ from_json` applied to an exported document must
+// reproduce it byte for byte — and stay byte-stable on a second pass —
+// even for reports produced under heavy fault plans, whose attrition
+// counters and degraded inferences exercise every optional field. A
+// report that drifts across passes would poison both the regression
+// corpus and the `cfs diff` workflow (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "io/export.h"
+
+namespace cfs {
+namespace {
+
+PipelineConfig faulted_config(std::uint64_t seed) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = seed;
+  config.generator.seed = seed * 977 + 3;
+  config.faults.lg_outage_fraction = 0.5;
+  config.faults.vp_churn_fraction = 0.2;
+  config.faults.probe_timeout_rate = 0.1;
+  config.faults.lg_ban_burst = 3;
+  config.faults.peeringdb_withheld = 0.2;
+  config.faults.dns_withheld = 0.1;
+  config.faults.geoip_withheld = 0.1;
+  config.faults.seed = seed + 11;
+  return config;
+}
+
+CfsReport faulted_report(std::uint64_t seed) {
+  Pipeline pipeline(faulted_config(seed));
+  auto traces =
+      pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.5);
+  return pipeline.run_cfs(std::move(traces));
+}
+
+TEST(ExportFixpoint, ReportRoundTripIsByteStableUnderHeavyFaults) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const CfsReport report = faulted_report(seed);
+
+    const std::string pass1 = report_to_json(report).pretty();
+    const std::string pass2 =
+        report_to_json(report_from_json(parse_json(pass1))).pretty();
+    // Second pass through the round trip: a fixpoint, not merely equal
+    // once. If pass1 == pass2 but pass2 != pass3 the exporter depends on
+    // construction order (e.g. hash-map iteration), which is exactly the
+    // drift this test exists to catch.
+    const std::string pass3 =
+        report_to_json(report_from_json(parse_json(pass2))).pretty();
+
+    EXPECT_EQ(pass1, pass2);
+    EXPECT_EQ(pass2, pass3);
+  }
+}
+
+TEST(ExportFixpoint, TopologyRoundTripIsByteStable) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Topology topo = generate_topology(faulted_config(seed).generator);
+
+    const std::string pass1 = topology_to_json(topo).pretty();
+    const std::string pass2 =
+        topology_to_json(topology_from_json(parse_json(pass1))).pretty();
+    const std::string pass3 =
+        topology_to_json(topology_from_json(parse_json(pass2))).pretty();
+
+    EXPECT_EQ(pass1, pass2);
+    EXPECT_EQ(pass2, pass3);
+  }
+}
+
+// Exported equality must be content equality: a report rebuilt from JSON
+// (fresh hash maps, different insertion order) must export identically to
+// the original in-memory report.
+TEST(ExportFixpoint, RebuiltReportExportsIdentically) {
+  const CfsReport original = faulted_report(5);
+  const JsonValue doc = report_to_json(original);
+  const CfsReport rebuilt = report_from_json(doc);
+  EXPECT_EQ(doc.pretty(), report_to_json(rebuilt).pretty());
+}
+
+}  // namespace
+}  // namespace cfs

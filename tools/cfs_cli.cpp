@@ -26,11 +26,20 @@
 //                 [fault flags as for infer]
 //       Run CFS and score it against every validation source + the oracle.
 //
-// Exit codes: 0 success, 2 usage error (no/unknown command), 3 bad flag
-// (malformed value, unknown or repeated flag), 4 runtime failure.
+//   cfs diff A.json B.json [--max N] [--ignore p1,p2]
+//       Structured comparison of two exported JSON documents (reports or
+//       topologies): prints the first divergent path plus up to --max
+//       differences, with --ignore dropping subtrees by path prefix
+//       (e.g. --ignore /metrics). Exit 0 identical, 1 different.
+//
+// Exit codes: 0 success, 1 documents differ (diff only), 2 usage error
+// (no/unknown command), 3 bad flag (malformed value, unknown or repeated
+// flag), 4 runtime failure.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "analysis/diff.h"
 #include "core/multilateral.h"
 #include "core/pipeline.h"
 #include "io/export.h"
@@ -271,8 +280,37 @@ int cmd_validate(const Flags& flags) {
   return 0;
 }
 
+int cmd_diff(const Flags& flags) {
+  const auto& positional = flags.positional();
+  if (positional.size() != 2)
+    throw std::invalid_argument("diff takes exactly two positional "
+                                "arguments: cfs diff A.json B.json");
+  JsonDiffOptions options;
+  options.max_entries =
+      static_cast<std::size_t>(flags.get_int("max", 32));
+  const std::string ignore_csv = flags.get("ignore", "");
+  std::istringstream prefixes(ignore_csv);
+  for (std::string prefix; std::getline(prefixes, prefix, ',');)
+    if (!prefix.empty()) options.ignore_prefixes.push_back(prefix);
+  reject_unknown(flags);
+
+  JsonValue docs[2];
+  for (int side = 0; side < 2; ++side) {
+    std::ifstream file(positional[side]);
+    if (!file)
+      throw std::runtime_error("cannot read " + positional[side]);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    docs[side] = parse_json(buffer.str());
+  }
+
+  const JsonDiff diff = diff_json(docs[0], docs[1], options);
+  print_json_diff(std::cout, diff);
+  return diff.empty() ? 0 : 1;
+}
+
 int usage() {
-  std::cerr << "usage: cfs <generate|census|infer|validate> [--scale "
+  std::cerr << "usage: cfs <generate|census|infer|validate|diff> [--scale "
                "tiny|small|paper] [--seed N] ...\n"
                "run 'cfs' with a command; see tools/cfs_cli.cpp header for "
                "per-command flags\n";
@@ -293,6 +331,7 @@ int main(int argc, char** argv) {
     if (command == "census") return cmd_census(flags);
     if (command == "infer") return cmd_infer(flags);
     if (command == "validate") return cmd_validate(flags);
+    if (command == "diff") return cmd_diff(flags);
     return usage();
   } catch (const std::invalid_argument& error) {
     // Bad flag value or unknown flag: user error, distinct from crashes so

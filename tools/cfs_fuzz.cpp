@@ -1,0 +1,215 @@
+// cfs_fuzz — seeded differential scenario fuzzer (docs/TESTING.md).
+//
+//   cfs_fuzz [--trials N] [--seed S] [--budget-sec T] [--oracles a,b|all]
+//            [--out DIR] [--shrink-budget-sec T] [--verbose]
+//       Sample N scenarios from the master seed and run the oracle set on
+//       each. On the first failure: greedily shrink the scenario to a
+//       local minimum, write a self-contained repro JSON into DIR and
+//       print the exact replay command line, then exit 1.
+//
+//   cfs_fuzz --replay FILE [--oracles a,b|all]
+//       Re-run the oracles recorded in (or selected over) a repro or
+//       corpus scenario file. Exit 0 when every oracle passes, 1 when the
+//       failure reproduces.
+//
+//   cfs_fuzz --list-oracles
+//       Print the oracle taxonomy.
+//
+// Exit codes: 0 all trials green, 1 oracle failure (repro written when
+// fuzzing), 3 bad flag, 4 runtime failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/metrics.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+#include "io/json.h"
+#include "util/flags.h"
+#include "util/log.h"
+
+using namespace cfs;
+
+namespace {
+
+constexpr int repro_format_version = 1;
+
+// Self-contained repro document: the shrunk scenario, which oracle broke,
+// how, and the provenance (master seed + trial) that found it.
+JsonValue repro_json(const Scenario& scenario, const OracleFailure& failure,
+                     std::uint64_t master_seed, std::size_t trial,
+                     const ShrinkResult& shrunk) {
+  JsonValue::Object o;
+  o.emplace("format_version", repro_format_version);
+  o.emplace("scenario", scenario.to_json());
+  o.emplace("oracle", failure.oracle);
+  o.emplace("message", failure.message);
+  o.emplace("master_seed", master_seed);
+  o.emplace("trial", static_cast<std::uint64_t>(trial));
+  o.emplace("shrink_attempts", static_cast<std::uint64_t>(shrunk.attempts));
+  o.emplace("shrink_accepted", static_cast<std::uint64_t>(shrunk.accepted));
+  o.emplace("shrink_at_fixpoint", shrunk.at_fixpoint);
+  return JsonValue(std::move(o));
+}
+
+JsonValue load_json_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_json(buffer.str());
+}
+
+int cmd_list_oracles() {
+  for (const Oracle& oracle : all_oracles())
+    std::cout << oracle.name << "\n    " << oracle.description << "\n";
+  return 0;
+}
+
+int cmd_replay(const Flags& flags) {
+  const std::string path = flags.get("replay", "");
+  const std::string oracle_csv = flags.get("oracles", "");
+  const std::string message = flags.unknown_flags_message();
+  if (!message.empty()) throw std::invalid_argument(message);
+
+  const JsonValue doc = load_json_file(path);
+  // Accept both repro documents ({"scenario": {...}, "oracle": ...}) and
+  // bare corpus scenarios ({...knobs...}).
+  const JsonValue* scenario_doc = doc.find("scenario");
+  const Scenario scenario =
+      Scenario::from_json(scenario_doc != nullptr ? *scenario_doc : doc);
+
+  // Replay priority: explicit --oracles, else the oracle recorded in the
+  // repro, else the full set.
+  std::vector<Oracle> oracles;
+  if (!oracle_csv.empty()) {
+    oracles = oracles_by_name(oracle_csv);
+  } else if (const JsonValue* recorded = doc.find("oracle")) {
+    oracles = oracles_by_name(recorded->as_string());
+  } else {
+    oracles = all_oracles();
+  }
+
+  std::cout << "replaying " << path << "\n  " << scenario.summary() << "\n";
+  const auto failure = run_oracles(scenario, oracles);
+  if (failure) {
+    std::cout << "FAIL [" << failure->oracle << "] " << failure->message
+              << "\n";
+    return 1;
+  }
+  std::cout << "ok (" << oracles.size() << " oracle(s) passed)\n";
+  return 0;
+}
+
+int cmd_fuzz(const Flags& flags) {
+  const auto trials =
+      static_cast<std::size_t>(flags.get_int("trials", 50));
+  const auto master_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double budget_sec = flags.get_double("budget-sec", 0.0);
+  const std::string oracle_csv = flags.get("oracles", "all");
+  const std::string out_dir = flags.get("out", ".");
+  ShrinkOptions shrink_options;
+  shrink_options.budget_sec = flags.get_double("shrink-budget-sec", 120.0);
+  const bool verbose = flags.get_bool("verbose", false);
+  const std::string message = flags.unknown_flags_message();
+  if (!message.empty()) throw std::invalid_argument(message);
+
+  const std::vector<Oracle> oracles = oracles_by_name(oracle_csv);
+  const Rng master(master_seed);
+  const Stopwatch clock;
+
+  std::size_t ran = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    if (budget_sec > 0 && clock.elapsed_ms() > budget_sec * 1000.0) {
+      std::cout << "budget exhausted after " << ran << "/" << trials
+                << " trials (" << static_cast<int>(clock.elapsed_ms() / 1000)
+                << "s); all green\n";
+      return 0;
+    }
+    // Pure per-trial stream: trial k is reproducible without replaying
+    // trials 0..k-1.
+    Rng trial_rng = master.fork(trial + 1);
+    const Scenario scenario = sample_scenario(trial_rng);
+    if (verbose)
+      std::cout << "trial " << trial << ": " << scenario.summary() << "\n";
+
+    const auto failure = run_oracles(scenario, oracles);
+    ++ran;
+    if (!failure) {
+      if (!verbose && (trial + 1) % 10 == 0)
+        std::cout << "  " << (trial + 1) << "/" << trials << " trials green ("
+                  << static_cast<int>(clock.elapsed_ms() / 1000) << "s)\n";
+      continue;
+    }
+
+    std::cout << "trial " << trial << " FAILED [" << failure->oracle << "]\n"
+              << "  scenario: " << scenario.summary() << "\n"
+              << "  " << failure->message << "\n"
+              << "shrinking...\n";
+    const Oracle* oracle = nullptr;
+    for (const Oracle& o : oracles)
+      if (o.name == failure->oracle) oracle = &o;
+    const ShrinkResult shrunk =
+        oracle != nullptr ? shrink_scenario(scenario, *oracle, shrink_options)
+                          : ShrinkResult{scenario, 0, 0, false};
+    std::cout << "  minimal (" << shrunk.accepted << " reductions over "
+              << shrunk.attempts << " attempts"
+              << (shrunk.at_fixpoint ? "" : ", shrink budget hit")
+              << "): " << shrunk.minimal.summary() << "\n";
+
+    // Re-run for the shrunk scenario's own failure message.
+    auto minimal_failure = run_oracles(
+        shrunk.minimal, oracle != nullptr
+                            ? std::vector<Oracle>{*oracle}
+                            : oracles);
+    if (!minimal_failure) minimal_failure = failure;  // paranoia
+
+    const std::string repro_path = out_dir + "/fuzz-repro-seed" +
+                                   std::to_string(master_seed) + "-trial" +
+                                   std::to_string(trial) + ".json";
+    std::ofstream file(repro_path);
+    if (!file) throw std::runtime_error("cannot write " + repro_path);
+    file << repro_json(shrunk.minimal, *minimal_failure, master_seed, trial,
+                       shrunk)
+                .pretty()
+         << "\n";
+    std::cout << "repro written to " << repro_path << "\n"
+              << "replay with:\n  cfs_fuzz --replay " << repro_path << "\n";
+    return 1;
+  }
+
+  std::cout << ran << " trials x " << oracles.size() << " oracle(s): all green ("
+            << static_cast<int>(clock.elapsed_ms() / 1000) << "s, master seed "
+            << master_seed << ")\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: cfs_fuzz [--trials N] [--seed S] [--budget-sec T] "
+               "[--oracles a,b|all] [--out DIR]\n"
+               "       cfs_fuzz --replay FILE [--oracles a,b|all]\n"
+               "       cfs_fuzz --list-oracles\n"
+               "see tools/cfs_fuzz.cpp header and docs/TESTING.md\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);
+  try {
+    const Flags flags(argc, argv);
+    if (!flags.positional().empty()) return usage();
+    if (flags.get_bool("list-oracles", false)) return cmd_list_oracles();
+    if (flags.has("replay")) return cmd_replay(flags);
+    return cmd_fuzz(flags);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 3;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 4;
+  }
+}
