@@ -1,0 +1,206 @@
+// Query-plane throughput and latency for the resident inference service
+// (`cfs serve`, src/serve/). An in-process daemon on a Unix socket is
+// hammered by 1..16 concurrent clients doing lookups; for each client
+// count we report QPS plus p50/p99 per-request latency, and the samples
+// land in BENCH_serve.json for the observability-artifacts CI job.
+//
+// The shape to watch: QPS should climb with client count until the
+// worker pool saturates, and p99 should stay in the same order of
+// magnitude as p50 — a p99 cliff means the completion path (poll loop +
+// self-pipe) is serialising, which is exactly the regression this
+// harness exists to catch.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.h"
+#include "io/export.h"
+#include "serve/client.h"
+#include "serve/handlers.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace cfs;
+
+struct Run {
+  int clients = 0;
+  std::size_t requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+JsonValue to_json(const std::vector<Run>& runs, const std::string& scale,
+                  int server_threads, std::size_t requests_per_client) {
+  JsonValue::Array samples;
+  for (const Run& run : runs) {
+    JsonValue::Object o;
+    o.emplace("clients", run.clients);
+    o.emplace("requests", static_cast<std::uint64_t>(run.requests));
+    o.emplace("wall_ms", run.wall_ms);
+    o.emplace("qps", run.qps);
+    o.emplace("p50_us", run.p50_us);
+    o.emplace("p99_us", run.p99_us);
+    samples.emplace_back(std::move(o));
+  }
+  JsonValue::Object doc;
+  doc.emplace("bench", "serve_throughput");
+  doc.emplace("scale", scale);
+  doc.emplace("server_threads", server_threads);
+  doc.emplace("requests_per_client",
+              static_cast<std::uint64_t>(requests_per_client));
+  doc.emplace("runs", std::move(samples));
+  return JsonValue(std::move(doc));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "tiny");
+  const auto requests_per_client =
+      static_cast<std::size_t>(flags.get_int("requests", 400));
+  const int server_threads = static_cast<int>(flags.get_int("threads", 4));
+
+  bench::header("serve throughput (docs/SERVE.md)",
+                "n/a — operational harness for the resident service");
+
+  PipelineConfig config =
+      scale == "small" ? PipelineConfig::small_scale() : PipelineConfig::tiny();
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.6);
+  auto state =
+      ServeState::from_report(pipeline.run_cfs(std::move(traces)),
+                              "pipeline", 0);
+  const auto& interfaces = state->report_json.at("interfaces").as_array();
+  if (interfaces.empty()) {
+    std::cout << "FAILED: world has no observed interfaces to look up\n";
+    return 1;
+  }
+
+  ServeOptions options;
+  options.socket_path = "/tmp/cfs_bench_serve_" +
+                        std::to_string(::getpid()) + ".sock";
+  options.threads = server_threads;
+  options.install_signal_handlers = false;
+  Server server(options, state);
+  std::thread daemon([&server] { (void)server.run(); });
+  // Wait for the listener.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ServeClient probe;
+      probe.connect(server.socket_path());
+      break;
+    } catch (const std::exception&) {
+      if (attempt > 400) {
+        std::cout << "FAILED: daemon never came up\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  std::vector<Run> runs;
+  Table table({"Clients", "Requests", "Wall ms", "QPS", "p50 us", "p99 us"});
+  for (const int clients : {1, 2, 4, 8, 16}) {
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<int> failures{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        auto& mine = latencies[static_cast<std::size_t>(c)];
+        mine.reserve(requests_per_client);
+        try {
+          ServeClient client;
+          client.connect(server.socket_path());
+          for (std::size_t i = 0; i < requests_per_client; ++i) {
+            const JsonValue& entry =
+                interfaces[(static_cast<std::size_t>(c) * 131 + i) %
+                           interfaces.size()];
+            JsonValue::Object request;
+            request.emplace("op", "lookup");
+            request.emplace("ip", entry.at("address"));
+            const auto t0 = std::chrono::steady_clock::now();
+            const JsonValue response =
+                client.request(JsonValue(std::move(request)));
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!response.at("ok").as_bool()) {
+              failures.fetch_add(1);
+              continue;
+            }
+            mine.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const auto end = std::chrono::steady_clock::now();
+    if (failures.load() != 0) {
+      std::cout << "FAILED: " << failures.load()
+                << " request failures at " << clients << " clients\n";
+      return 1;
+    }
+
+    std::vector<double> all;
+    for (const auto& mine : latencies)
+      all.insert(all.end(), mine.begin(), mine.end());
+    std::sort(all.begin(), all.end());
+    Run run;
+    run.clients = clients;
+    run.requests = all.size();
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    run.qps = run.wall_ms > 0.0
+                  ? static_cast<double>(all.size()) / (run.wall_ms / 1000.0)
+                  : 0.0;
+    run.p50_us = percentile(all, 0.50);
+    run.p99_us = percentile(all, 0.99);
+    runs.push_back(run);
+    table.add_row({Table::cell(std::uint64_t{
+                       static_cast<std::uint64_t>(clients)}),
+                   Table::cell(std::uint64_t{run.requests}),
+                   Table::cell(run.wall_ms), Table::cell(run.qps),
+                   Table::cell(run.p50_us), Table::cell(run.p99_us)});
+  }
+  table.print(std::cout);
+
+  // Drain the daemon before reporting.
+  {
+    ServeClient admin;
+    admin.connect(server.socket_path());
+    JsonValue::Object request;
+    request.emplace("op", "shutdown");
+    (void)admin.request(JsonValue(std::move(request)));
+  }
+  daemon.join();
+
+  std::ofstream out("BENCH_serve.json");
+  out << to_json(runs, scale, server.resolved_threads(), requests_per_client)
+             .pretty()
+      << "\n";
+  std::cout << "samples written to BENCH_serve.json\nOK\n";
+  return 0;
+}

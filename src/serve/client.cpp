@@ -1,0 +1,85 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cfs {
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::connect(const std::string& socket_path) {
+  if (fd_ >= 0) close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const std::string message = "connect " + socket_path + ": " +
+                                strerror(errno);
+    close();
+    throw std::runtime_error(message);
+  }
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServeClient::send_bytes(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("ServeClient: not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<JsonValue> ServeClient::read_response() {
+  if (fd_ < 0) throw std::runtime_error("ServeClient: not connected");
+  for (;;) {
+    if (auto frame = decoder_.next()) {
+      if (frame->kind != Frame::Kind::Payload)
+        throw std::runtime_error("ServeClient: malformed response frame");
+      return parse_json(frame->payload);
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      decoder_.feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return std::nullopt;  // orderly close
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("recv: ") + strerror(errno));
+  }
+}
+
+JsonValue ServeClient::request(const JsonValue& doc) {
+  send_bytes(encode_frame(doc.dump()));
+  auto response = read_response();
+  if (!response)
+    throw std::runtime_error(
+        "ServeClient: connection closed before a response arrived");
+  return std::move(*response);
+}
+
+}  // namespace cfs

@@ -1,0 +1,47 @@
+// Minimal blocking client for the serve protocol (docs/SERVE.md): used by
+// `cfs query`, the serve integration tests and bench_serve_throughput.
+// One connection, synchronous request/response; the raw byte entry points
+// exist so tests can speak the framing layer directly (partial writes,
+// zero-length and oversized frames).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "io/json.h"
+#include "serve/protocol.h"
+
+namespace cfs {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects to the daemon's Unix socket; throws std::runtime_error on
+  // failure (daemon not running, wrong path).
+  void connect(const std::string& socket_path);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends one request and blocks for its response. Throws on transport
+  // failure; protocol-level failures come back as {"ok": false} documents.
+  [[nodiscard]] JsonValue request(const JsonValue& doc);
+
+  // --- framing-layer access for tests ---
+  void send_bytes(std::string_view bytes);
+  // Blocks until one complete frame arrives; nullopt on orderly EOF.
+  [[nodiscard]] std::optional<JsonValue> read_response();
+
+ private:
+  int fd_ = -1;
+  // Responses can exceed the request-side cap (peers_at at paper scale);
+  // the client is the trusted side, so it accepts larger frames.
+  FrameDecoder decoder_{64u << 20};
+};
+
+}  // namespace cfs

@@ -1,0 +1,311 @@
+#include "serve/handlers.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/diff.h"
+#include "io/export.h"
+#include "net/ipv4.h"
+#include "serve/protocol.h"
+
+namespace cfs {
+namespace {
+
+JsonValue load_json_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_json(buffer.str());
+}
+
+// Thrown by handlers for request-level failures; carries the structured
+// error code so dispatch can answer without string-matching messages.
+struct RequestError : std::runtime_error {
+  RequestError(std::string code_in, const std::string& message)
+      : std::runtime_error(message), code(std::move(code_in)) {}
+  std::string code;
+};
+
+const std::string& string_param(const JsonValue& request, const char* key) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr || !value->is_string())
+    throw RequestError("bad_param",
+                       std::string("missing or non-string parameter '") +
+                           key + "'");
+  return value->as_string();
+}
+
+std::int64_t int_param(const JsonValue& request, const char* key) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr || !value->is_number())
+    throw RequestError("bad_param",
+                       std::string("missing or non-number parameter '") +
+                           key + "'");
+  return value->as_int();
+}
+
+const JsonValue::Array& exported_interfaces(const ServeState& state) {
+  return state.report_json.at("interfaces").as_array();
+}
+
+bool entry_resolved(const JsonValue& entry) {
+  return entry.at("has_constraint").as_bool() &&
+         entry.at("candidates").size() == 1;
+}
+
+JsonValue op_lookup(const JsonValue& request, const ServeState& state) {
+  const std::string& raw = string_param(request, "ip");
+  const auto parsed = Ipv4::parse(raw);
+  if (!parsed)
+    throw RequestError("bad_param", "'" + raw + "' is not an IPv4 address");
+  const std::string address = parsed->to_string();
+
+  JsonValue::Object result;
+  result.emplace("address", address);
+  result.emplace("generation", state.generation);
+  const auto it = state.interface_index.find(address);
+  if (it == state.interface_index.end()) {
+    result.emplace("found", false);
+    result.emplace("interface", nullptr);
+    result.emplace("resolved", false);
+    result.emplace("pinned", false);
+    result.emplace("facility", nullptr);
+    return JsonValue(std::move(result));
+  }
+  // The exact canonical-export entry: candidate set, constraint and
+  // conflict state included, byte-identical to the batch report.
+  const JsonValue& entry = exported_interfaces(state)[it->second];
+  const bool resolved = entry_resolved(entry);
+  result.emplace("found", true);
+  result.emplace("interface", entry);
+  result.emplace("resolved", resolved);
+  // Pinned: resolved without any conflicting constraint ever recorded
+  // (the fuzz harness's pinning oracle uses the same notion).
+  result.emplace("pinned", resolved && entry.at("conflicts").as_int() == 0);
+  result.emplace("facility", resolved ? entry.at("candidates").at(0)
+                                      : JsonValue(nullptr));
+  return JsonValue(std::move(result));
+}
+
+JsonValue op_peers_at(const JsonValue& request, const ServeState& state) {
+  const std::int64_t facility = int_param(request, "facility");
+
+  // Members: every interface pinned to this building, in canonical export
+  // order (sorted by address); entries are the exact export objects.
+  JsonValue::Array members;
+  for (const JsonValue& entry : exported_interfaces(state)) {
+    if (!entry_resolved(entry)) continue;
+    if (entry.at("candidates").at(0).as_int() == facility)
+      members.push_back(entry);
+  }
+  // Crossings touching the building, near or far side, in export order.
+  JsonValue::Array links;
+  for (const JsonValue& link : state.report_json.at("links").as_array()) {
+    const JsonValue& near = link.at("near_facility");
+    const JsonValue& far = link.at("far_facility");
+    const bool touches =
+        (!near.is_null() && near.as_int() == facility) ||
+        (!far.is_null() && far.as_int() == facility);
+    if (touches) links.push_back(link);
+  }
+
+  JsonValue::Object result;
+  result.emplace("facility", facility);
+  result.emplace("generation", state.generation);
+  result.emplace("members", std::move(members));
+  result.emplace("links", std::move(links));
+  return JsonValue(std::move(result));
+}
+
+JsonValue op_diff(const JsonValue& request, const ServeState& state) {
+  const std::string& path = string_param(request, "snapshot");
+  JsonValue snapshot;
+  try {
+    snapshot = load_json_file(path);
+  } catch (const std::exception& error) {
+    throw RequestError("snapshot_unreadable", error.what());
+  }
+
+  JsonDiffOptions options;
+  if (const JsonValue* max = request.find("max")) {
+    if (!max->is_number())
+      throw RequestError("bad_param", "'max' must be a number");
+    options.max_entries = static_cast<std::size_t>(max->as_int());
+  }
+  if (const JsonValue* ignore = request.find("ignore")) {
+    if (!ignore->is_string())
+      throw RequestError("bad_param",
+                         "'ignore' must be a comma-separated string");
+    std::istringstream prefixes(ignore->as_string());
+    for (std::string prefix; std::getline(prefixes, prefix, ',');)
+      if (!prefix.empty()) options.ignore_prefixes.push_back(prefix);
+  }
+
+  // Resident report on the left, snapshot on the right — same orientation
+  // as `cfs diff resident.json snapshot.json`, same diff engine.
+  const JsonDiff diff = diff_json(state.report_json, snapshot, options);
+  JsonValue::Array entries;
+  for (const JsonDiffEntry& entry : diff.entries) {
+    JsonValue::Object e;
+    e.emplace("path", entry.path);
+    e.emplace("kind", json_diff_kind_name(entry.kind));
+    e.emplace("left", entry.left);
+    e.emplace("right", entry.right);
+    entries.emplace_back(std::move(e));
+  }
+
+  JsonValue::Object result;
+  result.emplace("snapshot", path);
+  result.emplace("generation", state.generation);
+  result.emplace("identical", diff.empty());
+  result.emplace("total", static_cast<std::uint64_t>(diff.total));
+  result.emplace("truncated", diff.truncated());
+  result.emplace("entries", std::move(entries));
+  return JsonValue(std::move(result));
+}
+
+JsonValue op_metrics(ServeControl& control, const ServeState& state) {
+  const MetricsSnapshot now = Trace::metrics();
+  const MetricsSnapshot previous = control.exchange_metrics_baseline(now);
+  JsonValue::Object result;
+  result.emplace("generation", state.generation);
+  result.emplace("registry", metrics_snapshot_json(now));
+  // Delta since the previous `metrics` query (or daemon start). Relies on
+  // metrics_since keeping timers whose total advanced without a new
+  // completion — spans routinely straddle these window boundaries.
+  result.emplace("window",
+                 metrics_snapshot_json(Trace::metrics_since(previous)));
+  return JsonValue(std::move(result));
+}
+
+JsonValue op_reload(const JsonValue& request, ServeControl& control,
+                    const ServeState& state) {
+  const std::string& path = string_param(request, "report");
+  std::shared_ptr<const ServeState> next;
+  try {
+    next = ServeState::from_file(path, state.generation + 1);
+  } catch (const std::exception& error) {
+    throw RequestError("reload_failed", error.what());
+  }
+  Trace::counter("serve.reload");
+  control.swap_state(next);
+
+  JsonValue::Object result;
+  result.emplace("reloaded", true);
+  result.emplace("source", path);
+  result.emplace("generation", next->generation);
+  result.emplace("interfaces",
+                 static_cast<std::uint64_t>(next->report.interfaces.size()));
+  result.emplace("links",
+                 static_cast<std::uint64_t>(next->report.links.size()));
+  return JsonValue(std::move(result));
+}
+
+JsonValue op_ping(const ServeState& state) {
+  JsonValue::Object result;
+  result.emplace("protocol", kServeProtocolVersion);
+  result.emplace("generation", state.generation);
+  result.emplace("source", state.source);
+  result.emplace("interfaces",
+                 static_cast<std::uint64_t>(state.report.interfaces.size()));
+  result.emplace("links",
+                 static_cast<std::uint64_t>(state.report.links.size()));
+  return JsonValue(std::move(result));
+}
+
+}  // namespace
+
+std::shared_ptr<const ServeState> ServeState::from_report(
+    CfsReport report, std::string source, std::uint64_t generation) {
+  auto state = std::make_shared<ServeState>();
+  state->report = std::move(report);
+  state->report_json = report_to_json(state->report);
+  state->source = std::move(source);
+  state->generation = generation;
+  const JsonValue::Array& interfaces =
+      state->report_json.at("interfaces").as_array();
+  for (std::size_t i = 0; i < interfaces.size(); ++i)
+    state->interface_index.emplace(interfaces[i].at("address").as_string(),
+                                   i);
+  return state;
+}
+
+std::shared_ptr<const ServeState> ServeState::from_file(
+    const std::string& path, std::uint64_t generation) {
+  return from_report(report_from_json(load_json_file(path)), path,
+                     generation);
+}
+
+JsonValue metrics_snapshot_json(const MetricsSnapshot& snap) {
+  JsonValue::Object counters;
+  for (const auto& [name, value] : snap.counters) counters.emplace(name, value);
+  JsonValue::Object gauges;
+  for (const auto& [name, value] : snap.gauges) gauges.emplace(name, value);
+  JsonValue::Object timers;
+  for (const auto& [name, timer] : snap.timers) {
+    JsonValue::Object t;
+    t.emplace("count", timer.count);
+    t.emplace("total_ms", timer.total_ms);
+    timers.emplace(name, std::move(t));
+  }
+  JsonValue::Object o;
+  o.emplace("counters", std::move(counters));
+  o.emplace("gauges", std::move(gauges));
+  o.emplace("timers", std::move(timers));
+  return JsonValue(std::move(o));
+}
+
+JsonValue handle_request(const JsonValue& request, ServeControl& control) {
+  if (!request.is_object())
+    return error_response(nullptr, "bad_request",
+                          "request must be a JSON object");
+  const JsonValue* id_field = request.find("id");
+  const JsonValue id = id_field != nullptr ? *id_field : JsonValue(nullptr);
+  const JsonValue* op_field = request.find("op");
+  if (op_field == nullptr || !op_field->is_string())
+    return error_response(id, "bad_request",
+                          "request needs a string 'op' field");
+  const std::string& op = op_field->as_string();
+
+  TraceSpan span("serve.query");
+  Trace::counter("serve.query." + op);
+  // Pin one immutable snapshot for the whole request: a concurrent reload
+  // swaps the daemon's pointer, never the world this query sees.
+  const std::shared_ptr<const ServeState> state = control.state();
+  try {
+    if (op == "lookup") return ok_response(id, op, op_lookup(request, *state));
+    if (op == "peers_at")
+      return ok_response(id, op, op_peers_at(request, *state));
+    if (op == "diff") return ok_response(id, op, op_diff(request, *state));
+    if (op == "metrics") return ok_response(id, op, op_metrics(control, *state));
+    if (op == "reload")
+      return ok_response(id, op, op_reload(request, control, *state));
+    if (op == "ping") return ok_response(id, op, op_ping(*state));
+    if (op == "shutdown") {
+      control.request_shutdown();
+      JsonValue::Object result;
+      result.emplace("stopping", true);
+      return ok_response(id, op, JsonValue(std::move(result)));
+    }
+    return error_response(id, "unknown_op", "unknown op '" + op + "'");
+  } catch (const RequestError& error) {
+    return error_response(id, error.code, error.what());
+  } catch (const std::exception& error) {
+    return error_response(id, "internal", error.what());
+  }
+}
+
+JsonValue handle_payload(const std::string& payload, ServeControl& control) {
+  JsonValue request;
+  try {
+    request = parse_json(payload);
+  } catch (const std::exception& error) {
+    Trace::counter("serve.query.bad_json");
+    return error_response(nullptr, "bad_json", error.what());
+  }
+  return handle_request(request, control);
+}
+
+}  // namespace cfs

@@ -1,0 +1,75 @@
+// Query handlers for the resident inference service.
+//
+// `ServeState` is the daemon's unit of consistency: one immutable,
+// fully-indexed snapshot of a CfsReport plus its canonical JSON export.
+// Every query pins the snapshot it started with through a shared_ptr, so
+// a concurrent `reload` never tears a response — readers either see the
+// old world or the new one, wholesale (the slash2 control-socket daemons
+// use the same swap-behind-a-pointer shape for their resident tables).
+//
+// Handlers answer out of the canonical export (io/export.cpp), so a
+// `lookup` result is byte-identical to the matching entry of a batch
+// `cfs infer --report` run over the same topology and seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/report.h"
+#include "io/json.h"
+#include "util/trace.h"
+
+namespace cfs {
+
+struct ServeState {
+  CfsReport report;
+  JsonValue report_json;  // canonical export, report_to_json(report)
+  // Index into report_json's "interfaces" array by dotted-quad address.
+  std::map<std::string, std::size_t> interface_index;
+  std::string source;  // provenance: "pipeline" or the loaded file path
+  std::uint64_t generation = 0;  // bumped by every successful reload
+
+  // Builds the export and the address index. `generation` tags responses
+  // so clients (and the reload tests) can tell which world answered.
+  [[nodiscard]] static std::shared_ptr<const ServeState> from_report(
+      CfsReport report, std::string source, std::uint64_t generation);
+  // Parses an exported report JSON file (io/export.cpp schema); throws
+  // std::runtime_error on unreadable or malformed input.
+  [[nodiscard]] static std::shared_ptr<const ServeState> from_file(
+      const std::string& path, std::uint64_t generation);
+};
+
+// The handler's window onto the daemon: state access plus the two
+// control-plane actions (reload swaps the state, shutdown starts the
+// drain). Server implements this; tests substitute a fake.
+class ServeControl {
+ public:
+  virtual ~ServeControl() = default;
+  [[nodiscard]] virtual std::shared_ptr<const ServeState> state() const = 0;
+  virtual void swap_state(std::shared_ptr<const ServeState> next) = 0;
+  virtual void request_shutdown() = 0;
+  // Returns the previous metrics-window baseline and installs `now` as
+  // the next one (the `metrics` query reports per-window deltas).
+  virtual MetricsSnapshot exchange_metrics_baseline(
+      const MetricsSnapshot& now) = 0;
+};
+
+// Parses one frame payload and dispatches it; never throws — every
+// failure (bad JSON, unknown op, missing parameter, unreadable snapshot
+// file) comes back as a structured error response.
+[[nodiscard]] JsonValue handle_payload(const std::string& payload,
+                                       ServeControl& control);
+
+// Dispatch for an already-parsed request (the CLI client reuses this
+// shape to validate requests before sending).
+[[nodiscard]] JsonValue handle_request(const JsonValue& request,
+                                       ServeControl& control);
+
+// Registry snapshot as JSON ({"counters":{...},"gauges":{...},
+// "timers":{name:{count,total_ms}}}); shared by the `metrics` handler
+// and tests.
+[[nodiscard]] JsonValue metrics_snapshot_json(const MetricsSnapshot& snap);
+
+}  // namespace cfs

@@ -1,0 +1,118 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfs {
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFull)
+    throw std::length_error("encode_frame: payload exceeds 4 GiB");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_(max_frame_bytes) {}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+  scan();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+bool FrameDecoder::idle() const {
+  return ready_.empty() && consumed_ == buffer_.size() &&
+         skip_remaining_ == 0;
+}
+
+void FrameDecoder::scan() {
+  for (;;) {
+    // Discard the body of an oversized frame without ever buffering it.
+    if (skip_remaining_ > 0) {
+      const std::size_t avail = buffer_.size() - consumed_;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(skip_remaining_, avail);
+      consumed_ += static_cast<std::size_t>(take);
+      skip_remaining_ -= take;
+      if (skip_remaining_ > 0) break;  // need more bytes to finish the skip
+      continue;
+    }
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeaderBytes) break;
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+    const std::uint32_t declared = (std::uint32_t{p[0]} << 24) |
+                                   (std::uint32_t{p[1]} << 16) |
+                                   (std::uint32_t{p[2]} << 8) |
+                                   std::uint32_t{p[3]};
+    if (declared == 0) {
+      consumed_ += kFrameHeaderBytes;
+      Frame frame;
+      frame.kind = Frame::Kind::Empty;
+      ready_.push_back(std::move(frame));
+      continue;
+    }
+    if (declared > max_frame_) {
+      // Surface the error immediately — the peer should not have to
+      // finish sending megabytes before hearing it was rejected — then
+      // swallow the body so the next frame realigns.
+      consumed_ += kFrameHeaderBytes;
+      skip_remaining_ = declared;
+      Frame frame;
+      frame.kind = Frame::Kind::Oversized;
+      frame.declared_bytes = declared;
+      ready_.push_back(std::move(frame));
+      continue;
+    }
+    if (avail < kFrameHeaderBytes + declared) break;  // partial payload
+    Frame frame;
+    frame.kind = Frame::Kind::Payload;
+    frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes, declared);
+    consumed_ += kFrameHeaderBytes + declared;
+    ready_.push_back(std::move(frame));
+  }
+  // Compact the consumed prefix so a long-lived connection's buffer does
+  // not grow without bound.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+JsonValue ok_response(const JsonValue& id, std::string_view op,
+                      JsonValue result) {
+  JsonValue::Object o;
+  o.emplace("id", id);
+  o.emplace("ok", true);
+  o.emplace("op", std::string(op));
+  o.emplace("result", std::move(result));
+  return JsonValue(std::move(o));
+}
+
+JsonValue error_response(const JsonValue& id, std::string_view code,
+                         std::string_view message) {
+  JsonValue::Object error;
+  error.emplace("code", std::string(code));
+  error.emplace("message", std::string(message));
+  JsonValue::Object o;
+  o.emplace("id", id);
+  o.emplace("ok", false);
+  o.emplace("error", JsonValue(std::move(error)));
+  return JsonValue(std::move(o));
+}
+
+}  // namespace cfs

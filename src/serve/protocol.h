@@ -1,0 +1,93 @@
+// Framed-JSON wire protocol for the resident inference service.
+//
+// A connection is a byte stream of frames; every frame is a 4-byte
+// big-endian unsigned payload length followed by exactly that many bytes
+// of UTF-8 JSON. Requests and responses use the same framing in both
+// directions (docs/SERVE.md has the full spec).
+//
+// Request:   {"op": "lookup", "id": 7, ...op parameters...}
+// Response:  {"id": 7, "ok": true,  "op": "lookup", "result": {...}}
+//       or:  {"id": 7, "ok": false, "error": {"code": "...", "message": "..."}}
+//
+// Malformed input is answered, not dropped: a zero-length frame, an
+// oversized frame (declared length past the configured cap) and a
+// payload that fails to parse as JSON each produce a structured error
+// response on the same connection, which stays usable for the next
+// frame. The decoder is incremental — it accepts bytes in arbitrary
+// splits (partial headers, frames spread over many reads, several frames
+// in one read) and skips oversized payloads without buffering them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "io/json.h"
+
+namespace cfs {
+
+inline constexpr std::uint32_t kServeProtocolVersion = 1;
+// Default cap on a single frame's payload. Large enough for any query or
+// response this protocol defines at paper scale, small enough that a
+// corrupt length prefix cannot make the daemon buffer gigabytes.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+// Frame header: 4-byte big-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+struct Frame {
+  enum class Kind {
+    Payload,    // complete payload, ready to parse
+    Empty,      // zero-length frame: protocol error, answered in place
+    Oversized,  // declared length exceeds the cap; payload was skipped
+  };
+  Kind kind = Kind::Payload;
+  std::string payload;               // Kind::Payload only
+  std::uint32_t declared_bytes = 0;  // Kind::Oversized: announced length
+};
+
+// Incremental frame reassembly with bounded memory: at most one partial
+// payload (<= max_frame_bytes) is buffered; oversized payloads are
+// consumed and discarded byte-by-byte while the error frame is surfaced
+// immediately, so the connection survives them.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  // Next complete frame in arrival order, or nullopt when more bytes are
+  // needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  // True when no partial frame is pending (a clean point to close).
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] std::size_t max_frame_bytes() const { return max_frame_; }
+
+ private:
+  void scan();
+
+  std::size_t max_frame_;
+  std::string buffer_;        // unconsumed stream bytes
+  std::size_t consumed_ = 0;  // prefix of buffer_ already parsed
+  std::uint64_t skip_remaining_ = 0;  // oversized payload bytes to discard
+  std::deque<Frame> ready_;
+};
+
+// --- response builders (shared by server, handlers and tests) ---
+
+// `id` is echoed verbatim from the request; pass JsonValue(nullptr) when
+// the request never parsed far enough to have one.
+[[nodiscard]] JsonValue ok_response(const JsonValue& id, std::string_view op,
+                                    JsonValue result);
+[[nodiscard]] JsonValue error_response(const JsonValue& id,
+                                       std::string_view code,
+                                       std::string_view message);
+
+}  // namespace cfs

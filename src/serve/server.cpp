@@ -1,0 +1,408 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace cfs {
+namespace {
+
+// Self-pipe signal plumbing. The handler may only touch lock-free
+// atomics and call async-signal-safe functions, so it never dereferences
+// the server: it raises a flag and writes one byte to wake the poll
+// loop, which translates the flag into a drain.
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<bool> g_signal_requested{false};
+
+void drain_signal_handler(int) {
+  g_signal_requested.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+// Keep reading ahead of the handler by a bounded amount: pipelined
+// clients get concurrency, a firehose client cannot queue unbounded
+// frames in daemon memory.
+constexpr std::size_t kMaxInboxFrames = 64;
+
+int set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct Server::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  FrameDecoder decoder{kDefaultMaxFrameBytes};
+  std::deque<Frame> inbox;  // complete frames awaiting in-order handling
+  std::string outbox;       // encoded responses awaiting the socket
+  std::size_t outbox_offset = 0;
+  bool busy = false;  // a worker is computing this connection's response
+  bool eof = false;   // peer closed or the socket errored out
+  bool dead = false;  // discard pending output, close as soon as !busy
+
+  explicit Connection(std::size_t max_frame) : decoder(max_frame) {}
+
+  [[nodiscard]] bool flushed() const {
+    return outbox_offset == outbox.size();
+  }
+};
+
+Server::Server(ServeOptions options,
+               std::shared_ptr<const ServeState> initial)
+    : options_(std::move(options)),
+      state_(std::move(initial)),
+      metrics_baseline_(Trace::metrics()) {
+  if (options_.socket_path.empty())
+    throw std::invalid_argument("Server: empty socket path");
+  if (state_ == nullptr)
+    throw std::invalid_argument("Server: null initial state");
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+}
+
+std::shared_ptr<const ServeState> Server::state() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+void Server::swap_state(std::shared_ptr<const ServeState> next) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ = std::move(next);
+  }
+  // In-flight queries keep the snapshot they pinned; only new dispatches
+  // observe the swap. Nothing else to invalidate: ServeState is immutable.
+}
+
+void Server::request_shutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+MetricsSnapshot Server::exchange_metrics_baseline(
+    const MetricsSnapshot& now) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  MetricsSnapshot previous = std::move(metrics_baseline_);
+  metrics_baseline_ = now;
+  return previous;
+}
+
+int Server::resolved_threads() const {
+  if (options_.threads > 0) return options_.threads;
+  return static_cast<int>(ThreadPool::hardware_threads());
+}
+
+void Server::wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wake-up; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+void Server::accept_clients() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+        return;
+      if (errno == EINTR) continue;
+      log_warn() << "serve: accept failed: " << strerror(errno);
+      return;
+    }
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    Trace::counter("serve.accept");
+    Trace::gauge("serve.connections",
+                 static_cast<double>(connections_.size()));
+  }
+}
+
+void Server::read_client(Connection& conn) {
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn.decoder.feed(buffer, static_cast<std::size_t>(n));
+      while (auto frame = conn.decoder.next())
+        conn.inbox.push_back(std::move(*frame));
+      if (conn.inbox.size() >= kMaxInboxFrames) return;  // backpressure
+      continue;
+    }
+    if (n == 0) {
+      conn.eof = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    conn.eof = true;
+    conn.dead = true;
+    return;
+  }
+}
+
+void Server::dispatch(Connection& conn, std::string payload) {
+  const std::uint64_t conn_id = conn.id;
+  conn.busy = true;
+  pool_->submit([this, conn_id, payload = std::move(payload)] {
+    std::string encoded;
+    try {
+      encoded = encode_frame(handle_payload(payload, *this).dump());
+    } catch (const std::exception& error) {
+      // handle_payload answers its own failures; this catches the truly
+      // unexpected (encoding limits, bad_alloc) so the connection is
+      // never left busy forever.
+      encoded = encode_frame(
+          error_response(nullptr, "internal", error.what()).dump());
+    }
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.emplace_back(conn_id, std::move(encoded));
+    }
+    wake();
+  });
+}
+
+void Server::pump(Connection& conn) {
+  // Strictly in order, one in-flight request per connection: protocol
+  // errors are answered inline, payloads go to the pool.
+  while (!conn.busy && !conn.inbox.empty()) {
+    Frame frame = std::move(conn.inbox.front());
+    conn.inbox.pop_front();
+    switch (frame.kind) {
+      case Frame::Kind::Empty: {
+        Trace::counter("serve.frame.empty");
+        conn.outbox += encode_frame(
+            error_response(nullptr, "empty_frame", "zero-length frame")
+                .dump());
+        break;
+      }
+      case Frame::Kind::Oversized: {
+        Trace::counter("serve.frame.oversized");
+        conn.outbox += encode_frame(
+            error_response(nullptr, "frame_too_large",
+                           "frame of " + std::to_string(frame.declared_bytes) +
+                               " bytes exceeds the " +
+                               std::to_string(options_.max_frame_bytes) +
+                               "-byte limit")
+                .dump());
+        break;
+      }
+      case Frame::Kind::Payload:
+        dispatch(conn, std::move(frame.payload));
+        break;
+    }
+  }
+}
+
+void Server::deliver_completions() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (auto& [conn_id, encoded] : batch) {
+    for (auto& conn : connections_) {
+      if (conn->id != conn_id) continue;
+      conn->busy = false;
+      if (!conn->dead) {
+        conn->outbox += encoded;
+        pump(*conn);
+      }
+      break;
+    }
+  }
+}
+
+int Server::run() {
+  if (ran_) throw std::logic_error("Server::run called twice");
+  ran_ = true;
+
+  // --- socket setup ---
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + strerror(errno));
+  set_nonblocking(listen_fd_);
+  unlink(options_.socket_path.c_str());  // stale socket from a prior run
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0)
+    throw std::runtime_error("bind " + options_.socket_path + ": " +
+                             strerror(errno));
+  if (listen(listen_fd_, 64) < 0)
+    throw std::runtime_error(std::string("listen: ") + strerror(errno));
+
+  int wake_fds[2];
+  if (pipe(wake_fds) < 0)
+    throw std::runtime_error(std::string("pipe: ") + strerror(errno));
+  wake_read_fd_ = wake_fds[0];
+  wake_write_fd_ = wake_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  // --- signal plumbing ---
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  struct sigaction old_pipe {};
+  if (options_.install_signal_handlers) {
+    g_signal_requested.store(false);
+    g_signal_wake_fd.store(wake_write_fd_);
+    struct sigaction drain {};
+    drain.sa_handler = drain_signal_handler;
+    sigemptyset(&drain.sa_mask);
+    sigaction(SIGINT, &drain, &old_int);
+    sigaction(SIGTERM, &drain, &old_term);
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    sigaction(SIGPIPE, &ignore, &old_pipe);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(resolved_threads()));
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_baseline_ = Trace::metrics();  // window 0 starts at serve time
+  }
+
+  bool listener_open = true;
+  std::vector<pollfd> fds;
+  for (;;) {
+    if (options_.install_signal_handlers &&
+        g_signal_requested.load(std::memory_order_relaxed))
+      draining_.store(true, std::memory_order_relaxed);
+    const bool draining = draining_.load(std::memory_order_relaxed);
+
+    if (draining && listener_open) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+    }
+
+    // Close everything that has nothing left to do. While draining, an
+    // open-but-idle connection no longer keeps the daemon alive.
+    std::erase_if(connections_, [&](const std::unique_ptr<Connection>& c) {
+      if (c->busy) return false;  // a completion still references it
+      const bool finished = c->inbox.empty() && c->flushed();
+      const bool closable = c->dead || (finished && (c->eof || draining));
+      if (!closable) return false;
+      close(c->fd);
+      return true;
+    });
+    Trace::gauge("serve.connections",
+                 static_cast<double>(connections_.size()));
+    if (draining && connections_.empty()) break;
+
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (listener_open) fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t first_conn = fds.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->eof && !draining && conn->inbox.size() < kMaxInboxFrames)
+        events |= POLLIN;
+      if (!conn->flushed() && !conn->dead) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("poll: ") + strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char scratch[256];
+      while (read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    deliver_completions();
+
+    if (listener_open && (fds[first_conn - 1].revents & POLLIN))
+      accept_clients();
+
+    // Snapshot the fd->connection pairing before I/O: handlers never
+    // touch connections_, only this loop mutates it, so indices hold.
+    for (std::size_t i = first_conn; i < fds.size(); ++i) {
+      Connection& conn = *connections_[i - first_conn];
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!conn.eof) read_client(conn);
+        pump(conn);
+      }
+      if ((fds[i].revents & POLLOUT) && !conn.dead && !conn.flushed()) {
+        while (conn.outbox_offset < conn.outbox.size()) {
+          const ssize_t n =
+              send(conn.fd, conn.outbox.data() + conn.outbox_offset,
+                   conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.outbox_offset += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          conn.dead = true;  // EPIPE/ECONNRESET: peer is gone
+          conn.eof = true;
+          break;
+        }
+        if (conn.flushed()) {
+          conn.outbox.clear();
+          conn.outbox_offset = 0;
+        }
+      }
+    }
+  }
+
+  // --- drain the worker pool: reject stragglers, wait for quiescence ---
+  pool_->stop_accepting();
+  pool_->drain();
+  pool_.reset();
+
+  if (options_.install_signal_handlers) {
+    g_signal_wake_fd.store(-1);
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+    sigaction(SIGPIPE, &old_pipe, nullptr);
+  }
+
+  close(wake_read_fd_);
+  close(wake_write_fd_);
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  unlink(options_.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace cfs

@@ -1,0 +1,104 @@
+// Resident inference daemon: a Unix-domain-socket control plane over an
+// immutable, swappable ServeState.
+//
+// Architecture (docs/SERVE.md): one poll(2) loop owns every file
+// descriptor — the listener, a self-pipe, and all accepted connections —
+// and is the only thread that reads or writes sockets. Complete request
+// frames are dispatched onto the worker pool (util/thread_pool.h); a
+// worker parses, handles and serialises the response, then posts the
+// encoded bytes back to the loop through a completion queue plus a
+// self-pipe wake-up. Per connection at most one request is in flight at
+// a time, so pipelined requests are answered strictly in order while
+// different connections proceed fully in parallel (the concurrent query
+// plane). The split mirrors slash2's ctlsvr control-socket daemons:
+// control I/O single-threaded, work fanned out.
+//
+// Shutdown (`shutdown` op, SIGINT or SIGTERM) is a drain, not an abort:
+// the listener closes, frames already received are still answered,
+// outboxes flush, then connections close, the pool stops accepting and
+// quiesces (stop_accepting + drain), and run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/handlers.h"
+#include "serve/protocol.h"
+
+namespace cfs {
+
+class ThreadPool;
+
+struct ServeOptions {
+  std::string socket_path;
+  // Worker threads for query handling; 0 = hardware concurrency.
+  int threads = 0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Daemons want SIGINT/SIGTERM to drain; in-process test servers must
+  // leave the test runner's handlers alone.
+  bool install_signal_handlers = true;
+};
+
+class Server : public ServeControl {
+ public:
+  Server(ServeOptions options, std::shared_ptr<const ServeState> initial);
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and serves until a drain completes. Returns 0 on a
+  // clean drain; throws std::runtime_error if the socket cannot be set
+  // up. Call at most once.
+  int run();
+
+  // --- ServeControl (callable from any worker) ---
+  [[nodiscard]] std::shared_ptr<const ServeState> state() const override;
+  void swap_state(std::shared_ptr<const ServeState> next) override;
+  void request_shutdown() override;
+  MetricsSnapshot exchange_metrics_baseline(
+      const MetricsSnapshot& now) override;
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+  [[nodiscard]] int resolved_threads() const;
+
+ private:
+  struct Connection;
+
+  void accept_clients();
+  void read_client(Connection& conn);
+  void pump(Connection& conn);
+  void dispatch(Connection& conn, std::string payload);
+  void deliver_completions();
+  void wake();
+
+  ServeOptions options_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const ServeState> state_;
+
+  std::mutex metrics_mutex_;
+  MetricsSnapshot metrics_baseline_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> draining_{false};
+  bool ran_ = false;
+
+  // Completions posted by workers, drained by the poll loop.
+  std::mutex completions_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> completions_;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 1;
+};
+
+}  // namespace cfs

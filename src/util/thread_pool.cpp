@@ -75,9 +75,26 @@ std::size_t ThreadPool::hardware_threads() {
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_)
+      throw std::runtime_error("ThreadPool: stopped accepting work");
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
+}
+
+void ThreadPool::stop_accepting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accepting_ = false;
+}
+
+bool ThreadPool::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepting_;
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -98,8 +115,14 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
   }
 }
 
@@ -126,8 +149,16 @@ void ThreadPool::parallel_for_chunks(
   state->errors.resize(state->chunks);
 
   const std::size_t helpers = std::min(state->chunks - 1, workers());
-  for (std::size_t i = 0; i < helpers; ++i)
-    enqueue([state] { state->drain(); });
+  for (std::size_t i = 0; i < helpers; ++i) {
+    // A pool that stopped accepting (shutdown in flight) rejects helper
+    // tasks; the loop still completes because the calling thread drains
+    // every remaining chunk itself below.
+    try {
+      enqueue([state] { state->drain(); });
+    } catch (const std::runtime_error&) {
+      break;
+    }
+  }
   state->drain();  // the calling thread participates
 
   {

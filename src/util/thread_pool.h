@@ -40,7 +40,23 @@ class ThreadPool {
   [[nodiscard]] std::size_t workers() const { return threads_.size(); }
 
   // Fire-and-forget task; the future surfaces any exception it threw.
+  // Throws std::runtime_error once stop_accepting() has been called — a
+  // late enqueue during shutdown is rejected deterministically instead of
+  // racing the worker join (resident daemons drain through this).
   std::future<void> submit(std::function<void()> task);
+
+  // Transitions the pool to a non-accepting state: every subsequent
+  // submit()/parallel_for enqueue attempt fails with std::runtime_error,
+  // while work already queued or running proceeds to completion.
+  // Idempotent; safe to call from any thread, including pool workers.
+  void stop_accepting();
+  [[nodiscard]] bool accepting() const;
+
+  // Blocks until the queue is empty and no task is executing. Call after
+  // stop_accepting() for a quiescence barrier: once drain() returns (and
+  // no other thread can enqueue), the pool is provably idle. Must not be
+  // called from a pool worker (it would wait on itself).
+  void drain();
 
   // Runs body(i) exactly once for every i in [0, n), blocking until all
   // complete. Safe to call from a worker thread (runs inline there). If
@@ -63,8 +79,11 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable idle_;  // queue empty and nothing executing
+  std::size_t active_ = 0;        // tasks currently running on workers
+  bool accepting_ = true;
   bool stop_ = false;
 };
 

@@ -139,7 +139,12 @@ MetricsSnapshot Trace::metrics_since(const MetricsSnapshot& baseline) {
       d.total_ms =
           before.total_ms <= d.total_ms ? d.total_ms - before.total_ms : 0.0;
     }
-    if (d.count > 0) delta.timers[name] = d;
+    // A timer is part of the window when *either* delta moved: a span that
+    // straddles the snapshot boundary can accrue total_ms against a
+    // baseline whose completion count already matches (resident daemons
+    // take per-window deltas, so this is a real shape there, not an edge
+    // case). Only an all-zero delta drops out.
+    if (d.count > 0 || d.total_ms > 0.0) delta.timers[name] = d;
   }
   return delta;
 }

@@ -1,0 +1,167 @@
+// Framing-layer edge cases for the serve protocol (src/serve/protocol.h):
+// byte-at-a-time reassembly, several frames per feed, zero-length and
+// oversized frames, and stream realignment after an oversized skip. These
+// are the properties the daemon's liveness depends on — a decoder that
+// buffers an oversized payload or desyncs after one is a remote crash.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cfs {
+namespace {
+
+std::string frame_for(std::string_view payload) {
+  return encode_frame(payload);
+}
+
+TEST(ServeProtocolTest, EncodeFramePrefixesBigEndianLength) {
+  const std::string framed = frame_for("abc");
+  ASSERT_EQ(framed.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(framed[0], '\0');
+  EXPECT_EQ(framed[1], '\0');
+  EXPECT_EQ(framed[2], '\0');
+  EXPECT_EQ(framed[3], '\x03');
+  EXPECT_EQ(framed.substr(4), "abc");
+}
+
+TEST(ServeProtocolTest, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  decoder.feed(frame_for("{\"op\":\"ping\"}"));
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Frame::Kind::Payload);
+  EXPECT_EQ(frame->payload, "{\"op\":\"ping\"}");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(ServeProtocolTest, PartialReadsByteAtATime) {
+  // The strictest split: every byte of header and payload arrives alone.
+  FrameDecoder decoder;
+  const std::string framed = frame_for("hello world");
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    if (i + 1 < framed.size()) {
+      decoder.feed(framed.data() + i, 1);
+      EXPECT_FALSE(decoder.next().has_value()) << "premature frame at " << i;
+      EXPECT_FALSE(decoder.idle());
+    } else {
+      decoder.feed(framed.data() + i, 1);
+    }
+  }
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "hello world");
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(ServeProtocolTest, HeaderSplitAcrossFeeds) {
+  FrameDecoder decoder;
+  const std::string framed = frame_for("x");
+  decoder.feed(framed.substr(0, 2));  // half a header
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed(framed.substr(2));
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "x");
+}
+
+TEST(ServeProtocolTest, MultipleFramesInOneFeed) {
+  FrameDecoder decoder;
+  decoder.feed(frame_for("one") + frame_for("two") + frame_for("three"));
+  const char* expected[] = {"one", "two", "three"};
+  for (const char* want : expected) {
+    auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->kind, Frame::Kind::Payload);
+    EXPECT_EQ(frame->payload, want);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ServeProtocolTest, ZeroLengthFrameSurfacesAsEmptyKind) {
+  FrameDecoder decoder;
+  decoder.feed(std::string(kFrameHeaderBytes, '\0'));  // length 0
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Frame::Kind::Empty);
+  // The stream stays aligned: a normal frame right after still decodes.
+  decoder.feed(frame_for("after"));
+  auto after = decoder.next();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->payload, "after");
+}
+
+TEST(ServeProtocolTest, OversizedFrameSurfacesImmediatelyWithoutBuffering) {
+  FrameDecoder decoder(16);  // tiny cap for the test
+  // Declare 1000 bytes; the error must surface as soon as the header is
+  // read, before any payload arrives.
+  const std::string header = {'\0', '\0', '\x03', '\xe8'};
+  decoder.feed(header);
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Frame::Kind::Oversized);
+  EXPECT_EQ(frame->declared_bytes, 1000u);
+}
+
+TEST(ServeProtocolTest, StreamRealignsAfterOversizedPayloadIsSkipped) {
+  FrameDecoder decoder(8);
+  const std::string big(100, 'z');
+  decoder.feed(frame_for(big) + frame_for("ok"));
+  auto oversized = decoder.next();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_EQ(oversized->kind, Frame::Kind::Oversized);
+  EXPECT_EQ(oversized->declared_bytes, 100u);
+  auto after = decoder.next();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->kind, Frame::Kind::Payload);
+  EXPECT_EQ(after->payload, "ok");
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(ServeProtocolTest, OversizedSkipSpansManyFeeds) {
+  FrameDecoder decoder(4);
+  const std::string big(64, 'q');
+  const std::string stream = frame_for(big) + frame_for("next");
+  for (char byte : stream) decoder.feed(&byte, 1);
+  auto oversized = decoder.next();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_EQ(oversized->kind, Frame::Kind::Oversized);
+  auto after = decoder.next();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->payload, "next");
+}
+
+TEST(ServeProtocolTest, FrameAtExactCapIsAccepted) {
+  FrameDecoder decoder(5);
+  decoder.feed(frame_for("12345"));
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Frame::Kind::Payload);
+  EXPECT_EQ(frame->payload, "12345");
+}
+
+TEST(ServeProtocolTest, OkResponseShape) {
+  JsonValue::Object result;
+  result.emplace("value", 42);
+  const JsonValue response =
+      ok_response(JsonValue(std::int64_t{7}), "lookup",
+                  JsonValue(std::move(result)));
+  EXPECT_EQ(response.at("id").as_int(), 7);
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("op").as_string(), "lookup");
+  EXPECT_EQ(response.at("result").at("value").as_int(), 42);
+}
+
+TEST(ServeProtocolTest, ErrorResponseShapeAndNullId) {
+  const JsonValue response =
+      error_response(JsonValue(nullptr), "bad_json", "parse failed");
+  EXPECT_TRUE(response.at("id").is_null());
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").at("code").as_string(), "bad_json");
+  EXPECT_EQ(response.at("error").at("message").as_string(), "parse failed");
+}
+
+}  // namespace
+}  // namespace cfs

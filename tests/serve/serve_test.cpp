@@ -1,0 +1,464 @@
+// End-to-end tests for the resident inference service (src/serve/):
+// a real Server on a real Unix socket, driven by ServeClient.
+//
+// The acceptance bar from the service's design: answers byte-identical
+// to the batch export under >= 8 concurrent clients, a reload swapping
+// worlds mid-traffic without tearing a single response, and malformed
+// frames answered with structured errors on a connection that stays
+// usable. Test names start with "Serve" so the TSan CI stage picks them
+// up (.github/workflows/sanitize.yml).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "io/export.h"
+#include "serve/client.h"
+#include "serve/handlers.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace cfs {
+namespace {
+
+CfsReport build_report(std::uint64_t seed) {
+  PipelineConfig config = PipelineConfig::tiny();
+  config.seed = seed;
+  config.generator.seed = seed * 977 + 3;
+  Pipeline pipeline(config);
+  auto traces =
+      pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.6);
+  return pipeline.run_cfs(std::move(traces));
+}
+
+// The world every basic test serves; built once, the pipeline run is the
+// expensive part of this suite.
+const CfsReport& shared_report() {
+  static const CfsReport report = build_report(11);
+  return report;
+}
+
+std::string temp_path(const std::string& stem) {
+  static std::atomic<int> counter{0};
+  return "/tmp/cfs_" + stem + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+void write_report_file(const std::string& path, const CfsReport& report) {
+  std::ofstream file(path);
+  ASSERT_TRUE(file) << "cannot write " << path;
+  write_report(file, report);
+}
+
+JsonValue make_request(const std::string& op, JsonValue::Object extra = {}) {
+  extra.emplace("op", op);
+  return JsonValue(std::move(extra));
+}
+
+// In-process daemon: run() on its own thread, joined by a shutdown
+// request (or by the test itself shutting down through a client).
+class TestServer {
+ public:
+  explicit TestServer(std::shared_ptr<const ServeState> state,
+                      std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                      int threads = 4) {
+    ServeOptions options;
+    options.socket_path = temp_path("serve") + ".sock";
+    options.threads = threads;
+    options.max_frame_bytes = max_frame_bytes;
+    options.install_signal_handlers = false;  // the test runner owns signals
+    server_ = std::make_unique<Server>(std::move(options), std::move(state));
+    thread_ = std::thread([this] { exit_code_ = server_->run(); });
+    wait_ready();
+  }
+
+  ~TestServer() { shutdown_and_join(); }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return server_->socket_path();
+  }
+  [[nodiscard]] int exit_code() const { return exit_code_; }
+  [[nodiscard]] bool joined() const { return joined_; }
+
+  void connect(ServeClient& client) { client.connect(socket_path()); }
+
+  void shutdown_and_join() {
+    if (!thread_.joinable()) return;
+    if (!joined_) {
+      try {
+        ServeClient client;
+        client.connect(socket_path());
+        (void)client.request(make_request("shutdown"));
+      } catch (const std::exception&) {
+        // Already draining (a test sent its own shutdown) — fine.
+      }
+    }
+    thread_.join();
+    joined_ = true;
+  }
+
+ private:
+  void wait_ready() {
+    for (int attempt = 0; attempt < 400; ++attempt) {
+      try {
+        ServeClient probe;
+        probe.connect(socket_path());
+        return;
+      } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    FAIL() << "daemon never came up on " << socket_path();
+  }
+
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+  bool joined_ = false;
+};
+
+TEST(ServeTest, PingReportsWorldAndProtocol) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  ServeClient client;
+  server.connect(client);
+
+  const JsonValue response = client.request(make_request("ping"));
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  const JsonValue& result = response.at("result");
+  EXPECT_EQ(result.at("protocol").as_int(), kServeProtocolVersion);
+  EXPECT_EQ(result.at("generation").as_int(), 0);
+  EXPECT_EQ(result.at("source").as_string(), "pipeline");
+  EXPECT_EQ(result.at("interfaces").as_int(),
+            static_cast<std::int64_t>(shared_report().interfaces.size()));
+}
+
+TEST(ServeTest, LookupMatchesBatchExportByteForByte) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  const JsonValue exported = report_to_json(shared_report());
+  const auto& interfaces = exported.at("interfaces").as_array();
+  ASSERT_FALSE(interfaces.empty());
+
+  ServeClient client;
+  server.connect(client);
+  for (const JsonValue& entry : interfaces) {
+    const std::string& address = entry.at("address").as_string();
+    const JsonValue response = client.request(
+        make_request("lookup", {{"ip", JsonValue(address)}}));
+    ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+    const JsonValue& result = response.at("result");
+    ASSERT_TRUE(result.at("found").as_bool()) << address;
+    // The served entry must be the canonical export entry, byte for byte.
+    EXPECT_EQ(result.at("interface").dump(), entry.dump()) << address;
+  }
+}
+
+TEST(ServeTest, LookupUnknownAddressIsOkButNotFound) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  ServeClient client;
+  server.connect(client);
+  const JsonValue response =
+      client.request(make_request("lookup", {{"ip", JsonValue("0.0.0.1")}}));
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_FALSE(response.at("result").at("found").as_bool());
+  EXPECT_TRUE(response.at("result").at("facility").is_null());
+
+  const JsonValue bad =
+      client.request(make_request("lookup", {{"ip", JsonValue("not-an-ip")}}));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_param");
+}
+
+TEST(ServeTest, PeersAtAgreesWithExportedReport) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  const JsonValue exported = report_to_json(shared_report());
+
+  // Pick the facility with the most pinned members, computed from the
+  // export the same way the handler defines membership.
+  std::map<std::int64_t, std::vector<std::string>> members_by_facility;
+  for (const JsonValue& entry : exported.at("interfaces").as_array()) {
+    if (!entry.at("has_constraint").as_bool()) continue;
+    if (entry.at("candidates").size() != 1) continue;
+    members_by_facility[entry.at("candidates").at(0).as_int()].push_back(
+        entry.dump());
+  }
+  ASSERT_FALSE(members_by_facility.empty())
+      << "tiny world resolved nothing; test needs a richer seed";
+  std::int64_t facility = members_by_facility.begin()->first;
+  for (const auto& [candidate, members] : members_by_facility)
+    if (members.size() >
+        members_by_facility[facility].size())
+      facility = candidate;
+
+  ServeClient client;
+  server.connect(client);
+  const JsonValue response = client.request(make_request(
+      "peers_at", {{"facility", JsonValue(facility)}}));
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  const auto& members = response.at("result").at("members").as_array();
+  const auto& expected = members_by_facility[facility];
+  ASSERT_EQ(members.size(), expected.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    EXPECT_EQ(members[i].dump(), expected[i]);
+}
+
+TEST(ServeTest, DiffAgainstOwnSnapshotIsIdentical) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  const std::string snapshot = temp_path("snapshot") + ".json";
+  write_report_file(snapshot, shared_report());
+
+  ServeClient client;
+  server.connect(client);
+  const JsonValue same = client.request(
+      make_request("diff", {{"snapshot", JsonValue(snapshot)}}));
+  ASSERT_TRUE(same.at("ok").as_bool()) << same.dump();
+  EXPECT_TRUE(same.at("result").at("identical").as_bool());
+  EXPECT_EQ(same.at("result").at("total").as_int(), 0);
+
+  // A different world must differ, and the unreadable-file failure mode
+  // is a structured error, not a dropped connection.
+  const std::string other = temp_path("snapshot") + ".json";
+  write_report_file(other, build_report(12));
+  const JsonValue differs = client.request(
+      make_request("diff", {{"snapshot", JsonValue(other)}}));
+  ASSERT_TRUE(differs.at("ok").as_bool()) << differs.dump();
+  EXPECT_FALSE(differs.at("result").at("identical").as_bool());
+  EXPECT_GT(differs.at("result").at("total").as_int(), 0);
+
+  const JsonValue unreadable = client.request(make_request(
+      "diff", {{"snapshot", JsonValue("/nonexistent/snapshot.json")}}));
+  EXPECT_FALSE(unreadable.at("ok").as_bool());
+  EXPECT_EQ(unreadable.at("error").at("code").as_string(),
+            "snapshot_unreadable");
+  EXPECT_TRUE(client.request(make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServeTest, MetricsWindowResetsBetweenQueries) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  ServeClient client;
+  server.connect(client);
+
+  const JsonValue first = client.request(make_request("metrics"));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  ASSERT_TRUE(first.at("result").at("registry").at("counters").is_object());
+
+  // A known amount of traffic between the two metrics queries: the window
+  // must report exactly those pings (plus this second metrics query).
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(client.request(make_request("ping")).at("ok").as_bool());
+  const JsonValue second = client.request(make_request("metrics"));
+  ASSERT_TRUE(second.at("ok").as_bool());
+  const JsonValue& window = second.at("result").at("window").at("counters");
+  ASSERT_NE(window.find("serve.query.ping"), nullptr) << second.dump();
+  EXPECT_EQ(window.at("serve.query.ping").as_int(), 5);
+}
+
+TEST(ServeTest, EightConcurrentClientsGetByteIdenticalAnswers) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  const JsonValue exported = report_to_json(shared_report());
+  const auto& interfaces = exported.at("interfaces").as_array();
+  ASSERT_FALSE(interfaces.empty());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 40;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ServeClient client;
+        client.connect(server.socket_path());
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const JsonValue& entry =
+              interfaces[(static_cast<std::size_t>(c) * 31 + i) %
+                         interfaces.size()];
+          const JsonValue response = client.request(make_request(
+              "lookup", {{"ip", entry.at("address")},
+                         {"id", JsonValue(std::int64_t{i})}}));
+          if (!response.at("ok").as_bool() ||
+              response.at("id").as_int() != i ||
+              response.at("result").at("interface").dump() != entry.dump())
+            mismatches.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ServeTest, PipelinedRequestsAnsweredStrictlyInOrder) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  ServeClient client;
+  server.connect(client);
+
+  // Send a burst of frames before reading anything; responses must come
+  // back in request order (one in-flight request per connection).
+  constexpr int kBurst = 16;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i)
+    burst += encode_frame(
+        make_request("ping", {{"id", JsonValue(std::int64_t{i})}}).dump());
+  client.send_bytes(burst);
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = client.read_response();
+    ASSERT_TRUE(response.has_value()) << "connection closed at " << i;
+    EXPECT_TRUE(response->at("ok").as_bool());
+    EXPECT_EQ(response->at("id").as_int(), i);
+  }
+}
+
+TEST(ServeTest, ReloadMidTrafficNeverTearsAResponse) {
+  // Two worlds: generation parity says which one must have answered.
+  const CfsReport world_a = shared_report();
+  const CfsReport world_b = build_report(12);
+  const std::string path_a = temp_path("world_a") + ".json";
+  const std::string path_b = temp_path("world_b") + ".json";
+  write_report_file(path_a, world_a);
+  write_report_file(path_b, world_b);
+
+  const JsonValue exported_a = report_to_json(world_a);
+  const JsonValue exported_b = report_to_json(world_b);
+  const auto& interfaces_a = exported_a.at("interfaces").as_array();
+  ASSERT_FALSE(interfaces_a.empty());
+  const std::string probe_ip =
+      interfaces_a.front().at("address").as_string();
+  // What a correct answer looks like in each world, for the probed ip.
+  std::map<std::string, std::string> expected_by_world;
+  expected_by_world["a"] = interfaces_a.front().dump();
+  std::string expected_b = "absent";
+  for (const JsonValue& entry : exported_b.at("interfaces").as_array())
+    if (entry.at("address").as_string() == probe_ip)
+      expected_b = entry.dump();
+  expected_by_world["b"] = expected_b;
+
+  TestServer server(ServeState::from_report(world_a, "pipeline", 0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 4; ++c) {
+    readers.emplace_back([&] {
+      try {
+        ServeClient client;
+        client.connect(server.socket_path());
+        while (!stop.load()) {
+          const JsonValue response = client.request(
+              make_request("lookup", {{"ip", JsonValue(probe_ip)}}));
+          if (!response.at("ok").as_bool()) {
+            torn.fetch_add(1);
+            continue;
+          }
+          const JsonValue& result = response.at("result");
+          // Even generations are world A (initial load + every second
+          // reload), odd generations world B.
+          const bool is_a = result.at("generation").as_int() % 2 == 0;
+          const std::string& expected =
+              expected_by_world[is_a ? "a" : "b"];
+          const std::string got = result.at("found").as_bool()
+                                      ? result.at("interface").dump()
+                                      : std::string("absent");
+          if (got != expected) torn.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+
+  {
+    ServeClient admin;
+    server.connect(admin);
+    for (int round = 0; round < 6; ++round) {
+      const bool to_b = round % 2 == 0;  // gen 1,3,5 = B; gen 2,4,6 = A
+      const JsonValue response = admin.request(make_request(
+          "reload", {{"report", JsonValue(to_b ? path_b : path_a)}}));
+      ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+      EXPECT_EQ(response.at("result").at("generation").as_int(), round + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  stop.store(true);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(ServeTest, MalformedFramesGetStructuredErrorsAndConnectionSurvives) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0),
+                    /*max_frame_bytes=*/256);
+  ServeClient client;
+  server.connect(client);
+
+  // Malformed JSON payload.
+  client.send_bytes(encode_frame("{\"op\": nope"));
+  auto bad_json = client.read_response();
+  ASSERT_TRUE(bad_json.has_value());
+  EXPECT_FALSE(bad_json->at("ok").as_bool());
+  EXPECT_EQ(bad_json->at("error").at("code").as_string(), "bad_json");
+
+  // Zero-length frame.
+  client.send_bytes(std::string(kFrameHeaderBytes, '\0'));
+  auto empty = client.read_response();
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->at("ok").as_bool());
+  EXPECT_EQ(empty->at("error").at("code").as_string(), "empty_frame");
+
+  // Oversized frame: declared way past the 256-byte cap. The daemon must
+  // answer with an error — not buffer it, not drop the connection.
+  client.send_bytes(encode_frame(std::string(4096, 'x')));
+  auto oversized = client.read_response();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_FALSE(oversized->at("ok").as_bool());
+  EXPECT_EQ(oversized->at("error").at("code").as_string(),
+            "frame_too_large");
+
+  // Unknown op and a non-object request are request-level errors.
+  client.send_bytes(encode_frame("{\"op\":\"frobnicate\"}"));
+  auto unknown = client.read_response();
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->at("error").at("code").as_string(), "unknown_op");
+  client.send_bytes(encode_frame("[1,2,3]"));
+  auto non_object = client.read_response();
+  ASSERT_TRUE(non_object.has_value());
+  EXPECT_EQ(non_object->at("error").at("code").as_string(), "bad_request");
+
+  // After all that abuse the connection still answers real queries.
+  const JsonValue ping = client.request(make_request("ping"));
+  EXPECT_TRUE(ping.at("ok").as_bool());
+}
+
+TEST(ServeTest, ShutdownDrainsAndRunReturnsZero) {
+  TestServer server(ServeState::from_report(shared_report(), "pipeline", 0));
+  ServeClient client;
+  server.connect(client);
+
+  const JsonValue response = client.request(make_request("shutdown"));
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_TRUE(response.at("result").at("stopping").as_bool());
+
+  // The daemon flushes the response, then closes: next read is EOF.
+  auto eof = client.read_response();
+  EXPECT_FALSE(eof.has_value());
+
+  server.shutdown_and_join();
+  EXPECT_EQ(server.exit_code(), 0);
+  // The socket file is gone after a clean drain; a fresh connect fails.
+  ServeClient late;
+  EXPECT_THROW(late.connect(server.socket_path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -123,6 +123,86 @@ TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
   EXPECT_EQ(inner_ran.load(), 1);
 }
 
+TEST(ThreadPoolTest, StopAcceptingRejectsLateSubmitsDeterministically) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto before = pool.submit([&] { ran.fetch_add(1); });
+  before.get();
+  EXPECT_TRUE(pool.accepting());
+  pool.stop_accepting();
+  EXPECT_FALSE(pool.accepting());
+  // Every enqueue after stop_accepting() fails with the same exception —
+  // no queued-but-never-run task, no racing the worker join.
+  EXPECT_THROW(pool.submit([&] { ran.fetch_add(1); }), std::runtime_error);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.drain();
+  EXPECT_EQ(ran.load(), 1);
+  // Idempotent.
+  pool.stop_accepting();
+  EXPECT_FALSE(pool.accepting());
+}
+
+TEST(ThreadPoolTest, StopAcceptingDrainRaceWithConcurrentSubmitters) {
+  // TSan-covered shutdown race (resident-daemon drain): submitters hammer
+  // the pool while another thread flips it to non-accepting and drains.
+  // Every submit must either complete (its future becomes ready and the
+  // task ran) or throw the deterministic rejection — never hang, never
+  // drop a task whose future was handed out.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<void>>> futures(4);
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < 200; ++i) {
+          try {
+            futures[t].push_back(pool.submit([&] { ran.fetch_add(1); }));
+            accepted.fetch_add(1);
+          } catch (const std::runtime_error&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    pool.stop_accepting();
+    pool.drain();
+    for (auto& s : submitters) s.join();
+    // Late accepts (submits that won the race before the flag flipped) are
+    // still honoured: drain again now that the submitters are done, then
+    // every accepted future must be ready and every accepted task ran.
+    pool.drain();
+    for (auto& per_thread : futures)
+      for (auto& f : per_thread) f.get();  // throws on a dropped task
+    EXPECT_EQ(ran.load(), accepted.load());
+    EXPECT_EQ(accepted.load() + rejected.load(), 4 * 200);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCompletesAfterStopAccepting) {
+  // parallel_for may no longer enqueue helper tasks once the pool stopped
+  // accepting, but the loop must still run every index (the calling
+  // thread drains all chunks itself).
+  ThreadPool pool(4);
+  pool.stop_accepting();
+  constexpr std::size_t n = 1'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, DrainWaitsForQueuedAndRunningWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i)
+    (void)pool.submit([&] { done.fetch_add(1); });
+  pool.stop_accepting();
+  pool.drain();
+  EXPECT_EQ(done.load(), 32);
+}
+
 TEST(ThreadPoolTest, SeededStressTenThousandTasksFiftyIterations) {
   // Satellite-mandated stress: 10k tiny tasks x 50 iterations. Each
   // iteration derives expected values from a seeded Rng so the assertion

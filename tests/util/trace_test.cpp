@@ -91,6 +91,50 @@ TEST_F(TraceTest, MetricsSinceReportsPerRunDelta) {
   EXPECT_FALSE(Trace::metrics_since(base2).counters.contains("test.idle"));
 }
 
+TEST_F(TraceTest, MetricsSinceKeepsTimerWhoseTotalAdvancedWithoutNewCount) {
+  // Regression (resident-daemon metrics windows): a span can straddle the
+  // snapshot boundary, so the baseline a caller holds may already carry
+  // this window's completion count while only part of its time — e.g. a
+  // baseline persisted mid-span or restored across a reload. The timer
+  // delta then has count == 0 but total_ms > 0, and used to be dropped
+  // from the window entirely, silently under-reporting daemon time.
+  Trace::observe_ms("test.window", 2.0);
+  Trace::observe_ms("test.window", 3.0);
+  MetricsSnapshot baseline = Trace::metrics();
+  ASSERT_EQ(baseline.timers.at("test.window").count, 2u);
+  baseline.timers["test.window"].total_ms = 4.0;  // 1.0 ms accrued in-window
+  const MetricsSnapshot delta = Trace::metrics_since(baseline);
+  ASSERT_TRUE(delta.timers.contains("test.window"));
+  EXPECT_EQ(delta.timers.at("test.window").count, 0u);
+  EXPECT_DOUBLE_EQ(delta.timers.at("test.window").total_ms, 1.0);
+}
+
+TEST_F(TraceTest, MetricsSinceSpanOpenedBeforeAndClosedAfterBaseline) {
+  // The straddling span itself: opened before the window baseline, closed
+  // after it. It only registers with the timer at close, so the whole
+  // span lands in this window's delta.
+  MetricsSnapshot baseline;
+  {
+    TraceSpan span("test.straddle");
+    baseline = Trace::metrics();  // span still open: timer absent here
+  }
+  const MetricsSnapshot delta = Trace::metrics_since(baseline);
+  ASSERT_TRUE(delta.timers.contains("test.straddle"));
+  EXPECT_EQ(delta.timers.at("test.straddle").count, 1u);
+}
+
+TEST_F(TraceTest, MetricsSinceNegativeDeltasStayClampedAndAllZeroDrops) {
+  // A registry reset between baseline and now must not produce garbage
+  // (underflowed counts); both deltas clamp to zero and the timer drops.
+  Trace::observe_ms("test.reset", 5.0);
+  Trace::observe_ms("test.reset", 5.0);
+  const MetricsSnapshot baseline = Trace::metrics();
+  Trace::reset_metrics();
+  Trace::observe_ms("test.reset", 1.0);  // now: count 1 < baseline count 2
+  const MetricsSnapshot delta = Trace::metrics_since(baseline);
+  EXPECT_FALSE(delta.timers.contains("test.reset"));
+}
+
 TEST_F(TraceTest, SpansFeedRegistryEvenWhenDisabled) {
   ASSERT_FALSE(Trace::enabled());
   {

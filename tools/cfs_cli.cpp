@@ -32,9 +32,27 @@
 //       differences, with --ignore dropping subtrees by path prefix
 //       (e.g. --ignore /metrics). Exit 0 identical, 1 different.
 //
-// Exit codes: 0 success, 1 documents differ (diff only), 2 usage error
-// (no/unknown command), 3 bad flag (malformed value, unknown or repeated
-// flag), 4 runtime failure.
+//   cfs serve --socket PATH [--scale ...] [--seed N] [--content N]
+//             [--transit N] [--vp-fraction F] [--threads N]
+//             [--load-report FILE] [--max-frame-bytes N]
+//       Resident inference service: run the pipeline once (or load a
+//       previously exported report with --load-report), then answer
+//       lookup/peers_at/diff/metrics/reload/shutdown queries over a
+//       framed-JSON Unix-socket protocol until a shutdown request,
+//       SIGINT or SIGTERM drains the daemon (docs/SERVE.md).
+//
+//   cfs query --socket PATH <op> [--ip A.B.C.D] [--facility N]
+//             [--snapshot FILE] [--report FILE] [--max N] [--ignore p1,p2]
+//             [--id N] [--raw JSON] [--pretty]
+//       One-shot client for a running daemon: sends a single request and
+//       prints the response document. Exit 0 when the daemon answered
+//       ok, 1 when it answered with a structured error.
+//
+// Exit codes: 0 success (including --help/bare `cfs`, which print usage
+// on stdout), 1 documents differ (diff) or the daemon answered an error
+// (query), 3 usage or flag error — unknown command, stray positional,
+// malformed value, unknown or repeated flag — with diagnostics on
+// stderr, 4 runtime failure.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,6 +61,8 @@
 #include "core/multilateral.h"
 #include "core/pipeline.h"
 #include "io/export.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/table.h"
@@ -77,6 +97,15 @@ void reject_unknown(const Flags& flags) {
   if (!message.empty()) throw std::invalid_argument(message);
 }
 
+// Commands that take no positional arguments reject strays loudly; a
+// silently ignored `cfs infer smal` (meant as --scale small) used to look
+// like a successful default-config run.
+void reject_positional(const Flags& flags) {
+  if (!flags.positional().empty())
+    throw std::invalid_argument("unexpected positional argument '" +
+                                flags.positional().front() + "'");
+}
+
 // --trace-out=FILE turns the span timeline on for the whole run; the
 // collected events are flushed here after the command succeeds. The
 // registry itself is always on, so tracing changes nothing but the
@@ -101,6 +130,7 @@ struct TraceOutput {
 int cmd_generate(const Flags& flags) {
   const PipelineConfig config = config_from(flags);
   const std::string out = flags.get("out", "");
+  reject_positional(flags);
   reject_unknown(flags);
 
   const Topology topo = generate_topology(config.generator);
@@ -119,6 +149,7 @@ int cmd_generate(const Flags& flags) {
 
 int cmd_census(const Flags& flags) {
   const PipelineConfig config = config_from(flags);
+  reject_positional(flags);
   reject_unknown(flags);
   const Topology topo = generate_topology(config.generator);
 
@@ -160,6 +191,7 @@ int cmd_infer(const Flags& flags) {
   config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
   const TraceOutput trace_out(flags);
+  reject_positional(flags);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -249,6 +281,7 @@ int cmd_validate(const Flags& flags) {
   config.threads = static_cast<int>(flags.get_int("threads", 0));
   faults_from(flags, config.faults);
   const TraceOutput trace_out(flags);
+  reject_positional(flags);
   reject_unknown(flags);
 
   Pipeline pipeline(config);
@@ -309,20 +342,123 @@ int cmd_diff(const Flags& flags) {
   return diff.empty() ? 0 : 1;
 }
 
-int usage() {
-  std::cerr << "usage: cfs <generate|census|infer|validate|diff> [--scale "
-               "tiny|small|paper] [--seed N] ...\n"
-               "run 'cfs' with a command; see tools/cfs_cli.cpp header for "
-               "per-command flags\n";
-  return 2;
+int cmd_serve(const Flags& flags) {
+  const std::string socket = flags.get("socket", "");
+  if (socket.empty())
+    throw std::invalid_argument("serve requires --socket PATH");
+
+  ServeOptions options;
+  options.socket_path = socket;
+  options.threads = static_cast<int>(flags.get_int("threads", 0));
+  options.max_frame_bytes = static_cast<std::size_t>(flags.get_int(
+      "max-frame-bytes", static_cast<std::int64_t>(kDefaultMaxFrameBytes)));
+  if (options.max_frame_bytes < kFrameHeaderBytes)
+    throw std::invalid_argument("--max-frame-bytes is too small");
+
+  const std::string load_report = flags.get("load-report", "");
+  std::shared_ptr<const ServeState> state;
+  if (!load_report.empty()) {
+    reject_positional(flags);
+    reject_unknown(flags);
+    state = ServeState::from_file(load_report, 0);
+  } else {
+    PipelineConfig config = config_from(flags);
+    const int content = static_cast<int>(flags.get_int("content", 2));
+    const int transit = static_cast<int>(flags.get_int("transit", 2));
+    const double vp_fraction = flags.get_double("vp-fraction", 0.6);
+    config.threads = options.threads;
+    reject_positional(flags);
+    reject_unknown(flags);
+
+    Pipeline pipeline(config);
+    auto traces = pipeline.initial_campaign(
+        pipeline.default_targets(content, transit), vp_fraction);
+    state = ServeState::from_report(pipeline.run_cfs(std::move(traces)),
+                                    "pipeline", 0);
+  }
+
+  Server server(std::move(options), state);
+  std::cout << "cfs serve: " << state->report.interfaces.size()
+            << " interfaces from " << state->source << ", "
+            << server.resolved_threads() << " workers, socket "
+            << server.socket_path() << "\n"
+            << std::flush;
+  const int status = server.run();
+  std::cout << "cfs serve: drained\n";
+  return status;
+}
+
+int cmd_query(const Flags& flags) {
+  const std::string socket = flags.get("socket", "");
+  if (socket.empty())
+    throw std::invalid_argument("query requires --socket PATH");
+  const bool pretty = flags.get_bool("pretty", false);
+  const std::string raw = flags.get("raw", "");
+
+  JsonValue request;
+  if (!raw.empty()) {
+    if (!flags.positional().empty())
+      throw std::invalid_argument(
+          "--raw supplies the whole request; drop the positional op");
+    reject_unknown(flags);
+    try {
+      request = parse_json(raw);
+    } catch (const std::exception& error) {
+      throw std::invalid_argument(std::string("--raw is not valid JSON: ") +
+                                  error.what());
+    }
+  } else {
+    const auto& positional = flags.positional();
+    if (positional.size() != 1)
+      throw std::invalid_argument(
+          "query takes exactly one op: "
+          "lookup|peers_at|diff|metrics|reload|ping|shutdown "
+          "(or --raw '<json>')");
+    JsonValue::Object doc;
+    doc.emplace("op", positional.front());
+    if (flags.has("id")) doc.emplace("id", flags.get_int("id", 0));
+    if (flags.has("ip")) doc.emplace("ip", flags.get("ip", ""));
+    if (flags.has("facility"))
+      doc.emplace("facility", flags.get_int("facility", 0));
+    if (flags.has("snapshot"))
+      doc.emplace("snapshot", flags.get("snapshot", ""));
+    if (flags.has("report")) doc.emplace("report", flags.get("report", ""));
+    if (flags.has("max")) doc.emplace("max", flags.get_int("max", 32));
+    if (flags.has("ignore")) doc.emplace("ignore", flags.get("ignore", ""));
+    reject_unknown(flags);
+    request = JsonValue(std::move(doc));
+  }
+
+  ServeClient client;
+  client.connect(socket);
+  const JsonValue response = client.request(request);
+  std::cout << (pretty ? response.pretty() : response.dump()) << "\n";
+  const JsonValue* ok = response.find("ok");
+  return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 1;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: cfs <generate|census|infer|validate|diff|serve|query> "
+        "[--scale tiny|small|paper] [--seed N] ...\n"
+        "see the tools/cfs_cli.cpp header for per-command flags; "
+        "docs/SERVE.md covers serve/query\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
   set_log_level(LogLevel::Warn);
+  // Asking for help is success: usage goes to stdout and exits 0, so
+  // `cfs --help | less` works and scripts can probe the binary cheaply.
+  if (argc < 2) {
+    print_usage(std::cout);
+    return 0;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
   try {
     // Inside the try: the constructor throws on repeated flags, and that
     // is a user error (exit 3), not a crash.
@@ -332,10 +468,17 @@ int main(int argc, char** argv) {
     if (command == "infer") return cmd_infer(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "diff") return cmd_diff(flags);
-    return usage();
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "query") return cmd_query(flags);
+    // An unknown command is a usage error, not a request for help: the
+    // diagnostic and usage text go to stderr and the exit is 3, the same
+    // class as a bad flag.
+    std::cerr << "error: unknown command '" << command << "'\n";
+    print_usage(std::cerr);
+    return 3;
   } catch (const std::invalid_argument& error) {
-    // Bad flag value or unknown flag: user error, distinct from crashes so
-    // scripts can tell a typo from a broken run.
+    // Bad flag value, stray positional or unknown flag: user error,
+    // distinct from crashes so scripts can tell a typo from a broken run.
     std::cerr << "error: " << error.what() << "\n";
     return 3;
   } catch (const std::exception& error) {

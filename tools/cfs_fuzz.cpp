@@ -186,22 +186,34 @@ int cmd_fuzz(const Flags& flags) {
   return 0;
 }
 
-int usage() {
-  std::cerr << "usage: cfs_fuzz [--trials N] [--seed S] [--budget-sec T] "
-               "[--oracles a,b|all] [--out DIR]\n"
-               "       cfs_fuzz --replay FILE [--oracles a,b|all]\n"
-               "       cfs_fuzz --list-oracles\n"
-               "see tools/cfs_fuzz.cpp header and docs/TESTING.md\n";
-  return 2;
+void print_usage(std::ostream& os) {
+  os << "usage: cfs_fuzz [--trials N] [--seed S] [--budget-sec T] "
+        "[--oracles a,b|all] [--out DIR]\n"
+        "       cfs_fuzz --replay FILE [--oracles a,b|all]\n"
+        "       cfs_fuzz --list-oracles\n"
+        "see tools/cfs_fuzz.cpp header and docs/TESTING.md\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
+  if (argc >= 2 && (std::string(argv[1]) == "--help" ||
+                    std::string(argv[1]) == "-h")) {
+    // Asking for help is success: usage on stdout, exit 0.
+    print_usage(std::cout);
+    return 0;
+  }
   try {
     const Flags flags(argc, argv);
-    if (!flags.positional().empty()) return usage();
+    if (!flags.positional().empty()) {
+      // A stray positional is a usage error (exit 3, like a bad flag);
+      // it used to exit 2, an undocumented code the header never listed.
+      std::cerr << "error: unexpected positional argument '"
+                << flags.positional().front() << "'\n";
+      print_usage(std::cerr);
+      return 3;
+    }
     if (flags.get_bool("list-oracles", false)) return cmd_list_oracles();
     if (flags.has("replay")) return cmd_replay(flags);
     return cmd_fuzz(flags);
