@@ -1,0 +1,234 @@
+// Degraded-mode behaviour of the resident inference service under
+// transport chaos and overload (docs/ROBUSTNESS.md): the seeded
+// SocketFaultPlane fleet (src/serve/chaos.h) hammers an in-process daemon
+// through three escalating scenarios — a clean baseline, a torn-frame /
+// dribbled-byte / disconnect chaos mix, and a connection flood against a
+// deliberately small connection cap with a tight request deadline. For
+// each scenario we report validated-answer p50/p99 latency, the shed
+// rate, and the outcome ledger; samples land in BENCH_serve_degraded.json
+// for the observability-artifacts CI job.
+//
+// The shape to watch: desyncs and transport errors must be zero in every
+// scenario (chaos may slow the daemon, never corrupt it), the flood
+// scenario's shed rate should be substantial (the cap is doing its job),
+// and ok-request p99 under flood should stay bounded — overload control
+// exists so the requests the daemon does accept finish promptly.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.h"
+#include "io/export.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/handlers.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace cfs;
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+struct Scenario {
+  std::string name;
+  ServeOptions options;   // overload knobs for this daemon instance
+  ChaosConfig config;     // fleet behaviour (socket_path filled at run time)
+};
+
+struct Outcome {
+  std::string name;
+  ChaosStats stats;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+JsonValue outcome_json(const Outcome& outcome) {
+  const ChaosStats& s = outcome.stats;
+  JsonValue::Object o;
+  o.emplace("scenario", outcome.name);
+  o.emplace("attempted", s.attempted);
+  o.emplace("ok", s.ok);
+  o.emplace("shed", s.shed);
+  o.emplace("shed_rate", s.shed_rate());
+  o.emplace("torn", s.torn);
+  o.emplace("disconnected", s.disconnected);
+  o.emplace("cut", s.cut);
+  o.emplace("desyncs", s.desyncs);
+  o.emplace("transport_errors", s.transport_errors);
+  o.emplace("reconnects", s.reconnects);
+  o.emplace("ok_p50_ms", outcome.p50_ms);
+  o.emplace("ok_p99_ms", outcome.p99_ms);
+  return JsonValue(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string scale = flags.get("scale", "tiny");
+  const int requests = static_cast<int>(flags.get_int("requests", 80));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 20260809));
+
+  bench::header("serve degraded mode (docs/ROBUSTNESS.md)",
+                "n/a — operational harness for overload control");
+
+  PipelineConfig config =
+      scale == "small" ? PipelineConfig::small_scale() : PipelineConfig::tiny();
+  Pipeline pipeline(config);
+  auto traces = pipeline.initial_campaign(pipeline.default_targets(1, 1), 0.6);
+  auto state = ServeState::from_report(pipeline.run_cfs(std::move(traces)),
+                                       "pipeline", 0);
+
+  // Expected answers straight from the canonical export, plus one
+  // guaranteed miss so the "absent" path is exercised too.
+  std::vector<ChaosExpectation> lookups;
+  for (const JsonValue& entry :
+       state->report_json.at("interfaces").as_array())
+    lookups.push_back({entry.at("address").as_string(), entry.dump()});
+  if (lookups.empty()) {
+    std::cout << "FAILED: world has no observed interfaces to look up\n";
+    return 1;
+  }
+  lookups.push_back({"203.0.113.250", "absent"});
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario baseline;
+    baseline.name = "baseline";
+    baseline.options.threads = 4;
+    baseline.config.clients = 8;
+    baseline.config.requests_per_client = requests;
+    baseline.config.seed = seed;
+    scenarios.push_back(std::move(baseline));
+  }
+  {
+    Scenario chaos;
+    chaos.name = "transport_chaos";
+    chaos.options.threads = 4;
+    chaos.options.idle_timeout_ms = 5000;
+    chaos.config.clients = 8;
+    chaos.config.requests_per_client = requests;
+    chaos.config.seed = seed + 1;
+    chaos.config.plan.byte_write_fraction = 0.2;
+    chaos.config.plan.torn_frame_fraction = 0.15;
+    chaos.config.plan.disconnect_fraction = 0.1;
+    chaos.config.plan.stall_fraction = 0.05;
+    chaos.config.plan.stall_ms = 5.0;
+    chaos.config.plan.read_stall_fraction = 0.05;
+    scenarios.push_back(std::move(chaos));
+  }
+  {
+    Scenario flood;
+    flood.name = "connection_flood";
+    flood.options.threads = 2;
+    flood.options.max_connections = 4;
+    flood.options.request_deadline_ms = 1000;
+    flood.config.clients = 16;
+    flood.config.requests_per_client = requests;
+    flood.config.seed = seed + 2;
+    flood.config.plan.disconnect_fraction = 0.25;  // reconnect pressure
+    scenarios.push_back(std::move(flood));
+  }
+
+  std::vector<Outcome> outcomes;
+  Table table({"Scenario", "Attempted", "OK", "Shed %", "Cut", "Desync",
+               "p50 ms", "p99 ms"});
+  for (Scenario& scenario : scenarios) {
+    scenario.options.socket_path =
+        "/tmp/cfs_bench_degraded_" + std::to_string(::getpid()) + "_" +
+        scenario.name + ".sock";
+    scenario.options.install_signal_handlers = false;
+    Server server(scenario.options, state);
+    std::thread daemon([&server] { (void)server.run(); });
+    for (int attempt = 0;; ++attempt) {
+      try {
+        ServeClient probe;
+        probe.connect(server.socket_path());
+        break;
+      } catch (const std::exception&) {
+        if (attempt > 400) {
+          std::cout << "FAILED: daemon never came up for " << scenario.name
+                    << "\n";
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    scenario.config.socket_path = server.socket_path();
+    Outcome outcome;
+    outcome.name = scenario.name;
+    outcome.stats = run_chaos_clients(scenario.config, lookups);
+    outcome.p50_ms = percentile(outcome.stats.ok_latency_ms, 0.50);
+    outcome.p99_ms = percentile(outcome.stats.ok_latency_ms, 0.99);
+
+    {
+      ServeClient admin;
+      admin.connect(server.socket_path());
+      JsonValue::Object request;
+      request.emplace("op", "shutdown");
+      (void)admin.request(JsonValue(std::move(request)));
+    }
+    daemon.join();
+
+    if (!outcome.stats.clean()) {
+      std::cout << "FAILED: scenario " << scenario.name << " saw "
+                << outcome.stats.desyncs << " desyncs and "
+                << outcome.stats.transport_errors << " transport errors\n";
+      return 1;
+    }
+    if (outcome.stats.ok == 0) {
+      std::cout << "FAILED: scenario " << scenario.name
+                << " validated zero answers\n";
+      return 1;
+    }
+
+    table.add_row({outcome.name,
+                   Table::cell(std::uint64_t{outcome.stats.attempted}),
+                   Table::cell(std::uint64_t{outcome.stats.ok}),
+                   Table::cell(outcome.stats.shed_rate() * 100.0),
+                   Table::cell(std::uint64_t{outcome.stats.cut}),
+                   Table::cell(std::uint64_t{outcome.stats.desyncs}),
+                   Table::cell(outcome.p50_ms), Table::cell(outcome.p99_ms)});
+    outcomes.push_back(std::move(outcome));
+  }
+  table.print(std::cout);
+
+  // The flood must actually shed or cut: 16 clients on 4 seats cannot all
+  // be seated, so silence here means the cap never engaged.
+  const Outcome& flood = outcomes.back();
+  if (flood.stats.shed + flood.stats.cut == 0) {
+    std::cout << "FAILED: connection flood shed nothing — cap inert\n";
+    return 1;
+  }
+
+  JsonValue::Array runs;
+  for (const Outcome& outcome : outcomes)
+    runs.emplace_back(outcome_json(outcome));
+  JsonValue::Object doc;
+  doc.emplace("bench", "serve_degraded");
+  doc.emplace("scale", scale);
+  doc.emplace("seed", seed);
+  doc.emplace("requests_per_client", static_cast<std::uint64_t>(requests));
+  doc.emplace("runs", JsonValue(std::move(runs)));
+
+  std::ofstream out("BENCH_serve_degraded.json");
+  out << JsonValue(std::move(doc)).pretty() << "\n";
+  std::cout << "samples written to BENCH_serve_degraded.json\nOK\n";
+  return 0;
+}

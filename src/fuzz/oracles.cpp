@@ -1,12 +1,19 @@
 #include "fuzz/oracles.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "analysis/diff.h"
 #include "io/export.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/handlers.h"
+#include "serve/server.h"
 #include "util/strings.h"
 
 namespace cfs {
@@ -279,6 +286,86 @@ std::optional<OracleFailure> check_pinning(const Scenario& s) {
   return std::nullopt;
 }
 
+// --- oracle: serve transport vs batch export ---
+//
+// The resident daemon must be transparent: whatever abuse the transport
+// schedule inflicts — torn frames, dribbled bytes, disconnects, stalls —
+// every request that is actually answered (not shed) returns the exact
+// bytes the batch export would have produced for the same world. The
+// daemon is live, the clients are real sockets, the schedule is a pure
+// hash of the scenario seed, so a failure replays exactly.
+std::optional<OracleFailure> check_serve_transport(const Scenario& s) {
+  const CfsReport report = run_arm(s, s.threads, true);
+  const auto state =
+      ServeState::from_report(report, "pipeline", 0);
+
+  std::vector<ChaosExpectation> lookups;
+  for (const JsonValue& entry :
+       state->report_json.at("interfaces").as_array())
+    lookups.push_back({entry.at("address").as_string(), entry.dump()});
+  if (lookups.empty()) return std::nullopt;  // nothing observable to query
+  lookups.push_back({"203.0.113.250", "absent"});
+
+  ServeOptions options;
+  options.socket_path = "/tmp/cfs_fuzz_serve_" + std::to_string(::getpid()) +
+                        "_" + std::to_string(s.seed) + ".sock";
+  options.threads = s.threads;
+  options.install_signal_handlers = false;
+  Server server(options, state);
+  std::thread daemon([&server] { (void)server.run(); });
+  const auto stop_daemon = [&] {
+    server.request_shutdown();
+    daemon.join();
+  };
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ServeClient probe;
+      probe.connect(server.socket_path());
+      break;
+    } catch (const std::exception&) {
+      if (attempt > 400) {
+        stop_daemon();
+        return fail("serve_transport", "daemon never came up on " +
+                                           options.socket_path);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  ChaosConfig config;
+  config.socket_path = server.socket_path();
+  config.seed = s.seed ^ s.fault_seed ^ 0x5e47e5ULL;
+  config.clients = std::min(s.threads + 2, 6);
+  config.requests_per_client = 40;
+  config.plan.byte_write_fraction = 0.2;
+  config.plan.torn_frame_fraction = 0.15;
+  config.plan.disconnect_fraction = 0.1;
+  config.plan.stall_fraction = 0.05;
+  config.plan.stall_ms = 2.0;
+  config.plan.read_stall_fraction = 0.05;
+
+  const ChaosStats stats = run_chaos_clients(config, lookups);
+  stop_daemon();
+
+  if (stats.desyncs > 0)
+    return fail("serve_transport",
+                std::to_string(stats.desyncs) +
+                    " answered request(s) diverged from the batch export "
+                    "under transport chaos (" +
+                    std::to_string(stats.attempted) + " attempted, " +
+                    std::to_string(stats.ok) + " validated)");
+  if (stats.transport_errors > 0)
+    return fail("serve_transport",
+                std::to_string(stats.transport_errors) +
+                    " request(s) wedged the transport (timeout/desync "
+                    "reading a live daemon)");
+  if (stats.ok == 0)
+    return fail("serve_transport",
+                "no request was ever validated against the export (" +
+                    std::to_string(stats.attempted) + " attempted)");
+  return std::nullopt;
+}
+
 }  // namespace
 
 JsonValue equivalence_json(const CfsReport& report) {
@@ -384,6 +471,10 @@ const std::vector<Oracle>& all_oracles() {
       {"pinning",
        "conflict-free pinned interfaces stay pinned when traces are added",
        check_pinning},
+      {"serve_transport",
+       "a live daemon under seeded socket chaos answers every non-shed "
+       "request byte-identically to the batch export",
+       check_serve_transport},
   };
   return oracles;
 }

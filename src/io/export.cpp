@@ -1,6 +1,8 @@
 #include "io/export.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
@@ -752,6 +754,39 @@ void write_topology(std::ostream& os, const Topology& topo) {
 
 void write_report(std::ostream& os, const CfsReport& report) {
   os << report_to_json(report).pretty() << '\n';
+}
+
+namespace {
+
+// Write-to-temp + rename(2). rename is atomic within a filesystem and the
+// temp file is a sibling of the target, so the swap never crosses one.
+template <class Emit>
+void atomic_replace(const std::string& path, Emit&& emit) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot write " + tmp);
+    emit(file);
+    file.flush();
+    if (!file) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace
+
+void write_topology_file(const std::string& path, const Topology& topo) {
+  atomic_replace(path, [&](std::ostream& os) { write_topology(os, topo); });
+}
+
+void write_report_file(const std::string& path, const CfsReport& report) {
+  atomic_replace(path, [&](std::ostream& os) { write_report(os, report); });
 }
 
 }  // namespace cfs

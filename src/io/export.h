@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "core/report.h"
 #include "io/json.h"
@@ -28,5 +29,13 @@ namespace cfs {
 // Stream helpers (pretty JSON).
 void write_topology(std::ostream& os, const Topology& topo);
 void write_report(std::ostream& os, const CfsReport& report);
+
+// Atomic file replacement: write to a sibling temp file, flush, then
+// rename(2) into place. A concurrent reader — the resident daemon's
+// `reload` op in particular — observes either the old complete file or
+// the new complete file, never a half-written one. Throws
+// std::runtime_error on any I/O failure (the temp file is removed).
+void write_topology_file(const std::string& path, const Topology& topo);
+void write_report_file(const std::string& path, const CfsReport& report);
 
 }  // namespace cfs

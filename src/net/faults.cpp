@@ -105,4 +105,80 @@ bool FaultPlane::withhold_record(double fraction,
   return withheld;
 }
 
+// --- transport chaos plane ------------------------------------------------
+
+bool SocketFaultPlan::any() const {
+  return byte_write_fraction > 0.0 || torn_frame_fraction > 0.0 ||
+         disconnect_fraction > 0.0 || stall_fraction > 0.0 ||
+         read_stall_fraction > 0.0;
+}
+
+SocketFaultPlane::SocketFaultPlane(const SocketFaultPlan& plan,
+                                   std::uint64_t seed)
+    : plan_(plan), seed_(mix64(seed ^ plan.seed ^ 0x50cfau)) {}
+
+double SocketFaultPlane::frac(std::uint64_t conn, std::uint64_t request,
+                              std::uint64_t salt) const {
+  return to_unit(
+      mix64(seed_ ^ mix64(conn ^ (salt << 40)) ^ mix64(request ^ (salt << 8))));
+}
+
+SocketWritePlan SocketFaultPlane::write_plan(std::uint64_t conn,
+                                             std::uint64_t request,
+                                             std::size_t frame_bytes) const {
+  SocketWritePlan out;
+  if (frame_bytes == 0) return out;
+  if (!plan_.any()) {
+    out.chunks.push_back(frame_bytes);
+    return out;
+  }
+
+  // A derived stream keyed by (conn, request): the chunk partition can
+  // draw as many values as it likes without perturbing other requests.
+  Rng rng(mix64(seed_ ^ mix64(conn ^ 0xc0ffee) ^ mix64(request ^ 0xfeed)));
+
+  std::size_t to_send = frame_bytes;
+  if (plan_.torn_frame_fraction > 0.0 &&
+      frac(conn, request, 11) < plan_.torn_frame_fraction) {
+    // A strict prefix: at least one byte short so the daemon is left with
+    // a partial frame when the connection dies.
+    out.truncate_at = frame_bytes > 1
+                          ? 1 + rng.uniform(frame_bytes - 1)
+                          : 0;
+    to_send = out.truncate_at;
+  }
+
+  const bool byte_at_a_time =
+      plan_.byte_write_fraction > 0.0 &&
+      frac(conn, request, 12) < plan_.byte_write_fraction;
+  if (byte_at_a_time) {
+    out.chunks.assign(to_send, 1);
+  } else if (to_send > 0) {
+    // 1..4 random cuts: partial headers, frame spread over several reads.
+    std::size_t cuts = rng.uniform(4);
+    std::size_t remaining = to_send;
+    while (cuts > 0 && remaining > 1) {
+      const std::size_t take = 1 + rng.uniform(remaining - 1);
+      out.chunks.push_back(take);
+      remaining -= take;
+      --cuts;
+    }
+    if (remaining > 0) out.chunks.push_back(remaining);
+  }
+
+  if (plan_.stall_fraction > 0.0 && !out.chunks.empty() &&
+      frac(conn, request, 13) < plan_.stall_fraction) {
+    out.stall_before_chunk =
+        static_cast<int>(rng.uniform(out.chunks.size()));
+    out.stall_ms = plan_.stall_ms;
+  }
+  if (!out.torn() && plan_.disconnect_fraction > 0.0 &&
+      frac(conn, request, 14) < plan_.disconnect_fraction)
+    out.disconnect_before_read = true;
+  if (out.expects_response() && plan_.read_stall_fraction > 0.0 &&
+      frac(conn, request, 15) < plan_.read_stall_fraction)
+    out.read_stall_ms = plan_.stall_ms;
+  return out;
+}
+
 }  // namespace cfs

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -170,6 +171,84 @@ class FaultPlane {
   Rng timeout_rng_;
   std::unordered_map<std::uint32_t, BanState> bans_;
   std::size_t bans_tripped_ = 0;
+};
+
+// --- transport chaos plane ------------------------------------------------
+//
+// Where FaultPlan degrades the *measurement* substrate, SocketFaultPlan
+// degrades the *serve transport*: the byte stream between a client and the
+// resident daemon (src/serve/). The schedule is consumed client-side — a
+// misbehaving test client asks the plane how to deliver each request — so
+// the daemon under test sees real torn frames, dribbled bytes, stalled
+// reads and mid-request disconnects on a real socket. Decisions are pure
+// hashes of (seed, connection, request ordinal), independent of wall
+// clock and of what the daemon does, so a chaos soak replays exactly.
+struct SocketFaultPlan {
+  // Fraction of requests whose frame is written one byte per send().
+  double byte_write_fraction = 0.0;
+  // Fraction of requests whose frame is torn: a strict prefix is written,
+  // then the connection closes. No response is owed for a torn request.
+  double torn_frame_fraction = 0.0;
+  // Fraction of requests fully written whose client vanishes before
+  // reading the response (mid-request disconnect: the answer is in flight
+  // or computing when the peer goes away).
+  double disconnect_fraction = 0.0;
+  // Fraction of requests with a stall (virtual slow sender) injected
+  // before one of the write chunks, and how long it lasts.
+  double stall_fraction = 0.0;
+  double stall_ms = 20.0;
+  // Fraction of requests where the client delays *reading* the response
+  // (slow-loris receiver) by stall_ms.
+  double read_stall_fraction = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool any() const;
+};
+
+// Delivery schedule for one request frame: a partition of its bytes into
+// send() chunks plus the misbehaviour to act out around them.
+struct SocketWritePlan {
+  static constexpr std::size_t kNoTruncate =
+      std::numeric_limits<std::size_t>::max();
+
+  std::vector<std::size_t> chunks;  // partition of the frame (sums to size,
+                                    // or to truncate_at when torn)
+  // Torn frame: stop after this many bytes and close. kNoTruncate = whole.
+  std::size_t truncate_at = kNoTruncate;
+  int stall_before_chunk = -1;  // sleep stall_ms before this chunk; -1 none
+  double stall_ms = 0.0;
+  bool disconnect_before_read = false;  // close instead of reading the reply
+  double read_stall_ms = 0.0;           // delay before reading the reply
+
+  [[nodiscard]] bool torn() const { return truncate_at != kNoTruncate; }
+  // True when the daemon owes (and the client will read) a response.
+  [[nodiscard]] bool expects_response() const {
+    return !torn() && !disconnect_before_read;
+  }
+};
+
+class SocketFaultPlane {
+ public:
+  SocketFaultPlane(const SocketFaultPlan& plan, std::uint64_t seed);
+
+  [[nodiscard]] const SocketFaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // The delivery schedule for request `request` on connection `conn` whose
+  // encoded frame is `frame_bytes` long. Pure: equal (plane seed, conn,
+  // request, frame_bytes) always yields the same plan, so schedules can be
+  // minted from any thread in any order. A zero-intensity plan yields the
+  // identity schedule: one chunk, no stall, no truncation, no disconnect.
+  [[nodiscard]] SocketWritePlan write_plan(std::uint64_t conn,
+                                           std::uint64_t request,
+                                           std::size_t frame_bytes) const;
+
+ private:
+  [[nodiscard]] double frac(std::uint64_t conn, std::uint64_t request,
+                            std::uint64_t salt) const;
+
+  SocketFaultPlan plan_;
+  std::uint64_t seed_;
 };
 
 }  // namespace cfs

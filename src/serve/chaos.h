@@ -1,0 +1,72 @@
+// Chaos-client driver for the resident service: a fleet of deliberately
+// misbehaving clients hammering a live daemon through the seeded
+// SocketFaultPlane (src/net/faults.h). Each request's delivery schedule —
+// torn frame, byte-at-a-time writes, stall, mid-request disconnect,
+// delayed read — is a pure hash of (seed, client, request ordinal), so a
+// soak replays exactly: same seed, same abuse, same expected outcomes.
+//
+// The driver validates, not just survives: every answered request must
+// echo its id and carry the byte-identical canonical-export entry the
+// caller provided. Anything else is a desync, the one outcome a correct
+// daemon never produces. Shared by the overload/chaos tests, the
+// bench_serve_degraded harness and the fuzz serve_transport oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/faults.h"
+
+namespace cfs {
+
+// One known-good lookup: the address to ask for and the exact dump() of
+// the canonical export's interface entry (or "absent" for a miss).
+struct ChaosExpectation {
+  std::string ip;
+  std::string expected_interface_dump;  // "absent" when not in the export
+};
+
+struct ChaosConfig {
+  std::string socket_path;
+  SocketFaultPlan plan;     // transport misbehaviour intensities
+  std::uint64_t seed = 0;   // mixed into the plane
+  int clients = 8;          // concurrent misbehaving clients
+  int requests_per_client = 100;
+  // Patience for one response before declaring the transport broken.
+  int response_timeout_ms = 10'000;
+};
+
+// Per-request outcomes, summed across the fleet. A healthy chaotic run
+// has attempted == ok + shed + torn + disconnected + cut, desyncs == 0
+// and transport_errors == 0.
+struct ChaosStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t ok = 0;            // answered, id + bytes validated
+  std::uint64_t shed = 0;          // structured overloaded/deadline_exceeded
+  std::uint64_t torn = 0;          // frame truncated by plan; no answer owed
+  std::uint64_t disconnected = 0;  // client vanished pre-read by plan
+  std::uint64_t cut = 0;           // daemon closed on us (timeout/overload cut)
+  std::uint64_t desyncs = 0;       // wrong id or wrong bytes — daemon bug
+  std::uint64_t transport_errors = 0;  // stuck socket, response timeout
+  std::uint64_t reconnects = 0;
+  std::vector<double> ok_latency_ms;  // per-validated-answer round trip
+
+  [[nodiscard]] bool clean() const {
+    return desyncs == 0 && transport_errors == 0;
+  }
+  [[nodiscard]] double shed_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(shed) / static_cast<double>(attempted);
+  }
+};
+
+// Runs the fleet to completion (each client issues its full request
+// budget, reconnecting as the plan or the daemon kills connections) and
+// returns the summed outcome. Thread-safe with respect to the daemon; the
+// caller owns daemon lifetime.
+[[nodiscard]] ChaosStats run_chaos_clients(
+    const ChaosConfig& config, const std::vector<ChaosExpectation>& lookups);
+
+}  // namespace cfs

@@ -1,6 +1,8 @@
 #include "serve/client.h"
 
 #include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -10,7 +12,50 @@
 
 namespace cfs {
 
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int remaining_ms(std::chrono::steady_clock::time_point until) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      until - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;  // poll slice; loop re-checks
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
 ServeClient::~ServeClient() { close(); }
+
+ServeClient::Clock::time_point ServeClient::deadline() const {
+  if (timeout_ms_ <= 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(timeout_ms_);
+}
+
+void ServeClient::wait_io(short events, Clock::time_point until,
+                          const char* what) {
+  for (;;) {
+    int wait_ms = -1;
+    if (until != Clock::time_point::max()) {
+      wait_ms = remaining_ms(until);
+      if (wait_ms == 0)
+        throw ClientTimeoutError(std::string(what) + " timed out after " +
+                                 std::to_string(timeout_ms_) + " ms");
+    }
+    pollfd p{fd_, events, 0};
+    const int r = ::poll(&p, 1, wait_ms);
+    if (r > 0) return;
+    if (r == 0)
+      throw ClientTimeoutError(std::string(what) + " timed out after " +
+                               std::to_string(timeout_ms_) + " ms");
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("poll: ") + strerror(errno));
+  }
+}
 
 void ServeClient::connect(const std::string& socket_path) {
   if (fd_ >= 0) close();
@@ -23,8 +68,48 @@ void ServeClient::connect(const std::string& socket_path) {
   fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0)
     throw std::runtime_error(std::string("socket: ") + strerror(errno));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
+  // With a timeout the socket goes (and stays) non-blocking: connect,
+  // send and recv all funnel through wait_io's deadline instead of
+  // blocking in the kernel.
+  if (timeout_ms_ > 0) set_nonblocking(fd_);
+  const auto until = deadline();
+  for (;;) {
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return;
+    if (errno == EINTR) continue;
+    if (timeout_ms_ > 0 && errno == EINPROGRESS) {
+      // Kernel is completing the connect asynchronously.
+      try {
+        wait_io(POLLOUT, until, ("connect " + socket_path).c_str());
+      } catch (...) {
+        close();
+        throw;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr == 0) return;
+      const std::string message =
+          "connect " + socket_path + ": " + strerror(soerr);
+      close();
+      throw std::runtime_error(message);
+    }
+    if (timeout_ms_ > 0 && errno == EAGAIN) {
+      // Unix-socket backlog full (connection flood): there is no
+      // completion to poll for, so back off briefly and retry until the
+      // deadline.
+      if (remaining_ms(until) == 0) {
+        close();
+        throw ClientTimeoutError("connect " + socket_path +
+                                 " timed out after " +
+                                 std::to_string(timeout_ms_) +
+                                 " ms (listen backlog full)");
+      }
+      pollfd p{fd_, 0, 0};
+      ::poll(&p, 0, 1);  // 1 ms nap without pulling in another header
+      continue;
+    }
     const std::string message = "connect " + socket_path + ": " +
                                 strerror(errno);
     close();
@@ -41,12 +126,18 @@ void ServeClient::close() {
 
 void ServeClient::send_bytes(std::string_view bytes) {
   if (fd_ < 0) throw std::runtime_error("ServeClient: not connected");
+  const auto until = deadline();
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
                            MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking (timeout) mode: the daemon stopped draining us.
+        wait_io(POLLOUT, until, "send");
+        continue;
+      }
       throw std::runtime_error(std::string("send: ") + strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
@@ -55,6 +146,7 @@ void ServeClient::send_bytes(std::string_view bytes) {
 
 std::optional<JsonValue> ServeClient::read_response() {
   if (fd_ < 0) throw std::runtime_error("ServeClient: not connected");
+  const auto until = deadline();
   for (;;) {
     if (auto frame = decoder_.next()) {
       if (frame->kind != Frame::Kind::Payload)
@@ -69,6 +161,10 @@ std::optional<JsonValue> ServeClient::read_response() {
     }
     if (n == 0) return std::nullopt;  // orderly close
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_io(POLLIN, until, "read");
+      continue;
+    }
     throw std::runtime_error(std::string("recv: ") + strerror(errno));
   }
 }

@@ -3,9 +3,17 @@
 // One connection, synchronous request/response; the raw byte entry points
 // exist so tests can speak the framing layer directly (partial writes,
 // zero-length and oversized frames).
+//
+// By default every operation blocks forever (the daemon is trusted to
+// answer). set_timeout_ms() bounds each phase — connect, send, read —
+// independently; a blown deadline throws ClientTimeoutError, distinct
+// from std::runtime_error so callers (`cfs query --timeout-ms`) can tell
+// "the daemon is stalled" (exit 5) from "the transport broke" (exit 4).
 #pragma once
 
+#include <chrono>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -13,6 +21,14 @@
 #include "serve/protocol.h"
 
 namespace cfs {
+
+// A deadline expired while waiting on the daemon. The connection is in an
+// indeterminate state afterwards (a response may still be in flight);
+// callers should close rather than reuse it.
+class ClientTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ServeClient {
  public:
@@ -28,6 +44,11 @@ class ServeClient {
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
 
+  // Per-phase deadline in milliseconds for connect / send / read; 0 (the
+  // default) blocks forever. Applies to connections made after the call.
+  void set_timeout_ms(int ms) { timeout_ms_ = ms > 0 ? ms : 0; }
+  [[nodiscard]] int timeout_ms() const { return timeout_ms_; }
+
   // Sends one request and blocks for its response. Throws on transport
   // failure; protocol-level failures come back as {"ok": false} documents.
   [[nodiscard]] JsonValue request(const JsonValue& doc);
@@ -38,7 +59,16 @@ class ServeClient {
   [[nodiscard]] std::optional<JsonValue> read_response();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  // Now + timeout, or time_point::max() when timeouts are off.
+  [[nodiscard]] Clock::time_point deadline() const;
+  // Waits for `events` (POLLIN/POLLOUT) until the deadline; throws
+  // ClientTimeoutError naming `what` when it passes.
+  void wait_io(short events, Clock::time_point until, const char* what);
+
   int fd_ = -1;
+  int timeout_ms_ = 0;
   // Responses can exceed the request-side cap (peers_at at paper scale);
   // the client is the trusted side, so it accepts larger frames.
   FrameDecoder decoder_{64u << 20};

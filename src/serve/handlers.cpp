@@ -1,8 +1,10 @@
 #include "serve/handlers.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "analysis/diff.h"
 #include "io/export.h"
@@ -187,7 +189,14 @@ JsonValue op_reload(const JsonValue& request, ServeControl& control,
   try {
     next = ServeState::from_file(path, state.generation + 1);
   } catch (const std::exception& error) {
-    throw RequestError("reload_failed", error.what());
+    // The old snapshot keeps serving untouched — the swap below never
+    // ran. Name the failing path in the error: "reload failed" without a
+    // path is useless to an operator juggling snapshot directories.
+    Trace::counter("serve.reload_failed");
+    throw RequestError("reload_failed",
+                       "reload of '" + path + "' failed (still serving "
+                       "generation " + std::to_string(state.generation) +
+                       "): " + error.what());
   }
   Trace::counter("serve.reload");
   control.swap_state(next);
@@ -283,6 +292,18 @@ JsonValue handle_request(const JsonValue& request, ServeControl& control) {
     if (op == "reload")
       return ok_response(id, op, op_reload(request, control, *state));
     if (op == "ping") return ok_response(id, op, op_ping(*state));
+    if (op == "sleep" && control.debug_ops()) {
+      // Deterministic slow handler for overload tests and the degraded
+      // bench; invisible (unknown_op) unless the server opted in.
+      const std::int64_t ms = int_param(request, "ms");
+      if (ms < 0 || ms > 60'000)
+        throw RequestError("bad_param", "'ms' must be in [0, 60000]");
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      JsonValue::Object result;
+      result.emplace("slept_ms", ms);
+      result.emplace("generation", state->generation);
+      return ok_response(id, op, JsonValue(std::move(result)));
+    }
     if (op == "shutdown") {
       control.request_shutdown();
       JsonValue::Object result;

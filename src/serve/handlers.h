@@ -54,6 +54,9 @@ class ServeControl {
   // the next one (the `metrics` query reports per-window deltas).
   virtual MetricsSnapshot exchange_metrics_baseline(
       const MetricsSnapshot& now) = 0;
+  // When true, test-only ops (`sleep`) exist; production daemons leave
+  // this off and the ops answer `unknown_op` as if they were never there.
+  [[nodiscard]] virtual bool debug_ops() const { return false; }
 };
 
 // Parses one frame payload and dispatches it; never throws — every

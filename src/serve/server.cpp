@@ -48,15 +48,24 @@ int set_nonblocking(int fd) {
 }  // namespace
 
 struct Server::Connection {
+  // A complete frame plus when it finished arriving: the request deadline
+  // is measured from here to the moment the work would start.
+  struct PendingFrame {
+    Frame frame;
+    Clock::time_point received;
+  };
+
   std::uint64_t id = 0;
   int fd = -1;
   FrameDecoder decoder{kDefaultMaxFrameBytes};
-  std::deque<Frame> inbox;  // complete frames awaiting in-order handling
-  std::string outbox;       // encoded responses awaiting the socket
+  std::deque<PendingFrame> inbox;  // complete frames awaiting in-order handling
+  std::string outbox;              // encoded responses awaiting the socket
   std::size_t outbox_offset = 0;
   bool busy = false;  // a worker is computing this connection's response
   bool eof = false;   // peer closed or the socket errored out
   bool dead = false;  // discard pending output, close as soon as !busy
+  Clock::time_point last_activity;   // inbound bytes / delivered output
+  Clock::time_point write_pending_since;  // outbox non-empty since (stall timer)
 
   explicit Connection(std::size_t max_frame) : decoder(max_frame) {}
 
@@ -132,9 +141,32 @@ void Server::accept_clients() {
       return;
     }
     set_nonblocking(fd);
+    if (options_.max_connections > 0 &&
+        connections_.size() >= options_.max_connections) {
+      // Load shedding at the front door: one structured rejection frame,
+      // best-effort into the (empty, so almost always willing) socket
+      // buffer, then close. The peer learns *why* instead of seeing a
+      // silent RST; the daemon spends nothing on the connection.
+      Trace::counter("serve.rejected");
+      const std::string rejection = encode_frame(
+          error_response(nullptr, "overloaded",
+                         "connection limit of " +
+                             std::to_string(options_.max_connections) +
+                             " reached, try again later")
+              .dump());
+      [[maybe_unused]] const ssize_t n =
+          send(fd, rejection.data(), rejection.size(),
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+      close(fd);
+      continue;
+    }
+    if (options_.send_buffer_bytes > 0)
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                 sizeof(options_.send_buffer_bytes));
     auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
     conn->id = next_connection_id_++;
     conn->fd = fd;
+    conn->last_activity = Clock::now();
     connections_.push_back(std::move(conn));
     Trace::counter("serve.accept");
     Trace::gauge("serve.connections",
@@ -147,9 +179,11 @@ void Server::read_client(Connection& conn) {
   for (;;) {
     const ssize_t n = recv(conn.fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
+      const auto now = Clock::now();
+      conn.last_activity = now;
       conn.decoder.feed(buffer, static_cast<std::size_t>(n));
       while (auto frame = conn.decoder.next())
-        conn.inbox.push_back(std::move(*frame));
+        conn.inbox.push_back({std::move(*frame), now});
       if (conn.inbox.size() >= kMaxInboxFrames) return;  // backpressure
       continue;
     }
@@ -160,18 +194,79 @@ void Server::read_client(Connection& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
     conn.eof = true;
-    conn.dead = true;
+    mark_dead(conn);
     return;
   }
 }
 
-void Server::dispatch(Connection& conn, std::string payload) {
+void Server::queue_output(Connection& conn, std::string_view encoded) {
+  if (conn.dead) return;
+  if (conn.flushed()) {
+    // Fresh output: re-arm the write-stall timer. (An outbox that already
+    // has pending bytes keeps its original mark — progress, not appends,
+    // is what resets it.)
+    conn.write_pending_since = Clock::now();
+    conn.outbox.clear();
+    conn.outbox_offset = 0;
+  }
+  conn.outbox += encoded;
+}
+
+void Server::mark_dead(Connection& conn) {
+  if (conn.dead) return;
+  conn.dead = true;
+  // The peer is gone: every queued request and every undelivered byte is
+  // now work nobody will read. Count what gets discarded so operators can
+  // see cancellation (and tests can assert it), then drop it all.
+  std::size_t cancelled = conn.inbox.size() + (conn.busy ? 1u : 0u);
+  conn.inbox.clear();
+  conn.outbox.clear();
+  conn.outbox_offset = 0;
+  if (cancelled > 0) Trace::counter("serve.cancelled", cancelled);
+}
+
+namespace {
+
+// Structured shed answer for a request that blew its deadline while
+// queued. The payload is parsed only far enough to echo the request id —
+// that is the whole point of shedding: no real work for a stale answer.
+std::string shed_frame(const std::string& payload, int deadline_ms) {
+  JsonValue id{nullptr};
+  try {
+    const JsonValue request = parse_json(payload);
+    if (const JsonValue* found = request.find("id")) id = *found;
+  } catch (const std::exception&) {
+    // Not JSON: shed anyway, with a null id.
+  }
+  return encode_frame(
+      error_response(id, "deadline_exceeded",
+                     "request waited longer than the " +
+                         std::to_string(deadline_ms) +
+                         " ms deadline and was shed")
+          .dump());
+}
+
+}  // namespace
+
+void Server::dispatch(Connection& conn, std::string payload,
+                      Clock::time_point received) {
   const std::uint64_t conn_id = conn.id;
+  const int deadline_ms = options_.request_deadline_ms;
   conn.busy = true;
-  pool_->submit([this, conn_id, payload = std::move(payload)] {
+  pool_->submit([this, conn_id, deadline_ms, received,
+                 payload = std::move(payload)] {
     std::string encoded;
     try {
-      encoded = encode_frame(handle_payload(payload, *this).dump());
+      // Second shed gate: the frame made it out of the connection's inbox
+      // in time, but the pool's queue can also back up under load. Check
+      // again at the moment the work would actually start.
+      if (deadline_ms > 0 &&
+          Clock::now() - received >= std::chrono::milliseconds(deadline_ms)) {
+        Trace::counter("serve.shed");
+        encoded = shed_frame(payload, deadline_ms);
+      } else {
+        encoded = encode_frame(handle_payload(payload, *this).dump());
+      }
     } catch (const std::exception& error) {
       // handle_payload answers its own failures; this catches the truly
       // unexpected (encoding limits, bad_alloc) so the connection is
@@ -189,32 +284,46 @@ void Server::dispatch(Connection& conn, std::string payload) {
 
 void Server::pump(Connection& conn) {
   // Strictly in order, one in-flight request per connection: protocol
-  // errors are answered inline, payloads go to the pool.
-  while (!conn.busy && !conn.inbox.empty()) {
-    Frame frame = std::move(conn.inbox.front());
+  // errors are answered inline, payloads go to the pool. A payload whose
+  // deadline already expired while it sat behind earlier requests is shed
+  // in place — still in order, still answered, never computed.
+  while (!conn.busy && !conn.dead && !conn.inbox.empty()) {
+    auto [frame, received] = std::move(conn.inbox.front());
     conn.inbox.pop_front();
     switch (frame.kind) {
       case Frame::Kind::Empty: {
         Trace::counter("serve.frame.empty");
-        conn.outbox += encode_frame(
-            error_response(nullptr, "empty_frame", "zero-length frame")
-                .dump());
+        queue_output(conn,
+                     encode_frame(error_response(nullptr, "empty_frame",
+                                                 "zero-length frame")
+                                      .dump()));
         break;
       }
       case Frame::Kind::Oversized: {
         Trace::counter("serve.frame.oversized");
-        conn.outbox += encode_frame(
-            error_response(nullptr, "frame_too_large",
-                           "frame of " + std::to_string(frame.declared_bytes) +
-                               " bytes exceeds the " +
-                               std::to_string(options_.max_frame_bytes) +
-                               "-byte limit")
-                .dump());
+        queue_output(
+            conn,
+            encode_frame(
+                error_response(nullptr, "frame_too_large",
+                               "frame of " +
+                                   std::to_string(frame.declared_bytes) +
+                                   " bytes exceeds the " +
+                                   std::to_string(options_.max_frame_bytes) +
+                                   "-byte limit")
+                    .dump()));
         break;
       }
-      case Frame::Kind::Payload:
-        dispatch(conn, std::move(frame.payload));
+      case Frame::Kind::Payload: {
+        const int deadline_ms = options_.request_deadline_ms;
+        if (deadline_ms > 0 && Clock::now() - received >=
+                                   std::chrono::milliseconds(deadline_ms)) {
+          Trace::counter("serve.shed");
+          queue_output(conn, shed_frame(frame.payload, deadline_ms));
+          break;
+        }
+        dispatch(conn, std::move(frame.payload), received);
         break;
+      }
     }
   }
 }
@@ -230,12 +339,62 @@ void Server::deliver_completions() {
       if (conn->id != conn_id) continue;
       conn->busy = false;
       if (!conn->dead) {
-        conn->outbox += encoded;
+        // Delivering a response is activity for the idle timer: a client
+        // that just got its answer has earned a fresh quiet period.
+        conn->last_activity = Clock::now();
+        queue_output(*conn, encoded);
         pump(*conn);
       }
+      // A dead connection's completion is silently discarded — the
+      // cancellation was already counted when the peer vanished.
       break;
     }
   }
+}
+
+int Server::enforce_timeouts() {
+  const bool idle_on = options_.idle_timeout_ms > 0;
+  const bool stall_on = options_.write_stall_timeout_ms > 0;
+  if (!idle_on && !stall_on) return -1;
+  const auto now = Clock::now();
+  int next_ms = -1;
+  // Expired timers kill the connection; armed-but-not-expired timers bid
+  // for the poll timeout so the loop wakes exactly when the nearest one
+  // would fire.
+  const auto expired = [&](Clock::time_point armed_at, int budget_ms) {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - armed_at)
+            .count();
+    if (elapsed >= budget_ms) return true;
+    const int remain = budget_ms - static_cast<int>(elapsed);
+    if (next_ms < 0 || remain < next_ms) next_ms = remain;
+    return false;
+  };
+  for (auto& conn : connections_) {
+    if (conn->dead) continue;
+    if (idle_on && !conn->eof && !conn->busy && conn->inbox.empty() &&
+        conn->flushed()) {
+      // Fully quiet in both directions: the idle clock runs.
+      if (expired(conn->last_activity, options_.idle_timeout_ms)) {
+        Trace::counter("serve.timeouts");
+        Trace::counter("serve.timeouts.idle");
+        mark_dead(*conn);
+        conn->eof = true;
+        continue;
+      }
+    }
+    if (stall_on && !conn->flushed()) {
+      // Output pending and the peer is not draining it: slow-loris guard.
+      if (expired(conn->write_pending_since,
+                  options_.write_stall_timeout_ms)) {
+        Trace::counter("serve.timeouts");
+        Trace::counter("serve.timeouts.write_stall");
+        mark_dead(*conn);
+        conn->eof = true;
+      }
+    }
+  }
+  return next_ms;
 }
 
 int Server::run() {
@@ -309,6 +468,11 @@ int Server::run() {
       listener_open = false;
     }
 
+    // Expire idle / write-stalled connections first: anything the timers
+    // kill is erased below in the same iteration. The return value is the
+    // poll timeout to the nearest still-armed timer.
+    const int timer_ms = enforce_timeouts();
+
     // Close everything that has nothing left to do. While draining, an
     // open-but-idle connection no longer keeps the daemon alive.
     std::erase_if(connections_, [&](const std::unique_ptr<Connection>& c) {
@@ -335,7 +499,7 @@ int Server::run() {
       fds.push_back({conn->fd, events, 0});
     }
 
-    if (poll(fds.data(), fds.size(), -1) < 0) {
+    if (poll(fds.data(), fds.size(), timer_ms) < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("poll: ") + strerror(errno));
     }
@@ -365,11 +529,14 @@ int Server::run() {
                    conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
           if (n > 0) {
             conn.outbox_offset += static_cast<std::size_t>(n);
+            // Forward progress re-arms the write-stall timer: only a peer
+            // that accepts *nothing* for the whole budget is cut.
+            conn.write_pending_since = Clock::now();
             continue;
           }
           if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           if (n < 0 && errno == EINTR) continue;
-          conn.dead = true;  // EPIPE/ECONNRESET: peer is gone
+          mark_dead(conn);  // EPIPE/ECONNRESET: peer is gone
           conn.eof = true;
           break;
         }

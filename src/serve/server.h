@@ -17,9 +17,21 @@
 // the listener closes, frames already received are still answered,
 // outboxes flush, then connections close, the pool stops accepting and
 // quiesces (stop_accepting + drain), and run() returns.
+//
+// Overload control (docs/SERVE.md "Overload and degradation policy"):
+// every limit is off by default and independently configurable. A full
+// house rejects new connections at accept with a structured `overloaded`
+// frame; a silent peer is closed after `idle_timeout_ms`; a peer that
+// stops reading its responses is cut after `write_stall_timeout_ms`
+// (slow-loris); and a request that waited longer than
+// `request_deadline_ms` before its turn to run is shed with a
+// `deadline_exceeded` error instead of computing a stale answer. All of
+// it is visible in the registry: serve.rejected, serve.timeouts{.idle,
+// .write_stall}, serve.shed, serve.cancelled.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -41,6 +53,29 @@ struct ServeOptions {
   // Daemons want SIGINT/SIGTERM to drain; in-process test servers must
   // leave the test runner's handlers alone.
   bool install_signal_handlers = true;
+
+  // --- overload control (0 = disabled, for every knob) ---
+  // Connection cap: an accept beyond this is answered with one structured
+  // `overloaded` error frame and closed (counter serve.rejected).
+  std::size_t max_connections = 0;
+  // A connection with nothing pending in either direction for this long
+  // is closed (counters serve.timeouts, serve.timeouts.idle).
+  int idle_timeout_ms = 0;
+  // A connection whose outbox made no forward progress for this long —
+  // the peer stopped reading — is closed and its pending output dropped
+  // (counters serve.timeouts, serve.timeouts.write_stall).
+  int write_stall_timeout_ms = 0;
+  // A request that waited longer than this between arrival and the moment
+  // it would start computing is answered `deadline_exceeded` instead
+  // (counter serve.shed). Applies both to frames queued behind an earlier
+  // request on the same connection and to work queued in the pool.
+  int request_deadline_ms = 0;
+  // SO_SNDBUF for accepted sockets; lets tests and the chaos harness make
+  // write-stall conditions reproducible with small payloads.
+  int send_buffer_bytes = 0;
+  // Enables test-only ops (`sleep`) that make slow handlers deterministic
+  // in overload tests and the degraded-mode bench. Never on in `cfs serve`.
+  bool debug_ops = false;
 };
 
 class Server : public ServeControl {
@@ -62,6 +97,9 @@ class Server : public ServeControl {
   void request_shutdown() override;
   MetricsSnapshot exchange_metrics_baseline(
       const MetricsSnapshot& now) override;
+  [[nodiscard]] bool debug_ops() const override {
+    return options_.debug_ops;
+  }
 
   [[nodiscard]] const std::string& socket_path() const {
     return options_.socket_path;
@@ -70,13 +108,23 @@ class Server : public ServeControl {
 
  private:
   struct Connection;
+  using Clock = std::chrono::steady_clock;
 
   void accept_clients();
   void read_client(Connection& conn);
   void pump(Connection& conn);
-  void dispatch(Connection& conn, std::string payload);
+  void dispatch(Connection& conn, std::string payload, Clock::time_point received);
   void deliver_completions();
   void wake();
+  // Append encoded response bytes, arming the write-stall timer when the
+  // outbox transitions from empty.
+  void queue_output(Connection& conn, std::string_view encoded);
+  // Close-on-sight bookkeeping: discard pending input/output and count
+  // any requests that will now never be answered (serve.cancelled).
+  void mark_dead(Connection& conn);
+  // Enforce idle / write-stall expiries; returns the poll timeout (ms)
+  // until the nearest pending expiry, or -1 when no timer is armed.
+  int enforce_timeouts();
 
   ServeOptions options_;
 

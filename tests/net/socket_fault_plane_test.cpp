@@ -1,0 +1,131 @@
+// SocketFaultPlane (src/net/faults.h): the transport chaos schedule must
+// be deterministic, order-independent and an exact identity at zero
+// intensity — the same contract FaultPlane established for the
+// measurement plane in the degraded-mode work.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/faults.h"
+
+namespace cfs {
+namespace {
+
+std::size_t plan_bytes(const SocketWritePlan& plan) {
+  return std::accumulate(plan.chunks.begin(), plan.chunks.end(),
+                         std::size_t{0});
+}
+
+TEST(SocketFaultPlaneTest, ZeroIntensityPlanIsTheIdentity) {
+  SocketFaultPlan plan;  // all fractions zero
+  EXPECT_FALSE(plan.any());
+  const SocketFaultPlane plane(plan, 42);
+  for (std::uint64_t conn = 1; conn <= 4; ++conn) {
+    const SocketWritePlan w = plane.write_plan(conn, 7, 513);
+    ASSERT_EQ(w.chunks.size(), 1u);
+    EXPECT_EQ(w.chunks[0], 513u);
+    EXPECT_FALSE(w.torn());
+    EXPECT_FALSE(w.disconnect_before_read);
+    EXPECT_EQ(w.stall_before_chunk, -1);
+    EXPECT_EQ(w.read_stall_ms, 0.0);
+    EXPECT_TRUE(w.expects_response());
+  }
+}
+
+TEST(SocketFaultPlaneTest, ChunksAlwaysPartitionTheDeliveredBytes) {
+  SocketFaultPlan plan;
+  plan.byte_write_fraction = 0.4;
+  plan.torn_frame_fraction = 0.3;
+  plan.disconnect_fraction = 0.2;
+  plan.stall_fraction = 0.2;
+  plan.read_stall_fraction = 0.2;
+  const SocketFaultPlane plane(plan, 7);
+  int torn_seen = 0;
+  for (std::uint64_t conn = 1; conn <= 8; ++conn) {
+    for (std::uint64_t request = 0; request < 64; ++request) {
+      const std::size_t frame = 5 + (conn * 37 + request * 11) % 900;
+      const SocketWritePlan w = plane.write_plan(conn, request, frame);
+      if (w.torn()) {
+        ++torn_seen;
+        // A strict prefix: at least one byte withheld, so the daemon is
+        // left holding a partial frame.
+        EXPECT_LT(w.truncate_at, frame);
+        EXPECT_EQ(plan_bytes(w), w.truncate_at);
+        EXPECT_FALSE(w.expects_response());
+      } else {
+        EXPECT_EQ(plan_bytes(w), frame);
+      }
+      if (w.stall_before_chunk >= 0)
+        EXPECT_LT(static_cast<std::size_t>(w.stall_before_chunk),
+                  w.chunks.size());
+      // Torn and disconnect are mutually exclusive by construction.
+      if (w.torn()) EXPECT_FALSE(w.disconnect_before_read);
+    }
+  }
+  EXPECT_GT(torn_seen, 0) << "30% tear rate never fired across 512 draws";
+}
+
+TEST(SocketFaultPlaneTest, SameSeedReplaysByteForByte) {
+  SocketFaultPlan plan;
+  plan.byte_write_fraction = 0.3;
+  plan.torn_frame_fraction = 0.3;
+  plan.disconnect_fraction = 0.3;
+  plan.stall_fraction = 0.3;
+  plan.read_stall_fraction = 0.3;
+  const SocketFaultPlane a(plan, 99);
+  const SocketFaultPlane b(plan, 99);
+  for (std::uint64_t conn = 1; conn <= 6; ++conn) {
+    for (std::uint64_t request = 0; request < 32; ++request) {
+      const SocketWritePlan wa = a.write_plan(conn, request, 777);
+      const SocketWritePlan wb = b.write_plan(conn, request, 777);
+      EXPECT_EQ(wa.chunks, wb.chunks);
+      EXPECT_EQ(wa.truncate_at, wb.truncate_at);
+      EXPECT_EQ(wa.stall_before_chunk, wb.stall_before_chunk);
+      EXPECT_EQ(wa.disconnect_before_read, wb.disconnect_before_read);
+      EXPECT_EQ(wa.read_stall_ms, wb.read_stall_ms);
+    }
+  }
+}
+
+TEST(SocketFaultPlaneTest, DifferentSeedsDiverge) {
+  SocketFaultPlan plan;
+  plan.torn_frame_fraction = 0.5;
+  plan.byte_write_fraction = 0.5;
+  const SocketFaultPlane a(plan, 1);
+  const SocketFaultPlane b(plan, 2);
+  int diverged = 0;
+  for (std::uint64_t request = 0; request < 64; ++request) {
+    const SocketWritePlan wa = a.write_plan(1, request, 400);
+    const SocketWritePlan wb = b.write_plan(1, request, 400);
+    if (wa.chunks != wb.chunks || wa.truncate_at != wb.truncate_at)
+      ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(SocketFaultPlaneTest, ByteAtATimeDribblesEverySingleByte) {
+  SocketFaultPlan plan;
+  plan.byte_write_fraction = 1.0;
+  const SocketFaultPlane plane(plan, 5);
+  const SocketWritePlan w = plane.write_plan(3, 9, 57);
+  ASSERT_EQ(w.chunks.size(), 57u);
+  for (const std::size_t chunk : w.chunks) EXPECT_EQ(chunk, 1u);
+}
+
+TEST(SocketFaultPlaneTest, DecisionsAreOrderIndependent) {
+  SocketFaultPlan plan;
+  plan.torn_frame_fraction = 0.4;
+  plan.stall_fraction = 0.4;
+  const SocketFaultPlane plane(plan, 11);
+  // Query (conn=2, request=5) cold, then again after unrelated queries:
+  // pure hashing means history cannot perturb it.
+  const SocketWritePlan first = plane.write_plan(2, 5, 300);
+  for (std::uint64_t i = 0; i < 50; ++i) (void)plane.write_plan(9, i, 123);
+  const SocketWritePlan again = plane.write_plan(2, 5, 300);
+  EXPECT_EQ(first.chunks, again.chunks);
+  EXPECT_EQ(first.truncate_at, again.truncate_at);
+  EXPECT_EQ(first.stall_before_chunk, again.stall_before_chunk);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,166 @@
+// Generative properties of the serve framing layer: however the byte
+// stream is sliced — byte-at-a-time, random partial writes, a frame split
+// across 1000 reads — the decoder reconstructs the identical frame
+// sequence it would have produced from one contiguous feed. This is the
+// transport-level guarantee the SocketFaultPlane chaos clients rely on:
+// delivery schedule must never change decoded content.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+struct DecodedFrame {
+  Frame::Kind kind;
+  std::string payload;
+};
+
+// Feeds `stream` to a fresh decoder in the given chunk sizes and drains
+// every available frame after each feed (the daemon's read loop shape).
+std::vector<DecodedFrame> decode_chunked(const std::string& stream,
+                                         const std::vector<std::size_t>& cuts,
+                                         std::size_t max_frame = 1 << 20) {
+  FrameDecoder decoder(max_frame);
+  std::vector<DecodedFrame> frames;
+  std::size_t offset = 0;
+  for (const std::size_t cut : cuts) {
+    decoder.feed(stream.data() + offset, cut);
+    offset += cut;
+    while (auto frame = decoder.next())
+      frames.push_back({frame->kind, std::move(frame->payload)});
+  }
+  EXPECT_EQ(offset, stream.size()) << "cuts do not partition the stream";
+  return frames;
+}
+
+std::vector<std::size_t> random_partition(Rng& rng, std::size_t total) {
+  std::vector<std::size_t> cuts;
+  std::size_t left = total;
+  while (left > 0) {
+    const std::size_t cut =
+        1 + static_cast<std::size_t>(rng.uniform(std::min<std::uint64_t>(
+                left, 97)));
+    cuts.push_back(std::min(cut, left));
+    left -= cuts.back();
+  }
+  return cuts;
+}
+
+std::string random_payload(Rng& rng, std::size_t max_len) {
+  const std::size_t len = static_cast<std::size_t>(rng.uniform(max_len + 1));
+  std::string payload(len, '\0');
+  for (char& c : payload)
+    c = static_cast<char>(rng.uniform(256));  // full byte alphabet
+  return payload;
+}
+
+void expect_same_frames(const std::vector<DecodedFrame>& a,
+                        const std::vector<DecodedFrame>& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << what << " frame " << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << what << " frame " << i;
+  }
+}
+
+TEST(ServeProtocolPropertyTest, ChunkingNeverChangesDecodedFrames) {
+  Rng rng(20260801);
+  for (int round = 0; round < 50; ++round) {
+    // A stream of several frames with arbitrary binary payloads,
+    // zero-length frames included.
+    std::string stream;
+    const int frames = 1 + static_cast<int>(rng.uniform(6));
+    for (int f = 0; f < frames; ++f)
+      stream += encode_frame(random_payload(rng, 700));
+
+    const std::vector<std::size_t> whole{stream.size()};
+    const auto reference = decode_chunked(stream, whole);
+
+    // Byte-at-a-time delivery.
+    const std::vector<std::size_t> bytes(stream.size(), 1);
+    expect_same_frames(reference, decode_chunked(stream, bytes),
+                       "byte-at-a-time");
+
+    // Three independent random partitions (partial writes).
+    for (int p = 0; p < 3; ++p) {
+      const auto cuts = random_partition(rng, stream.size());
+      expect_same_frames(reference, decode_chunked(stream, cuts),
+                         "random partition");
+    }
+  }
+}
+
+TEST(ServeProtocolPropertyTest, FrameSplitAcrossAThousandReads) {
+  // One large frame delivered in exactly 1000 reads: no premature frame,
+  // then the payload intact on the final read.
+  Rng rng(77);
+  std::string payload(4096, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.uniform(256));
+  const std::string framed = encode_frame(payload);
+  ASSERT_GT(framed.size(), 1000u);
+
+  // Partition into exactly 1000 non-empty cuts.
+  std::vector<std::size_t> cuts(1000, framed.size() / 1000);
+  std::size_t assigned = (framed.size() / 1000) * 1000;
+  for (std::size_t i = 0; assigned < framed.size(); ++i, ++assigned)
+    cuts[i] += 1;
+
+  FrameDecoder decoder(1 << 20);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    decoder.feed(framed.data() + offset, cuts[i]);
+    offset += cuts[i];
+    if (i + 1 < cuts.size())
+      EXPECT_FALSE(decoder.next().has_value())
+          << "frame surfaced early at read " << i;
+  }
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Frame::Kind::Payload);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(ServeProtocolPropertyTest, OversizedAndEmptyFramesSurviveAnyChunking) {
+  // Oversized skip followed by a good frame must realign identically no
+  // matter how the bytes arrive.
+  const std::size_t cap = 64;
+  std::string big_payload(cap + 10, 'x');
+  std::string stream;
+  {
+    // Hand-build the oversized frame (encode_frame has no cap, the
+    // decoder does).
+    const std::uint32_t len = static_cast<std::uint32_t>(big_payload.size());
+    stream.push_back(static_cast<char>((len >> 24) & 0xff));
+    stream.push_back(static_cast<char>((len >> 16) & 0xff));
+    stream.push_back(static_cast<char>((len >> 8) & 0xff));
+    stream.push_back(static_cast<char>(len & 0xff));
+    stream += big_payload;
+  }
+  stream += encode_frame("");          // zero-length frame
+  stream += encode_frame("recovered");
+
+  const auto reference = decode_chunked(stream, {stream.size()}, cap);
+  Rng rng(5150);
+  for (int p = 0; p < 20; ++p) {
+    const auto cuts = random_partition(rng, stream.size());
+    const auto got = decode_chunked(stream, cuts, cap);
+    expect_same_frames(reference, got, "oversized+empty partition");
+  }
+  // And the reference itself is sane: skip, empty, payload.
+  ASSERT_EQ(reference.size(), 3u);
+  EXPECT_EQ(reference[0].kind, Frame::Kind::Oversized);
+  EXPECT_EQ(reference[1].kind, Frame::Kind::Empty);
+  EXPECT_EQ(reference[2].kind, Frame::Kind::Payload);
+  EXPECT_EQ(reference[2].payload, "recovered");
+}
+
+}  // namespace
+}  // namespace cfs

@@ -51,12 +51,6 @@ std::string temp_path(const std::string& stem) {
          std::to_string(counter.fetch_add(1));
 }
 
-void write_report_file(const std::string& path, const CfsReport& report) {
-  std::ofstream file(path);
-  ASSERT_TRUE(file) << "cannot write " << path;
-  write_report(file, report);
-}
-
 JsonValue make_request(const std::string& op, JsonValue::Object extra = {}) {
   extra.emplace("op", op);
   return JsonValue(std::move(extra));

@@ -35,27 +35,38 @@
 //   cfs serve --socket PATH [--scale ...] [--seed N] [--content N]
 //             [--transit N] [--vp-fraction F] [--threads N]
 //             [--load-report FILE] [--max-frame-bytes N]
+//             [--max-connections N] [--idle-timeout-ms N]
+//             [--write-stall-timeout-ms N] [--request-deadline-ms N]
 //       Resident inference service: run the pipeline once (or load a
 //       previously exported report with --load-report), then answer
 //       lookup/peers_at/diff/metrics/reload/shutdown queries over a
 //       framed-JSON Unix-socket protocol until a shutdown request,
-//       SIGINT or SIGTERM drains the daemon (docs/SERVE.md).
+//       SIGINT or SIGTERM drains the daemon (docs/SERVE.md). The last
+//       four flags are the overload-control limits (0 = off; docs/SERVE.md
+//       "Overload and degradation policy").
 //
 //   cfs query --socket PATH <op> [--ip A.B.C.D] [--facility N]
 //             [--snapshot FILE] [--report FILE] [--max N] [--ignore p1,p2]
-//             [--id N] [--raw JSON] [--pretty]
+//             [--id N] [--raw JSON] [--pretty] [--timeout-ms N]
+//             [--retries N] [--retry-backoff-ms N]
 //       One-shot client for a running daemon: sends a single request and
 //       prints the response document. Exit 0 when the daemon answered
-//       ok, 1 when it answered with a structured error.
+//       ok, 1 when it answered with a structured error. --timeout-ms
+//       bounds connect/send/read each (default 0 = wait forever); only
+//       the connect phase retries (--retries, exponential backoff from
+//       --retry-backoff-ms) — a request already sent is never re-sent.
 //
 // Exit codes: 0 success (including --help/bare `cfs`, which print usage
 // on stdout), 1 documents differ (diff) or the daemon answered an error
 // (query), 3 usage or flag error — unknown command, stray positional,
 // malformed value, unknown or repeated flag — with diagnostics on
-// stderr, 4 runtime failure.
+// stderr, 4 runtime failure, 5 query deadline expired (--timeout-ms)
+// while the daemon stayed silent.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/diff.h"
 #include "core/multilateral.h"
@@ -139,9 +150,7 @@ int cmd_generate(const Flags& flags) {
             << " ASes, " << topo.routers().size() << " routers, "
             << topo.links().size() << " links\n";
   if (!out.empty()) {
-    std::ofstream file(out);
-    if (!file) throw std::runtime_error("cannot write " + out);
-    write_topology(file, topo);
+    write_topology_file(out, topo);  // atomic: temp + rename
     std::cout << "topology written to " << out << "\n";
   }
   return 0;
@@ -265,9 +274,9 @@ int cmd_infer(const Flags& flags) {
   Trace::write_summary(std::cout, report.metrics.registry);
 
   if (!report_path.empty()) {
-    std::ofstream file(report_path);
-    if (!file) throw std::runtime_error("cannot write " + report_path);
-    write_report(file, report);
+    // Atomic temp + rename: a resident daemon `reload`ing this path mid-
+    // write sees the old file or the new one, never a torn prefix.
+    write_report_file(report_path, report);
     std::cout << "report written to " << report_path << "\n";
   }
   trace_out.flush();
@@ -354,6 +363,19 @@ int cmd_serve(const Flags& flags) {
       "max-frame-bytes", static_cast<std::int64_t>(kDefaultMaxFrameBytes)));
   if (options.max_frame_bytes < kFrameHeaderBytes)
     throw std::invalid_argument("--max-frame-bytes is too small");
+  // Overload-control knobs (docs/SERVE.md "Overload and degradation
+  // policy"); 0 disables each limit independently.
+  options.max_connections =
+      static_cast<std::size_t>(flags.get_int("max-connections", 0));
+  options.idle_timeout_ms =
+      static_cast<int>(flags.get_int("idle-timeout-ms", 0));
+  options.write_stall_timeout_ms =
+      static_cast<int>(flags.get_int("write-stall-timeout-ms", 0));
+  options.request_deadline_ms =
+      static_cast<int>(flags.get_int("request-deadline-ms", 0));
+  if (options.idle_timeout_ms < 0 || options.write_stall_timeout_ms < 0 ||
+      options.request_deadline_ms < 0)
+    throw std::invalid_argument("timeouts must be non-negative");
 
   const std::string load_report = flags.get("load-report", "");
   std::shared_ptr<const ServeState> state;
@@ -394,6 +416,13 @@ int cmd_query(const Flags& flags) {
     throw std::invalid_argument("query requires --socket PATH");
   const bool pretty = flags.get_bool("pretty", false);
   const std::string raw = flags.get("raw", "");
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 0));
+  const int retries = static_cast<int>(flags.get_int("retries", 2));
+  const int backoff_ms =
+      static_cast<int>(flags.get_int("retry-backoff-ms", 50));
+  if (timeout_ms < 0 || retries < 0 || backoff_ms < 0)
+    throw std::invalid_argument(
+        "--timeout-ms/--retries/--retry-backoff-ms must be non-negative");
 
   JsonValue request;
   if (!raw.empty()) {
@@ -430,7 +459,23 @@ int cmd_query(const Flags& flags) {
   }
 
   ServeClient client;
-  client.connect(socket);
+  client.set_timeout_ms(timeout_ms);
+  // Retry policy: only the connect phase retries (exponential backoff,
+  // bounded by --retries). Once the request has been written, a timeout
+  // or transport failure is final — re-sending could double-apply a
+  // non-idempotent op (reload, shutdown), so that risk stays with the
+  // caller, not the client.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client.connect(socket);
+      break;
+    } catch (const std::exception&) {
+      if (attempt >= retries) throw;
+      const auto nap = std::chrono::milliseconds(
+          static_cast<std::int64_t>(backoff_ms) << attempt);
+      std::this_thread::sleep_for(nap);
+    }
+  }
   const JsonValue response = client.request(request);
   std::cout << (pretty ? response.pretty() : response.dump()) << "\n";
   const JsonValue* ok = response.find("ok");
@@ -481,6 +526,12 @@ int main(int argc, char** argv) {
     // distinct from crashes so scripts can tell a typo from a broken run.
     std::cerr << "error: " << error.what() << "\n";
     return 3;
+  } catch (const ClientTimeoutError& error) {
+    // A stalled daemon (query --timeout-ms expired) is its own exit so
+    // scripts can tell "wedged, maybe retry later" from a broken
+    // transport or a crash.
+    std::cerr << "error: " << error.what() << "\n";
+    return 5;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 4;
