@@ -3,17 +3,22 @@
 // Not a paper artefact — implementation check for the deterministic
 // parallel engine (docs/PARALLELISM.md). Runs the campaign and CFS phases
 // at 1/2/4/8 threads over the selected corpora (--scale tiny|small|paper|
-// all, default all), prints per-phase wall time and speedup relative to
-// the single-thread reference, sanity-checks that the inference result
+// all, default all), prints per-phase wall time, speedup relative to the
+// single-thread reference and the engine's memory gauges (candidate-span
+// arena payload, peak RSS), sanity-checks that the inference result
 // itself is thread-count-invariant, and emits every sample as
-// BENCH_parallel_scaling.json. Two acceptance bars, both demanded only
-// when the relevant corpus is selected:
+// BENCH_parallel_scaling.json (override with --out=FILE).
+// --baseline=FILE compares CFS wall time per (corpus, threads) sample
+// against a committed run — the repo-root BENCH_parallel.json — and fails
+// on >10% regression (the CI perf guard). Two more acceptance bars, both
+// demanded only when the relevant corpus is selected:
 //   * >= 2.5x campaign-phase speedup at 4 threads on the small corpus
 //     (only when the host has >= 4 hardware threads);
 //   * <= 5% wall-time overhead with the span timeline enabled
 //     (docs/OBSERVABILITY.md), measured on the small corpus at 4 threads.
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common.h"
@@ -33,6 +38,12 @@ struct Sample {
   double cfs_ms = 0.0;
   std::size_t traces = 0;
   std::size_t resolved = 0;
+  // Memory gauges the engine publishes at the end of each run
+  // (docs/OBSERVABILITY.md): candidate-span arena payload, process-wide
+  // arena capacity, and the process RSS high-water mark.
+  double arena_bytes = 0.0;
+  double arena_reserved_bytes = 0.0;
+  double peak_rss_bytes = 0.0;
 };
 
 Sample run_case(const std::string& corpus, PipelineConfig config,
@@ -49,7 +60,70 @@ Sample run_case(const std::string& corpus, PipelineConfig config,
   const CfsReport report = pipeline.run_cfs(std::move(traces));
   s.cfs_ms = report.metrics.total_ms;
   s.resolved = report.resolved_interfaces();
+  const auto& gauges = report.metrics.registry.gauges;
+  const auto gauge = [&gauges](const char* name) {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second;
+  };
+  s.arena_bytes = gauge("cfs.arena_bytes");
+  s.arena_reserved_bytes = gauge("cfs.arena_reserved_bytes");
+  s.peak_rss_bytes = gauge("process.peak_rss_bytes");
   return s;
+}
+
+// Baseline guard: with --baseline=FILE (the committed BENCH_parallel.json)
+// the bench fails if any matching (corpus, threads) sample's CFS wall time
+// regressed more than the threshold. Guards the dense-handle hot path from
+// silent decay; the threshold absorbs normal scheduler noise.
+constexpr double kRegressionTolerance = 0.10;
+
+bool check_against_baseline(const std::vector<Sample>& samples,
+                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cout << "FAIL: cannot read baseline '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buffer.str());
+  } catch (const std::exception& error) {
+    std::cout << "FAIL: cannot parse baseline '" << path
+              << "': " << error.what() << "\n";
+    return false;
+  }
+  const JsonValue* rows = doc.find("samples");
+  if (rows == nullptr) {
+    std::cout << "FAIL: baseline '" << path << "' has no samples\n";
+    return false;
+  }
+  bool ok = true;
+  std::size_t compared = 0;
+  for (const JsonValue& row : rows->as_array()) {
+    const std::string corpus = row.find("corpus")->as_string();
+    const int threads = static_cast<int>(row.find("threads")->as_number());
+    const double base_ms = row.find("cfs_ms")->as_number();
+    if (base_ms <= 0.0) continue;
+    for (const Sample& s : samples) {
+      if (s.corpus != corpus || s.threads != threads) continue;
+      ++compared;
+      const double ratio = s.cfs_ms / base_ms;
+      if (ratio > 1.0 + kRegressionTolerance) {
+        std::cout << "FAIL: " << corpus << " corpus at " << threads
+                  << " thread(s): CFS " << Table::cell(s.cfs_ms)
+                  << " ms vs baseline " << Table::cell(base_ms) << " ms ("
+                  << Table::cell((ratio - 1.0) * 100.0)
+                  << "% regression, bar: 10%)\n";
+        ok = false;
+      }
+    }
+  }
+  std::cout << "\nbaseline check vs " << path << ": " << compared
+            << " sample(s) compared, "
+            << (ok ? "within the 10% bar" : "REGRESSED") << "\n";
+  return ok;
 }
 
 // Wall time of a full traced/untraced run, for the overhead bar. The span
@@ -79,6 +153,9 @@ JsonValue to_json(const std::vector<Sample>& samples,
     row.emplace("cfs_ms", s.cfs_ms);
     row.emplace("traces", static_cast<std::uint64_t>(s.traces));
     row.emplace("resolved_interfaces", static_cast<std::uint64_t>(s.resolved));
+    row.emplace("arena_bytes", s.arena_bytes);
+    row.emplace("arena_reserved_bytes", s.arena_reserved_bytes);
+    row.emplace("peak_rss_bytes", s.peak_rss_bytes);
     rows.emplace_back(std::move(row));
   }
   JsonValue::Object root;
@@ -94,9 +171,13 @@ JsonValue to_json(const std::vector<Sample>& samples,
 
 int main(int argc, char** argv) {
   std::string scale = "all";
+  std::string baseline_path;
+  std::string out_path = "BENCH_parallel_scaling.json";
   try {
     const Flags flags(argc, argv);
     scale = flags.get("scale", "all");
+    baseline_path = flags.get("baseline", "");
+    out_path = flags.get("out", out_path);
     const std::string unknown = flags.unknown_flags_message();
     if (!unknown.empty()) throw std::invalid_argument(unknown);
     if (scale != "tiny" && scale != "small" && scale != "paper" &&
@@ -127,7 +208,7 @@ int main(int argc, char** argv) {
 
   for (const auto& [corpus, config] : corpora) {
     Table table({"Threads", "Campaign ms", "Campaign speedup", "CFS ms",
-                 "CFS speedup", "Resolved"});
+                 "CFS speedup", "Resolved", "Arena KiB", "Peak RSS MiB"});
     double campaign_ref = 0.0;
     double cfs_ref = 0.0;
     std::size_t resolved_ref = 0;
@@ -155,7 +236,9 @@ int main(int argc, char** argv) {
                          static_cast<std::uint64_t>(threads)}),
                      Table::cell(s.campaign_ms), Table::cell(campaign_speedup),
                      Table::cell(s.cfs_ms), Table::cell(cfs_speedup),
-                     Table::cell(std::uint64_t{s.resolved})});
+                     Table::cell(std::uint64_t{s.resolved}),
+                     Table::cell(s.arena_bytes / 1024.0),
+                     Table::cell(s.peak_rss_bytes / (1024.0 * 1024.0))});
     }
     std::cout << "\n-- " << corpus << " corpus --\n";
     table.print(std::cout);
@@ -203,10 +286,13 @@ int main(int argc, char** argv) {
       std::cout << "WARN: above the 5% tracing overhead bar\n";
   }
 
-  std::ofstream out("BENCH_parallel_scaling.json");
+  if (!baseline_path.empty())
+    ok = check_against_baseline(samples, baseline_path) && ok;
+
+  std::ofstream out(out_path);
   out << to_json(samples, tracing_overhead_pct, overhead_measured).pretty()
       << "\n";
-  std::cout << "samples written to BENCH_parallel_scaling.json\n";
+  std::cout << "samples written to " << out_path << "\n";
 
   std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;

@@ -30,12 +30,24 @@ std::optional<std::uint16_t> IpIdModel::probe(Ipv4 addr, double t_s) {
       return static_cast<std::uint16_t>(probe_rng_.uniform(65536));
     case IpIdBehaviour::SharedCounter: {
       const CounterState& state = counters_.at(router.id.value);
-      const double value = state.offset + state.rate * t_s;
-      return static_cast<std::uint16_t>(
-          static_cast<std::uint64_t>(std::floor(value)) % 65536);
+      return shared_counter_ipid(state.offset, state.rate, t_s);
     }
   }
   return std::nullopt;
+}
+
+IpIdModel::CompiledTarget IpIdModel::compile(Ipv4 addr) const {
+  CompiledTarget target;  // default: Unresponsive (unknown address)
+  const Interface* iface = topo_.find_interface(addr);
+  if (iface == nullptr) return target;
+  const Router& router = topo_.router(iface->router);
+  target.behaviour = router.ipid;
+  if (router.ipid == IpIdBehaviour::SharedCounter) {
+    const CounterState& state = counters_.at(router.id.value);
+    target.offset = state.offset;
+    target.rate = state.rate;
+  }
+  return target;
 }
 
 double IpIdModel::velocity(RouterId router) const {

@@ -10,6 +10,7 @@
 // never false positives -- matching MIDAR's design goal).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -28,6 +29,37 @@ class IpIdModel {
   // filters alias-resolution probes.
   [[nodiscard]] std::optional<std::uint16_t> probe(Ipv4 addr, double t_s);
 
+  // Pre-resolved probe target: the interface/router/counter hash lookups
+  // hoisted out of the per-probe path (the resolver's pair-corroboration
+  // stage issues hundreds of millions of probes at paper scale). An
+  // unknown address compiles to Unresponsive — the same nullopt outcome
+  // probe() gives it, with no RNG consumption either way.
+  struct CompiledTarget {
+    IpIdBehaviour behaviour = IpIdBehaviour::Unresponsive;
+    double offset = 0.0;
+    double rate = 0.0;
+  };
+  [[nodiscard]] CompiledTarget compile(Ipv4 addr) const;
+
+  // Byte-identical to probe(addr, t_s) for the address `target` was
+  // compiled from: same reply values (the shared-counter arithmetic goes
+  // through the one shared helper) and the same probe_rng_ consumption
+  // order (exactly one draw per Random-router probe).
+  [[nodiscard]] std::optional<std::uint16_t> probe_compiled(
+      const CompiledTarget& target, double t_s) {
+    switch (target.behaviour) {
+      case IpIdBehaviour::Unresponsive:
+        return std::nullopt;
+      case IpIdBehaviour::Zero:
+        return std::uint16_t{0};
+      case IpIdBehaviour::Random:
+        return static_cast<std::uint16_t>(probe_rng_.uniform(65536));
+      case IpIdBehaviour::SharedCounter:
+        return shared_counter_ipid(target.offset, target.rate, t_s);
+    }
+    return std::nullopt;
+  }
+
   // Ground-truth counter velocity in IDs/second (test introspection).
   [[nodiscard]] double velocity(RouterId router) const;
 
@@ -36,6 +68,16 @@ class IpIdModel {
     double offset = 0.0;
     double rate = 0.0;  // IDs per second
   };
+
+  // One definition for both probe paths so the floating-point contraction
+  // the compiler picks is the same in each — the equivalence goldens
+  // compare replies byte for byte.
+  static std::uint16_t shared_counter_ipid(double offset, double rate,
+                                           double t_s) {
+    const double value = offset + rate * t_s;
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint64_t>(std::floor(value)) % 65536);
+  }
 
   const Topology& topo_;
   std::unordered_map<std::uint32_t, CounterState> counters_;  // per router

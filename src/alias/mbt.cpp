@@ -12,27 +12,26 @@ bool velocities_compatible(double va, double vb, const MbtConfig& config) {
   return ratio <= config.velocity_ratio_max;
 }
 
-bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
-                           const MbtConfig& config) {
-  if (a.size() < 3 || b.size() < 3) return false;
-  if (is_constant(a) || is_constant(b)) return false;
+bool monotonic_bounds_test(const IpIdSample* a, std::size_t na,
+                           const IpIdSample* b, std::size_t nb,
+                           const MbtConfig& config, IpIdSample* merged) {
+  if (na < 3 || nb < 3) return false;
+  if (is_constant(a, na) || is_constant(b, nb)) return false;
 
-  const double va = estimate_velocity(a);
-  const double vb = estimate_velocity(b);
+  const double va = estimate_velocity(a, na);
+  const double vb = estimate_velocity(b, nb);
   if (!velocities_compatible(va, vb, config)) return false;
   const double v = (va + vb) / 2.0;
 
   // Merge by timestamp and verify each consecutive modular delta fits the
   // shared-counter budget for that gap.
-  IpIdSeries merged;
-  merged.reserve(a.size() + b.size());
-  std::merge(a.begin(), a.end(), b.begin(), b.end(),
-             std::back_inserter(merged),
+  std::merge(a, a + na, b, b + nb, merged,
              [](const IpIdSample& x, const IpIdSample& y) {
                return x.t_s < y.t_s;
              });
 
-  for (std::size_t i = 1; i < merged.size(); ++i) {
+  const std::size_t n = na + nb;
+  for (std::size_t i = 1; i < n; ++i) {
     const double gap = merged[i].t_s - merged[i - 1].t_s;
     const std::uint16_t delta = static_cast<std::uint16_t>(
         merged[i].ipid - merged[i - 1].ipid);
@@ -41,6 +40,13 @@ bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
     if (static_cast<double>(delta) > budget) return false;
   }
   return true;
+}
+
+bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
+                           const MbtConfig& config) {
+  IpIdSeries merged(a.size() + b.size());
+  return monotonic_bounds_test(a.data(), a.size(), b.data(), b.size(), config,
+                               merged.data());
 }
 
 }  // namespace cfs

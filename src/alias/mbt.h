@@ -22,6 +22,14 @@ struct MbtConfig {
 bool monotonic_bounds_test(const IpIdSeries& a, const IpIdSeries& b,
                            const MbtConfig& config = {});
 
+// Allocation-free span form for the resolver's corroboration hot loop
+// (tens of millions of calls at paper scale): `merged` is caller-provided
+// scratch with room for na + nb samples. Bit-identical verdicts to the
+// vector form — same merge order, same arithmetic.
+bool monotonic_bounds_test(const IpIdSample* a, std::size_t na,
+                           const IpIdSample* b, std::size_t nb,
+                           const MbtConfig& config, IpIdSample* merged);
+
 // Velocity sieve used before the full test.
 bool velocities_compatible(double va, double vb, const MbtConfig& config = {});
 

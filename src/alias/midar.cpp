@@ -48,30 +48,55 @@ AliasSets AliasResolver::resolve(const std::vector<Ipv4>& targets) {
       if (!std::exchange(seen[a], true)) addrs.push_back(a);
   }
 
+  const int samples = config_.prober.samples_per_target;
+  const double interval = config_.prober.probe_interval_s;
+
+  // Compile every target once: the per-probe interface/router/counter
+  // hash lookups move out of the probing loops (Stage 3 alone issues
+  // O(pairs * rounds * samples) probes — hundreds of millions at paper
+  // scale). probe_compiled replays the exact probe() behaviour, so reply
+  // values and probe_rng_ consumption are unchanged.
+  std::vector<IpIdModel::CompiledTarget> compiled(addrs.size());
+  for (std::size_t k = 0; k < addrs.size(); ++k)
+    compiled[k] = model_.compile(addrs[k]);
+
   // --- Stage 1: estimation ---
-  AliasProber prober(model_, config_.prober);
-  const auto series = prober.collect(addrs, clock_s_);
-  clock_s_ += static_cast<double>(addrs.size()) *
-              config_.prober.samples_per_target *
-              config_.prober.probe_interval_s;
+  //
+  // Flat per-target series (index-aligned with addrs) instead of a hash
+  // map; the round-robin probe order and clock arithmetic are exactly
+  // AliasProber::collect's.
+  std::vector<IpIdSeries> series(addrs.size());
+  for (auto& s : series) s.reserve(static_cast<std::size_t>(samples));
+  {
+    double clock = clock_s_;
+    for (int round = 0; round < samples; ++round)
+      for (std::size_t k = 0; k < addrs.size(); ++k) {
+        if (const auto ipid = model_.probe_compiled(compiled[k], clock))
+          series[k].push_back(IpIdSample{clock, *ipid});
+        clock += interval;
+      }
+    probes_ += addrs.size() * static_cast<std::size_t>(samples);
+  }
+  clock_s_ += static_cast<double>(addrs.size()) * samples * interval;
 
   struct Candidate {
     Ipv4 addr;
     double velocity;
+    std::uint32_t slot;  // index into addrs/compiled
   };
   std::vector<Candidate> candidates;
-  for (const Ipv4 addr : addrs) {
-    const auto it = series.find(addr);
-    if (it == series.end()) {
-      out.unresolved.push_back(addr);
+  for (std::size_t k = 0; k < addrs.size(); ++k) {
+    if (series[k].empty()) {  // never answered (== absent from a hash map)
+      out.unresolved.push_back(addrs[k]);
       continue;
     }
-    const double v = estimate_velocity(it->second);
+    const double v = estimate_velocity(series[k]);
     if (v <= 0.0 || v > config_.mbt.random_velocity_cutoff) {
-      out.unresolved.push_back(addr);
+      out.unresolved.push_back(addrs[k]);
       continue;
     }
-    candidates.push_back(Candidate{addr, v});
+    candidates.push_back(
+        Candidate{addrs[k], v, static_cast<std::uint32_t>(k)});
   }
 
   // --- Stage 2: velocity sieve ---
@@ -83,6 +108,12 @@ AliasSets AliasResolver::resolve(const std::vector<Ipv4>& targets) {
   UnionFind uf(candidates.size());
 
   // --- Stage 3: corroboration per compatible pair ---
+  //
+  // Reused buffers instead of a fresh prober + hash map + vectors per
+  // round: tens of millions of heap allocations gone at paper scale.
+  std::vector<IpIdSample> series_a(static_cast<std::size_t>(samples));
+  std::vector<IpIdSample> series_b(static_cast<std::size_t>(samples));
+  std::vector<IpIdSample> merged(2 * static_cast<std::size_t>(samples));
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     for (std::size_t j = i + 1; j < candidates.size(); ++j) {
       if (!velocities_compatible(candidates[i].velocity,
@@ -90,28 +121,36 @@ AliasSets AliasResolver::resolve(const std::vector<Ipv4>& targets) {
         break;  // sorted by velocity: later ones only diverge further
       if (uf.find(i) == uf.find(j)) continue;
 
+      const IpIdModel::CompiledTarget& ca = compiled[candidates[i].slot];
+      const IpIdModel::CompiledTarget& cb = compiled[candidates[j].slot];
       bool pass = true;
       for (int round = 0; round < config_.corroboration_rounds && pass;
            ++round) {
-        AliasProber pair_prober(model_, config_.prober);
-        const std::vector<Ipv4> pair = {candidates[i].addr,
-                                        candidates[j].addr};
-        const auto pair_series = pair_prober.collect(pair, clock_s_);
+        // One interleaved {a, b} collection, identical probe order and
+        // clock schedule to AliasProber::collect on the pair.
+        std::size_t na = 0, nb = 0;
+        double clock = clock_s_;
+        for (int r = 0; r < samples; ++r) {
+          if (const auto ipid = model_.probe_compiled(ca, clock))
+            series_a[na++] = IpIdSample{clock, *ipid};
+          clock += interval;
+          if (const auto ipid = model_.probe_compiled(cb, clock))
+            series_b[nb++] = IpIdSample{clock, *ipid};
+          clock += interval;
+        }
         // Rounds are spread far apart in (virtual) time: two distinct
         // counters that happen to be aligned now drift apart by
         // |rate_a - rate_b| * spacing and fail a later round. This is what
         // makes MIDAR's false-positive rate effectively zero.
         clock_s_ += config_.round_spacing_s;
-        probes_ += pair_prober.probes_sent();
-        const auto ia = pair_series.find(candidates[i].addr);
-        const auto ib = pair_series.find(candidates[j].addr);
-        pass = ia != pair_series.end() && ib != pair_series.end() &&
-               monotonic_bounds_test(ia->second, ib->second, config_.mbt);
+        probes_ += 2 * static_cast<std::size_t>(samples);
+        pass = na > 0 && nb > 0 &&
+               monotonic_bounds_test(series_a.data(), na, series_b.data(),
+                                     nb, config_.mbt, merged.data());
       }
       if (pass) uf.unite(i, j);
     }
   }
-  probes_ += prober.probes_sent();
 
   // Materialise alias sets.
   std::unordered_map<std::size_t, std::size_t> root_to_set;

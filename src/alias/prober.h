@@ -40,9 +40,13 @@ class AliasProber {
 
 // Counter velocity in IDs/second estimated from a sample series, handling
 // 16-bit wraparound; negative when the series is too short or constant.
+// The span form is the implementation; the vector form delegates, so both
+// produce bit-identical arithmetic over the same samples.
+double estimate_velocity(const IpIdSample* samples, std::size_t n);
 double estimate_velocity(const IpIdSeries& series);
 
 // True when the series is constant (zero / unchanging IP-ID source).
+bool is_constant(const IpIdSample* samples, std::size_t n);
 bool is_constant(const IpIdSeries& series);
 
 }  // namespace cfs

@@ -1,41 +1,26 @@
 #include "core/candidates.h"
 
-#include <algorithm>
-#include <cassert>
+#include "util/setops.h"
 
 namespace cfs {
 
-namespace {
-
-// std::set_intersection / std::includes silently return garbage on
-// unsorted input; every facility-list producer (PeeringDb, Ixp,
-// Topology::add_as, intersections themselves) keeps its vectors sorted,
-// and debug builds verify the precondition at the consumer.
-[[maybe_unused]] bool sorted(const std::vector<FacilityId>& v) {
-  return std::is_sorted(v.begin(), v.end());
-}
-
-}  // namespace
+// Sorted-unique preconditions (every facility-list producer — PeeringDb,
+// Ixp, Topology::add_as, intersections themselves — keeps its vectors
+// sorted) are asserted inside util/setops.h in debug builds.
 
 std::vector<FacilityId> facility_intersection(
     const std::vector<FacilityId>& a, const std::vector<FacilityId>& b) {
-  assert(sorted(a) && sorted(b));
-  std::vector<FacilityId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+  return set_intersect(a, b);
 }
 
 bool facility_subset(const std::vector<FacilityId>& inner,
                      const std::vector<FacilityId>& outer) {
-  assert(sorted(inner) && sorted(outer));
-  return std::includes(outer.begin(), outer.end(), inner.begin(),
-                       inner.end());
+  return set_subset(inner, outer);
 }
 
 bool InterfaceInference::constrain(const std::vector<FacilityId>& allowed,
                                    int iteration) {
-  assert(sorted(allowed));
+  assert(sorted_unique(allowed));
   if (allowed.empty()) return false;
   if (!has_constraint) {
     candidates = allowed;

@@ -1,14 +1,19 @@
 #include "core/cfs.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/bordermap.h"
+#include "core/iface_table.h"
+#include "core/obs_store.h"
 #include "core/reverse.h"
+#include "util/arena.h"
+#include "util/intern.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/setops.h"
+#include "util/trace.h"
 
 namespace cfs {
 
@@ -20,10 +25,27 @@ struct ConstrainedFacilitySearch::State {
 
   std::vector<TraceResult> traces;
   std::size_t classified_upto = 0;
-  std::map<ObsKey, PeeringObservation> observations;
-  std::unordered_map<Ipv4, InterfaceInference> interfaces;
-  std::unordered_set<Ipv4> known_addrs;  // all peering addresses ever seen
-  std::size_t aliased_addr_count = 0;    // addresses covered by last run
+
+  // ---- dense-handle hot state ----
+  // Every responding hop address and peering endpoint is interned once;
+  // all hot columns below are indexed by the resulting u32 handle.
+  Interner<Ipv4> addrs;
+  IfaceTable ifaces;  // rows by handle; present() == "is a peering iface"
+  ObsStore store;     // slot-stable (near, far) observation store
+  // Worklist bits by observation slot: `dirty` is this iteration's pass,
+  // `pending` collects mid-pass discoveries at-or-before the cursor
+  // (promoted into `dirty` at iteration end, like the old std::set pair).
+  DynamicBitset dirty;
+  DynamicBitset pending;
+  std::vector<std::vector<std::uint32_t>> obs_by_iface;    // handle -> slots
+  std::vector<std::vector<std::uint32_t>> traces_by_addr;  // handle -> trace
+  // Change clock: bumped whenever a candidate set changes; alias sets
+  // remember the tick they were last intersected at. Handle-indexed with 0
+  // meaning "never changed".
+  std::vector<std::uint64_t> iface_changed;
+  std::uint64_t tick = 0;
+
+  std::size_t aliased_addr_count = 0;  // addresses covered by last run
   InterfaceAsnMap asn_map;
   AliasSets aliases;
   AliasResolver resolver;
@@ -39,10 +61,10 @@ struct ConstrainedFacilitySearch::State {
   // Hosting AS -> vantage points inside it (LG-in-backbone follow-ups).
   std::unordered_map<std::uint32_t, std::vector<const VantagePoint*>>
       vps_by_as;
-  // Observed AS adjacency (from classified crossings): targets picked from
-  // an AS's known neighbors are the ones whose traces can actually cross
-  // the interface's router.
-  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> neighbors;
+  // Observed AS adjacency (from classified crossings) as sorted-unique
+  // neighbour columns keyed by a dense AS handle.
+  Interner<Asn> as_ids;
+  std::vector<std::vector<std::uint32_t>> neighbors;  // handle -> asn values
   // Vantage points usable for follow-ups (after any platform filter).
   std::vector<const VantagePoint*> usable_vps;
 
@@ -55,26 +77,43 @@ struct ConstrainedFacilitySearch::State {
     std::vector<PeeringObservation> obs;
   };
   std::vector<TraceCache> trace_cache;  // parallel to `traces`
-  // Responding hop address -> traces traversing it (classification reads
-  // nothing else, so this is the exact invalidation footprint).
-  std::unordered_map<Ipv4, std::vector<std::uint32_t>> traces_by_addr;
-  // Change clock: bumped whenever a candidate set changes; alias sets
-  // remember the tick they were last intersected at.
-  std::uint64_t tick = 0;
-  std::unordered_map<Ipv4, std::uint64_t> iface_changed;
   std::vector<std::uint64_t> alias_set_ticks;
-  // Interface -> observations it appears in (either endpoint).
-  std::unordered_map<Ipv4, std::vector<ObsKey>> obs_by_iface;
-  // Observations to (re-)constrain this iteration / discovered mid-pass
-  // at-or-before the cursor (promoted into `worklist` at iteration end).
-  std::set<ObsKey> worklist;
-  std::set<ObsKey> pending;
 
   CfsMetrics metrics;
+
+  // Interns `addr` and grows every handle-indexed column to cover it.
+  std::uint32_t intern_addr(Ipv4 addr) {
+    const std::uint32_t h = addrs.intern(addr);
+    if (addrs.size() > traces_by_addr.size()) {
+      traces_by_addr.resize(addrs.size());
+      obs_by_iface.resize(addrs.size());
+      iface_changed.resize(addrs.size(), 0);
+      ifaces.ensure_rows(addrs.size());
+    }
+    return h;
+  }
+
+  void add_neighbor(Asn a, Asn b) {
+    const std::uint32_t h = as_ids.intern(a);
+    if (as_ids.size() > neighbors.size()) neighbors.resize(as_ids.size());
+    auto& v = neighbors[h];
+    const auto it = std::lower_bound(v.begin(), v.end(), b.value);
+    if (it == v.end() || *it != b.value) v.insert(it, b.value);
+  }
+
+  [[nodiscard]] bool as_neighbors(Asn a, Asn b) const {
+    const auto h = as_ids.find(a);
+    if (!h) return false;
+    const auto& v = neighbors[*h];
+    return std::binary_search(v.begin(), v.end(), b.value);
+  }
 
   struct Absorbed {
     bool created = false;
     bool changed = false;
+    std::uint32_t slot = 0;
+    std::uint32_t near = 0;  // addr handles of the endpoints
+    std::uint32_t far = 0;
   };
   // Folds one classified observation into the store and the per-interface
   // side state (asn, vantage points, adjacency). Both engines and the
@@ -82,36 +121,52 @@ struct ConstrainedFacilitySearch::State {
   // whichever path produced it.
   Absorbed absorb(const PeeringObservation& obs) {
     Absorbed result;
-    const auto key = std::make_pair(obs.near_addr, obs.far_addr);
-    const auto it = observations.find(key);
-    if (it == observations.end()) {
-      observations.emplace(key, obs);
+    const ObsStore::FindOrCreate fc =
+        store.find_or_create(obs.near_addr, obs.far_addr);
+    result.slot = fc.slot;
+    if (store.slots() > dirty.size()) {
+      dirty.resize(store.slots());
+      pending.resize(store.slots());
+    }
+    if (fc.created) {
+      store.value(fc.slot) = obs;
       result.created = true;
     } else {
-      const PeeringObservation before = it->second;
-      it->second.near_rtt_ms =
-          std::min(it->second.near_rtt_ms, obs.near_rtt_ms);
-      it->second.far_rtt_ms = std::min(it->second.far_rtt_ms, obs.far_rtt_ms);
-      result.changed = !(before == it->second);
+      PeeringObservation& cur = store.value(fc.slot);
+      const PeeringObservation before = cur;
+      cur.near_rtt_ms = std::min(cur.near_rtt_ms, obs.near_rtt_ms);
+      cur.far_rtt_ms = std::min(cur.far_rtt_ms, obs.far_rtt_ms);
+      result.changed = !(before == cur);
     }
-    known_addrs.insert(obs.near_addr);
-    known_addrs.insert(obs.far_addr);
 
-    auto& near = interfaces[obs.near_addr];
-    near.addr = obs.near_addr;
-    near.asn = obs.near_as;
-    if (std::find(near.seen_from.begin(), near.seen_from.end(), obs.vp) ==
-        near.seen_from.end())
-      near.seen_from.push_back(obs.vp);
+    result.near = intern_addr(obs.near_addr);
+    ifaces.touch(result.near, obs.near_addr, obs.near_as);
+    ifaces.note_seen_from(result.near, obs.vp);
+    result.far = intern_addr(obs.far_addr);
+    ifaces.touch(result.far, obs.far_addr, obs.far_as);
 
-    auto& far = interfaces[obs.far_addr];
-    far.addr = obs.far_addr;
-    far.asn = obs.far_as;
-
-    neighbors[obs.near_as.value].insert(obs.far_as.value);
-    neighbors[obs.far_as.value].insert(obs.near_as.value);
+    add_neighbor(obs.near_as, obs.far_as);
+    add_neighbor(obs.far_as, obs.near_as);
     return result;
   }
+};
+
+// See cfs.h: the two pre-sized actions cover every branch of Step 2 (near
+// then far, in the old mutation order); `owned_*` back any computed
+// intersection the actions point into, everything else points at the
+// facility database's stable vectors.
+struct ConstrainedFacilitySearch::Directive {
+  struct Action {
+    std::uint32_t iface = 0;             // addr handle
+    const FacilityId* allowed = nullptr; // nullptr => no constrain call
+    std::uint32_t n = 0;
+    bool mark_remote = false;            // set the row's remote_suspect
+    bool record_ixp = false;             // note the obs IXP as queried
+  };
+  Action acts[2];
+  int n_acts = 0;
+  std::vector<FacilityId> owned_near;
+  std::vector<FacilityId> owned_far;
 };
 
 ConstrainedFacilitySearch::ConstrainedFacilitySearch(
@@ -177,7 +232,7 @@ std::size_t ConstrainedFacilitySearch::ingest_traces(
     if (config_.incremental) {
       for (const Hop& hop : state.traces[i].hops) {
         if (!hop.responded) continue;
-        auto& slot = state.traces_by_addr[hop.address];
+        auto& slot = state.traces_by_addr[state.intern_addr(hop.address)];
         if (slot.empty() || slot.back() != i)
           slot.push_back(static_cast<std::uint32_t>(i));
       }
@@ -188,12 +243,11 @@ std::size_t ConstrainedFacilitySearch::ingest_traces(
     for (const PeeringObservation& obs : obs_list) {
       const State::Absorbed r = state.absorb(obs);
       if (!config_.incremental) continue;
-      const ObsKey key{obs.near_addr, obs.far_addr};
       if (r.created) {
-        state.obs_by_iface[obs.near_addr].push_back(key);
-        state.obs_by_iface[obs.far_addr].push_back(key);
+        state.obs_by_iface[r.near].push_back(r.slot);
+        state.obs_by_iface[r.far].push_back(r.slot);
       }
-      if (r.created || r.changed) state.worklist.insert(key);
+      if (r.created || r.changed) state.dirty.set(r.slot);
     }
   }
   state.classified_upto = state.traces.size();
@@ -208,9 +262,9 @@ void ConstrainedFacilitySearch::reclassify_changed(
   const std::vector<Ipv4> changed = state.asn_map.take_changed();
   std::vector<char> stale(state.traces.size(), 0);
   for (const Ipv4 addr : changed) {
-    const auto it = state.traces_by_addr.find(addr);
-    if (it == state.traces_by_addr.end()) continue;
-    for (const std::uint32_t t : it->second) stale[t] = 1;
+    const auto h = state.addrs.find(addr);
+    if (!h) continue;
+    for (const std::uint32_t t : state.traces_by_addr[*h]) stale[t] = 1;
   }
 
   const HopClassifier classifier(ip2asn_, state.asn_map);
@@ -235,22 +289,27 @@ void ConstrainedFacilitySearch::reclassify_changed(
   }
 
   // Rebuild the merged store by replaying the caches in trace order — the
-  // exact sequence a full re-ingest would feed absorb_observation — and
-  // diff against the previous store to seed the dirty worklist.
-  auto old = std::move(state.observations);
-  state.observations.clear();
+  // exact sequence a full re-ingest would feed absorb — and diff against
+  // the previous values to seed the dirty worklist. Slots are stable, so
+  // the pre-replay values stay addressable for the comparison.
+  const std::vector<PeeringObservation> old_values = state.store.values_snapshot();
+  const DynamicBitset old_live = state.store.live_bits();
+  state.store.kill_all();
   for (const State::TraceCache& cache : state.trace_cache)
     for (const PeeringObservation& obs : cache.obs)
       state.absorb(obs);
 
-  for (const auto& [key, obs] : state.observations) {
-    const auto it = old.find(key);
-    if (it == old.end()) {
-      state.obs_by_iface[obs.near_addr].push_back(key);
-      state.obs_by_iface[obs.far_addr].push_back(key);
-      state.worklist.insert(key);
-    } else if (!(it->second == obs)) {
-      state.worklist.insert(key);
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(state.store.slots()); ++slot) {
+    if (!state.store.live(slot)) continue;
+    const bool existed = slot < old_values.size() && old_live.test(slot);
+    if (!existed) {
+      const PeeringObservation& obs = state.store.value(slot);
+      state.obs_by_iface[*state.addrs.find(obs.near_addr)].push_back(slot);
+      state.obs_by_iface[*state.addrs.find(obs.far_addr)].push_back(slot);
+      state.dirty.set(slot);
+    } else if (!(old_values[slot] == state.store.value(slot))) {
+      state.dirty.set(slot);
     }
   }
 
@@ -264,17 +323,20 @@ void ConstrainedFacilitySearch::reclassify_changed(
 
 void ConstrainedFacilitySearch::refresh_aliases(State& state,
                                                 IterationMetrics& im) const {
-  if (state.known_addrs.size() == state.aliased_addr_count) return;
+  if (state.ifaces.present_count() == state.aliased_addr_count) return;
   im.alias_refreshed = true;
   ++state.metrics.alias_refreshes;
 
   TraceSpan alias_timer("cfs.alias_refresh");
-  alias_timer.arg("addresses", state.known_addrs.size());
-  std::vector<Ipv4> targets(state.known_addrs.begin(),
-                            state.known_addrs.end());
+  alias_timer.arg("addresses", state.ifaces.present_count());
+  std::vector<Ipv4> targets;
+  targets.reserve(state.ifaces.present_count());
+  for (std::uint32_t h = 0; h < static_cast<std::uint32_t>(state.ifaces.rows());
+       ++h)
+    if (state.ifaces.present(h)) targets.push_back(state.ifaces.addr(h));
   std::sort(targets.begin(), targets.end());  // determinism
   state.aliases = state.resolver.resolve(targets);
-  state.aliased_addr_count = state.known_addrs.size();
+  state.aliased_addr_count = state.ifaces.present_count();
   state.asn_map.apply_alias_correction(state.aliases);
 
   if (config_.use_border_mapping) {
@@ -302,7 +364,7 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state,
   if (config_.incremental) {
     reclassify_changed(state, im);
   } else {
-    state.observations.clear();
+    state.store.kill_all();
     state.classified_upto = 0;
     const std::size_t reclassified = ingest_traces(state, {}, nullptr);
     im.reclassified_traces += state.traces.size();
@@ -314,43 +376,46 @@ void ConstrainedFacilitySearch::refresh_aliases(State& state,
 }
 
 void ConstrainedFacilitySearch::note_candidates_changed(
-    State& state, Ipv4 addr, const ObsKey* current) const {
-  state.iface_changed[addr] = ++state.tick;
+    State& state, std::uint32_t iface, const std::uint64_t* current) const {
+  state.iface_changed[iface] = ++state.tick;
   if (!config_.incremental) return;
-  const auto it = state.obs_by_iface.find(addr);
-  if (it == state.obs_by_iface.end()) return;
-  for (const ObsKey& key : it->second) {
-    if (current != nullptr && key > *current)
-      state.worklist.insert(key);  // still ahead of the in-flight pass
+  for (const std::uint32_t slot : state.obs_by_iface[iface]) {
+    if (current != nullptr && state.store.key(slot) > *current)
+      state.dirty.set(slot);  // still ahead of the in-flight pass
     else
-      state.pending.insert(key);  // next iteration, like the full engine
+      state.pending.set(slot);  // next iteration, like the full engine
   }
 }
 
-void ConstrainedFacilitySearch::constrain_from_observation(
-    State& state, const RemotePeeringDetector& detector,
-    const PeeringObservation& obs, int iteration, const ObsKey* current) const {
-  auto& near = state.interfaces.at(obs.near_addr);
-  auto& far = state.interfaces.at(obs.far_addr);
+ConstrainedFacilitySearch::Directive ConstrainedFacilitySearch::make_directive(
+    const State& state, const RemotePeeringDetector& detector,
+    const PeeringObservation& obs) const {
+  Directive d;
+  const std::uint32_t near = *state.addrs.find(obs.near_addr);
+  const std::uint32_t far = *state.addrs.find(obs.far_addr);
   const auto& fa = db_.facilities_of(obs.near_as);
   const auto& fb = db_.facilities_of(obs.far_as);
 
-  const auto constrain = [&](InterfaceInference& inf,
-                             const std::vector<FacilityId>& allowed) {
-    if (inf.constrain(allowed, iteration))
-      note_candidates_changed(state, inf.addr, current);
+  const auto push = [&d](std::uint32_t iface,
+                         const std::vector<FacilityId>* allowed,
+                         bool mark_remote, bool record_ixp) {
+    Directive::Action& a = d.acts[d.n_acts++];
+    a.iface = iface;
+    if (allowed != nullptr && !allowed->empty()) {
+      a.allowed = allowed->data();
+      a.n = static_cast<std::uint32_t>(allowed->size());
+    }
+    a.mark_remote = mark_remote;
+    a.record_ixp = record_ixp;
   };
 
   if (obs.kind == PeeringKind::Public) {
     const auto& fe = db_.ixp_facilities(obs.ixp);
     if (!fa.empty()) {
-      const auto common = facility_intersection(fa, fe);
-      if (!common.empty()) {
+      d.owned_near = facility_intersection(fa, fe);
+      if (!d.owned_near.empty()) {
         // Resolved or unresolved-local interface (Step 2 cases 1-2).
-        constrain(near, common);
-        if (std::find(near.queried_ixps.begin(), near.queried_ixps.end(),
-                      obs.ixp) == near.queried_ixps.end())
-          near.queried_ixps.push_back(obs.ixp);
+        push(near, &d.owned_near, false, true);
       } else {
         // Step 2 case 3: no common facility. Distinguish a genuinely
         // remote peer (3a) from missing data (3b): if the AS still has a
@@ -368,72 +433,137 @@ void ConstrainedFacilitySearch::constrain_from_observation(
         }
         // Sticky: one no-overlap exchange marks the interface remote for
         // good; a later local-looking observation must not clear it.
-        near.remote_suspect = near.remote_suspect || !metro_overlap;
-        constrain(near, fa);
+        push(near, &fa, !metro_overlap, false);
       }
     }
     if (!fb.empty()) {
       if (detector.far_side_remote(obs)) {
-        far.remote_suspect = true;
-        constrain(far, fb);
+        push(far, &fb, true, false);
       } else {
-        const auto common = facility_intersection(fb, fe);
-        if (!common.empty())
-          constrain(far, common);
+        d.owned_far = facility_intersection(fb, fe);
+        if (!d.owned_far.empty())
+          push(far, &d.owned_far, false, false);
         else
-          constrain(far, fb);
+          push(far, &fb, false, false);
       }
     }
-    return;
+    return d;
   }
 
   // Private interconnection.
   const bool long_haul = detector.far_side_remote(obs);
   if (!long_haul) {
-    const auto common = facility_intersection(fa, fb);
-    if (!common.empty()) {
-      constrain(near, common);
-      constrain(far, common);
-      return;
+    d.owned_near = facility_intersection(fa, fb);
+    if (!d.owned_near.empty()) {
+      push(near, &d.owned_near, false, false);
+      push(far, &d.owned_near, false, false);
+      return d;
     }
   }
-  if (!fa.empty()) constrain(near, fa);
-  if (!fb.empty()) constrain(far, fb);
-  if (long_haul) far.remote_suspect = true;
+  if (!fa.empty()) push(near, &fa, false, false);
+  if (!fb.empty())
+    push(far, &fb, long_haul, false);
+  else if (long_haul)
+    push(far, nullptr, true, false);  // remote flag even with no data
+  return d;
+}
+
+void ConstrainedFacilitySearch::apply_directive(
+    State& state, const Directive& directive, IxpId ixp, int iteration,
+    const std::uint64_t* current) const {
+  for (int i = 0; i < directive.n_acts; ++i) {
+    const Directive::Action& a = directive.acts[i];
+    if (a.mark_remote) state.ifaces.mark_remote(a.iface);
+    if (a.allowed != nullptr &&
+        state.ifaces.constrain(a.iface, a.allowed, a.n, iteration))
+      note_candidates_changed(state, a.iface, current);
+    if (a.record_ixp) state.ifaces.add_queried_ixp(a.iface, ixp);
+  }
 }
 
 void ConstrainedFacilitySearch::apply_facility_constraints(
     State& state, int iteration, IterationMetrics& im) const {
   const RemotePeeringDetector detector(config_.remote);
+  const std::vector<std::uint32_t>& order = state.store.order();
+
+  // Pass worklist in ascending key order (== ascending `order` position).
+  std::vector<std::uint32_t> dirty_slots;
+  if (!config_.incremental) {
+    im.dirty_observations += state.store.live_count();
+    dirty_slots.reserve(state.store.live_count());
+    for (const std::uint32_t slot : order)
+      if (state.store.live(slot)) dirty_slots.push_back(slot);
+  } else {
+    // Dead-slot bits stay in the count, matching the old worklist whose
+    // vanished keys were counted but skipped.
+    im.dirty_observations += state.dirty.count();
+    dirty_slots.reserve(state.dirty.count());
+    for (const std::uint32_t slot : order)
+      if (state.dirty.test(slot)) dirty_slots.push_back(slot);
+  }
+
+  // Speculate directives for the pass worklist in parallel: they are pure
+  // per observation, so the fan-out cannot perturb the serial apply below
+  // — the speculate-then-replay pattern classification already uses.
+  constexpr std::size_t kParallelThreshold = 32;
+  std::vector<Directive> specs(dirty_slots.size());
+  std::vector<char> have_spec(dirty_slots.size(), 0);
+  if (pool_ != nullptr && dirty_slots.size() >= kParallelThreshold) {
+    TraceSpan spec_span("cfs.speculate_directives");
+    spec_span.arg("observations", dirty_slots.size());
+    pool_->parallel_for_chunks(
+        dirty_slots.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t slot = dirty_slots[i];
+            if (!state.store.live(slot)) continue;
+            specs[i] = make_directive(state, detector, state.store.value(slot));
+            have_spec[i] = 1;
+          }
+        });
+  }
 
   if (!config_.incremental) {
-    im.dirty_observations += state.observations.size();
-    for (const auto& [key, obs] : state.observations) {
-      constrain_from_observation(state, detector, obs, iteration, nullptr);
+    for (std::size_t i = 0; i < dirty_slots.size(); ++i) {
+      const std::uint32_t slot = dirty_slots[i];
+      const PeeringObservation& obs = state.store.value(slot);
+      if (have_spec[i]) {
+        apply_directive(state, specs[i], obs.ixp, iteration, nullptr);
+      } else {
+        const Directive d = make_directive(state, detector, obs);
+        apply_directive(state, d, obs.ixp, iteration, nullptr);
+      }
       ++im.constrained_observations;
     }
     return;
   }
 
-  // Walk the dirty set in ascending key order, the same order the full
-  // engine scans the store. Changes made mid-pass re-queue observations:
-  // keys past the cursor join this pass (note_candidates_changed), keys at
-  // or before it land in `pending` for the next iteration — exactly the
-  // full engine's behavior, which sees an earlier change only on its next
-  // sweep. upper_bound re-finds the position because inserts may land
-  // between the cursor and its old successor.
-  im.dirty_observations += state.worklist.size();
-  auto it = state.worklist.begin();
-  while (it != state.worklist.end()) {
-    const ObsKey key = *it;
-    const auto oit = state.observations.find(key);
-    if (oit != state.observations.end()) {  // key may have vanished at refresh
-      constrain_from_observation(state, detector, oit->second, iteration, &key);
+  // Serial ordered apply. Changes made mid-pass re-queue observations:
+  // slots whose key is past the cursor have their dirty bit set and are
+  // picked up later in this same walk (the order index is key-sorted, so
+  // key order == position order); slots at or before the cursor land in
+  // `pending` for the next iteration — exactly the full engine's
+  // behavior, which sees an earlier change only on its next sweep.
+  std::size_t next_spec = 0;  // cursor into dirty_slots/specs
+  for (const std::uint32_t slot : order) {
+    if (!state.dirty.test(slot)) continue;
+    state.dirty.reset(slot);
+    // A speculated slot keeps its bit until visited, so the spec cursor
+    // advances exactly when the walk passes it.
+    const bool speculated =
+        next_spec < dirty_slots.size() && dirty_slots[next_spec] == slot;
+    if (state.store.live(slot)) {  // key may have vanished at refresh
+      const std::uint64_t key = state.store.key(slot);
+      const PeeringObservation& obs = state.store.value(slot);
+      if (speculated && have_spec[next_spec]) {
+        apply_directive(state, specs[next_spec], obs.ixp, iteration, &key);
+      } else {
+        const Directive d = make_directive(state, detector, obs);
+        apply_directive(state, d, obs.ixp, iteration, &key);
+      }
       ++im.constrained_observations;
     }
-    it = state.worklist.upper_bound(key);
+    if (speculated) ++next_spec;
   }
-  state.worklist.clear();
 }
 
 void ConstrainedFacilitySearch::apply_alias_constraints(
@@ -442,6 +572,7 @@ void ConstrainedFacilitySearch::apply_alias_constraints(
       state.alias_set_ticks.size() != state.aliases.sets.size())
     state.alias_set_ticks.assign(state.aliases.sets.size(), 0);
 
+  std::vector<FacilityId> common;  // reused scratch
   for (std::size_t si = 0; si < state.aliases.sets.size(); ++si) {
     const auto& set = state.aliases.sets[si];
     if (set.size() < 2) continue;
@@ -452,9 +583,8 @@ void ConstrainedFacilitySearch::apply_alias_constraints(
       // moved since this set was last processed.
       bool dirty = false;
       for (const Ipv4 addr : set) {
-        const auto t = state.iface_changed.find(addr);
-        if (t != state.iface_changed.end() &&
-            t->second > state.alias_set_ticks[si]) {
+        const auto h = state.addrs.find(addr);
+        if (h && state.iface_changed[*h] > state.alias_set_ticks[si]) {
           dirty = true;
           break;
         }
@@ -464,27 +594,31 @@ void ConstrainedFacilitySearch::apply_alias_constraints(
     ++im.alias_sets_processed;
 
     // Intersect the candidate sets of all constrained members.
-    std::vector<FacilityId> common;
+    common.clear();
     bool first = true;
     bool any = false;
     for (const Ipv4 addr : set) {
-      const auto it = state.interfaces.find(addr);
-      if (it == state.interfaces.end() || !it->second.has_constraint)
+      const auto h = state.addrs.find(addr);
+      if (!h || !state.ifaces.present(*h) || !state.ifaces.has_constraint(*h))
         continue;
       any = true;
+      const FacilityId* data = state.ifaces.cand_data(*h);
+      const std::uint32_t n = state.ifaces.cand_size(*h);
       if (first) {
-        common = it->second.candidates;
+        common.assign(data, data + n);
         first = false;
       } else {
-        common = facility_intersection(common, it->second.candidates);
+        common.resize(intersect_in_place(common.data(), common.size(),
+                                         data, n));
       }
     }
     if (any && !common.empty()) {
       for (const Ipv4 addr : set) {
-        const auto it = state.interfaces.find(addr);
-        if (it == state.interfaces.end()) continue;
-        if (it->second.constrain(common, iteration))
-          note_candidates_changed(state, addr, nullptr);
+        const auto h = state.addrs.find(addr);
+        if (!h || !state.ifaces.present(*h)) continue;
+        if (state.ifaces.constrain(*h, common.data(), common.size(),
+                                   iteration))
+          note_candidates_changed(state, *h, nullptr);
       }
     }
     if (config_.incremental) state.alias_set_ticks[si] = state.tick;
@@ -495,14 +629,17 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
     State& state, int iteration, IterationMetrics& im) const {
   // Gather unresolved-but-constrained interfaces, tightest first (they are
   // one good constraint away from resolution).
-  std::vector<InterfaceInference*> unresolved;
-  for (auto& [addr, inf] : state.interfaces)
-    if (inf.has_constraint && !inf.resolved()) unresolved.push_back(&inf);
+  std::vector<std::uint32_t> unresolved;
+  for (std::uint32_t h = 0; h < static_cast<std::uint32_t>(state.ifaces.rows());
+       ++h)
+    if (state.ifaces.present(h) && state.ifaces.has_constraint(h) &&
+        !state.ifaces.resolved(h))
+      unresolved.push_back(h);
   std::sort(unresolved.begin(), unresolved.end(),
-            [](const InterfaceInference* a, const InterfaceInference* b) {
-              if (a->candidates.size() != b->candidates.size())
-                return a->candidates.size() < b->candidates.size();
-              return a->addr < b->addr;
+            [&state](std::uint32_t a, std::uint32_t b) {
+              if (state.ifaces.cand_size(a) != state.ifaces.cand_size(b))
+                return state.ifaces.cand_size(a) < state.ifaces.cand_size(b);
+              return state.ifaces.addr(a) < state.ifaces.addr(b);
             });
   im.followup_pool = unresolved.size();
   im.followup_budget =
@@ -520,8 +657,11 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
              static_cast<std::size_t>(config_.followup_interfaces)) %
                 unresolved.size();
   for (std::size_t slot = 0; slot < unresolved.size(); ++slot) {
-    InterfaceInference* inf = unresolved[(offset + slot) % unresolved.size()];
+    const std::uint32_t h = unresolved[(offset + slot) % unresolved.size()];
     if (chased >= config_.followup_interfaces) break;
+    const Asn iface_asn = state.ifaces.asn(h);
+    const FacilityId* cands = state.ifaces.cand_data(h);
+    const std::uint32_t n_cands = state.ifaces.cand_size(h);
 
     // Candidate target ASes: present at one of the interface's candidate
     // facilities, preferring the smallest overlap (most constraining) and
@@ -530,29 +670,27 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
     if (config_.random_followups) {
       for (int k = 0; k < config_.followup_targets; ++k) {
         const auto& as = topo_.ases()[state.rng.index(topo_.ases().size())];
-        if (as.asn != inf->asn) scored.emplace_back(0.0, as.asn);
+        if (as.asn != iface_asn) scored.emplace_back(0.0, as.asn);
       }
     } else {
-      const auto neigh = state.neighbors.find(inf->asn.value);
       std::unordered_set<std::uint32_t> considered;
-      for (const FacilityId fac : inf->candidates) {
-        const auto it = state.present_at.find(fac.value);
+      for (std::uint32_t ci = 0; ci < n_cands; ++ci) {
+        const auto it = state.present_at.find(cands[ci].value);
         if (it == state.present_at.end()) continue;
         for (const Asn cand : it->second) {
-          if (cand == inf->asn) continue;
+          if (cand == iface_asn) continue;
           if (!considered.insert(cand.value).second) continue;
           const auto& ft = db_.facilities_of(cand);
-          const auto overlap = facility_intersection(ft, inf->candidates);
-          if (overlap.empty() || overlap.size() >= inf->candidates.size())
-            continue;
-          double score = static_cast<double>(overlap.size());
+          const std::size_t overlap =
+              set_intersect_count(ft.data(), ft.size(), cands,
+                                  static_cast<std::size_t>(n_cands));
+          if (overlap == 0 || overlap >= n_cands) continue;
+          double score = static_cast<double>(overlap);
           // A traceroute can only add a constraint for this AS's router if
           // it exits through it: known neighbors are far more likely to.
-          if (neigh == state.neighbors.end() ||
-              !neigh->second.contains(cand.value))
-            score += 5.0;
-          for (const IxpId ixp : inf->queried_ixps) {
-            if (!facility_intersection(ft, db_.ixp_facilities(ixp)).empty())
+          if (!state.as_neighbors(iface_asn, cand)) score += 5.0;
+          for (const IxpId ixp : state.ifaces.queried_ixps(h)) {
+            if (set_intersects(ft, db_.ixp_facilities(ixp)))
               score += 10.0;  // already-queried IXP: deprioritise
           }
           scored.emplace_back(score, cand);
@@ -580,11 +718,11 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
     // own AS (paper Section 5: 46% of LG-visible interfaces sit in transit
     // backbones Atlas never reaches), topped up with random picks.
     std::vector<const VantagePoint*> probes;
-    for (const VantagePointId vp : inf->seen_from) {
+    for (const VantagePointId vp : state.ifaces.seen_from(h)) {
       if (probes.size() >= 2) break;
       probes.push_back(&vps_.vp(vp));
     }
-    if (const auto it = state.vps_by_as.find(inf->asn.value);
+    if (const auto it = state.vps_by_as.find(iface_asn.value);
         it != state.vps_by_as.end()) {
       for (const VantagePoint* vp : it->second) {
         if (probes.size() >= 4) break;
@@ -618,12 +756,16 @@ std::vector<TraceResult> ConstrainedFacilitySearch::launch_followups(
 
   // Reverse-direction probes for unresolved far ends (Section 4.3).
   std::vector<PeeringObservation> observations;
-  observations.reserve(state.observations.size());
-  for (const auto& [key, obs] : state.observations)
-    observations.push_back(obs);
+  observations.reserve(state.store.live_count());
+  for (const std::uint32_t slot : state.store.order())
+    if (state.store.live(slot)) observations.push_back(state.store.value(slot));
   const auto reverse_plan = plan_reverse_probes(
-      topo_, vps_, state.interfaces, observations, /*budget=*/16,
-      config_.platform_filter);
+      topo_, vps_,
+      [&state](Ipv4 far) {
+        const auto fh = state.addrs.find(far);
+        return fh && state.ifaces.present(*fh) && !state.ifaces.resolved(*fh);
+      },
+      observations, /*budget=*/16, config_.platform_filter);
   for (const ReverseProbe& probe : reverse_plan) {
     TraceResult trace = campaign_.probe(vps_.vp(probe.vp), probe.target);
     if (!trace.hops.empty()) fresh.push_back(std::move(trace));
@@ -684,8 +826,8 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
       apply_alias_constraints(state, iteration, im);
     if (config_.incremental) {
       // Promote mid-pass discoveries into the next iteration's worklist.
-      state.worklist.insert(state.pending.begin(), state.pending.end());
-      state.pending.clear();
+      state.dirty.merge(state.pending);
+      state.pending.reset_all();
     }
     constrain_timer.arg("dirty_observations", im.dirty_observations);
     constrain_timer.arg("constrained_observations",
@@ -694,15 +836,16 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
     im.constrain_ms = constrain_timer.stop();
 
     std::size_t resolved = 0;
-    for (const auto& [addr, inf] : state.interfaces)
-      resolved += inf.resolved();
+    for (std::uint32_t h = 0;
+         h < static_cast<std::uint32_t>(state.ifaces.rows()); ++h)
+      resolved += state.ifaces.present(h) && state.ifaces.resolved(h);
     state.history.push_back(resolved);
     im.resolved = resolved;
-    im.observations = state.observations.size();
-    im.interfaces = state.interfaces.size();
+    im.observations = state.store.live_count();
+    im.interfaces = state.ifaces.present_count();
 
-    const bool done =
-        resolved == state.interfaces.size() && !state.interfaces.empty();
+    const bool done = resolved == state.ifaces.present_count() &&
+                      state.ifaces.present_count() != 0;
     if (!done && iteration < config_.max_iterations) {
       TraceSpan followup_timer("cfs.followups");
       std::vector<TraceResult> fresh = launch_followups(state, iteration, im);
@@ -720,7 +863,12 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
 
   // ---- final classification of each crossing ----
   CfsReport report;
-  report.interfaces = std::move(state.interfaces);
+  report.interfaces.reserve(state.ifaces.present_count());
+  for (std::uint32_t h = 0; h < static_cast<std::uint32_t>(state.ifaces.rows());
+       ++h)
+    if (state.ifaces.present(h))
+      report.interfaces.emplace(state.ifaces.addr(h),
+                                state.ifaces.materialize(h));
   report.aliases = std::move(state.aliases);
   report.resolved_per_iteration = std::move(state.history);
   report.traces_used = state.traces.size();
@@ -730,9 +878,11 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
   ProximityHeuristic proximity;
 
   TraceSpan link_span("cfs.link_classify");
-  link_span.arg("observations", state.observations.size());
+  link_span.arg("observations", state.store.live_count());
 
-  for (const auto& [key, obs] : state.observations) {
+  for (const std::uint32_t slot : state.store.order()) {
+    if (!state.store.live(slot)) continue;
+    const PeeringObservation& obs = state.store.value(slot);
     LinkInference link;
     link.obs = obs;
     const auto* near = report.find(obs.near_addr);
@@ -810,6 +960,17 @@ CfsReport ConstrainedFacilitySearch::run(std::vector<TraceResult> traces) {
   // what the degraded data sources withheld.
   state.metrics.faults = campaign_.fault_stats();
   state.metrics.faults.records_withheld = db_.records_withheld();
+  // Memory gauges (docs/OBSERVABILITY.md): candidate-span arena payload
+  // for this run, process-wide arena capacity, and the process RSS
+  // high-water mark. Registry gauges live under metrics.registry in the
+  // export — outside every byte-equivalence comparison — and feed the
+  // memory columns of BENCH_parallel.json.
+  Trace::gauge("cfs.arena_bytes",
+               static_cast<double>(state.ifaces.arena_bytes()));
+  Trace::gauge("cfs.arena_reserved_bytes",
+               static_cast<double>(Arena::process_reserved_bytes()));
+  Trace::gauge("process.peak_rss_bytes",
+               static_cast<double>(Trace::peak_rss_bytes()));
   run_timer.arg("resolved", report.resolved_interfaces());
   state.metrics.total_ms = run_timer.stop();
   report.metrics = std::move(state.metrics);

@@ -26,12 +26,24 @@
 // (tests/core/incremental_test.cpp asserts it). Per-stage accounting lands
 // in CfsReport::metrics.
 //
+// Hot-path layout (docs/ALGORITHM.md "Memory layout"): addresses are
+// interned into dense u32 handles at ingest; per-interface state lives in
+// a flat SoA table with arena-backed candidate spans (core/iface_table.h);
+// observations live in a slot-stable key-ordered store (core/obs_store.h)
+// with the dirty/pending worklists as bitsets over slots. The constraint
+// fold speculates per-observation directives in parallel on the pool (they
+// are pure functions of the observation and the databases) and applies
+// them serially in ascending key order, so reports are byte-identical at
+// any --threads N. Strings survive only at the ingest and export
+// boundaries.
+//
 // CFS deliberately sees only the public-information layers: the merged
 // facility database, the IP-to-ASN service, DNS-free traceroute output and
 // its own alias resolution. The ground-truth Topology is used solely for
 // public facts (facility -> metro, prefix origins for target selection).
 #pragma once
 
+#include <cstdint>
 #include <utility>
 
 #include "core/classify.h"
@@ -92,9 +104,13 @@ class ConstrainedFacilitySearch {
 
  private:
   struct State;
-  // Observation store key: (near_addr, far_addr). The store is a std::map
-  // so both engines visit observations in the same ascending-key order.
-  using ObsKey = std::pair<Ipv4, Ipv4>;
+  // A precomputed Step-2 plan for one observation: which interfaces to
+  // constrain with which (immutable) facility lists, plus the remote-
+  // suspect and queried-IXP side effects. Directives are a pure function
+  // of the observation and the public databases — no mutable engine state
+  // — so they can be speculated in parallel and applied serially in key
+  // order with byte-identical results at any thread count.
+  struct Directive;
 
   // Classifies traces appended past classified_upto into the observation
   // store (and, incrementally, the per-trace cache + address index).
@@ -106,17 +122,20 @@ class ConstrainedFacilitySearch {
   // replay everything else from cache, diff the rebuilt store into the
   // dirty worklist.
   void reclassify_changed(State& state, IterationMetrics& im) const;
-  // Records that `addr`'s candidate set changed and queues its observations
-  // for re-processing. `current` is the facility-pass cursor: keys after it
-  // re-enter the in-flight pass (matching the full engine's in-pass
-  // cascades), keys at or before it wait for the next iteration.
-  void note_candidates_changed(State& state, Ipv4 addr,
-                               const ObsKey* current) const;
-  // Step 2 for a single observation; shared verbatim by both engines.
-  void constrain_from_observation(State& state,
-                                  const RemotePeeringDetector& detector,
-                                  const PeeringObservation& obs, int iteration,
-                                  const ObsKey* current) const;
+  // Records that the interface row's candidate set changed and queues its
+  // observations for re-processing. `current` is the facility-pass cursor
+  // key: keys after it re-enter the in-flight pass (matching the full
+  // engine's in-pass cascades), keys at or before it wait for the next
+  // iteration.
+  void note_candidates_changed(State& state, std::uint32_t iface,
+                               const std::uint64_t* current) const;
+  // Step 2 for a single observation, split into a pure planning half...
+  [[nodiscard]] Directive make_directive(const State& state,
+                                         const RemotePeeringDetector& detector,
+                                         const PeeringObservation& obs) const;
+  // ...and a serial application half (the only part that mutates rows).
+  void apply_directive(State& state, const Directive& directive, IxpId ixp,
+                       int iteration, const std::uint64_t* current) const;
   void apply_facility_constraints(State& state, int iteration,
                                   IterationMetrics& im) const;
   void apply_alias_constraints(State& state, int iteration,

@@ -1,0 +1,82 @@
+#include "core/iface_table.h"
+
+#include <algorithm>
+
+#include "util/setops.h"
+
+namespace cfs {
+
+void IfaceTable::ensure_rows(std::size_t n) {
+  if (n <= addr_.size()) return;
+  addr_.resize(n);
+  asn_.resize(n);
+  cand_.resize(n, nullptr);
+  cand_n_.resize(n, 0);
+  resolved_iter_.resize(n, -1);
+  conflicts_.resize(n, 0);
+  present_.resize(n);
+  has_constraint_.resize(n);
+  remote_.resize(n);
+  seen_from_.resize(n);
+  queried_ixps_.resize(n);
+}
+
+void IfaceTable::touch(Handle h, Ipv4 addr, Asn asn) {
+  if (!present_.test(h)) {
+    present_.set(h);
+    ++present_count_;
+  }
+  addr_[h] = addr;
+  asn_[h] = asn;
+}
+
+void IfaceTable::note_seen_from(Handle h, VantagePointId vp) {
+  auto& v = seen_from_[h];
+  if (std::find(v.begin(), v.end(), vp) == v.end()) v.push_back(vp);
+}
+
+void IfaceTable::add_queried_ixp(Handle h, IxpId ixp) {
+  auto& v = queried_ixps_[h];
+  if (std::find(v.begin(), v.end(), ixp) == v.end()) v.push_back(ixp);
+}
+
+bool IfaceTable::constrain(Handle h, const FacilityId* allowed, std::size_t n,
+                           int iteration) {
+  assert(sorted_unique(allowed, n));
+  if (n == 0) return false;
+  if (!has_constraint_.test(h)) {
+    FacilityId* span = arena_.alloc_array<FacilityId>(n);
+    std::copy(allowed, allowed + n, span);
+    cand_[h] = span;
+    cand_n_[h] = static_cast<std::uint32_t>(n);
+    has_constraint_.set(h);
+    if (n == 1) resolved_iter_[h] = iteration;
+    return true;
+  }
+  const std::size_t narrowed =
+      intersect_in_place(cand_[h], cand_n_[h], allowed, n);
+  if (narrowed == 0) {  // would empty the set: conflict, keep the original
+    ++conflicts_[h];
+    return false;
+  }
+  if (narrowed == cand_n_[h]) return false;
+  cand_n_[h] = static_cast<std::uint32_t>(narrowed);
+  if (narrowed == 1 && resolved_iter_[h] < 0) resolved_iter_[h] = iteration;
+  return true;
+}
+
+InterfaceInference IfaceTable::materialize(Handle h) const {
+  InterfaceInference inf;
+  inf.addr = addr_[h];
+  inf.asn = asn_[h];
+  inf.has_constraint = has_constraint_.test(h);
+  inf.candidates.assign(cand_[h], cand_[h] + cand_n_[h]);
+  inf.remote_suspect = remote_.test(h);
+  inf.resolved_iteration = resolved_iter_[h];
+  inf.conflicts = conflicts_[h];
+  inf.seen_from = seen_from_[h];
+  inf.queried_ixps = queried_ixps_[h];
+  return inf;
+}
+
+}  // namespace cfs

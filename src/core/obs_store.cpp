@@ -1,0 +1,45 @@
+#include "core/obs_store.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+ObsStore::FindOrCreate ObsStore::find_or_create(Ipv4 near, Ipv4 far) {
+  const std::uint64_t key = key_of(near, far);
+  const auto [it, inserted] =
+      index_.try_emplace(key, static_cast<Slot>(keys_.size()));
+  if (inserted) {
+    keys_.push_back(key);
+    values_.emplace_back();
+    live_.resize(keys_.size());
+    live_.set(keys_.size() - 1);
+    ++live_count_;
+    order_stale_ = true;
+    return {it->second, true};
+  }
+  const Slot s = it->second;
+  if (!live_.test(s)) {  // revive a slot killed at the last refresh
+    live_.set(s);
+    ++live_count_;
+    return {s, true};
+  }
+  return {s, false};
+}
+
+void ObsStore::kill_all() {
+  live_.reset_all();
+  live_count_ = 0;
+}
+
+const std::vector<ObsStore::Slot>& ObsStore::order() {
+  if (order_stale_) {
+    order_.resize(keys_.size());
+    for (Slot i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(),
+              [this](Slot a, Slot b) { return keys_[a] < keys_[b]; });
+    order_stale_ = false;
+  }
+  return order_;
+}
+
+}  // namespace cfs

@@ -1,0 +1,82 @@
+// Slot-stable, key-ordered peering-observation store.
+//
+// The CFS engines address observations by the pair (near_addr, far_addr),
+// packed into one u64 key whose numeric order equals the old
+// std::pair<Ipv4, Ipv4> ordering — so "walk the store in ascending key
+// order" (the invariant both engines' constraint passes and the final
+// link-classification pass depend on) survives the move from a std::map
+// to flat columns.
+//
+// Slots are dense u32 handles minted once per key and NEVER reused for a
+// different key: an alias refresh that rebuilds the store marks every
+// slot dead (`kill_all`) and replays the per-trace caches, reviving the
+// slots that still exist. Dead slots keep their key and their position in
+// the order index; worklist bits pointing at them are simply skipped,
+// exactly like the old code's "key may have vanished at refresh" lookup
+// miss. This slot stability is what lets the engine keep per-observation
+// state (dirty/pending bits, interface back-references) as plain arrays
+// across refreshes (docs/ALGORITHM.md "Memory layout").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace cfs {
+
+class ObsStore {
+ public:
+  using Slot = std::uint32_t;
+
+  // Numeric order of keys == lexicographic order of (near, far).
+  [[nodiscard]] static constexpr std::uint64_t key_of(Ipv4 near, Ipv4 far) {
+    return (std::uint64_t{near.value()} << 32) | far.value();
+  }
+
+  struct FindOrCreate {
+    Slot slot = 0;
+    // True when the slot was minted or revived: the stored value is stale
+    // and the caller must assign it before reading.
+    bool created = false;
+  };
+  FindOrCreate find_or_create(Ipv4 near, Ipv4 far);
+
+  [[nodiscard]] PeeringObservation& value(Slot s) { return values_[s]; }
+  [[nodiscard]] const PeeringObservation& value(Slot s) const {
+    return values_[s];
+  }
+  [[nodiscard]] std::uint64_t key(Slot s) const { return keys_[s]; }
+  [[nodiscard]] bool live(Slot s) const { return live_.test(s); }
+  [[nodiscard]] std::size_t slots() const { return keys_.size(); }
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+  // Marks every slot dead; keys, values and the key->slot index survive so
+  // a replay can revive slots in place.
+  void kill_all();
+
+  // Ascending-key slot permutation over ALL slots (live and dead).
+  // Rebuilt lazily after new slots are minted; consumers skip dead slots.
+  [[nodiscard]] const std::vector<Slot>& order();
+
+  // Copies for the refresh diff (old values stay comparable after the
+  // in-place replay overwrote the live ones).
+  [[nodiscard]] std::vector<PeeringObservation> values_snapshot() const {
+    return values_;
+  }
+  [[nodiscard]] const DynamicBitset& live_bits() const { return live_; }
+
+ private:
+  std::unordered_map<std::uint64_t, Slot> index_;
+  // SoA columns, indexed by slot.
+  std::vector<std::uint64_t> keys_;
+  std::vector<PeeringObservation> values_;
+  DynamicBitset live_;
+  std::vector<Slot> order_;
+  bool order_stale_ = true;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace cfs

@@ -8,7 +8,7 @@ namespace cfs {
 
 std::vector<ReverseProbe> plan_reverse_probes(
     const Topology& topo, const VantagePointSet& vps,
-    const std::unordered_map<Ipv4, InterfaceInference>& interfaces,
+    const std::function<bool(Ipv4)>& far_unresolved,
     const std::vector<PeeringObservation>& observations, std::size_t budget,
     std::optional<Platform> platform_filter) {
   std::vector<ReverseProbe> plan;
@@ -24,8 +24,7 @@ std::vector<ReverseProbe> plan_reverse_probes(
   for (const PeeringObservation& obs : observations) {
     if (plan.size() >= budget) break;
     if (obs.kind != PeeringKind::Public) continue;
-    const auto it = interfaces.find(obs.far_addr);
-    if (it == interfaces.end() || it->second.resolved()) continue;
+    if (!far_unresolved(obs.far_addr)) continue;
     if (!planned_far.insert(obs.far_addr).second) continue;
 
     const auto vps_in_far = by_as.find(obs.far_as.value);
@@ -44,6 +43,20 @@ std::vector<ReverseProbe> plan_reverse_probes(
     }
   }
   return plan;
+}
+
+std::vector<ReverseProbe> plan_reverse_probes(
+    const Topology& topo, const VantagePointSet& vps,
+    const std::unordered_map<Ipv4, InterfaceInference>& interfaces,
+    const std::vector<PeeringObservation>& observations, std::size_t budget,
+    std::optional<Platform> platform_filter) {
+  return plan_reverse_probes(
+      topo, vps,
+      [&interfaces](Ipv4 far) {
+        const auto it = interfaces.find(far);
+        return it != interfaces.end() && !it->second.resolved();
+      },
+      observations, budget, platform_filter);
 }
 
 }  // namespace cfs

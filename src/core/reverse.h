@@ -7,6 +7,7 @@
 // Steps 1-4 resolve it. This helper plans those reverse probes.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/report.h"
@@ -21,6 +22,15 @@ struct ReverseProbe {
 
 // Plans up to `budget` reverse probes for public-peering far interfaces
 // that are not yet resolved. Deterministic given the report contents.
+// `far_unresolved` answers "is this far address a known, still-unresolved
+// interface?" — the engine's dense table and the report map both plug in.
+std::vector<ReverseProbe> plan_reverse_probes(
+    const Topology& topo, const VantagePointSet& vps,
+    const std::function<bool(Ipv4)>& far_unresolved,
+    const std::vector<PeeringObservation>& observations, std::size_t budget,
+    std::optional<Platform> platform_filter = std::nullopt);
+
+// Convenience overload over a materialised interface map.
 std::vector<ReverseProbe> plan_reverse_probes(
     const Topology& topo, const VantagePointSet& vps,
     const std::unordered_map<Ipv4, InterfaceInference>& interfaces,

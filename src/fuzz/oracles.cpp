@@ -141,6 +141,70 @@ std::optional<OracleFailure> check_replay(const Scenario& s) {
   return std::nullopt;
 }
 
+// --- oracle: memory-layout refactor golden ---
+//
+// The dense-handle/SoA core must be observationally invisible: the
+// canonical export (equivalence form) has to stay byte-identical to what
+// the pre-refactor engine produced. Three layers of teeth, cheapest
+// first: export-level layout invariants (canonical interface order,
+// sorted duplicate-free candidate sets — exactly the properties an
+// arena-span or interner bug would corrupt first), serial-vs-threaded
+// byte equality of the export itself, and — when the scenario carries a
+// stamped `expected_export_fnv1a` — a hash comparison against the golden
+// captured before the refactor (`cfs_fuzz --stamp-golden`).
+std::optional<OracleFailure> check_layout_equivalence(const Scenario& s) {
+  const char* name = "layout_equivalence";
+  const CfsReport serial = run_arm(s, 1, true);
+  const JsonValue serial_json = equivalence_json(serial);
+  const std::string serial_bytes = serial_json.pretty();
+
+  // Export-level layout invariants.
+  std::uint64_t prev_addr = 0;
+  bool first = true;
+  for (const JsonValue& iface :
+       serial_json.as_object().at("interfaces").as_array()) {
+    const std::string& addr = iface.at("address").as_string();
+    const auto parsed = Ipv4::parse(addr);
+    if (!parsed)
+      return fail(name, "export interface address '" + addr +
+                            "' does not parse back to an Ipv4");
+    if (!first && parsed->value() <= prev_addr)
+      return fail(name, "export interfaces not in strictly increasing "
+                        "address order at " + addr);
+    first = false;
+    prev_addr = parsed->value();
+
+    const auto& cands = iface.at("candidates").as_array();
+    for (std::size_t i = 1; i < cands.size(); ++i)
+      if (cands[i].as_int() <= cands[i - 1].as_int())
+        return fail(name, "interface " + addr +
+                              ": exported candidate set not sorted/unique");
+  }
+
+  // The threaded arm must export the same bytes (the parallel oracle
+  // compares JSON trees; this one insists on the serialised form, which
+  // is what the golden hash is taken over).
+  const CfsReport threaded = run_arm(s, s.threads, true);
+  if (equivalence_json(threaded).pretty() != serial_bytes) {
+    const JsonDiff diff =
+        diff_json(serial_json, equivalence_json(threaded));
+    return fail(name, diff_message(
+                          "canonical export bytes (threads 1 vs k)", diff));
+  }
+
+  if (!s.expected_export_fnv1a.empty()) {
+    const std::string actual = hex64(fnv1a64(serial_bytes));
+    if (actual != s.expected_export_fnv1a)
+      return fail(name,
+                  "canonical export hash " + actual +
+                      " != stamped golden " + s.expected_export_fnv1a +
+                      " — the report drifted from the pre-refactor bytes "
+                      "(re-stamp only if the change is intentional: "
+                      "cfs_fuzz --stamp-golden)");
+  }
+  return std::nullopt;
+}
+
 // --- oracle: structural / paper-grounded invariants ---
 std::optional<OracleFailure> check_invariants(const Scenario& s) {
   const CfsReport report = run_arm(s, s.threads, true);
@@ -368,6 +432,10 @@ std::optional<OracleFailure> check_serve_transport(const Scenario& s) {
 
 }  // namespace
 
+CfsReport run_reference_arm(const Scenario& scenario) {
+  return run_arm(scenario, 1, true);
+}
+
 JsonValue equivalence_json(const CfsReport& report) {
   JsonValue json = report_to_json(report);
   json.as_object().erase("metrics");  // wall clock legitimately differs
@@ -464,6 +532,11 @@ const std::vector<Oracle>& all_oracles() {
        check_roundtrip},
       {"replay", "repeated faulted runs replay byte-identically",
        check_replay},
+      {"layout_equivalence",
+       "canonical export bytes match the stamped pre-refactor golden "
+       "(layout invariants + serial-vs-threaded byte equality + fnv1a64 "
+       "hash)",
+       check_layout_equivalence},
       {"invariants",
        "paper-grounded report invariants (facility in candidate set, "
        "monotone convergence, alias partition, fault accounting)",

@@ -49,6 +49,12 @@ struct Oracle {
 
 // --- comparison helpers (exposed for tests) ---
 
+// The serial incremental reference arm: the full pipeline for the
+// scenario at --threads 1, the run every differential oracle compares
+// against. Exposed so `cfs_fuzz --stamp-golden` and the corpus
+// golden-replay test hash/compare exactly the bytes the oracles see.
+[[nodiscard]] CfsReport run_reference_arm(const Scenario& scenario);
+
 // Exported report JSON with the `metrics` subtree removed (wall-clock
 // content differs legitimately between equivalent runs).
 [[nodiscard]] JsonValue equivalence_json(const CfsReport& report);

@@ -49,6 +49,8 @@ std::string Scenario::summary() const {
        << " timeout=" << probe_timeout << " ban=" << lg_ban_burst
        << " withheld=" << pdb_withheld << "/" << dns_withheld << "/"
        << geoip_withheld << " fseed=" << fault_seed << "]";
+  if (!expected_export_fnv1a.empty())
+    os << " golden=" << expected_export_fnv1a;
   return os.str();
 }
 
@@ -77,6 +79,10 @@ JsonValue Scenario::to_json() const {
   o.emplace("dns_withheld", dns_withheld);
   o.emplace("geoip_withheld", geoip_withheld);
   o.emplace("fault_seed", fault_seed);
+  // Serialised only when stamped: hand-written corpus entries stay
+  // minimal, and an absent key round-trips to the empty default.
+  if (!expected_export_fnv1a.empty())
+    o.emplace("expected_export_fnv1a", expected_export_fnv1a);
   return JsonValue(std::move(o));
 }
 
@@ -115,6 +121,8 @@ Scenario Scenario::from_json(const JsonValue& doc) {
   get_double("dns_withheld", s.dns_withheld);
   get_double("geoip_withheld", s.geoip_withheld);
   get_int("fault_seed", s.fault_seed);
+  if (const JsonValue* v = doc.find("expected_export_fnv1a"))
+    s.expected_export_fnv1a = v->as_string();
   return s;
 }
 

@@ -56,6 +56,15 @@ struct Scenario {
   double geoip_withheld = 0.0;
   std::uint64_t fault_seed = 0;
 
+  // Optional refactor golden: hex64(fnv1a64(.)) of the canonical export
+  // (equivalence form, metrics subtree cut) the serial incremental arm
+  // produced when the scenario was stamped with `cfs_fuzz --stamp-golden`.
+  // Empty means unstamped. The layout_equivalence oracle re-checks it on
+  // every replay, so a memory-layout refactor that drifts the report by a
+  // single byte fails the corpus; the shrinker clears it on any mutation
+  // (a mutated scenario's golden no longer applies).
+  std::string expected_export_fnv1a;
+
   // Pipeline configuration for the serial reference run (threads = 1,
   // incremental engine); oracles override threads/engine per arm.
   [[nodiscard]] PipelineConfig pipeline_config() const;

@@ -141,6 +141,10 @@ ShrinkResult shrink_scenario(const Scenario& failing, const Oracle& oracle,
         if (out_of_budget()) return result;
         Scenario candidate = result.minimal;
         if (!step(candidate)) break;  // dimension at its floor
+        // A mutated scenario no longer matches its stamped export golden;
+        // keeping the hash would make layout_equivalence reject every
+        // shrink candidate for the wrong reason.
+        candidate.expected_export_fnv1a.clear();
         if (!still_fails(candidate)) break;
         result.minimal = candidate;
         ++result.accepted;

@@ -1,0 +1,85 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace cfs {
+namespace {
+
+// Capacity currently held by live arenas across the whole process.
+std::atomic<std::uint64_t> process_reserved{0};
+
+}  // namespace
+
+Arena::Arena(Arena&& other) noexcept
+    : block_bytes_(other.block_bytes_),
+      blocks_(std::move(other.blocks_)),
+      active_(other.active_),
+      bytes_allocated_(other.bytes_allocated_),
+      bytes_reserved_(other.bytes_reserved_) {
+  other.blocks_.clear();
+  other.active_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;  // capacity ownership moved with the blocks
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  process_reserved.fetch_sub(bytes_reserved_, std::memory_order_relaxed);
+  block_bytes_ = other.block_bytes_;
+  blocks_ = std::move(other.blocks_);
+  active_ = other.active_;
+  bytes_allocated_ = other.bytes_allocated_;
+  bytes_reserved_ = other.bytes_reserved_;
+  other.blocks_.clear();
+  other.active_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;
+  return *this;
+}
+
+Arena::~Arena() {
+  process_reserved.fetch_sub(bytes_reserved_, std::memory_order_relaxed);
+}
+
+void* Arena::alloc(std::size_t bytes, std::size_t align) {
+  for (;;) {
+    if (active_ < blocks_.size()) {
+      Block& block = blocks_[active_];
+      const auto base =
+          reinterpret_cast<std::uintptr_t>(block.data.get()) + block.used;
+      const std::size_t pad = (align - base % align) % align;
+      if (block.used + pad + bytes <= block.size) {
+        void* p = block.data.get() + block.used + pad;
+        block.used += pad + bytes;
+        bytes_allocated_ += bytes;
+        return p;
+      }
+      // Block tail too small for this request; bump arenas waste it.
+      ++active_;
+      continue;
+    }
+    const std::size_t size = std::max(block_bytes_, bytes + align);
+    Block block;
+    block.data = std::make_unique<std::byte[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    bytes_reserved_ += size;
+    process_reserved.fetch_add(size, std::memory_order_relaxed);
+    active_ = blocks_.size() - 1;
+  }
+}
+
+void Arena::reset() {
+  for (Block& block : blocks_) block.used = 0;
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+std::uint64_t Arena::process_reserved_bytes() {
+  return process_reserved.load(std::memory_order_relaxed);
+}
+
+}  // namespace cfs

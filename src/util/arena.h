@@ -1,0 +1,81 @@
+// Bump-pointer arena for the SoA observation store.
+//
+// Candidate facility spans and per-observation payloads live in one
+// contiguous arena instead of thousands of individual vector
+// allocations: CFS only ever narrows a candidate set after its first
+// assignment (core/candidates.cpp), so a span allocated at its initial
+// size never needs to grow — the classic bump-arena fit. Allocation is
+// monotone within a block; `reset()` recycles every block at once when
+// the store rebuilds. Not thread-safe: each arena is owned by exactly
+// one engine state (the parallel constraint fold speculates into
+// per-chunk scratch and only the serial apply writes arena-backed
+// state).
+//
+// `bytes_allocated()` feeds the `cfs.arena_bytes` gauge in the metrics
+// registry, and a process-wide counter tracks the high-water mark across
+// all arenas for BENCH_parallel.json (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace cfs {
+
+class Arena {
+ public:
+  static constexpr std::size_t default_block_bytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t block_bytes = default_block_bytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+  ~Arena();
+
+  // Uninitialised storage for n objects of T, aligned for T. n == 0 is
+  // allowed and returns a non-null (possibly shared) pointer.
+  template <class T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
+  [[nodiscard]] void* alloc(std::size_t bytes, std::size_t align);
+
+  // Recycles every block for reuse (capacity and the process-wide
+  // counter are retained; bytes_allocated() restarts from zero).
+  void reset();
+
+  // Bytes handed out since construction/reset (payload, not capacity).
+  [[nodiscard]] std::size_t bytes_allocated() const {
+    return bytes_allocated_;
+  }
+
+  // Capacity currently held in blocks.
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  // Block capacity currently held by every live arena in the process,
+  // for the memory gauges in BENCH_parallel.json.
+  [[nodiscard]] static std::uint64_t process_reserved_bytes();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // blocks_[active_..] have room when recycled
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace cfs

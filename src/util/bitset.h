@@ -1,0 +1,74 @@
+// Flat dynamic bitset for slot-indexed worklists.
+//
+// The constraint fold tracks which observation slots are dirty/pending as
+// bits over the slot space instead of std::set<key> — O(1) membership, no
+// node allocations, and a popcount gives the pass-start worklist size.
+// Unlike std::vector<bool> it exposes the word array semantics we need:
+// cheap whole-set union (`merge`), reset_all, and an exact count.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfs {
+
+class DynamicBitset {
+ public:
+  // Grows (or shrinks) to `n` bits; new bits are zero. Shrinking masks the
+  // dropped tail so a later regrow cannot resurrect stale bits.
+  void resize(std::size_t n) {
+    words_.resize((n + 63) / 64, 0);
+    n_ = n;
+    const std::size_t tail = n_ % 64;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (~std::uint64_t{0} >> (64 - tail));
+  }
+
+  void set(std::size_t i) {
+    assert(i < n_);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < n_);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < n_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void reset_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+  // Bitwise OR of an equally-sized set into this one.
+  void merge(const DynamicBitset& other) {
+    assert(n_ == other.n_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      words_[w] |= other.words_[w];
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace cfs

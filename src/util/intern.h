@@ -1,0 +1,64 @@
+// Dense-handle interner: the boundary between the string/value world and
+// the hot path.
+//
+// The CFS core refers to every recurring identifier (interface address,
+// AS number, hostname fragment) through a dense `u32` handle minted at
+// ingest. Handles are contiguous (`0..size()-1`), assigned in first-seen
+// order — so two runs that ingest the same sequence mint identical
+// handles and every downstream array indexed by handle is deterministic —
+// and they round-trip (`value(intern(v)) == v`, `intern(value(h)) == h`).
+// Const lookups never mint: a query for an unknown value returns nullopt
+// instead of perturbing the handle space (docs/ALGORITHM.md "Memory
+// layout").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace cfs {
+
+template <class T, class Hash = std::hash<T>>
+class Interner {
+ public:
+  using handle_type = std::uint32_t;
+
+  // Returns the existing handle for `v` or mints the next dense one.
+  handle_type intern(const T& v) {
+    const auto [it, inserted] =
+        index_.try_emplace(v, static_cast<handle_type>(values_.size()));
+    if (inserted) values_.push_back(v);
+    return it->second;
+  }
+
+  // Never mints: the const path is safe to call from read-only code
+  // (query handlers, oracles) without changing the handle space.
+  [[nodiscard]] std::optional<handle_type> find(const T& v) const {
+    const auto it = index_.find(v);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return index_.find(v) != index_.end();
+  }
+
+  [[nodiscard]] const T& value(handle_type h) const {
+    assert(h < values_.size());
+    return values_[h];
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  // Insertion-order value column; index i holds the value of handle i.
+  [[nodiscard]] const std::vector<T>& values() const { return values_; }
+
+ private:
+  std::unordered_map<T, handle_type, Hash> index_;
+  std::vector<T> values_;  // handle -> value, insertion order
+};
+
+}  // namespace cfs

@@ -68,6 +68,22 @@ std::string fixed(double value, int decimals) {
   return buf;
 }
 
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
 std::string with_commas(std::uint64_t value) {
   std::string digits = std::to_string(value);
   std::string out;

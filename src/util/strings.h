@@ -2,6 +2,7 @@
 // DNS hostname handling, report formatting).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +29,13 @@ std::string fixed(double value, int decimals);
 
 // "12,345" style thousands separator for readable report tables.
 std::string with_commas(std::uint64_t value);
+
+// FNV-1a 64-bit hash. Used to fingerprint canonical report exports so a
+// refactor golden fits in one corpus-scenario field instead of a full
+// committed report (fuzz/oracles.cpp layout_equivalence).
+std::uint64_t fnv1a64(std::string_view s);
+
+// 16-digit lowercase hex rendering, the committed form of fnv1a64.
+std::string hex64(std::uint64_t value);
 
 }  // namespace cfs

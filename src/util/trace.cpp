@@ -5,6 +5,10 @@
 #include <mutex>
 #include <ostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/table.h"
 
 namespace cfs {
@@ -89,6 +93,20 @@ std::string format_ms(double ms) {
 }
 
 }  // namespace
+
+std::uint64_t Trace::peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
 
 void Trace::counter(std::string_view name, std::uint64_t delta) {
   Registry& r = registry();

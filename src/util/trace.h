@@ -81,6 +81,12 @@ class Trace {
   // Fold a duration into the named timer (TraceSpan calls this on stop).
   static void observe_ms(std::string_view name, double ms);
 
+  // Process peak resident set size in bytes (getrusage ru_maxrss), 0 on
+  // platforms without the API. A process-wide high-water mark, not a
+  // per-run delta — callers gauge it so memory regressions show up in
+  // BENCH_parallel.json next to the wall-clock samples.
+  [[nodiscard]] static std::uint64_t peak_rss_bytes();
+
   [[nodiscard]] static MetricsSnapshot metrics();
   // Per-run view over a process-wide registry: counters and timer totals
   // are subtracted key-wise from `baseline`; gauges report their current

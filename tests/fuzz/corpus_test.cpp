@@ -12,6 +12,7 @@
 
 #include "fuzz/oracles.h"
 #include "fuzz/scenario.h"
+#include "util/strings.h"
 
 #ifndef CFS_CORPUS_DIR
 #error "CFS_CORPUS_DIR must point at the committed corpus/ directory"
@@ -53,6 +54,41 @@ TEST(FuzzCorpus, EveryScenarioPassesAllOracles) {
     EXPECT_FALSE(failure.has_value())
         << "[" << failure->oracle << "] " << failure->message;
   }
+}
+
+TEST(FuzzCorpus, StampedGoldensReplayByteIdentical) {
+  // Scenarios stamped with `cfs_fuzz --stamp-golden` pin the exact bytes
+  // of the canonical export (equivalence form). The layout_equivalence
+  // oracle already checks the fnv1a64 hash; this test additionally
+  // byte-compares against the committed corpus/goldens/ report so a
+  // drift names the divergent content, not just a hash mismatch. At
+  // least one committed scenario must be stamped — the refactor oracle
+  // is worthless if the corpus silently loses its goldens.
+  std::size_t stamped = 0;
+  for (const auto& path : corpus_files()) {
+    const Scenario scenario = load_scenario(path);
+    if (scenario.expected_export_fnv1a.empty()) continue;
+    ++stamped;
+    SCOPED_TRACE(path.filename().string() + ": " + scenario.summary());
+
+    const CfsReport report = run_reference_arm(scenario);
+    const std::string bytes = equivalence_json(report).pretty();
+    EXPECT_EQ(hex64(fnv1a64(bytes)), scenario.expected_export_fnv1a)
+        << "canonical export drifted from the stamped golden";
+
+    const std::filesystem::path golden =
+        std::filesystem::path(CFS_CORPUS_DIR) / "goldens" /
+        (path.stem().string() + ".report.json");
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << golden << " missing: re-run cfs_fuzz --stamp-golden "
+        << path.string();
+    std::ifstream file(golden);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    EXPECT_EQ(buffer.str(), bytes + "\n")
+        << "committed golden report no longer matches the engine output";
+  }
+  EXPECT_GE(stamped, 1u) << "no corpus scenario carries a stamped golden";
 }
 
 TEST(FuzzCorpus, EveryScenarioRoundTripsThroughJson) {

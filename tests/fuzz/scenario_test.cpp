@@ -61,6 +61,20 @@ TEST(Scenario, FromJsonKeepsDefaultsForAbsentKeys) {
   EXPECT_FALSE(s.any_faults());
 }
 
+TEST(Scenario, GoldenHashRoundTripsAndStaysOptional) {
+  Scenario s;
+  s.seed = 7;
+  // Unstamped: the key must not appear, so minimal corpus entries stay
+  // minimal and absent-key loading keeps the empty default.
+  EXPECT_EQ(s.to_json().find("expected_export_fnv1a"), nullptr);
+  EXPECT_TRUE(Scenario::from_json(s.to_json()).expected_export_fnv1a.empty());
+
+  s.expected_export_fnv1a = "00ff00ff00ff00ff";
+  const Scenario back = Scenario::from_json(s.to_json());
+  EXPECT_EQ(back.expected_export_fnv1a, "00ff00ff00ff00ff");
+  EXPECT_EQ(s.to_json().pretty(), back.to_json().pretty());
+}
+
 TEST(Oracles, SelectionByName) {
   EXPECT_EQ(oracles_by_name("all").size(), all_oracles().size());
   EXPECT_EQ(oracles_by_name("").size(), all_oracles().size());

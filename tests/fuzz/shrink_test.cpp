@@ -95,6 +95,18 @@ TEST(Shrink, FixpointMeansNoScheduledStepApplies) {
   }
 }
 
+TEST(Shrink, MutationClearsStampedGolden) {
+  // Any accepted reduction invalidates a stamped export golden: the hash
+  // was taken over the *original* scenario's report bytes. The shrinker
+  // must drop it so layout_equivalence judges shrink candidates on their
+  // own behaviour, not against a golden that no longer applies.
+  Scenario failing = maxed_scenario();
+  failing.expected_export_fnv1a = "deadbeefdeadbeef";
+  const ShrinkResult result = shrink_scenario(failing, always_failing());
+  ASSERT_GT(result.accepted, 0u);
+  EXPECT_TRUE(result.minimal.expected_export_fnv1a.empty());
+}
+
 TEST(Shrink, ThresholdOraclePreservesTheLoadBearingKnob) {
   // Fails iff lg_outage stays above 0.25: the shrinker must keep that knob
   // above the threshold while zeroing every other fault and flooring every

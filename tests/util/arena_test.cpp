@@ -1,0 +1,104 @@
+// Bump-arena behaviour the SoA observation store depends on: alignment,
+// stability of handed-out spans, byte accounting for the metrics gauges,
+// and block recycling on reset.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace cfs {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);  // small blocks force multi-block coverage
+  std::vector<std::pair<std::uint8_t*, std::size_t>> spans;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = 1 + static_cast<std::size_t>(i % 37);
+    auto* p = arena.alloc_array<std::uint64_t>(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t),
+              0u);
+    for (std::size_t j = 0; j < n; ++j) p[j] = 0xa0a0a0a0a0a0a0a0ULL + i;
+    spans.emplace_back(reinterpret_cast<std::uint8_t*>(p),
+                       n * sizeof(std::uint64_t));
+  }
+  // No span overlaps another (each was fully written above; overlap would
+  // have corrupted an earlier span's fill pattern, but check geometry
+  // directly too).
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const auto [pi, ni] = spans[i];
+      const auto [pj, nj] = spans[j];
+      EXPECT_TRUE(pi + ni <= pj || pj + nj <= pi)
+          << "span " << i << " overlaps span " << j;
+    }
+}
+
+TEST(Arena, MixedAlignments) {
+  Arena arena(128);
+  for (int i = 0; i < 100; ++i) {
+    auto* c = arena.alloc_array<char>(3);
+    auto* d = arena.alloc_array<double>(2);
+    auto* s = arena.alloc_array<std::uint16_t>(5);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s) % alignof(std::uint16_t),
+              0u);
+  }
+}
+
+TEST(Arena, BytesAccounting) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  (void)arena.alloc_array<std::uint32_t>(10);
+  EXPECT_EQ(arena.bytes_allocated(), 40u);
+  (void)arena.alloc_array<std::uint8_t>(3);
+  EXPECT_EQ(arena.bytes_allocated(), 43u);
+  EXPECT_GE(arena.bytes_reserved(), 1024u);
+
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Capacity is recycled, not freed.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  (void)arena.alloc_array<std::uint32_t>(10);
+  EXPECT_EQ(arena.bytes_allocated(), 40u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // reuse, no new block
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnBlock) {
+  Arena arena(64);
+  auto* p = arena.alloc_array<std::uint64_t>(100);  // 800 bytes > block
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 100; ++i) p[i] = i;
+  EXPECT_EQ(arena.bytes_allocated(), 800u);
+  EXPECT_GE(arena.bytes_reserved(), 800u);
+}
+
+TEST(Arena, ProcessCounterTracksLiveArenas) {
+  const std::uint64_t before = Arena::process_reserved_bytes();
+  {
+    Arena arena(4096);
+    (void)arena.alloc_array<std::uint8_t>(1);
+    EXPECT_GE(Arena::process_reserved_bytes(), before + 4096);
+  }
+  EXPECT_EQ(Arena::process_reserved_bytes(), before);  // released on dtor
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  const std::uint64_t before = Arena::process_reserved_bytes();
+  Arena a(512);
+  auto* p = a.alloc_array<std::uint32_t>(4);
+  p[0] = 42;
+  Arena b(std::move(a));
+  EXPECT_EQ(p[0], 42u);  // span survives the move
+  EXPECT_EQ(b.bytes_allocated(), 16u);
+  EXPECT_GE(Arena::process_reserved_bytes(), before + 512);
+  b = Arena(128);  // old blocks released exactly once
+  EXPECT_GE(Arena::process_reserved_bytes(), before);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,154 @@
+// DynamicBitset: the dirty/pending observation worklists in the CFS hot
+// path are bitsets over store slots, so set/reset/count/merge must match a
+// reference std::vector<bool> model exactly — including across resizes
+// (slots are only ever appended, but shrink must not resurrect stale tail
+// bits on regrow).
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset bits;
+  bits.resize(130);  // spans three words
+  EXPECT_FALSE(bits.test(0));
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(128));
+  EXPECT_EQ(bits.count(), 4u);
+  EXPECT_TRUE(bits.any());
+  bits.reset(63);
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(DynamicBitset, ResetAllClearsEverything) {
+  DynamicBitset bits;
+  bits.resize(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i);
+  EXPECT_TRUE(bits.any());
+  bits.reset_all();
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.any());
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(DynamicBitset, GrowPreservesBits) {
+  DynamicBitset bits;
+  bits.resize(10);
+  bits.set(3);
+  bits.set(9);
+  bits.resize(300);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_TRUE(bits.test(9));
+  for (std::size_t i = 10; i < 300; ++i) EXPECT_FALSE(bits.test(i));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynamicBitset, ShrinkThenRegrowDoesNotResurrectBits) {
+  DynamicBitset bits;
+  bits.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) bits.set(i);
+  bits.resize(70);  // mid-word boundary: tail of word 1 must be masked
+  EXPECT_EQ(bits.count(), 70u);
+  bits.resize(100);
+  for (std::size_t i = 70; i < 100; ++i) EXPECT_FALSE(bits.test(i));
+  EXPECT_EQ(bits.count(), 70u);
+}
+
+TEST(DynamicBitset, MergeIsBitwiseOr) {
+  DynamicBitset a;
+  DynamicBitset b;
+  a.resize(130);
+  b.resize(130);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(129);
+  a.merge(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(70));
+  EXPECT_TRUE(a.test(129));
+  EXPECT_EQ(a.count(), 3u);
+  // merge must not modify its argument
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+// Property: a random walk of set/reset/resize/merge operations agrees with
+// a std::vector<bool> reference model at every step.
+TEST(DynamicBitset, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(4242);
+  DynamicBitset bits;
+  std::vector<bool> model;
+  DynamicBitset other;
+  std::vector<bool> other_model;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t op = rng.index(100);
+    if (op < 8) {  // resize (mostly grow, occasionally shrink)
+      const std::size_t n = rng.index(260);
+      bits.resize(n);
+      other.resize(n);
+      model.resize(n, false);
+      other_model.resize(n, false);
+      if (n < model.size()) {
+        model.resize(n);
+        other_model.resize(n);
+      }
+    } else if (model.empty()) {
+      continue;
+    } else if (op < 45) {
+      const std::size_t i = rng.index(model.size());
+      bits.set(i);
+      model[i] = true;
+    } else if (op < 75) {
+      const std::size_t i = rng.index(model.size());
+      bits.reset(i);
+      model[i] = false;
+    } else if (op < 85) {
+      const std::size_t i = rng.index(model.size());
+      other.set(i);
+      other_model[i] = true;
+    } else if (op < 92) {
+      bits.merge(other);
+      for (std::size_t i = 0; i < model.size(); ++i)
+        model[i] = model[i] || other_model[i];
+    } else if (op < 96) {
+      bits.reset_all();
+      model.assign(model.size(), false);
+    }
+
+    ASSERT_EQ(bits.size(), model.size());
+    std::size_t expected_count = 0;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      ASSERT_EQ(bits.test(i), model[i]) << "bit " << i << " at step " << step;
+      expected_count += model[i];
+    }
+    ASSERT_EQ(bits.count(), expected_count);
+    ASSERT_EQ(bits.any(), expected_count != 0);
+  }
+}
+
+}  // namespace
+}  // namespace cfs

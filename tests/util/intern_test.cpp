@@ -1,0 +1,87 @@
+// Interner properties (ISSUE 8 satellite): handles are dense and
+// contiguous, insertion-order deterministic across runs, round-trip
+// id -> value -> id is the identity, and const lookups never mint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/intern.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+TEST(Intern, HandlesAreDenseAndContiguous) {
+  Interner<std::string> interner;
+  EXPECT_EQ(interner.intern("lon"), 0u);
+  EXPECT_EQ(interner.intern("fra"), 1u);
+  EXPECT_EQ(interner.intern("lon"), 0u);  // re-intern returns the same handle
+  EXPECT_EQ(interner.intern("ams"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(Intern, FuzzedHandlesStayDenseUnderDuplicates) {
+  Rng rng(7);
+  Interner<std::uint64_t> interner;
+  std::vector<std::uint64_t> seen;  // reference: first-seen order
+  for (int i = 0; i < 5000; ++i) {
+    // Small universe => plenty of duplicate interning.
+    const std::uint64_t v = rng.uniform(200);
+    const auto h = interner.intern(v);
+    ASSERT_LT(h, interner.size());
+    if (std::find(seen.begin(), seen.end(), v) == seen.end()) seen.push_back(v);
+    ASSERT_EQ(interner.size(), seen.size());
+    // Handle == position in first-seen order.
+    ASSERT_EQ(interner.value(h), v);
+    ASSERT_EQ(h, static_cast<std::size_t>(
+                     std::find(seen.begin(), seen.end(), v) - seen.begin()));
+  }
+  EXPECT_EQ(interner.values(), seen);
+}
+
+TEST(Intern, InsertionOrderIsDeterministicAcrossRuns) {
+  // Two interners fed the same sequence mint identical handle spaces —
+  // the property every handle-indexed array in the core relies on.
+  const auto feed = [](Interner<std::string>& interner) {
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i)
+      interner.intern("as" + std::to_string(rng.uniform(300)));
+  };
+  Interner<std::string> a, b;
+  feed(a);
+  feed(b);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Intern, RoundTripIsIdentity) {
+  Rng rng(3);
+  Interner<Ipv4> interner;
+  for (int i = 0; i < 3000; ++i)
+    interner.intern(Ipv4(static_cast<std::uint32_t>(rng.uniform(1 << 12))));
+  for (std::uint32_t h = 0; h < interner.size(); ++h) {
+    const Ipv4 v = interner.value(h);            // id -> value
+    EXPECT_EQ(interner.intern(v), h);            // value -> id (no mint)
+    ASSERT_TRUE(interner.find(v).has_value());
+    EXPECT_EQ(*interner.find(v), h);
+  }
+}
+
+TEST(Intern, ConstLookupsNeverMint) {
+  Interner<std::string> interner;
+  interner.intern("known");
+  const Interner<std::string>& view = interner;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(view.find("unknown-" + std::to_string(i)).has_value());
+    EXPECT_FALSE(view.contains("unknown-" + std::to_string(i)));
+  }
+  // A hundred misses minted nothing.
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_TRUE(view.find("known").has_value());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -68,5 +68,26 @@ TEST(Strings, WithCommas) {
   EXPECT_EQ(with_commas(1234567), "1,234,567");
 }
 
+TEST(Strings, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors; pins the constants against typos.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Strings, Fnv1a64SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("report-a"), fnv1a64("report-b"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  // Embedded NULs count: hashing canonical JSON must not stop early.
+  EXPECT_NE(fnv1a64(std::string_view("a\0b", 3)),
+            fnv1a64(std::string_view("a\0c", 3)));
+}
+
+TEST(Strings, Hex64) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
 }  // namespace
 }  // namespace cfs

@@ -12,11 +12,20 @@
 //       corpus scenario file. Exit 0 when every oracle passes, 1 when the
 //       failure reproduces.
 //
+//   cfs_fuzz --stamp-golden FILE [--goldens-dir DIR]
+//       Run the serial reference arm for the scenario in FILE, write its
+//       canonical-export fnv1a64 hash back into the file as
+//       `expected_export_fnv1a`, and save the full equivalence-form
+//       report to DIR (default: <dir of FILE>/goldens/<stem>.report.json)
+//       for diagnosable diffs. Stamp with the engine you want to pin —
+//       the layout_equivalence oracle then rejects any future byte drift.
+//
 //   cfs_fuzz --list-oracles
 //       Print the oracle taxonomy.
 //
 // Exit codes: 0 all trials green, 1 oracle failure (repro written when
 // fuzzing), 3 bad flag, 4 runtime failure.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +37,7 @@
 #include "io/json.h"
 #include "util/flags.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 using namespace cfs;
 
@@ -99,6 +109,66 @@ int cmd_replay(const Flags& flags) {
     return 1;
   }
   std::cout << "ok (" << oracles.size() << " oracle(s) passed)\n";
+  return 0;
+}
+
+int cmd_stamp_golden(const Flags& flags) {
+  const std::string path = flags.get("stamp-golden", "");
+  const std::string goldens_flag = flags.get("goldens-dir", "");
+  const std::string message = flags.unknown_flags_message();
+  if (!message.empty()) throw std::invalid_argument(message);
+
+  const JsonValue doc = load_json_file(path);
+  const JsonValue* scenario_doc = doc.find("scenario");
+  Scenario scenario =
+      Scenario::from_json(scenario_doc != nullptr ? *scenario_doc : doc);
+  const std::string previous = scenario.expected_export_fnv1a;
+
+  std::cout << "stamping " << path << "\n  " << scenario.summary() << "\n";
+  const CfsReport report = run_reference_arm(scenario);
+  const std::string bytes = equivalence_json(report).pretty();
+  const std::string hash = hex64(fnv1a64(bytes));
+
+  // Patch the hash into the document in place: a minimal hand-written
+  // corpus entry keeps its minimal key set, a wrapped repro keeps its
+  // envelope — only `expected_export_fnv1a` is inserted or replaced.
+  JsonValue updated = doc;
+  JsonValue::Object& target =
+      scenario_doc != nullptr
+          ? updated.as_object().at("scenario").as_object()
+          : updated.as_object();
+  target.insert_or_assign("expected_export_fnv1a", JsonValue(hash));
+  {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot write " + path);
+    file << updated.pretty() << "\n";
+  }
+
+  // Full equivalence-form report alongside the hash: when the oracle
+  // trips, `cfs diff` against this file names the drifted path instead
+  // of just "hash mismatch".
+  const std::filesystem::path scenario_path(path);
+  const std::filesystem::path goldens_dir =
+      goldens_flag.empty() ? scenario_path.parent_path() / "goldens"
+                           : std::filesystem::path(goldens_flag);
+  std::filesystem::create_directories(goldens_dir);
+  const std::filesystem::path golden_path =
+      goldens_dir / (scenario_path.stem().string() + ".report.json");
+  {
+    std::ofstream file(golden_path);
+    if (!file)
+      throw std::runtime_error("cannot write " + golden_path.string());
+    file << bytes << "\n";
+  }
+
+  if (previous.empty())
+    std::cout << "  golden " << hash << " (previously unstamped)\n";
+  else if (previous == hash)
+    std::cout << "  golden " << hash << " (unchanged)\n";
+  else
+    std::cout << "  golden " << previous << " -> " << hash
+              << " (RE-STAMPED: export bytes changed)\n";
+  std::cout << "  report golden: " << golden_path.string() << "\n";
   return 0;
 }
 
@@ -190,6 +260,7 @@ void print_usage(std::ostream& os) {
   os << "usage: cfs_fuzz [--trials N] [--seed S] [--budget-sec T] "
         "[--oracles a,b|all] [--out DIR]\n"
         "       cfs_fuzz --replay FILE [--oracles a,b|all]\n"
+        "       cfs_fuzz --stamp-golden FILE [--goldens-dir DIR]\n"
         "       cfs_fuzz --list-oracles\n"
         "see tools/cfs_fuzz.cpp header and docs/TESTING.md\n";
 }
@@ -215,6 +286,7 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (flags.get_bool("list-oracles", false)) return cmd_list_oracles();
+    if (flags.has("stamp-golden")) return cmd_stamp_golden(flags);
     if (flags.has("replay")) return cmd_replay(flags);
     return cmd_fuzz(flags);
   } catch (const std::invalid_argument& error) {
